@@ -1,0 +1,43 @@
+// Pool-size auto-tuning (paper §VI: "this parameter has to be determined
+// at runtime by testing different pool sizes"). For every benchmark class,
+// sweeps the pool size through the offload model and reports the modeled
+// node throughput curve plus the tuner's recommendation.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+int main() {
+  using namespace fsbb;
+
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  std::cout << "Runtime pool-size auto-tuning (shared JM+PTM placement)\n\n";
+
+  AsciiTable table("modeled node throughput (Mnodes/s) vs pool size");
+  std::vector<std::string> header{"instance"};
+  for (const std::size_t pool : bench::kPaperPoolSizes) {
+    header.push_back(std::to_string(pool));
+  }
+  header.push_back("tuner picks");
+  table.set_header(std::move(header));
+
+  for (const int jobs : bench::kPaperJobCounts) {
+    const bench::InstanceSetup setup = bench::make_setup(jobs);
+    const auto scenario = bench::scenario_for(
+        device, setup, gpubb::PlacementPolicy::kSharedJmPtm);
+    const auto tuned = gpubb::autotune_pool_size(scenario, 4096, 262144);
+
+    std::vector<std::string> row{std::to_string(jobs) + "x20"};
+    for (const auto& point : tuned.curve) {
+      row.push_back(AsciiTable::num(point.nodes_per_second / 1e6, 3));
+    }
+    row.push_back(std::to_string(tuned.best_pool_size));
+    table.add_row(std::move(row));
+  }
+  table.render(std::cout);
+
+  std::cout << "\npaper: best pool 8192 for 20x20/50x20, 262144 for "
+               "100x20/200x20 — small instances peak early, large ones keep "
+               "gaining\n";
+  return 0;
+}

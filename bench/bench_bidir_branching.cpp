@@ -1,0 +1,66 @@
+// Branching-scheme ablation (beyond the paper; the refinement the authors
+// adopt in their follow-up works): forward-only decomposition vs
+// bidirectional begin/end branching with the symmetric two-direction
+// bound, across instance families. Trees and real times, solved to
+// optimality with identical weak incumbents so the comparison is pure.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/bidir.h"
+#include "core/engine.h"
+#include "fsp/generators.h"
+
+int main() {
+  using namespace fsbb;
+
+  std::cout << "Branching-scheme ablation — forward vs bidirectional\n\n";
+
+  AsciiTable table("tree size and time by branching scheme (3 seeds each)");
+  table.set_header({"family", "fwd branched", "bidir branched", "tree ratio",
+                    "fwd ms", "bidir ms"});
+
+  for (const auto family :
+       {fsp::InstanceFamily::kUniform, fsp::InstanceFamily::kJobCorrelated,
+        fsp::InstanceFamily::kTwoPlateaus, fsp::InstanceFamily::kTrend}) {
+    std::uint64_t fwd_nodes = 0;
+    std::uint64_t bidir_nodes = 0;
+    double fwd_ms = 0;
+    double bidir_ms = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const fsp::Instance inst = fsp::make_instance(family, 11, 8, seed);
+      const auto data = fsp::LowerBoundData::build(inst);
+
+      core::SerialCpuEvaluator eval(inst, data);
+      core::EngineOptions options;
+      options.initial_ub = inst.total_work();
+      core::BBEngine forward(inst, data, eval, options);
+      const auto f = forward.solve();
+      fwd_nodes += f.stats.branched;
+      fwd_ms += f.stats.wall_seconds * 1e3;
+
+      core::BidirOptions bopts;
+      bopts.initial_ub = inst.total_work();
+      const auto b = core::bidir_solve(inst, data, bopts);
+      bidir_nodes += b.stats.branched;
+      bidir_ms += b.stats.wall_seconds * 1e3;
+
+      FSBB_CHECK_MSG(f.best_makespan == b.best_makespan,
+                     "branching schemes disagree on the optimum!");
+    }
+    table.add_row(
+        {to_string(family),
+         AsciiTable::num(static_cast<std::int64_t>(fwd_nodes)),
+         AsciiTable::num(static_cast<std::int64_t>(bidir_nodes)),
+         AsciiTable::num(static_cast<double>(bidir_nodes) /
+                             static_cast<double>(std::max<std::uint64_t>(
+                                 1, fwd_nodes)),
+                         2),
+         AsciiTable::num(fwd_ms, 1), AsciiTable::num(bidir_ms, 1)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nreading: the symmetric bound costs two LB1 sweeps per node "
+               "(the time columns), so bidirectional wins wall-clock only "
+               "where it shrinks the tree decisively\n";
+  return 0;
+}

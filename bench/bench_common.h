@@ -1,0 +1,71 @@
+// Shared scaffolding for the reproduction harnesses.
+//
+// Every table/figure bench follows the paper's §IV protocol: generate the
+// benchmark instance (Taillard class representative), freeze a pool of live
+// sub-problems with a serial best-first run, measure the bounding kernel's
+// per-thread work on that real pool, then price configurations with the
+// calibrated offload model. Absolute speedups are modeled (no C2050 here);
+// node counts and kernel work are functionally real.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/protocol.h"
+#include "fsp/instance.h"
+#include "fsp/lb_data.h"
+#include "fsp/taillard.h"
+#include "gpubb/autotuner.h"
+#include "gpubb/offload_model.h"
+#include "gpubb/placement.h"
+#include "gpusim/kernel.h"
+
+namespace fsbb::bench {
+
+/// The paper's pool-size sweep: 16x256 .. 1024x256.
+inline const std::size_t kPaperPoolSizes[] = {4096,  8192,   16384, 32768,
+                                              65536, 131072, 262144};
+
+/// The paper's benchmark classes (n x 20).
+inline const int kPaperJobCounts[] = {20, 50, 100, 200};
+
+/// Live-frontier size assumed by the host-side heap model (the frozen list
+/// L of the protocol).
+inline constexpr std::size_t kFrontierNodes = 4096;
+
+/// Nodes frozen per instance; they double as the kernel measurement sample.
+inline constexpr std::size_t kFreezeTarget = 1024;
+
+/// One benchmark instance with its frozen workload.
+struct InstanceSetup {
+  std::unique_ptr<fsp::Instance> instance;
+  std::unique_ptr<fsp::LowerBoundData> data;
+  core::FrozenPool frozen;
+
+  const fsp::Instance& inst() const { return *instance; }
+  const fsp::LowerBoundData& lb() const { return *data; }
+};
+
+/// Builds the class-representative instance and freezes its pool.
+inline InstanceSetup make_setup(int jobs, int machines = 20,
+                                std::size_t freeze_target = kFreezeTarget) {
+  InstanceSetup s;
+  s.instance = std::make_unique<fsp::Instance>(
+      fsp::taillard_class_representative(jobs, machines));
+  s.data = std::make_unique<fsp::LowerBoundData>(
+      fsp::LowerBoundData::build(*s.instance));
+  s.frozen = core::freeze_pool(*s.instance, *s.data, freeze_target);
+  return s;
+}
+
+/// Measures the offload scenario of one placement on the frozen pool.
+inline gpubb::OffloadScenario scenario_for(
+    gpusim::SimDevice& device, const InstanceSetup& setup,
+    gpubb::PlacementPolicy policy,
+    std::size_t frontier_nodes = kFrontierNodes) {
+  return gpubb::measure_scenario(device, setup.inst(), setup.lb(), policy,
+                                 setup.frozen.nodes, frontier_nodes);
+}
+
+}  // namespace fsbb::bench

@@ -1,0 +1,62 @@
+// Workload study across synthetic instance families: how tight is LB1 at
+// the root (vs. the NEH upper bound) and how large does the B&B tree get?
+// Contextualizes the paper's choice of Taillard's uniform instances — the
+// family where the bound is loose and trees are big, i.e. where GPU
+// acceleration matters most.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/engine.h"
+#include "fsp/generators.h"
+#include "fsp/lb1.h"
+#include "fsp/neh.h"
+
+int main() {
+  using namespace fsbb;
+
+  std::cout << "Instance-family study — LB1 tightness and tree size\n\n";
+
+  AsciiTable table("root gap and exploration effort by family (12x8, 3 seeds)");
+  table.set_header({"family", "avg LB1 root", "avg NEH UB", "root gap",
+                    "avg branched", "proved optimal"});
+
+  const fsp::InstanceFamily families[] = {
+      fsp::InstanceFamily::kUniform, fsp::InstanceFamily::kJobCorrelated,
+      fsp::InstanceFamily::kMachineCorrelated, fsp::InstanceFamily::kTrend,
+      fsp::InstanceFamily::kTwoPlateaus};
+
+  for (const auto family : families) {
+    double lb_sum = 0;
+    double ub_sum = 0;
+    double branched_sum = 0;
+    int proved = 0;
+    constexpr int kSeeds = 3;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const fsp::Instance inst = fsp::make_instance(family, 12, 8, seed);
+      const auto data = fsp::LowerBoundData::build(inst);
+      lb_sum += fsp::lb1_from_prefix(inst, data, {});
+      ub_sum += fsp::neh(inst).makespan;
+
+      core::SerialCpuEvaluator eval(inst, data);
+      core::EngineOptions options;
+      options.node_budget = 200000;  // safety valve for the hard families
+      core::BBEngine engine(inst, data, eval, options);
+      const auto result = engine.solve();
+      branched_sum += static_cast<double>(result.stats.branched);
+      proved += result.proven_optimal ? 1 : 0;
+    }
+    const double gap = (ub_sum - lb_sum) / ub_sum;
+    table.add_row({to_string(family), AsciiTable::num(lb_sum / kSeeds, 1),
+                   AsciiTable::num(ub_sum / kSeeds, 1),
+                   AsciiTable::num(gap * 100.0, 1) + "%",
+                   AsciiTable::num(branched_sum / kSeeds, 0),
+                   std::to_string(proved) + "/" + std::to_string(kSeeds)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nreading: job-correlated instances are near-trivial (tight "
+               "LB1); trend instances defeat the two-machine relaxation and "
+               "explode the tree — the regime where offloaded bounding pays "
+               "the most\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// google-benchmark micro-benchmarks of the engine substrate: pool push/pop
+// throughput at realistic sizes (the host-side cost the offload model's
+// heap term prices), frozen-pool (de)serialization, and end-to-end serial
+// engine throughput on small instances.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/pool_io.h"
+#include "core/protocol.h"
+#include "fsp/generators.h"
+
+namespace {
+
+using namespace fsbb;
+
+core::Subproblem make_node(int jobs, SplitMix64& rng) {
+  core::Subproblem sp = core::Subproblem::root(jobs);
+  shuffle(sp.perm, rng);
+  sp.depth = static_cast<std::int32_t>(
+      rng.next_below(static_cast<std::uint64_t>(jobs)));
+  sp.lb = static_cast<fsp::Time>(rng.next_in(100, 10000));
+  return sp;
+}
+
+void BM_BestFirstPoolPushPop(benchmark::State& state) {
+  const auto resident = static_cast<std::size_t>(state.range(0));
+  const int jobs = 20;
+  SplitMix64 rng(1);
+  auto pool = core::make_pool(core::SelectionStrategy::kBestFirst);
+  for (std::size_t i = 0; i < resident; ++i) {
+    pool->push(make_node(jobs, rng));
+  }
+  for (auto _ : state) {
+    pool->push(make_node(jobs, rng));
+    benchmark::DoNotOptimize(pool->pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BestFirstPoolPushPop)->Arg(1 << 10)->Arg(1 << 15)->Arg(1 << 20);
+
+void BM_DfsPoolPushPop(benchmark::State& state) {
+  SplitMix64 rng(2);
+  auto pool = core::make_pool(core::SelectionStrategy::kDepthFirst);
+  for (int i = 0; i < 1024; ++i) pool->push(make_node(20, rng));
+  for (auto _ : state) {
+    pool->push(make_node(20, rng));
+    benchmark::DoNotOptimize(pool->pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DfsPoolPushPop);
+
+void BM_FrozenPoolSerialization(benchmark::State& state) {
+  const fsp::Instance inst =
+      fsp::make_instance(fsp::InstanceFamily::kUniform, 20, 10, 3);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const core::FrozenPool pool =
+      core::freeze_pool(inst, data, 500, inst.total_work());
+  for (auto _ : state) {
+    std::stringstream ss;
+    core::write_frozen_pool(ss, pool);
+    benchmark::DoNotOptimize(core::read_frozen_pool(ss));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pool.nodes.size()));
+}
+BENCHMARK(BM_FrozenPoolSerialization);
+
+void BM_SerialEngineSmallSolve(benchmark::State& state) {
+  const fsp::Instance inst = fsp::make_instance(
+      fsp::InstanceFamily::kUniform, static_cast<int>(state.range(0)), 5, 11);
+  const auto data = fsp::LowerBoundData::build(inst);
+  for (auto _ : state) {
+    core::SerialCpuEvaluator eval(inst, data);
+    core::BBEngine engine(inst, data, eval, core::EngineOptions{});
+    benchmark::DoNotOptimize(engine.solve());
+  }
+}
+BENCHMARK(BM_SerialEngineSmallSolve)->Arg(9)->Arg(11);
+
+}  // namespace
+
+BENCHMARK_MAIN();

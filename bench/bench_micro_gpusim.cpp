@@ -1,0 +1,105 @@
+// google-benchmark micro-benchmarks of the simulator itself: functional
+// kernel execution throughput (how fast the simulated device bounds real
+// pools on this host), occupancy calculation, placement planning and the
+// transfer/timing models. Keeps the simulation substrate's overhead honest.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fsp/taillard.h"
+#include "gpubb/device_lb_data.h"
+#include "gpubb/lb_kernel.h"
+#include "gpubb/placement.h"
+#include "gpusim/occupancy.h"
+#include "gpusim/timing.h"
+#include "gpusim/transfer.h"
+
+namespace {
+
+using namespace fsbb;
+
+std::vector<core::Subproblem> random_pool(const fsp::Instance& inst, int count,
+                                          std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<core::Subproblem> pool;
+  for (int i = 0; i < count; ++i) {
+    core::Subproblem sp = core::Subproblem::root(inst.jobs());
+    shuffle(sp.perm, rng);
+    sp.depth = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(inst.jobs() / 2)));
+    pool.push_back(std::move(sp));
+  }
+  return pool;
+}
+
+void BM_SimKernelLb1(benchmark::State& state) {
+  const int pool_nodes = static_cast<int>(state.range(0));
+  const fsp::Instance inst = fsp::taillard_class_representative(20, 20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  const gpubb::DeviceLbData dev_data(
+      device, data,
+      gpubb::make_placement_plan(gpubb::PlacementPolicy::kSharedJmPtm, data,
+                                 device.spec()));
+  const auto nodes = random_pool(inst, pool_nodes, 1);
+  const gpubb::PackedPool packed = gpubb::PackedPool::pack(nodes, inst.jobs());
+
+  for (auto _ : state) {
+    gpubb::DevicePool pool = gpubb::DevicePool::upload(device, packed);
+    benchmark::DoNotOptimize(
+        gpubb::launch_lb1_kernel(device, dev_data, pool, 256));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          pool_nodes);
+}
+BENCHMARK(BM_SimKernelLb1)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_OccupancyCalculator(benchmark::State& state) {
+  const auto spec = gpusim::DeviceSpec::tesla_c2050();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpusim::compute_occupancy(
+        spec, gpusim::SmemConfig::kPreferShared,
+        gpusim::KernelResources{256, 26, 21000}));
+  }
+}
+BENCHMARK(BM_OccupancyCalculator);
+
+void BM_PlacementPlanning(benchmark::State& state) {
+  const fsp::Instance inst = fsp::taillard_class_representative(200, 20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const auto spec = gpusim::DeviceSpec::tesla_c2050();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpubb::make_placement_plan(
+        gpubb::PlacementPolicy::kAuto, data, spec));
+  }
+}
+BENCHMARK(BM_PlacementPlanning);
+
+void BM_KernelTimeEstimate(benchmark::State& state) {
+  const auto spec = gpusim::DeviceSpec::tesla_c2050();
+  const auto calib = gpusim::GpuCalibration::fermi_defaults();
+  const auto occ = gpusim::compute_occupancy(
+      spec, gpusim::SmemConfig::kPreferL1, gpusim::KernelResources{256, 26, 0});
+  gpusim::ThreadWork work;
+  work.ops = 5e4;
+  work.accesses[static_cast<std::size_t>(gpusim::MemSpace::kGlobal)] = 1.5e5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpusim::estimate_kernel_time(
+        spec, calib, gpusim::LaunchConfig{1024, 256}, occ, work));
+  }
+}
+BENCHMARK(BM_KernelTimeEstimate);
+
+void BM_TransferModel(benchmark::State& state) {
+  const auto spec = gpusim::DeviceSpec::tesla_c2050();
+  const gpusim::TransferModel model(spec);
+  std::size_t bytes = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.seconds(bytes));
+    bytes = bytes * 2 % (1 << 26) + 1;
+  }
+}
+BENCHMARK(BM_TransferModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// google-benchmark micro-benchmarks of the real (wall-clock) hot paths:
+// the LB1 bound, the LB0 bound, makespan evaluation, NEH construction,
+// Johnson orders and branching. These measure THIS host, not the paper's
+// testbed — they exist to keep the library's real performance honest and
+// to show the Θ(m² n) scaling of the bounding operator.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/subproblem.h"
+#include "fsp/johnson.h"
+#include "fsp/lb1.h"
+#include "fsp/lb_one_machine.h"
+#include "fsp/makespan.h"
+#include "fsp/neh.h"
+#include "fsp/taillard.h"
+
+namespace {
+
+using namespace fsbb;
+
+const fsp::Instance& instance_for(int jobs) {
+  static const auto cache = [] {
+    std::vector<std::unique_ptr<fsp::Instance>> v;
+    for (const int n : {20, 50, 100, 200}) {
+      v.push_back(std::make_unique<fsp::Instance>(
+          fsp::taillard_class_representative(n, 20)));
+    }
+    return v;
+  }();
+  switch (jobs) {
+    case 20:
+      return *cache[0];
+    case 50:
+      return *cache[1];
+    case 100:
+      return *cache[2];
+    default:
+      return *cache[3];
+  }
+}
+
+void BM_Lb1Evaluation(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const fsp::Instance& inst = instance_for(jobs);
+  const auto data = fsp::LowerBoundData::build(inst);
+  fsp::Lb1Scratch scratch(inst.jobs(), inst.machines());
+
+  SplitMix64 rng(1);
+  auto perm = fsp::identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  const std::span<const fsp::JobId> prefix(perm.data(), 3);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsp::lb1_from_prefix(inst, data, prefix, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Lb1Evaluation)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Lb0Evaluation(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const fsp::Instance& inst = instance_for(jobs);
+  const auto data = fsp::LowerBoundData::build(inst);
+
+  SplitMix64 rng(2);
+  auto perm = fsp::identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  const std::span<const fsp::JobId> prefix(perm.data(), 3);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsp::lb0_from_prefix(inst, data, prefix));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Lb0Evaluation)->Arg(20)->Arg(200);
+
+void BM_Makespan(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const fsp::Instance& inst = instance_for(jobs);
+  SplitMix64 rng(3);
+  auto perm = fsp::identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsp::makespan(inst, perm));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Makespan)->Arg(20)->Arg(200);
+
+void BM_LowerBoundDataBuild(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const fsp::Instance& inst = instance_for(jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsp::LowerBoundData::build(inst));
+  }
+}
+BENCHMARK(BM_LowerBoundDataBuild)->Arg(20)->Arg(200);
+
+void BM_Neh(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const fsp::Instance& inst = instance_for(jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsp::neh(inst));
+  }
+}
+BENCHMARK(BM_Neh)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_JohnsonOrderWithLags(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const fsp::Instance& inst = instance_for(jobs);
+  std::vector<fsp::Time> a, b, lags;
+  for (int j = 0; j < inst.jobs(); ++j) {
+    a.push_back(inst.pt(j, 0));
+    b.push_back(inst.pt(j, inst.machines() - 1));
+    lags.push_back(inst.pt(j, 1) + inst.pt(j, 2));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsp::johnson_order_with_lags(a, b, lags));
+  }
+}
+BENCHMARK(BM_JohnsonOrderWithLags)->Arg(20)->Arg(200);
+
+void BM_Branching(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  core::Subproblem root = core::Subproblem::root(jobs);
+  for (auto _ : state) {
+    for (int i = 0; i < root.remaining(); ++i) {
+      benchmark::DoNotOptimize(root.child(i));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * jobs);
+}
+BENCHMARK(BM_Branching)->Arg(20)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Reproduces the §IV-B occupancy analysis: for every benchmark class and
+// placement, the resident-warp count and its limiting resource on the
+// (simulated) C2050, exactly what the paper reads off the CUDA occupancy
+// calculator — 26 registers/thread cap the global configuration at 32
+// warps; the staged JM+PTM tables cap large instances lower.
+#include <iostream>
+
+#include "common/table.h"
+#include "fsp/taillard.h"
+#include "gpubb/device_lb_data.h"
+#include "gpubb/lb_kernel.h"
+#include "gpubb/placement.h"
+#include "gpusim/occupancy.h"
+
+int main() {
+  using namespace fsbb;
+
+  const gpusim::DeviceSpec spec = gpusim::DeviceSpec::tesla_c2050();
+  std::cout << "Occupancy analysis (paper §IV-B) — " << spec.name << "\n"
+            << "kernel: 26 registers/thread (paper's nvcc figure)\n\n";
+
+  AsciiTable table("resident warps per SM by instance and placement");
+  table.set_header({"instance", "placement", "block", "shared B/block",
+                    "blocks/SM", "active warps", "occupancy", "limited by"});
+
+  for (const int jobs : {20, 50, 100, 200}) {
+    const fsp::Instance inst = fsp::taillard_class_representative(jobs, 20);
+    const auto data = fsp::LowerBoundData::build(inst);
+    for (const auto policy : {gpubb::PlacementPolicy::kAllGlobal,
+                              gpubb::PlacementPolicy::kSharedJmPtm}) {
+      const auto plan = gpubb::make_placement_plan(policy, data, spec);
+      const int block = gpubb::recommended_block_threads(plan, spec);
+      const auto occ = gpusim::compute_occupancy(
+          spec, plan.smem_config,
+          gpusim::KernelResources{block, 26, plan.shared_bytes_per_block});
+      table.add_row({std::to_string(jobs) + "x20", to_string(policy),
+                     std::to_string(block),
+                     std::to_string(plan.shared_bytes_per_block),
+                     std::to_string(occ.blocks_per_sm),
+                     std::to_string(occ.active_warps),
+                     AsciiTable::num(occ.occupancy * 100.0, 0) + "%",
+                     to_string(occ.limiter)});
+    }
+  }
+  table.render(std::cout);
+
+  std::cout << "\npaper: global placement -> 32 warps for every instance "
+               "(registers); shared placement -> 32 warps for 20x20/50x20, "
+               "16 for 100x20/200x20 (shared memory)\n"
+            << "note: 200x20 shared reaches 16 warps only with 512-thread "
+               "blocks; with the paper's 256 the Fermi rules give 8 — see "
+               "EXPERIMENTS.md\n";
+  return 0;
+}

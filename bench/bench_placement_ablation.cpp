@@ -1,0 +1,45 @@
+// Ablation beyond the paper: every placement policy (not just the two the
+// paper tables) on every benchmark class at the largest pool. Quantifies
+// how much of the shared-memory win comes from JM vs PTM individually and
+// what the greedy auto-placement adds on small instances.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+int main() {
+  using namespace fsbb;
+
+  constexpr std::size_t kPool = 262144;
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+
+  const gpubb::PlacementPolicy policies[] = {
+      gpubb::PlacementPolicy::kAllGlobal, gpubb::PlacementPolicy::kSharedPtm,
+      gpubb::PlacementPolicy::kSharedJm, gpubb::PlacementPolicy::kSharedJmPtm,
+      gpubb::PlacementPolicy::kAuto};
+
+  std::cout << "Placement ablation — speedup at pool " << kPool << "\n\n";
+
+  AsciiTable table("speedup by placement policy");
+  std::vector<std::string> header{"instance"};
+  for (const auto p : policies) header.emplace_back(to_string(p));
+  table.set_header(std::move(header));
+
+  for (const int jobs : bench::kPaperJobCounts) {
+    const bench::InstanceSetup setup = bench::make_setup(jobs);
+    std::vector<std::string> row{std::to_string(jobs) + "x20"};
+    for (const auto policy : policies) {
+      const auto scenario = bench::scenario_for(device, setup, policy);
+      row.push_back(
+          AsciiTable::num(gpubb::model_offload_cycle(scenario, kPool).speedup()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.render(std::cout);
+
+  std::cout << "\nreading: staging only PTM already recovers most of the "
+               "small-instance win; JM+PTM is required for the large ones; "
+               "auto matches or beats the paper's fixed choice by also "
+               "staging LM when it fits (n <= 50)\n";
+  return 0;
+}

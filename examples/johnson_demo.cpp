@@ -1,0 +1,84 @@
+// Johnson's rule demo: the polynomial 2-machine case that anchors the
+// paper's lower bound. Builds a random 2-machine instance, solves it three
+// ways — Johnson's rule (O(n log n)), exhaustive search, and the B&B — and
+// shows they agree; then shows the lag-extended variant (Mitten) on one
+// machine couple of a 20-machine instance, which is exactly what every
+// LB1 evaluation does m(m-1)/2 times.
+#include <iostream>
+
+#include "common/cli.h"
+#include "core/engine.h"
+#include "fsp/brute_force.h"
+#include "fsp/johnson.h"
+#include "fsp/lb1.h"
+#include "fsp/makespan.h"
+#include "fsp/taillard.h"
+
+int main(int argc, char** argv) {
+  using namespace fsbb;
+
+  const CliArgs args = CliArgs::parse(argc, argv, {"jobs", "seed"});
+  const int jobs = static_cast<int>(args.get_int_or("jobs", 8));
+  const auto seed = static_cast<std::int32_t>(args.get_int_or("seed", 998877));
+
+  const fsp::Instance inst =
+      fsp::make_taillard_instance(jobs, 2, seed, "johnson-demo");
+  std::cout << "2-machine instance with " << jobs << " jobs (seed " << seed
+            << ")\n\n";
+
+  // --- Johnson's rule ---------------------------------------------------
+  std::vector<fsp::Time> a, b;
+  for (int j = 0; j < jobs; ++j) {
+    a.push_back(inst.pt(j, 0));
+    b.push_back(inst.pt(j, 1));
+  }
+  const auto order = fsp::johnson_order(a, b);
+  const fsp::Time johnson_ms = fsp::makespan(inst, order);
+  std::cout << "Johnson order: ";
+  for (const fsp::JobId j : order) std::cout << "J" << j << " ";
+  std::cout << " -> makespan " << johnson_ms << "\n";
+
+  // --- exhaustive check ---------------------------------------------------
+  const auto brute = fsp::brute_force(inst, jobs);
+  std::cout << "brute force (" << brute.schedules_evaluated
+            << " schedules): " << brute.makespan << "\n";
+
+  // --- branch and bound ---------------------------------------------------
+  const auto data = fsp::LowerBoundData::build(inst);
+  core::SerialCpuEvaluator evaluator(inst, data);
+  core::BBEngine engine(inst, data, evaluator, core::EngineOptions{});
+  const auto result = engine.solve();
+  std::cout << "branch-and-bound: " << result.best_makespan << " ("
+            << result.stats.branched
+            << " nodes branched — LB1 is exact for m = 2, so the tree "
+               "collapses)\n";
+
+  if (johnson_ms == brute.makespan && brute.makespan == result.best_makespan) {
+    std::cout << "\nall three methods agree.\n";
+  } else {
+    std::cout << "\nMISMATCH — this is a bug.\n";
+    return 1;
+  }
+
+  // --- the lag-extended 2-machine relaxation inside LB1 -------------------
+  const fsp::Instance big = fsp::taillard_class_representative(20, 20);
+  const auto big_data = fsp::LowerBoundData::build(big);
+  const int pair = big_data.pairs() / 2;  // some middle machine couple
+  const auto [mk, ml] = big_data.mm(pair);
+  std::cout << "\nLB1 inner view on " << big.name() << ": machine couple (M"
+            << mk << ", M" << ml << ") with per-job lags\n";
+  std::vector<fsp::Time> ba, bb, lags;
+  for (int j = 0; j < big.jobs(); ++j) {
+    ba.push_back(big.pt(j, mk));
+    bb.push_back(big.pt(j, ml));
+    lags.push_back(big_data.lm(j, pair));
+  }
+  const auto lag_order = fsp::johnson_order_with_lags(ba, bb, lags);
+  const fsp::Time relaxed =
+      fsp::two_machine_lag_makespan(lag_order, ba, bb, lags);
+  std::cout << "lag-relaxation makespan for this couple: " << relaxed
+            << "; LB1(root) = max over all " << big_data.pairs()
+            << " couples (+ tails) = "
+            << fsp::lb1_from_prefix(big, big_data, {}) << "\n";
+  return 0;
+}

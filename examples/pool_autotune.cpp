@@ -1,0 +1,54 @@
+// Runtime pool-size auto-tuning, the paper's §VI recommendation: measure
+// the kernel on a sample of real nodes, then sweep candidate pool sizes
+// through the offload model and pick the throughput argmax.
+//
+//   $ ./pool_autotune --jobs 200 --min 4096 --max 262144
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/protocol.h"
+#include "fsp/taillard.h"
+#include "gpubb/autotuner.h"
+
+int main(int argc, char** argv) {
+  using namespace fsbb;
+
+  const CliArgs args = CliArgs::parse(argc, argv, {"jobs", "min", "max"});
+  const int jobs = static_cast<int>(args.get_int_or("jobs", 50));
+  const auto min_pool = static_cast<std::size_t>(args.get_int_or("min", 4096));
+  const auto max_pool =
+      static_cast<std::size_t>(args.get_int_or("max", 262144));
+
+  const fsp::Instance inst = fsp::taillard_class_representative(jobs, 20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+
+  std::cout << "auto-tuning the offload pool size for " << inst.name()
+            << " on " << device.spec().name << "\n\n";
+
+  const core::FrozenPool frozen = core::freeze_pool(inst, data, 1024);
+  const auto scenario = gpubb::measure_scenario(
+      device, inst, data, gpubb::PlacementPolicy::kSharedJmPtm, frozen.nodes,
+      frozen.nodes.size());
+  const auto tuned = gpubb::autotune_pool_size(scenario, min_pool, max_pool);
+
+  AsciiTable table("pool-size sweep");
+  table.set_header({"pool size", "blocks", "Mnodes/s", "speedup vs serial"});
+  for (const auto& point : tuned.curve) {
+    table.add_row({std::to_string(point.pool_size),
+                   std::to_string(point.pool_size /
+                                  static_cast<std::size_t>(
+                                      scenario.block_threads)),
+                   AsciiTable::num(point.nodes_per_second / 1e6, 3),
+                   AsciiTable::num(point.speedup)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nrecommended pool size: " << tuned.best_pool_size << " ("
+            << AsciiTable::num(tuned.best_nodes_per_second / 1e6, 3)
+            << " Mnodes/s modeled)\n"
+            << "paper's guidance: small instances peak early (8192), large "
+               "ones want the biggest pool (262144)\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: build a small flow-shop instance, solve it to optimality
+// with the serial branch-and-bound, and print the schedule.
+//
+//   $ ./quickstart
+//
+// This is the five-minute tour of the public API: Instance construction,
+// LowerBoundData, the engine, and schedule evaluation.
+#include <iostream>
+
+#include "core/engine.h"
+#include "fsp/makespan.h"
+#include "fsp/neh.h"
+#include "fsp/taillard.h"
+
+int main() {
+  using namespace fsbb;
+
+  // A reproducible 10-job, 5-machine instance from the Taillard generator.
+  const fsp::Instance inst = fsp::make_taillard_instance(10, 5, 123456789,
+                                                         "quickstart-10x5");
+  std::cout << "instance " << inst.name() << ": " << inst.jobs() << " jobs x "
+            << inst.machines() << " machines\n";
+
+  // The NEH heuristic provides the initial incumbent ("initial seed UB").
+  const fsp::NehResult neh = fsp::neh(inst);
+  std::cout << "NEH upper bound: " << neh.makespan << "\n";
+
+  // The six lower-bound structures (PTM, LM, JM, RM, QM, MM) are built once.
+  const fsp::LowerBoundData data = fsp::LowerBoundData::build(inst);
+
+  // Serial B&B: best-first selection, LB1 bounding, NEH seed.
+  core::SerialCpuEvaluator evaluator(inst, data);
+  core::BBEngine engine(inst, data, evaluator, core::EngineOptions{});
+  const core::SolveResult result = engine.solve();
+
+  std::cout << "optimal makespan: " << result.best_makespan
+            << (result.proven_optimal ? " (proven)" : " (not proven!)")
+            << "\n";
+  std::cout << "optimal order:   ";
+  for (const fsp::JobId job : result.best_permutation) {
+    std::cout << " J" << job;
+  }
+  std::cout << "\n";
+
+  std::cout << "search effort:    " << result.stats.branched
+            << " nodes branched, " << result.stats.evaluated
+            << " bounds computed, " << result.stats.pruned << " pruned, "
+            << result.stats.leaves << " leaves\n";
+  std::cout << "bounding share:   "
+            << static_cast<int>(result.stats.bounding_fraction() * 100)
+            << "% of wall time (the paper's ~98.5% motivation)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Lightweight precondition / invariant checking.
+//
+// FSBB_CHECK is always on (library boundary validation: cheap, user-facing).
+// FSBB_ASSERT compiles out in NDEBUG builds (hot-path internal invariants).
+// Both throw fsbb::CheckFailure so tests can assert on violations instead of
+// aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fsbb {
+
+/// Thrown when a FSBB_CHECK / FSBB_ASSERT condition is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::string what = std::string("check failed: ") + cond + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw CheckFailure(what);
+}
+}  // namespace detail
+
+}  // namespace fsbb
+
+#define FSBB_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) ::fsbb::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define FSBB_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::fsbb::detail::check_failed(#cond, __FILE__, __LINE__, (msg));      \
+  } while (false)
+
+#ifdef NDEBUG
+#define FSBB_ASSERT(cond) \
+  do {                    \
+  } while (false)
+#else
+#define FSBB_ASSERT(cond) FSBB_CHECK(cond)
+#endif

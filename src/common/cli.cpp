@@ -1,0 +1,66 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace fsbb {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv,
+                       const std::vector<std::string>& known_flags) {
+  CliArgs out;
+  if (argc > 0) out.program_ = argv[0];
+  auto known = [&](const std::string& name) {
+    return std::find(known_flags.begin(), known_flags.end(), name) !=
+           known_flags.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      FSBB_CHECK_MSG(known(name), "unknown flag --" + name);
+    } else {
+      FSBB_CHECK_MSG(known(name), "unknown flag --" + name);
+      FSBB_CHECK_MSG(i + 1 < argc, "flag --" + name + " needs a value");
+      value = argv[++i];
+    }
+    out.flags_[name] = std::move(value);
+  }
+  return out;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  if (const auto it = flags_.find(name); it != flags_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            std::string fallback) const {
+  if (const auto v = get(name)) return *v;
+  return fallback;
+}
+
+std::int64_t CliArgs::get_int_or(const std::string& name,
+                                 std::int64_t fallback) const {
+  if (const auto v = get(name)) return std::stoll(*v);
+  return fallback;
+}
+
+double CliArgs::get_double_or(const std::string& name, double fallback) const {
+  if (const auto v = get(name)) return std::stod(*v);
+  return fallback;
+}
+
+}  // namespace fsbb

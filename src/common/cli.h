@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the example binaries.
+//
+// Supports `--name value` and `--name=value`; everything else is collected
+// as positional arguments. Unknown flags are an error so typos surface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fsbb {
+
+/// Parsed command line: declared flags plus positional arguments.
+class CliArgs {
+ public:
+  /// Parses argv. `known_flags` lists every accepted `--flag` name.
+  /// Throws CheckFailure on unknown flags or missing values.
+  static CliArgs parse(int argc, const char* const* argv,
+                       const std::vector<std::string>& known_flags);
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, std::string fallback) const;
+  std::int64_t get_int_or(const std::string& name, std::int64_t fallback) const;
+  double get_double_or(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fsbb

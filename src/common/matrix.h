@@ -1,0 +1,96 @@
+// Owning row-major 2-D matrix and non-owning 2-D span view.
+//
+// The flow-shop lower-bound data structures (PTM, LM, JM, ...) are all dense
+// 2-D integer tables; these types give them bounds-checked, cache-friendly
+// storage without any per-row indirection.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fsbb {
+
+/// Non-owning view of a row-major 2-D array. Rows are contiguous.
+template <typename T>
+class Span2d {
+ public:
+  Span2d() = default;
+  Span2d(T* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  T& operator()(std::size_t r, std::size_t c) const {
+    FSBB_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  std::span<T> row(std::size_t r) const {
+    FSBB_ASSERT(r < rows_);
+    return {data_ + r * cols_, cols_};
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  T* data() const { return data_; }
+  std::span<T> flat() const { return {data_, size()}; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Owning row-major 2-D matrix backed by a single vector.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), storage_(rows * cols, fill) {}
+
+  T& operator()(std::size_t r, std::size_t c) {
+    FSBB_ASSERT(r < rows_ && c < cols_);
+    return storage_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    FSBB_ASSERT(r < rows_ && c < cols_);
+    return storage_[r * cols_ + c];
+  }
+
+  std::span<T> row(std::size_t r) {
+    FSBB_ASSERT(r < rows_);
+    return {storage_.data() + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const {
+    FSBB_ASSERT(r < rows_);
+    return {storage_.data() + r * cols_, cols_};
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return storage_.size(); }
+  std::size_t size_bytes() const { return storage_.size() * sizeof(T); }
+  bool empty() const { return storage_.empty(); }
+
+  std::span<const T> flat() const { return storage_; }
+  std::span<T> flat() { return storage_; }
+  const T* data() const { return storage_.data(); }
+  T* data() { return storage_.data(); }
+
+  Span2d<const T> view() const { return {storage_.data(), rows_, cols_}; }
+  Span2d<T> view() { return {storage_.data(), rows_, cols_}; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.storage_ == b.storage_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> storage_;
+};
+
+}  // namespace fsbb

@@ -1,0 +1,94 @@
+// Deterministic random number generation.
+//
+// Lcg31 is the exact Bratley–Fox–Schrage minimal-standard generator used by
+// Taillard's 1993 benchmark paper: next = 16807 * prev mod (2^31 - 1),
+// computed with Schrage's trick so every intermediate fits in 32 bits, as in
+// the published Pascal code. Reusing it bit-for-bit is what makes our
+// generated instances identical to the published Taillard benchmark set.
+//
+// SplitMix64 is an unrelated fast generator for test fuzzing and synthetic
+// workloads where reproducibility (not Taillard compatibility) matters.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace fsbb {
+
+/// Minimal-standard linear congruential generator (Lehmer/Park–Miller) in the
+/// exact integer formulation of Taillard's benchmark generator.
+class Lcg31 {
+ public:
+  static constexpr std::int32_t kModulus = 2147483647;  // 2^31 - 1
+  static constexpr std::int32_t kMultiplier = 16807;    // 7^5
+  static constexpr std::int32_t kQ = 127773;            // modulus / multiplier
+  static constexpr std::int32_t kR = 2836;              // modulus % multiplier
+
+  explicit Lcg31(std::int32_t seed) : state_(seed) {
+    FSBB_CHECK_MSG(seed > 0 && seed < kModulus, "LCG seed must be in (0, 2^31-1)");
+  }
+
+  /// Advances the state and returns a uniform integer in [low, high].
+  /// This is Taillard's `unif(seed, low, high)` verbatim.
+  std::int32_t unif(std::int32_t low, std::int32_t high) {
+    const std::int32_t k = state_ / kQ;
+    state_ = kMultiplier * (state_ - k * kQ) - kR * k;
+    if (state_ < 0) state_ += kModulus;
+    const double value_0_1 = static_cast<double>(state_) / kModulus;
+    return low + static_cast<std::int32_t>(value_0_1 * (high - low + 1));
+  }
+
+  std::int32_t state() const { return state_; }
+
+ private:
+  std::int32_t state_;
+};
+
+/// SplitMix64: tiny, fast, well-distributed. For tests and synthetic data.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias for small bounds.
+  std::uint64_t next_below(std::uint64_t bound) {
+    FSBB_ASSERT(bound > 0);
+    // 128-bit multiply-shift (Lemire); bias is negligible for our bounds.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [low, high] inclusive.
+  std::int64_t next_in(std::int64_t low, std::int64_t high) {
+    FSBB_ASSERT(low <= high);
+    return low + static_cast<std::int64_t>(
+                     next_below(static_cast<std::uint64_t>(high - low + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fisher–Yates shuffle driven by SplitMix64 (deterministic given the seed).
+template <typename Container>
+void shuffle(Container& c, SplitMix64& rng) {
+  for (std::size_t i = c.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    using std::swap;
+    swap(c[i - 1], c[j]);
+  }
+}
+
+}  // namespace fsbb

@@ -1,0 +1,70 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fsbb {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  FSBB_CHECK_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    FSBB_CHECK_MSG(row.size() == header_.size(),
+                   "row width differs from header width");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string AsciiTable::num(std::int64_t v) { return std::to_string(v); }
+
+void AsciiTable::render(std::ostream& os) const {
+  const std::size_t ncols = header_.empty()
+                                ? (rows_.empty() ? 0 : rows_.front().size())
+                                : header_.size();
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < ncols; ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < ncols; ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+
+  if (!title_.empty()) os << "### " << title_ << "\n";
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t c = 0; c < ncols; ++c)
+      os << (c == 0 ? "|" : "|") << std::string(width[c] + 2, '-');
+    os << "|\n";
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace fsbb

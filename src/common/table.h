@@ -1,0 +1,41 @@
+// ASCII table rendering for benchmark harness output.
+//
+// The paper reports its evaluation as tables of parallel efficiency indexed
+// by (problem instance, pool size); every bench binary renders one such table
+// with this helper so outputs are uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fsbb {
+
+/// Column-aligned ASCII table with an optional title and column headers.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; width must match the header if one was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+
+  /// Renders with single-space-padded columns and a rule under the header.
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fsbb

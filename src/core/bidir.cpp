@@ -1,0 +1,254 @@
+#include "core/bidir.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "fsp/lb1.h"
+#include "fsp/makespan.h"
+#include "fsp/neh.h"
+
+namespace fsbb::core {
+namespace {
+
+/// Machine "backs": B[k] = minimal span between the start of the suffix's
+/// processing on machine k and the end of the whole schedule. Computed as
+/// machine fronts of the suffix reversed in both job order and machine
+/// order, then re-indexed.
+void compute_backs(const fsp::Instance& inst, const BidirNode& node,
+                   std::span<fsp::Time> backs) {
+  const int m = inst.machines();
+  const int n = node.jobs();
+  FSBB_ASSERT(backs.size() == static_cast<std::size_t>(m));
+  std::vector<fsp::Time> rev(static_cast<std::size_t>(m), 0);
+  // Suffix jobs from the last position backwards == prefix of the
+  // reversed problem.
+  for (int pos = n - 1; pos >= n - node.tail; --pos) {
+    const fsp::JobId job = node.perm[static_cast<std::size_t>(pos)];
+    fsp::Time prev = 0;
+    for (int rk = 0; rk < m; ++rk) {
+      // Reversed machine rk corresponds to original machine m-1-rk.
+      const fsp::Time start = std::max(prev, rev[static_cast<std::size_t>(rk)]);
+      prev = start + inst.pt(job, m - 1 - rk);
+      rev[static_cast<std::size_t>(rk)] = prev;
+    }
+  }
+  for (int k = 0; k < m; ++k) {
+    backs[static_cast<std::size_t>(k)] = rev[static_cast<std::size_t>(m - 1 - k)];
+  }
+}
+
+/// Provider that finishes each machine couple with max(QM, B[l]) instead
+/// of QM alone. It reuses the lb1_evaluate sweep by overriding qm().
+class BidirProvider {
+ public:
+  BidirProvider(const fsp::LowerBoundData& d, std::span<const fsp::Time> backs)
+      : d_(&d), backs_(backs) {}
+
+  int jobs() const { return d_->jobs(); }
+  int machines() const { return d_->machines(); }
+  int pairs() const { return d_->pairs(); }
+  fsp::JobId jm(int pair, int pos) const { return d_->jm(pair, pos); }
+  fsp::Time lm(int job, int pair) const { return d_->lm(job, pair); }
+  fsp::Time ptm(int job, int machine) const { return d_->ptm(job, machine); }
+  fsp::Time rm(int machine) const { return d_->rm(machine); }
+  fsp::Time qm(int machine) const {
+    return std::max(d_->qm(machine),
+                    backs_[static_cast<std::size_t>(machine)]);
+  }
+  int mm_k(int pair) const { return d_->mm(pair).k; }
+  int mm_l(int pair) const { return d_->mm(pair).l; }
+
+ private:
+  const fsp::LowerBoundData* d_;
+  std::span<const fsp::Time> backs_;
+};
+
+struct QueueEntry {
+  BidirNode node;
+  std::uint64_t seq;
+};
+
+struct WorseThan {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    if (a.node.lb != b.node.lb) return a.node.lb > b.node.lb;
+    const int da = a.node.head + a.node.tail;
+    const int db = b.node.head + b.node.tail;
+    if (da != db) return da < db;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+BidirNode BidirNode::root(int jobs) {
+  FSBB_CHECK(jobs >= 1);
+  BidirNode r;
+  r.perm.resize(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    r.perm[static_cast<std::size_t>(j)] = static_cast<fsp::JobId>(j);
+  }
+  return r;
+}
+
+Time bidir_lower_bound(const fsp::Instance& inst,
+                       const fsp::LowerBoundData& data,
+                       const BidirNode& node) {
+  FSBB_CHECK(node.jobs() == inst.jobs());
+  FSBB_CHECK(node.head >= 0 && node.tail >= 0 &&
+             node.head + node.tail <= node.jobs());
+  if (node.is_complete()) {
+    return fsp::makespan(inst, node.perm);
+  }
+
+  const auto m = static_cast<std::size_t>(inst.machines());
+  std::vector<fsp::Time> fronts(m);
+  std::vector<fsp::Time> backs(m);
+  fsp::compute_fronts(
+      inst,
+      std::span<const fsp::JobId>(node.perm.data(),
+                                  static_cast<std::size_t>(node.head)),
+      fronts);
+  compute_backs(inst, node, backs);
+
+  std::vector<std::uint8_t> scheduled(static_cast<std::size_t>(node.jobs()), 0);
+  for (int i = 0; i < node.head; ++i) {
+    scheduled[static_cast<std::size_t>(node.perm[static_cast<std::size_t>(i)])] = 1;
+  }
+  for (int i = node.jobs() - node.tail; i < node.jobs(); ++i) {
+    scheduled[static_cast<std::size_t>(node.perm[static_cast<std::size_t>(i)])] = 1;
+  }
+
+  return fsp::lb1_evaluate(BidirProvider(data, backs), fronts, scheduled);
+}
+
+namespace {
+
+fsp::Instance reverse_instance(const fsp::Instance& inst) {
+  const auto n = static_cast<std::size_t>(inst.jobs());
+  const auto m = static_cast<std::size_t>(inst.machines());
+  Matrix<fsp::Time> pt(n, m);
+  for (int j = 0; j < inst.jobs(); ++j) {
+    for (int k = 0; k < inst.machines(); ++k) {
+      pt(static_cast<std::size_t>(j), static_cast<std::size_t>(k)) =
+          inst.pt(j, inst.machines() - 1 - k);
+    }
+  }
+  return fsp::Instance(inst.name() + "-rev", std::move(pt));
+}
+
+BidirNode reverse_node(const BidirNode& node) {
+  BidirNode rev;
+  rev.perm.assign(node.perm.rbegin(), node.perm.rend());
+  rev.head = node.tail;
+  rev.tail = node.head;
+  return rev;
+}
+
+}  // namespace
+
+BidirBounder::BidirBounder(const fsp::Instance& inst,
+                           const fsp::LowerBoundData& data)
+    : inst_(&inst), data_(&data), rev_inst_(reverse_instance(inst)),
+      rev_data_(fsp::LowerBoundData::build(rev_inst_)) {}
+
+Time BidirBounder::bound(const BidirNode& node) const {
+  const Time forward = bidir_lower_bound(*inst_, *data_, node);
+  if (node.is_complete()) return forward;
+  const Time backward =
+      bidir_lower_bound(rev_inst_, rev_data_, reverse_node(node));
+  return std::max(forward, backward);
+}
+
+BidirResult bidir_solve(const fsp::Instance& inst,
+                        const fsp::LowerBoundData& data,
+                        const BidirOptions& options) {
+  const WallTimer timer;
+  BidirResult result;
+  const BidirBounder bounder(inst, data);
+
+  Time ub;
+  if (options.initial_ub.has_value()) {
+    ub = *options.initial_ub;
+  } else {
+    fsp::NehResult neh = fsp::neh(inst);
+    ub = neh.makespan;
+    result.best_permutation = std::move(neh.permutation);
+  }
+  result.stats.initial_ub = ub;
+  result.best_makespan = ub;
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, WorseThan> queue;
+  std::uint64_t seq = 0;
+  {
+    BidirNode root = BidirNode::root(inst.jobs());
+    const WallTimer bound_timer;
+    root.lb = bounder.bound(root);
+    result.stats.bounding_seconds += bound_timer.seconds();
+    ++result.stats.evaluated;
+    if (root.lb < ub) queue.push(QueueEntry{std::move(root), seq++});
+  }
+
+  bool stopped_early = false;
+  while (!queue.empty()) {
+    if (options.node_budget != 0 &&
+        result.stats.branched >= options.node_budget) {
+      stopped_early = true;
+      break;
+    }
+    BidirNode node = queue.top().node;
+    queue.pop();
+    if (node.lb >= result.best_makespan) {
+      ++result.stats.pruned;
+      continue;
+    }
+    ++result.stats.branched;
+
+    // Extend the end with fewer fixed jobs (balanced bidirectional rule).
+    const bool extend_head = node.head <= node.tail;
+    const int r = node.remaining();
+    for (int i = 0; i < r; ++i) {
+      BidirNode child = node;
+      if (extend_head) {
+        std::swap(child.perm[static_cast<std::size_t>(child.head)],
+                  child.perm[static_cast<std::size_t>(child.head + i)]);
+        ++child.head;
+      } else {
+        const int last_free = child.jobs() - child.tail - 1;
+        std::swap(child.perm[static_cast<std::size_t>(last_free)],
+                  child.perm[static_cast<std::size_t>(last_free - i)]);
+        ++child.tail;
+      }
+      ++result.stats.generated;
+
+      if (child.is_complete()) {
+        ++result.stats.leaves;
+        const Time ms = fsp::makespan(inst, child.perm);
+        if (ms < result.best_makespan) {
+          result.best_makespan = ms;
+          result.best_permutation = child.perm;
+          ++result.stats.ub_updates;
+        }
+        continue;
+      }
+      {
+        const WallTimer bound_timer;
+        child.lb = bounder.bound(child);
+        result.stats.bounding_seconds += bound_timer.seconds();
+      }
+      ++result.stats.evaluated;
+      if (child.lb < result.best_makespan) {
+        queue.push(QueueEntry{std::move(child), seq++});
+      } else {
+        ++result.stats.pruned;
+      }
+    }
+  }
+
+  result.proven_optimal = !stopped_early && queue.empty();
+  result.stats.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace fsbb::core

@@ -1,0 +1,13 @@
+#include "core/cost_model.h"
+
+#include <bit>
+
+namespace fsbb::core {
+
+double CpuCostModel::pool_op_seconds(std::size_t pool_size) const {
+  const auto log2_size =
+      static_cast<double>(std::bit_width(pool_size | std::size_t{1}));
+  return params_.pool_op_base_seconds + params_.pool_op_log_seconds * log2_size;
+}
+
+}  // namespace fsbb::core

@@ -1,0 +1,76 @@
+// Analytic cost model of the paper's serial reference machine.
+//
+// The paper's "parallel efficiency" baselines every speedup against a
+// single core of an Intel Xeon E5520 (2.27 GHz). That machine is not
+// available here, so the benchmark harnesses price serial work with this
+// model instead of wall clock: the LB dominates (~98.5 % per the paper) and
+// its cost is proportional to the Table I access counts, which we know
+// exactly per node. Pool operations (binary-heap select, branching) get
+// small constants so host-side overheads appear on both sides of every
+// ratio just as they did on the real testbed.
+//
+// All constants live in CpuCostParams and are documented where calibrated;
+// tests pin the resulting per-LB costs to sane microsecond ranges.
+#pragma once
+
+#include <cstddef>
+
+#include "fsp/lb_data.h"
+
+namespace fsbb::core {
+
+/// Tunable constants of the serial-CPU cost model.
+struct CpuCostParams {
+  /// Effective seconds per LB data-structure access, arithmetic included.
+  /// ~3.7 cycles at 2.27 GHz — a dense integer loop with data-dependent
+  /// branches and mixed-width loads. Calibrated against the magnitude of
+  /// the paper's Table II/III speedups (EXPERIMENTS.md).
+  double seconds_per_access = 1.65e-9;
+  /// Binary-heap pop/push: constant part.
+  double pool_op_base_seconds = 30e-9;
+  /// Binary-heap pop/push: per-log2(pool size) part (node moves).
+  double pool_op_log_seconds = 15e-9;
+  /// Constructing one child (permutation copy + bookkeeping).
+  double branch_per_child_seconds = 60e-9;
+
+  /// The paper's serial baseline: one core of the Xeon E5520.
+  static CpuCostParams xeon_e5520_reference() { return CpuCostParams{}; }
+};
+
+/// Prices serial B&B work for one instance.
+class CpuCostModel {
+ public:
+  CpuCostModel(const fsp::LowerBoundData& data, CpuCostParams params)
+      : data_(&data), params_(params) {}
+
+  /// One LB1 evaluation of a node with `n_remaining` unscheduled jobs.
+  double lb_eval_seconds(int n_remaining) const {
+    return static_cast<double>(
+               data_->accesses_per_eval(n_remaining).total()) *
+           params_.seconds_per_access;
+  }
+
+  /// One pool selection or insertion at the given pool size.
+  double pool_op_seconds(std::size_t pool_size) const;
+
+  /// Decomposing a node into `children` children.
+  double branch_seconds(int children) const {
+    return params_.branch_per_child_seconds * children;
+  }
+
+  /// Full serial cost of handling one node: select it, branch it, bound one
+  /// child, insert it (the steady-state per-child cost of serial B&B).
+  double serial_node_seconds(int n_remaining, std::size_t pool_size) const {
+    return lb_eval_seconds(n_remaining) + 2 * pool_op_seconds(pool_size) +
+           params_.branch_per_child_seconds;
+  }
+
+  const CpuCostParams& params() const { return params_; }
+  const fsp::LowerBoundData& data() const { return *data_; }
+
+ private:
+  const fsp::LowerBoundData* data_;
+  CpuCostParams params_;
+};
+
+}  // namespace fsbb::core

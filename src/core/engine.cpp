@@ -1,0 +1,151 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "fsp/makespan.h"
+#include "fsp/neh.h"
+
+namespace fsbb::core {
+
+BBEngine::BBEngine(const fsp::Instance& inst, const fsp::LowerBoundData& data,
+                   BoundEvaluator& evaluator, EngineOptions options)
+    : inst_(&inst), data_(&data), evaluator_(&evaluator),
+      options_(std::move(options)) {
+  FSBB_CHECK_MSG(options_.batch_size >= 1, "batch_size must be >= 1");
+}
+
+SolveResult BBEngine::solve() {
+  Time ub;
+  std::vector<JobId> seed_perm;
+  if (options_.initial_ub.has_value()) {
+    ub = *options_.initial_ub;
+  } else {
+    fsp::NehResult neh = fsp::neh(*inst_);
+    ub = neh.makespan;
+    seed_perm = std::move(neh.permutation);
+  }
+
+  std::vector<Subproblem> initial;
+  Subproblem root = Subproblem::root(inst_->jobs());
+  evaluator_->evaluate({&root, 1});
+  initial.push_back(std::move(root));
+
+  SolveResult result = run(std::move(initial), ub);
+  // The NEH schedule is the incumbent until something beats it.
+  if (!seed_perm.empty() && result.best_permutation.empty()) {
+    result.best_makespan = ub;
+    result.best_permutation = std::move(seed_perm);
+  }
+  return result;
+}
+
+SolveResult BBEngine::solve_from(std::vector<Subproblem> initial,
+                                 Time initial_ub) {
+  for (const Subproblem& sp : initial) {
+    FSBB_CHECK_MSG(sp.lb != Subproblem::kUnevaluated,
+                   "solve_from requires bounded nodes");
+  }
+  return run(std::move(initial), initial_ub);
+}
+
+SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
+  const WallTimer total_timer;
+  SolveResult result;
+  result.stats.initial_ub = ub;
+  result.best_makespan = ub;
+
+  auto pool = make_pool(options_.strategy);
+  for (Subproblem& sp : initial) {
+    if (sp.lb < ub) {
+      pool->push(std::move(sp));
+    } else {
+      ++result.stats.pruned;
+    }
+  }
+
+  std::vector<Subproblem> pending;  // children awaiting the bounding operator
+  pending.reserve(options_.batch_size + static_cast<std::size_t>(inst_->jobs()));
+
+  bool stopped_early = false;
+  auto budget_exhausted = [&] {
+    return options_.node_budget != 0 &&
+           result.stats.branched >= options_.node_budget;
+  };
+  auto pool_frozen = [&] {
+    return options_.freeze_pool_size != 0 &&
+           pool->size() >= options_.freeze_pool_size;
+  };
+  auto out_of_time = [&] {
+    return options_.time_limit_seconds > 0 &&
+           total_timer.seconds() >= options_.time_limit_seconds;
+  };
+
+  while (!pool->empty()) {
+    if (budget_exhausted() || pool_frozen() || out_of_time()) {
+      stopped_early = true;
+      break;
+    }
+
+    // --- selection + elimination (lazy) + branching ------------------
+    pending.clear();
+    while (pending.size() < options_.batch_size && !pool->empty()) {
+      Subproblem node = pool->pop();
+      if (node.lb >= result.best_makespan) {
+        ++result.stats.pruned;  // UB improved since this node was inserted
+        continue;
+      }
+      ++result.stats.branched;
+      const int r = node.remaining();
+      for (int i = 0; i < r; ++i) {
+        Subproblem child = node.child(i);
+        ++result.stats.generated;
+        if (child.is_complete()) {
+          // Leaf: its makespan is exact; no bounding needed.
+          ++result.stats.leaves;
+          const Time ms = fsp::makespan(*inst_, child.perm);
+          if (ms < result.best_makespan) {
+            result.best_makespan = ms;
+            result.best_permutation = child.perm;
+            ++result.stats.ub_updates;
+          }
+        } else {
+          pending.push_back(std::move(child));
+        }
+      }
+      if (budget_exhausted()) break;
+    }
+    if (pending.empty()) continue;
+
+    // --- bounding (possibly offloaded) --------------------------------
+    {
+      const WallTimer bound_timer;
+      evaluator_->evaluate(pending);
+      result.stats.bounding_seconds += bound_timer.seconds();
+      result.stats.evaluated += pending.size();
+    }
+
+    // --- elimination + insertion --------------------------------------
+    for (Subproblem& child : pending) {
+      FSBB_ASSERT(child.lb != Subproblem::kUnevaluated);
+      if (child.lb < result.best_makespan) {
+        pool->push(std::move(child));
+      } else {
+        ++result.stats.pruned;
+      }
+    }
+    pending.clear();
+  }
+
+  // `pending` is always empty here: the stop conditions are only honoured at
+  // the top of the loop, after the previous batch was inserted.
+  result.proven_optimal = !stopped_early && pool->empty();
+  if (stopped_early && options_.collect_pool_on_stop) {
+    result.remaining_pool = pool->drain();
+  }
+  result.stats.wall_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace fsbb::core

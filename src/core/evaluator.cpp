@@ -1,0 +1,54 @@
+#include "core/evaluator.h"
+
+#include <vector>
+
+#include "common/timer.h"
+#include "fsp/makespan.h"
+
+namespace fsbb::core {
+
+SerialCpuEvaluator::SerialCpuEvaluator(const fsp::Instance& inst,
+                                       const fsp::LowerBoundData& data)
+    : inst_(&inst), data_(&data), scratch_(inst.jobs(), inst.machines()) {}
+
+void SerialCpuEvaluator::evaluate(std::span<Subproblem> batch) {
+  const WallTimer timer;
+  for (Subproblem& sp : batch) {
+    sp.lb = fsp::lb1_from_prefix(*inst_, *data_, sp.prefix(), scratch_);
+  }
+  ++ledger_.batches;
+  ledger_.nodes += batch.size();
+  ledger_.wall_seconds += timer.seconds();
+}
+
+ThreadedCpuEvaluator::ThreadedCpuEvaluator(const fsp::Instance& inst,
+                                           const fsp::LowerBoundData& data,
+                                           std::size_t threads)
+    : inst_(&inst), data_(&data), pool_(threads) {}
+
+std::string ThreadedCpuEvaluator::name() const {
+  return "cpu-threads-" + std::to_string(pool_.thread_count());
+}
+
+void ThreadedCpuEvaluator::evaluate(std::span<Subproblem> batch) {
+  const WallTimer timer;
+  // Per-worker scratch: worker_index may also be thread_count() (caller).
+  std::vector<fsp::Lb1Scratch> scratch;
+  scratch.reserve(pool_.thread_count() + 1);
+  for (std::size_t i = 0; i <= pool_.thread_count(); ++i) {
+    scratch.emplace_back(inst_->jobs(), inst_->machines());
+  }
+  pool_.parallel_for(
+      0, batch.size(),
+      [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          batch[i].lb = fsp::lb1_from_prefix(*inst_, *data_, batch[i].prefix(),
+                                             scratch[worker]);
+        }
+      });
+  ++ledger_.batches;
+  ledger_.nodes += batch.size();
+  ledger_.wall_seconds += timer.seconds();
+}
+
+}  // namespace fsbb::core

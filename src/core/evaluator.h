@@ -1,0 +1,110 @@
+// The bounding operator as a batch interface.
+//
+// The paper's "Type 1" parallelism is exactly this seam: the engine hands a
+// pool (batch) of sub-problems to a BoundEvaluator, which fills in each
+// node's lower bound. Implementations: serial CPU (this file), pooled host
+// threads (this file), and the simulated GPU (gpubb/gpu_evaluator.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/threadpool.h"
+#include "common/timer.h"
+#include "core/subproblem.h"
+#include "fsp/instance.h"
+#include "fsp/lb1.h"
+#include "fsp/lb_data.h"
+
+namespace fsbb::core {
+
+/// Running totals an evaluator keeps about the bounding work done.
+struct EvalLedger {
+  std::uint64_t batches = 0;
+  std::uint64_t nodes = 0;
+  double wall_seconds = 0;  ///< measured host time inside evaluate()
+};
+
+/// Batch lower-bound evaluator. Implementations must be deterministic:
+/// identical batches yield identical bounds regardless of thread count.
+class BoundEvaluator {
+ public:
+  virtual ~BoundEvaluator() = default;
+
+  /// Fills sp.lb for every node in the batch.
+  virtual void evaluate(std::span<Subproblem> batch) = 0;
+
+  virtual std::string name() const = 0;
+  virtual const EvalLedger& ledger() const = 0;
+};
+
+/// Serial CPU evaluator applying LB1 node by node.
+class SerialCpuEvaluator final : public BoundEvaluator {
+ public:
+  SerialCpuEvaluator(const fsp::Instance& inst, const fsp::LowerBoundData& data);
+
+  void evaluate(std::span<Subproblem> batch) override;
+  std::string name() const override { return "cpu-serial"; }
+  const EvalLedger& ledger() const override { return ledger_; }
+
+ private:
+  const fsp::Instance* inst_;
+  const fsp::LowerBoundData* data_;
+  fsp::Lb1Scratch scratch_;
+  EvalLedger ledger_;
+};
+
+/// Serial evaluator around an arbitrary bound callback — the hook for
+/// alternative lower bounds (LB0, LB2, ...) without touching the engine.
+/// The callback must be deterministic and thread-compatible.
+class CallbackEvaluator final : public BoundEvaluator {
+ public:
+  using BoundFn = std::function<Time(const Subproblem&)>;
+
+  CallbackEvaluator(std::string name, BoundFn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  void evaluate(std::span<Subproblem> batch) override {
+    const WallTimer timer;
+    for (Subproblem& sp : batch) {
+      sp.lb = fn_(sp);
+    }
+    ++ledger_.batches;
+    ledger_.nodes += batch.size();
+    ledger_.wall_seconds += timer.seconds();
+  }
+
+  std::string name() const override { return name_; }
+  const EvalLedger& ledger() const override { return ledger_; }
+
+ private:
+  std::string name_;
+  BoundFn fn_;
+  EvalLedger ledger_;
+};
+
+/// Multi-threaded CPU evaluator: the batch is split across a thread pool,
+/// one LB per node, results written in place (no cross-thread interaction,
+/// hence bit-identical to the serial evaluator).
+class ThreadedCpuEvaluator final : public BoundEvaluator {
+ public:
+  /// threads == 0 picks hardware concurrency.
+  ThreadedCpuEvaluator(const fsp::Instance& inst,
+                       const fsp::LowerBoundData& data, std::size_t threads = 0);
+
+  void evaluate(std::span<Subproblem> batch) override;
+  std::string name() const override;
+  const EvalLedger& ledger() const override { return ledger_; }
+  std::size_t threads() const { return pool_.thread_count(); }
+
+ private:
+  const fsp::Instance* inst_;
+  const fsp::LowerBoundData* data_;
+  ThreadPool pool_;
+  EvalLedger ledger_;
+};
+
+}  // namespace fsbb::core

@@ -1,0 +1,42 @@
+// Pools of pending sub-problems — the paper's selection operator.
+//
+// Best-first (the strategy the paper uses for its GPU pools) pops the node
+// with the smallest lower bound; depth-first pops LIFO. Both are fully
+// deterministic: ties break on (deeper first, then insertion sequence).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/subproblem.h"
+
+namespace fsbb::core {
+
+/// Node selection strategies (paper §II-A).
+enum class SelectionStrategy {
+  kDepthFirst,
+  kBestFirst,
+};
+
+const char* to_string(SelectionStrategy s);
+
+/// Abstract pool of pending (already-bounded) sub-problems.
+class Pool {
+ public:
+  virtual ~Pool() = default;
+
+  virtual void push(Subproblem&& sp) = 0;
+  /// Pops the next node per the strategy. Pool must be non-empty.
+  virtual Subproblem pop() = 0;
+  virtual std::size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  /// Removes and returns every node (order unspecified but deterministic).
+  /// Used by the frozen-pool experimental protocol.
+  virtual std::vector<Subproblem> drain() = 0;
+};
+
+std::unique_ptr<Pool> make_pool(SelectionStrategy strategy);
+
+}  // namespace fsbb::core

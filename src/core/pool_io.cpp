@@ -1,0 +1,79 @@
+#include "core/pool_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fsbb::core {
+
+namespace {
+constexpr const char* kMagic = "fsbb-frozen-pool";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_frozen_pool(std::ostream& out, const FrozenPool& pool) {
+  FSBB_CHECK_MSG(!pool.nodes.empty(), "refusing to write an empty pool");
+  const int jobs = pool.nodes.front().jobs();
+  out << kMagic << " " << kVersion << "\n";
+  out << jobs << " " << pool.nodes.size() << " " << pool.incumbent << "\n";
+  for (const Subproblem& sp : pool.nodes) {
+    FSBB_CHECK_MSG(sp.jobs() == jobs, "heterogeneous pool");
+    FSBB_CHECK_MSG(sp.lb != Subproblem::kUnevaluated, "unevaluated node");
+    out << sp.depth;
+    for (const JobId j : sp.perm) out << " " << j;
+    out << " " << sp.lb << "\n";
+  }
+}
+
+void write_frozen_pool_file(const std::string& path, const FrozenPool& pool) {
+  std::ofstream out(path);
+  FSBB_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  write_frozen_pool(out, pool);
+}
+
+FrozenPool read_frozen_pool(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  FSBB_CHECK_MSG(static_cast<bool>(in >> magic >> version),
+                 "missing frozen-pool header");
+  FSBB_CHECK_MSG(magic == kMagic, "not a frozen-pool file");
+  FSBB_CHECK_MSG(version == kVersion, "unsupported frozen-pool version");
+
+  int jobs = 0;
+  std::size_t count = 0;
+  FrozenPool pool;
+  FSBB_CHECK_MSG(static_cast<bool>(in >> jobs >> count >> pool.incumbent),
+                 "truncated frozen-pool header line");
+  FSBB_CHECK_MSG(jobs >= 1 && count >= 1, "empty frozen pool");
+
+  pool.nodes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Subproblem sp;
+    sp.perm.resize(static_cast<std::size_t>(jobs));
+    FSBB_CHECK_MSG(static_cast<bool>(in >> sp.depth), "truncated node line");
+    FSBB_CHECK_MSG(sp.depth >= 0 && sp.depth <= jobs, "depth out of range");
+    std::vector<bool> seen(static_cast<std::size_t>(jobs), false);
+    for (int j = 0; j < jobs; ++j) {
+      int v = -1;
+      FSBB_CHECK_MSG(static_cast<bool>(in >> v), "truncated permutation");
+      FSBB_CHECK_MSG(v >= 0 && v < jobs && !seen[static_cast<std::size_t>(v)],
+                     "corrupt permutation");
+      seen[static_cast<std::size_t>(v)] = true;
+      sp.perm[static_cast<std::size_t>(j)] = static_cast<JobId>(v);
+    }
+    FSBB_CHECK_MSG(static_cast<bool>(in >> sp.lb), "truncated lower bound");
+    FSBB_CHECK_MSG(sp.lb >= 0, "negative lower bound");
+    pool.nodes.push_back(std::move(sp));
+  }
+  return pool;
+}
+
+FrozenPool read_frozen_pool_file(const std::string& path) {
+  std::ifstream in(path);
+  FSBB_CHECK_MSG(in.good(), "cannot open frozen-pool file: " + path);
+  return read_frozen_pool(in);
+}
+
+}  // namespace fsbb::core

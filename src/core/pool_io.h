@@ -1,0 +1,30 @@
+// Frozen-pool serialization: save the §IV experimental workload (node list
+// + incumbent) to a text file and reload it bit-identically, so the exact
+// node set of a benchmark run can be archived and replayed across
+// processes and machines — the reproducibility backbone of the protocol.
+//
+// Format (line-oriented, whitespace-separated):
+//   fsbb-frozen-pool 1          header + version
+//   <jobs> <node_count> <incumbent>
+//   <depth> <perm[0]> ... <perm[n-1]>      one line per node (lb last)
+//   ... where each node line ends with its lower bound.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/protocol.h"
+
+namespace fsbb::core {
+
+/// Writes a frozen pool. `jobs` is taken from the first node (the pool
+/// must be non-empty and homogeneous).
+void write_frozen_pool(std::ostream& out, const FrozenPool& pool);
+void write_frozen_pool_file(const std::string& path, const FrozenPool& pool);
+
+/// Reads a frozen pool; validates the header, permutation integrity and
+/// bounds. Throws CheckFailure on malformed input.
+FrozenPool read_frozen_pool(std::istream& in);
+FrozenPool read_frozen_pool_file(const std::string& path);
+
+}  // namespace fsbb::core

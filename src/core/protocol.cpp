@@ -1,0 +1,48 @@
+#include "core/protocol.h"
+
+#include "common/check.h"
+
+namespace fsbb::core {
+
+FrozenPool freeze_pool(const fsp::Instance& inst,
+                       const fsp::LowerBoundData& data,
+                       std::size_t target_nodes,
+                       std::optional<Time> initial_ub) {
+  FSBB_CHECK(target_nodes >= 1);
+  SerialCpuEvaluator evaluator(inst, data);
+  EngineOptions options;
+  options.strategy = SelectionStrategy::kBestFirst;
+  options.batch_size = 1;
+  options.freeze_pool_size = target_nodes;
+  options.collect_pool_on_stop = true;
+  options.initial_ub = initial_ub;
+
+  BBEngine engine(inst, data, evaluator, options);
+  SolveResult result = engine.solve();
+  FSBB_CHECK_MSG(!result.proven_optimal,
+                 "instance solved before the pool reached the freeze target");
+  FSBB_CHECK(result.remaining_pool.size() >= target_nodes);
+
+  FrozenPool frozen;
+  frozen.nodes = std::move(result.remaining_pool);
+  frozen.incumbent = result.best_makespan;
+  frozen.generation_stats = result.stats;
+  return frozen;
+}
+
+SolveResult explore_frozen(const fsp::Instance& inst,
+                           const fsp::LowerBoundData& data,
+                           const FrozenPool& frozen, BoundEvaluator& evaluator,
+                           SelectionStrategy strategy, std::size_t batch_size,
+                           std::uint64_t node_budget) {
+  EngineOptions options;
+  options.strategy = strategy;
+  options.batch_size = batch_size;
+  options.node_budget = node_budget;
+  options.collect_pool_on_stop = false;
+
+  BBEngine engine(inst, data, evaluator, options);
+  return engine.solve_from(frozen.nodes, frozen.incumbent);
+}
+
+}  // namespace fsbb::core

@@ -1,0 +1,50 @@
+// The frozen-pool experimental protocol (paper §IV, after [Mezmaz et al.,
+// IPDPS'07]).
+//
+// Hard Taillard instances cannot be solved to optimality in a benchmark
+// run, so the paper measures all competitors on the *same* frozen list L of
+// active sub-problems: a serial best-first B&B runs until its pool reaches
+// a target size, then the pool is snapshot together with the incumbent.
+// Every backend then explores exactly L (same node set, same incumbent),
+// making T_serial / T_backend a meaningful parallel efficiency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/evaluator.h"
+#include "core/subproblem.h"
+#include "fsp/instance.h"
+#include "fsp/lb_data.h"
+
+namespace fsbb::core {
+
+/// A reproducible exploration workload.
+struct FrozenPool {
+  std::vector<Subproblem> nodes;  ///< bounded, deterministic order
+  Time incumbent = 0;             ///< UB at freeze time
+  EngineStats generation_stats;   ///< work done to produce the snapshot
+};
+
+/// Runs a serial best-first B&B until the live pool holds at least
+/// `target_nodes` nodes, then freezes it. The incumbent defaults to NEH;
+/// tests pass a weaker bound to force branching on easy instances. Throws
+/// if the instance is solved before the pool ever reaches the target
+/// (pick a smaller target or a weaker incumbent).
+FrozenPool freeze_pool(const fsp::Instance& inst,
+                       const fsp::LowerBoundData& data,
+                       std::size_t target_nodes,
+                       std::optional<Time> initial_ub = std::nullopt);
+
+/// Explores a frozen pool to completion (or node_budget) with the given
+/// evaluator/batch size. Identical `frozen` inputs yield identical node
+/// counts for any evaluator — the determinism tests rely on it.
+SolveResult explore_frozen(const fsp::Instance& inst,
+                           const fsp::LowerBoundData& data,
+                           const FrozenPool& frozen, BoundEvaluator& evaluator,
+                           SelectionStrategy strategy, std::size_t batch_size,
+                           std::uint64_t node_budget = 0);
+
+}  // namespace fsbb::core

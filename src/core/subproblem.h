@@ -1,0 +1,67 @@
+// Branch-and-bound node for the permutation flow-shop.
+//
+// A node is a complete permutation whose first `depth` entries are the fixed
+// scheduled prefix; the remainder is the free-job set in an arbitrary order.
+// Branching swaps each free job into position `depth` (the classic
+// decomposition of paper Fig. 1: child i schedules job i next).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "fsp/instance.h"
+
+namespace fsbb::core {
+
+using fsp::JobId;
+using fsp::Time;
+
+/// One sub-problem (tree node).
+struct Subproblem {
+  /// Sentinel: the node has not been through the bounding operator yet.
+  static constexpr Time kUnevaluated = -1;
+
+  std::vector<JobId> perm;  ///< full permutation; [0, depth) is fixed
+  std::int32_t depth = 0;   ///< number of scheduled jobs
+  Time lb = kUnevaluated;   ///< lower bound on any completion of the prefix
+
+  /// The root node: empty prefix over n jobs (identity free order).
+  static Subproblem root(int jobs);
+
+  int jobs() const { return static_cast<int>(perm.size()); }
+  int remaining() const { return jobs() - depth; }
+  bool is_complete() const { return depth == jobs(); }
+
+  std::span<const JobId> prefix() const {
+    return {perm.data(), static_cast<std::size_t>(depth)};
+  }
+  std::span<const JobId> free_jobs() const {
+    return {perm.data() + depth, static_cast<std::size_t>(jobs() - depth)};
+  }
+
+  /// Child that schedules free_jobs()[i] next. The free-job order of the
+  /// child is the parent's with one swap — deterministic.
+  Subproblem child(int i) const {
+    FSBB_ASSERT(i >= 0 && i < remaining());
+    Subproblem c;
+    c.perm = perm;
+    std::swap(c.perm[static_cast<std::size_t>(depth)],
+              c.perm[static_cast<std::size_t>(depth + i)]);
+    c.depth = depth + 1;
+    c.lb = kUnevaluated;
+    return c;
+  }
+};
+
+inline Subproblem Subproblem::root(int jobs) {
+  FSBB_CHECK(jobs >= 1);
+  Subproblem r;
+  r.perm.resize(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) r.perm[static_cast<std::size_t>(j)] = static_cast<JobId>(j);
+  r.depth = 0;
+  return r;
+}
+
+}  // namespace fsbb::core

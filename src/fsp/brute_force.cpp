@@ -1,0 +1,51 @@
+#include "fsp/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "fsp/makespan.h"
+
+namespace fsbb::fsp {
+
+BruteForceResult brute_force_completion(const Instance& inst,
+                                        std::span<const JobId> prefix,
+                                        int max_free_jobs) {
+  const int n = inst.jobs();
+  std::vector<std::uint8_t> in_prefix(static_cast<std::size_t>(n), 0);
+  for (const JobId job : prefix) {
+    FSBB_CHECK(job >= 0 && job < n && !in_prefix[static_cast<std::size_t>(job)]);
+    in_prefix[static_cast<std::size_t>(job)] = 1;
+  }
+  std::vector<JobId> rest;
+  for (JobId j = 0; j < n; ++j) {
+    if (!in_prefix[static_cast<std::size_t>(j)]) rest.push_back(j);
+  }
+  FSBB_CHECK_MSG(static_cast<int>(rest.size()) <= max_free_jobs,
+                 "too many free jobs for brute force");
+
+  std::vector<JobId> perm(prefix.begin(), prefix.end());
+  perm.insert(perm.end(), rest.begin(), rest.end());
+
+  BruteForceResult best;
+  best.makespan = std::numeric_limits<Time>::max();
+  std::sort(perm.begin() + static_cast<std::ptrdiff_t>(prefix.size()),
+            perm.end());
+  do {
+    const Time ms = makespan(inst, perm);
+    ++best.schedules_evaluated;
+    if (ms < best.makespan) {
+      best.makespan = ms;
+      best.permutation = perm;
+    }
+  } while (std::next_permutation(
+      perm.begin() + static_cast<std::ptrdiff_t>(prefix.size()), perm.end()));
+  return best;
+}
+
+BruteForceResult brute_force(const Instance& inst, int max_jobs) {
+  FSBB_CHECK_MSG(inst.jobs() <= max_jobs, "instance too large for brute force");
+  return brute_force_completion(inst, {}, max_jobs);
+}
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,29 @@
+// Exhaustive enumeration — the correctness oracle for every solver and
+// bound in the test suite. Only sensible for small n (n! schedules).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fsp/instance.h"
+
+namespace fsbb::fsp {
+
+/// Optimal schedule found by exhaustive enumeration.
+struct BruteForceResult {
+  std::vector<JobId> permutation;
+  Time makespan = 0;
+  std::uint64_t schedules_evaluated = 0;
+};
+
+/// Enumerates all n! permutations. Throws if n > max_jobs (guard against
+/// accidental combinatorial explosions in tests).
+BruteForceResult brute_force(const Instance& inst, int max_jobs = 10);
+
+/// Best makespan over all completions of a fixed prefix (used to verify
+/// that lower bounds never exceed the best reachable schedule of a node).
+BruteForceResult brute_force_completion(const Instance& inst,
+                                        std::span<const JobId> prefix,
+                                        int max_free_jobs = 10);
+
+}  // namespace fsbb::fsp

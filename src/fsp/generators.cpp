@@ -1,0 +1,102 @@
+#include "fsp/generators.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace fsbb::fsp {
+
+const char* to_string(InstanceFamily family) {
+  switch (family) {
+    case InstanceFamily::kUniform:
+      return "uniform";
+    case InstanceFamily::kJobCorrelated:
+      return "job-correlated";
+    case InstanceFamily::kMachineCorrelated:
+      return "machine-correlated";
+    case InstanceFamily::kTrend:
+      return "trend";
+    case InstanceFamily::kTwoPlateaus:
+      return "two-plateaus";
+  }
+  return "?";
+}
+
+namespace {
+
+Time clamp99(std::int64_t v) {
+  return static_cast<Time>(std::clamp<std::int64_t>(v, 1, 99));
+}
+
+}  // namespace
+
+Instance make_instance(InstanceFamily family, int jobs, int machines,
+                       std::uint64_t seed) {
+  FSBB_CHECK(jobs >= 1 && machines >= 1);
+  SplitMix64 rng(seed ^ (static_cast<std::uint64_t>(family) << 56));
+  Matrix<Time> pt(static_cast<std::size_t>(jobs),
+                  static_cast<std::size_t>(machines));
+
+  switch (family) {
+    case InstanceFamily::kUniform: {
+      for (auto& v : pt.flat()) v = static_cast<Time>(rng.next_in(1, 99));
+      break;
+    }
+    case InstanceFamily::kJobCorrelated: {
+      // Each job has a base duration; machines add small noise. LB1 is
+      // nearly exact at the root, yet trees grow large: swapping similar
+      // jobs barely changes the makespan, so bounds tie and pruning lags.
+      for (int j = 0; j < jobs; ++j) {
+        const std::int64_t base = rng.next_in(10, 90);
+        for (int k = 0; k < machines; ++k) {
+          pt(j, k) = clamp99(base + rng.next_in(-8, 8));
+        }
+      }
+      break;
+    }
+    case InstanceFamily::kMachineCorrelated: {
+      // Each machine has a speed factor; a few bottleneck machines carry
+      // most of the load. The one-machine bound LB0 is nearly tight here.
+      std::vector<double> factor(static_cast<std::size_t>(machines));
+      for (auto& f : factor) f = 0.3 + 1.4 * rng.next_double();
+      for (int j = 0; j < jobs; ++j) {
+        for (int k = 0; k < machines; ++k) {
+          const double base = 10 + 60 * rng.next_double();
+          pt(j, k) = clamp99(static_cast<std::int64_t>(
+              base * factor[static_cast<std::size_t>(k)]));
+        }
+      }
+      break;
+    }
+    case InstanceFamily::kTrend: {
+      // Processing times grow along the machine axis, so the last
+      // machines dominate every schedule; the (k, m-1) machine couples of
+      // LB1 are nearly exact and the tree collapses quickly.
+      for (int j = 0; j < jobs; ++j) {
+        for (int k = 0; k < machines; ++k) {
+          const std::int64_t low = 1 + 60 * k / std::max(1, machines - 1);
+          pt(j, k) = clamp99(low + rng.next_in(0, 38));
+        }
+      }
+      break;
+    }
+    case InstanceFamily::kTwoPlateaus: {
+      // Operations are either short (1..20) or long (70..99) — schedules
+      // hinge on packing the long ones; bimodality defeats averaging
+      // arguments in heuristics.
+      for (auto& v : pt.flat()) {
+        v = static_cast<Time>(rng.next_below(2) == 0 ? rng.next_in(1, 20)
+                                                     : rng.next_in(70, 99));
+      }
+      break;
+    }
+  }
+
+  std::string name = std::string(to_string(family)) + "-" +
+                     std::to_string(jobs) + "x" + std::to_string(machines) +
+                     "-s" + std::to_string(seed);
+  return Instance(std::move(name), std::move(pt));
+}
+
+}  // namespace fsbb::fsp

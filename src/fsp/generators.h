@@ -1,0 +1,35 @@
+// Synthetic instance families beyond the uniform Taillard distribution.
+//
+// The hardness of flow-shop B&B depends heavily on the processing-time
+// structure — and not the way folklore suggests: families with many
+// near-tied schedules (bimodal "two-plateaus", job-correlated) blow the
+// tree up even when the root gap is under 1%, because plateaus of equal
+// bounds resist pruning; machine-dominated and trend instances collapse
+// after a handful of nodes. bench_instance_families prints the study.
+// All generators are deterministic in (shape, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fsp/instance.h"
+
+namespace fsbb::fsp {
+
+/// Synthetic family selector.
+enum class InstanceFamily {
+  kUniform,            ///< iid unif(1, 99) — Taillard's distribution
+  kJobCorrelated,      ///< per-job base +- small noise (long/short jobs)
+  kMachineCorrelated,  ///< per-machine speed factor (bottleneck machines)
+  kTrend,              ///< times drift upward along the machine axis
+  kTwoPlateaus,        ///< bimodal mix of short and long operations
+};
+
+const char* to_string(InstanceFamily family);
+
+/// Generates an n x m instance of the given family. Times are in [1, 99]
+/// like the published benchmarks so packed GPU buffers stay valid.
+Instance make_instance(InstanceFamily family, int jobs, int machines,
+                       std::uint64_t seed);
+
+}  // namespace fsbb::fsp

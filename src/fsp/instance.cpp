@@ -1,0 +1,19 @@
+#include "fsp/instance.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fsbb::fsp {
+
+Instance::Instance(std::string name, Matrix<Time> pt)
+    : name_(std::move(name)), pt_(std::move(pt)) {
+  FSBB_CHECK_MSG(pt_.rows() >= 1, "instance needs at least one job");
+  FSBB_CHECK_MSG(pt_.cols() >= 1, "instance needs at least one machine");
+  for (const Time t : pt_.flat()) {
+    FSBB_CHECK_MSG(t >= 0, "processing times must be non-negative");
+  }
+  total_work_ = std::accumulate(pt_.flat().begin(), pt_.flat().end(), Time{0});
+}
+
+}  // namespace fsbb::fsp

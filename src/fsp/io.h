@@ -1,0 +1,44 @@
+// Instance file I/O in the Taillard benchmark text format.
+//
+// A file holds one or more instances, each introduced by a header line
+//   number of jobs, number of machines, initial seed, upper bound, lower bound :
+// followed by a line of the five values, a "processing times :" line, and
+// the m x n processing-time matrix (machine-major: row k lists every job's
+// time on machine k). The parser is whitespace-tolerant.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsp/instance.h"
+
+namespace fsbb::fsp {
+
+/// Metadata carried by a Taillard-format instance entry.
+struct InstanceRecord {
+  Instance instance;
+  std::int32_t time_seed = 0;
+  std::optional<Time> published_upper_bound;
+  std::optional<Time> published_lower_bound;
+};
+
+/// Parses every instance in the stream. Throws CheckFailure on malformed
+/// input (wrong counts, negative times, truncated matrix).
+std::vector<InstanceRecord> read_taillard_stream(std::istream& in);
+
+/// Parses a file on disk.
+std::vector<InstanceRecord> read_taillard_file(const std::string& path);
+
+/// Writes one instance in the same format (seed/bounds may be zero).
+void write_taillard_stream(std::ostream& out, const Instance& inst,
+                           std::int32_t time_seed = 0, Time upper_bound = 0,
+                           Time lower_bound = 0);
+
+/// Round-trip helper used by tests and the examples.
+void write_taillard_file(const std::string& path, const Instance& inst,
+                         std::int32_t time_seed = 0, Time upper_bound = 0,
+                         Time lower_bound = 0);
+
+}  // namespace fsbb::fsp

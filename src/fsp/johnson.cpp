@@ -1,0 +1,80 @@
+#include "fsp/johnson.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fsbb::fsp {
+namespace {
+
+std::vector<JobId> johnson_order_impl(std::span<const Time> a,
+                                      std::span<const Time> b) {
+  FSBB_CHECK(a.size() == b.size());
+  const auto n = a.size();
+  std::vector<JobId> first;   // a_j < b_j, ascending a_j
+  std::vector<JobId> second;  // a_j >= b_j, descending b_j
+  first.reserve(n);
+  second.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    (a[j] < b[j] ? first : second).push_back(static_cast<JobId>(j));
+  }
+  // stable_sort + job-id tiebreak keeps the order deterministic, which the
+  // bit-exactness tests between CPU and simulated-GPU bounding rely on.
+  std::stable_sort(first.begin(), first.end(), [&](JobId x, JobId y) {
+    if (a[x] != a[y]) return a[x] < a[y];
+    return x < y;
+  });
+  std::stable_sort(second.begin(), second.end(), [&](JobId x, JobId y) {
+    if (b[x] != b[y]) return b[x] > b[y];
+    return x < y;
+  });
+  first.insert(first.end(), second.begin(), second.end());
+  return first;
+}
+
+}  // namespace
+
+std::vector<JobId> johnson_order(std::span<const Time> a,
+                                 std::span<const Time> b) {
+  return johnson_order_impl(a, b);
+}
+
+std::vector<JobId> johnson_order_with_lags(std::span<const Time> a,
+                                           std::span<const Time> b,
+                                           std::span<const Time> lags) {
+  FSBB_CHECK(a.size() == b.size() && a.size() == lags.size());
+  std::vector<Time> am(a.size());
+  std::vector<Time> bm(b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    am[j] = a[j] + lags[j];
+    bm[j] = lags[j] + b[j];
+  }
+  return johnson_order_impl(am, bm);
+}
+
+Time two_machine_makespan(std::span<const JobId> order,
+                          std::span<const Time> a, std::span<const Time> b) {
+  Time t1 = 0;
+  Time t2 = 0;
+  for (const JobId j : order) {
+    t1 += a[j];
+    t2 = std::max(t2, t1) + b[j];
+  }
+  return t2;
+}
+
+Time two_machine_lag_makespan(std::span<const JobId> order,
+                              std::span<const Time> a,
+                              std::span<const Time> b,
+                              std::span<const Time> lags, Time start1,
+                              Time start2) {
+  Time t1 = start1;
+  Time t2 = start2;
+  for (const JobId j : order) {
+    t1 += a[j];
+    t2 = std::max(t2, t1 + lags[j]) + b[j];
+  }
+  return t2;
+}
+
+}  // namespace fsbb::fsp

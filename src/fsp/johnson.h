@@ -1,0 +1,44 @@
+// Johnson's rule for the two-machine flow-shop, with and without time lags.
+//
+// S. M. Johnson (1954): the 2-machine permutation flow-shop is solved
+// optimally in O(n log n) by scheduling jobs with a_j < b_j first in
+// non-decreasing a_j, then the rest in non-increasing b_j.
+//
+// Mitten's extension: with per-job time lags l_j (job j may start on M2 no
+// earlier than l_j after finishing on M1), applying Johnson's rule to the
+// modified times (a_j + l_j, l_j + b_j) is optimal over permutation
+// schedules. This is the kernel of the Lageweg–Lenstra–Rinnooy Kan
+// flow-shop lower bound used throughout the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fsp/instance.h"
+
+namespace fsbb::fsp {
+
+/// Optimal 2-machine order by Johnson's rule. a[j] / b[j] are job j's times
+/// on machines 1 / 2. Ties are broken by job id, so the order is unique.
+std::vector<JobId> johnson_order(std::span<const Time> a,
+                                 std::span<const Time> b);
+
+/// Johnson order of the lag-modified problem (a_j + l_j, l_j + b_j).
+std::vector<JobId> johnson_order_with_lags(std::span<const Time> a,
+                                           std::span<const Time> b,
+                                           std::span<const Time> lags);
+
+/// Makespan of `order` on the 2-machine (no-lag) problem.
+Time two_machine_makespan(std::span<const JobId> order,
+                          std::span<const Time> a, std::span<const Time> b);
+
+/// Makespan of `order` on the 2-machine problem with lags, where machine 1
+/// is first free at start1 and machine 2 at start2. Recurrence per job:
+///   t1 += a_j;  t2 = max(t2, t1 + l_j) + b_j.
+Time two_machine_lag_makespan(std::span<const JobId> order,
+                              std::span<const Time> a,
+                              std::span<const Time> b,
+                              std::span<const Time> lags, Time start1 = 0,
+                              Time start2 = 0);
+
+}  // namespace fsbb::fsp

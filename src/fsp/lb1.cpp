@@ -1,0 +1,36 @@
+#include "fsp/lb1.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "fsp/makespan.h"
+
+namespace fsbb::fsp {
+
+Time lb1_from_prefix(const Instance& inst, const LowerBoundData& data,
+                     std::span<const JobId> prefix, Lb1Scratch& scratch) {
+  FSBB_CHECK(prefix.size() <= static_cast<std::size_t>(inst.jobs()));
+  auto fronts = scratch.fronts();
+  auto scheduled = scratch.scheduled();
+  compute_fronts(inst, prefix, fronts);
+  std::fill(scheduled.begin(), scheduled.end(), std::uint8_t{0});
+  for (const JobId job : prefix) {
+    scheduled[static_cast<std::size_t>(job)] = 1;
+  }
+  return lb1_evaluate(HostLb1Provider(data), fronts, scheduled);
+}
+
+Time lb1_from_prefix(const Instance& inst, const LowerBoundData& data,
+                     std::span<const JobId> prefix) {
+  Lb1Scratch scratch(inst.jobs(), inst.machines());
+  return lb1_from_prefix(inst, data, prefix, scratch);
+}
+
+Time lb1_from_state(const LowerBoundData& data, std::span<const Time> fronts,
+                    std::span<const std::uint8_t> scheduled) {
+  FSBB_CHECK(fronts.size() == static_cast<std::size_t>(data.machines()));
+  FSBB_CHECK(scheduled.size() == static_cast<std::size_t>(data.jobs()));
+  return lb1_evaluate(HostLb1Provider(data), fronts, scheduled);
+}
+
+}  // namespace fsbb::fsp

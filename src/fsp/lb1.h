@@ -1,0 +1,106 @@
+// LB1 — the Lageweg–Lenstra–Rinnooy Kan two-machine lower bound (paper §II-C
+// and Fig. 2), generalized over a data provider so the exact same arithmetic
+// runs on the CPU (plain arrays) and inside the simulated GPU kernel
+// (access-counting device buffers). Bit-exactness between the two is a
+// tested invariant.
+//
+// Provider concept P:
+//   int    jobs()  / machines() / pairs()
+//   JobId  jm(pair, pos)      Johnson order entry
+//   Time   lm(job, pair)      lag
+//   Time   ptm(job, machine)  processing time
+//   Time   rm(machine)        static head minimum
+//   Time   qm(machine)        static tail minimum
+//   int    mm_k(pair) / mm_l(pair)
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "fsp/instance.h"
+#include "fsp/lb_data.h"
+
+namespace fsbb::fsp {
+
+/// Core LB1 sweep. `fronts` (size m) are the machine completion times of the
+/// scheduled prefix; `scheduled[j]` != 0 marks scheduled jobs. Valid for any
+/// prefix, including complete schedules where it returns the exact makespan.
+template <typename P>
+Time lb1_evaluate(const P& p, std::span<const Time> fronts,
+                  std::span<const std::uint8_t> scheduled) {
+  Time lb = 0;
+  const int n = p.jobs();
+  const int n_pairs = p.pairs();
+  for (int s = 0; s < n_pairs; ++s) {
+    const int k = p.mm_k(s);
+    const int l = p.mm_l(s);
+    // Machine k is held by the prefix until fronts[k]; no unscheduled job
+    // can arrive at k before the head minimum rm(k). Both are valid lower
+    // bounds on the start, so their max is too (same for l).
+    Time t1 = std::max(fronts[static_cast<std::size_t>(k)], p.rm(k));
+    Time t2 = std::max(fronts[static_cast<std::size_t>(l)], p.rm(l));
+    for (int i = 0; i < n; ++i) {
+      const JobId job = p.jm(s, i);
+      if (!scheduled[static_cast<std::size_t>(job)]) {
+        t1 += p.ptm(job, k);
+        const Time arrival = t1 + p.lm(job, s);
+        t2 = (t2 > arrival ? t2 : arrival) + p.ptm(job, l);
+      }
+    }
+    t2 += p.qm(l);
+    lb = std::max(lb, t2);
+  }
+  return lb;
+}
+
+/// Plain-array provider over a host LowerBoundData.
+class HostLb1Provider {
+ public:
+  explicit HostLb1Provider(const LowerBoundData& d) : d_(&d) {}
+
+  int jobs() const { return d_->jobs(); }
+  int machines() const { return d_->machines(); }
+  int pairs() const { return d_->pairs(); }
+  JobId jm(int pair, int pos) const { return d_->jm(pair, pos); }
+  Time lm(int job, int pair) const { return d_->lm(job, pair); }
+  Time ptm(int job, int machine) const { return d_->ptm(job, machine); }
+  Time rm(int machine) const { return d_->rm(machine); }
+  Time qm(int machine) const { return d_->qm(machine); }
+  int mm_k(int pair) const { return d_->mm(pair).k; }
+  int mm_l(int pair) const { return d_->mm(pair).l; }
+
+ private:
+  const LowerBoundData* d_;
+};
+
+/// Reusable scratch (fronts + scheduled mask) so hot loops do not allocate.
+class Lb1Scratch {
+ public:
+  Lb1Scratch(int jobs, int machines)
+      : fronts_(static_cast<std::size_t>(machines)),
+        scheduled_(static_cast<std::size_t>(jobs)) {}
+
+  std::span<Time> fronts() { return fronts_; }
+  std::span<std::uint8_t> scheduled() { return scheduled_; }
+
+ private:
+  std::vector<Time> fronts_;
+  std::vector<std::uint8_t> scheduled_;
+};
+
+/// Convenience entry point: LB1 of the node whose scheduled prefix is
+/// `prefix` (replays the prefix to obtain fronts). O(|prefix| m + m^2 n).
+Time lb1_from_prefix(const Instance& inst, const LowerBoundData& data,
+                     std::span<const JobId> prefix);
+
+/// Same but with caller-provided scratch (no allocation).
+Time lb1_from_prefix(const Instance& inst, const LowerBoundData& data,
+                     std::span<const JobId> prefix, Lb1Scratch& scratch);
+
+/// LB1 given already-maintained fronts and scheduled mask (the fast path the
+/// branch-and-bound engine uses with incrementally extended fronts).
+Time lb1_from_state(const LowerBoundData& data, std::span<const Time> fronts,
+                    std::span<const std::uint8_t> scheduled);
+
+}  // namespace fsbb::fsp

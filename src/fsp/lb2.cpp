@@ -1,0 +1,105 @@
+#include "fsp/lb2.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "fsp/makespan.h"
+
+namespace fsbb::fsp {
+namespace {
+
+/// lb1_evaluate provider with node-local rm/qm vectors.
+class Lb2Provider {
+ public:
+  Lb2Provider(const LowerBoundData& d, std::span<const Time> rm_u,
+              std::span<const Time> qm_u)
+      : d_(&d), rm_u_(rm_u), qm_u_(qm_u) {}
+
+  int jobs() const { return d_->jobs(); }
+  int machines() const { return d_->machines(); }
+  int pairs() const { return d_->pairs(); }
+  JobId jm(int pair, int pos) const { return d_->jm(pair, pos); }
+  Time lm(int job, int pair) const { return d_->lm(job, pair); }
+  Time ptm(int job, int machine) const { return d_->ptm(job, machine); }
+  Time rm(int machine) const {
+    return rm_u_[static_cast<std::size_t>(machine)];
+  }
+  Time qm(int machine) const {
+    return qm_u_[static_cast<std::size_t>(machine)];
+  }
+  int mm_k(int pair) const { return d_->mm(pair).k; }
+  int mm_l(int pair) const { return d_->mm(pair).l; }
+
+ private:
+  const LowerBoundData* d_;
+  std::span<const Time> rm_u_;
+  std::span<const Time> qm_u_;
+};
+
+}  // namespace
+
+Lb2Data Lb2Data::build(const Instance& inst) {
+  const auto n = static_cast<std::size_t>(inst.jobs());
+  const auto m = static_cast<std::size_t>(inst.machines());
+  Lb2Data d;
+  d.hm_ = Matrix<Time>(n, m);
+  d.tm_ = Matrix<Time>(n, m);
+  for (int j = 0; j < inst.jobs(); ++j) {
+    Time head = 0;
+    for (int k = 0; k < inst.machines(); ++k) {
+      d.hm_(j, k) = head;
+      head += inst.pt(j, k);
+    }
+    Time tail = 0;
+    for (int k = inst.machines() - 1; k >= 0; --k) {
+      d.tm_(j, k) = tail;
+      tail += inst.pt(j, k);
+    }
+  }
+  return d;
+}
+
+Time lb2_from_state(const LowerBoundData& lb1_data, const Lb2Data& lb2_data,
+                    std::span<const Time> fronts,
+                    std::span<const std::uint8_t> scheduled) {
+  const int n = lb1_data.jobs();
+  const int m = lb1_data.machines();
+  FSBB_CHECK(fronts.size() == static_cast<std::size_t>(m));
+  FSBB_CHECK(scheduled.size() == static_cast<std::size_t>(n));
+
+  // Node-local minima over the unscheduled set.
+  std::vector<Time> rm_u(static_cast<std::size_t>(m),
+                         std::numeric_limits<Time>::max());
+  std::vector<Time> qm_u(static_cast<std::size_t>(m),
+                         std::numeric_limits<Time>::max());
+  bool any_remaining = false;
+  for (int j = 0; j < n; ++j) {
+    if (scheduled[static_cast<std::size_t>(j)]) continue;
+    any_remaining = true;
+    for (int k = 0; k < m; ++k) {
+      rm_u[static_cast<std::size_t>(k)] =
+          std::min(rm_u[static_cast<std::size_t>(k)], lb2_data.head(j, k));
+      qm_u[static_cast<std::size_t>(k)] =
+          std::min(qm_u[static_cast<std::size_t>(k)], lb2_data.tail(j, k));
+    }
+  }
+  if (!any_remaining) {
+    return fronts.back();  // complete schedule: the makespan is exact
+  }
+  return lb1_evaluate(Lb2Provider(lb1_data, rm_u, qm_u), fronts, scheduled);
+}
+
+Time lb2_from_prefix(const Instance& inst, const LowerBoundData& lb1_data,
+                     const Lb2Data& lb2_data, std::span<const JobId> prefix) {
+  std::vector<Time> fronts(static_cast<std::size_t>(inst.machines()));
+  std::vector<std::uint8_t> scheduled(static_cast<std::size_t>(inst.jobs()), 0);
+  compute_fronts(inst, prefix, fronts);
+  for (const JobId job : prefix) {
+    scheduled[static_cast<std::size_t>(job)] = 1;
+  }
+  return lb2_from_state(lb1_data, lb2_data, fronts, scheduled);
+}
+
+}  // namespace fsbb::fsp

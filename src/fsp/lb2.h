@@ -1,0 +1,58 @@
+// LB2 — LB1 strengthened with node-local head/tail minima (the paper's
+// conclusion asks for "other lower bound functions"; this is the natural
+// next rung of the same Johnson ladder).
+//
+// LB1 keeps RM/QM as *static* per-machine minima over ALL jobs so they fit
+// Table I's O(m) footprint. LB2 instead takes, per node, the minima over
+// the *unscheduled* jobs only:
+//
+//   rm_U(k) = min_{j in U} sum_{u<k}  p(j,u)     (earliest arrival at k)
+//   qm_U(l) = min_{j in U} sum_{u>l}  p(j,u)     (shortest tail after l)
+//
+// Both are >= the static values, so LB2 dominates LB1 node-for-node while
+// remaining a valid lower bound; the extra cost is one O(n m) sweep per
+// node over precomputed head/tail matrices (HM/TM, n x m each). On the
+// GPU these two matrices would join PTM in the placement discussion —
+// the ablation bench quantifies whether the smaller trees pay for the
+// extra per-node work and shared-memory pressure.
+#pragma once
+
+#include <span>
+
+#include "fsp/instance.h"
+#include "fsp/lb1.h"
+#include "fsp/lb_data.h"
+
+namespace fsbb::fsp {
+
+/// LB2's additional precomputed tables.
+class Lb2Data {
+ public:
+  static Lb2Data build(const Instance& inst);
+
+  /// HM(j, k): work job j must finish before it can reach machine k.
+  Time head(int job, int machine) const { return hm_(job, machine); }
+  /// TM(j, k): work job j still has after leaving machine k.
+  Time tail(int job, int machine) const { return tm_(job, machine); }
+
+  const Matrix<Time>& head_matrix() const { return hm_; }
+  const Matrix<Time>& tail_matrix() const { return tm_; }
+
+ private:
+  Lb2Data() = default;
+  Matrix<Time> hm_;
+  Matrix<Time> tm_;
+};
+
+/// LB2 of a node. Falls back to fronts.back() for complete schedules.
+/// Requires the LB1 data (Johnson orders, lags, machine pairs) plus the
+/// LB2 head/tail matrices.
+Time lb2_from_state(const LowerBoundData& lb1_data, const Lb2Data& lb2_data,
+                    std::span<const Time> fronts,
+                    std::span<const std::uint8_t> scheduled);
+
+/// Convenience wrapper replaying the prefix (mirrors lb1_from_prefix).
+Time lb2_from_prefix(const Instance& inst, const LowerBoundData& lb1_data,
+                     const Lb2Data& lb2_data, std::span<const JobId> prefix);
+
+}  // namespace fsbb::fsp

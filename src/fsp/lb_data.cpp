@@ -1,0 +1,108 @@
+#include "fsp/lb_data.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "fsp/johnson.h"
+
+namespace fsbb::fsp {
+
+LowerBoundData LowerBoundData::build(const Instance& inst) {
+  const int n = inst.jobs();
+  const int m = inst.machines();
+  const int p = inst.machine_pairs();
+
+  LowerBoundData d;
+  d.jobs_ = n;
+  d.machines_ = m;
+  d.ptm_ = inst.ptm();
+
+  // MM: couples (k, l), k < l, in the paper's iteration order.
+  d.mm_.reserve(static_cast<std::size_t>(p));
+  for (std::int16_t k = 0; k < m; ++k) {
+    for (std::int16_t l = static_cast<std::int16_t>(k + 1); l < m; ++l) {
+      d.mm_.push_back(MachinePair{k, l});
+    }
+  }
+  FSBB_CHECK(static_cast<int>(d.mm_.size()) == p);
+
+  // LM: lags per (job, pair).
+  d.lm_ = Matrix<Time>(static_cast<std::size_t>(n), static_cast<std::size_t>(p));
+  for (int j = 0; j < n; ++j) {
+    for (int s = 0; s < p; ++s) {
+      const auto [k, l] = d.mm_[static_cast<std::size_t>(s)];
+      Time lag = 0;
+      for (int u = k + 1; u < l; ++u) lag += inst.pt(j, u);
+      d.lm_(j, s) = lag;
+    }
+  }
+
+  // JM: Johnson order of the lag-modified 2-machine problem per pair.
+  d.jm_ = Matrix<JobId>(static_cast<std::size_t>(p), static_cast<std::size_t>(n));
+  {
+    std::vector<Time> a(static_cast<std::size_t>(n));
+    std::vector<Time> b(static_cast<std::size_t>(n));
+    std::vector<Time> lags(static_cast<std::size_t>(n));
+    for (int s = 0; s < p; ++s) {
+      const auto [k, l] = d.mm_[static_cast<std::size_t>(s)];
+      for (int j = 0; j < n; ++j) {
+        a[static_cast<std::size_t>(j)] = inst.pt(j, k);
+        b[static_cast<std::size_t>(j)] = inst.pt(j, l);
+        lags[static_cast<std::size_t>(j)] = d.lm_(j, s);
+      }
+      const std::vector<JobId> order = johnson_order_with_lags(a, b, lags);
+      std::copy(order.begin(), order.end(), d.jm_.row(s).begin());
+    }
+  }
+
+  // RM / QM: per-machine minima of heads / tails over all jobs.
+  d.rm_.assign(static_cast<std::size_t>(m), std::numeric_limits<Time>::max());
+  d.qm_.assign(static_cast<std::size_t>(m), std::numeric_limits<Time>::max());
+  for (int j = 0; j < n; ++j) {
+    Time head = 0;
+    for (int k = 0; k < m; ++k) {
+      d.rm_[static_cast<std::size_t>(k)] =
+          std::min(d.rm_[static_cast<std::size_t>(k)], head);
+      head += inst.pt(j, k);
+    }
+    Time tail = 0;
+    for (int k = m - 1; k >= 0; --k) {
+      d.qm_[static_cast<std::size_t>(k)] =
+          std::min(d.qm_[static_cast<std::size_t>(k)], tail);
+      tail += inst.pt(j, k);
+    }
+  }
+  return d;
+}
+
+LowerBoundData::StructureSizes LowerBoundData::host_sizes() const {
+  return StructureSizes{
+      .ptm = ptm_.size_bytes(),
+      .lm = lm_.size_bytes(),
+      .jm = jm_.size_bytes(),
+      .rm = rm_.size() * sizeof(Time),
+      .qm = qm_.size() * sizeof(Time),
+      .mm = mm_.size() * sizeof(MachinePair),
+  };
+}
+
+LowerBoundData::AccessCounts LowerBoundData::accesses_per_eval(
+    int n_remaining) const {
+  // Table I of the paper: counts per single lower-bound evaluation.
+  const std::int64_t m = machines_;
+  const std::int64_t n = jobs_;
+  const std::int64_t nr = n_remaining;
+  const std::int64_t p = m * (m - 1) / 2;
+  return AccessCounts{
+      .ptm = nr * m * (m - 1),  // two loads per unscheduled job per pair
+      .lm = nr * p,
+      .jm = n * p,  // the Johnson row is scanned fully per pair
+      .rm = m * (m - 1),
+      .qm = p,
+      .mm = m * (m - 1),
+  };
+}
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,85 @@
+// The six lower-bound data structures of the paper (Table I).
+//
+//   PTM  n x m            processing times
+//   LM   n x p            lags: LM(j, s) = sum of job j's times on machines
+//                         strictly between the pair s = (k, l)
+//   JM   p x n            Johnson order of the lag-modified 2-machine problem
+//                         per pair (stored pair-major; the paper's JM[i][s]
+//                         is the transpose — same content, same size)
+//   RM   m                min over ALL jobs of the head sum_{u<k} pt(j, u)
+//   QM   m                min over ALL jobs of the tail sum_{u>k} pt(j, u)
+//   MM   p                the machine couples (k, l), k < l, p = m(m-1)/2
+//
+// RM/QM are taken over all jobs (a superset of the unscheduled set), which
+// keeps them O(m)-sized static tables exactly as Table I accounts them,
+// at the price of a marginally weaker — still valid — bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/matrix.h"
+#include "fsp/instance.h"
+
+namespace fsbb::fsp {
+
+/// A couple of machines (k, l) with k < l.
+struct MachinePair {
+  std::int16_t k;
+  std::int16_t l;
+};
+
+/// Immutable bundle of the six structures, built once per instance.
+class LowerBoundData {
+ public:
+  static LowerBoundData build(const Instance& inst);
+
+  int jobs() const { return jobs_; }
+  int machines() const { return machines_; }
+  int pairs() const { return static_cast<int>(mm_.size()); }
+
+  Time ptm(int job, int machine) const { return ptm_(job, machine); }
+  Time lm(int job, int pair) const { return lm_(job, pair); }
+  JobId jm(int pair, int pos) const { return jm_(pair, pos); }
+  Time rm(int machine) const { return rm_[static_cast<std::size_t>(machine)]; }
+  Time qm(int machine) const { return qm_[static_cast<std::size_t>(machine)]; }
+  const MachinePair& mm(int pair) const {
+    return mm_[static_cast<std::size_t>(pair)];
+  }
+
+  const Matrix<Time>& ptm_matrix() const { return ptm_; }
+  const Matrix<Time>& lm_matrix() const { return lm_; }
+  const Matrix<JobId>& jm_matrix() const { return jm_; }
+  std::span<const Time> rm_span() const { return rm_; }
+  std::span<const Time> qm_span() const { return qm_; }
+  std::span<const MachinePair> mm_span() const { return mm_; }
+
+  /// Host-side sizes in bytes (for reporting; the GPU placement planner uses
+  /// the packed device widths, see gpubb/device_lb_data.h).
+  struct StructureSizes {
+    std::size_t ptm, lm, jm, rm, qm, mm;
+    std::size_t total() const { return ptm + lm + jm + rm + qm + mm; }
+  };
+  StructureSizes host_sizes() const;
+
+  /// Table I access counts for one LB evaluation with n_remaining jobs left.
+  struct AccessCounts {
+    std::int64_t ptm, lm, jm, rm, qm, mm;
+    std::int64_t total() const { return ptm + lm + jm + rm + qm + mm; }
+  };
+  AccessCounts accesses_per_eval(int n_remaining) const;
+
+ private:
+  LowerBoundData() = default;
+
+  int jobs_ = 0;
+  int machines_ = 0;
+  Matrix<Time> ptm_;
+  Matrix<Time> lm_;
+  Matrix<JobId> jm_;
+  std::vector<Time> rm_;
+  std::vector<Time> qm_;
+  std::vector<MachinePair> mm_;
+};
+
+}  // namespace fsbb::fsp

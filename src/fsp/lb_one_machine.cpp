@@ -1,0 +1,42 @@
+#include "fsp/lb_one_machine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "fsp/makespan.h"
+
+namespace fsbb::fsp {
+
+Time lb0_from_state(const Instance& inst, const LowerBoundData& data,
+                    std::span<const Time> fronts,
+                    std::span<const std::uint8_t> scheduled) {
+  const int n = inst.jobs();
+  const int m = inst.machines();
+  FSBB_CHECK(fronts.size() == static_cast<std::size_t>(m));
+  FSBB_CHECK(scheduled.size() == static_cast<std::size_t>(n));
+
+  Time lb = fronts[static_cast<std::size_t>(m - 1)];
+  for (int k = 0; k < m; ++k) {
+    Time remaining = 0;
+    for (int j = 0; j < n; ++j) {
+      if (!scheduled[static_cast<std::size_t>(j)]) remaining += inst.pt(j, k);
+    }
+    const Time start = std::max(fronts[static_cast<std::size_t>(k)], data.rm(k));
+    lb = std::max(lb, start + remaining + data.qm(k));
+  }
+  return lb;
+}
+
+Time lb0_from_prefix(const Instance& inst, const LowerBoundData& data,
+                     std::span<const JobId> prefix) {
+  std::vector<Time> fronts(static_cast<std::size_t>(inst.machines()));
+  std::vector<std::uint8_t> scheduled(static_cast<std::size_t>(inst.jobs()), 0);
+  compute_fronts(inst, prefix, fronts);
+  for (const JobId job : prefix) {
+    scheduled[static_cast<std::size_t>(job)] = 1;
+  }
+  return lb0_from_state(inst, data, fronts, scheduled);
+}
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,24 @@
+// LB0 — the classic single-machine flow-shop bound, used as the cheap
+// baseline for the ablation benches: for every machine k,
+//   LB_k = start_k + sum of remaining work on k + min remaining tail after k
+// and LB0 = max_k LB_k. Weaker than LB1 but Θ(n m) instead of Θ(n m^2).
+#pragma once
+
+#include <span>
+
+#include "fsp/instance.h"
+#include "fsp/lb_data.h"
+
+namespace fsbb::fsp {
+
+/// LB0 of a node given its fronts and scheduled mask (same contract as
+/// lb1_from_state). Uses RM/QM from LowerBoundData for heads/tails.
+Time lb0_from_state(const Instance& inst, const LowerBoundData& data,
+                    std::span<const Time> fronts,
+                    std::span<const std::uint8_t> scheduled);
+
+/// Convenience: replays the prefix. O(|prefix| m + n m).
+Time lb0_from_prefix(const Instance& inst, const LowerBoundData& data,
+                     std::span<const JobId> prefix);
+
+}  // namespace fsbb::fsp

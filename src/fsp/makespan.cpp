@@ -1,0 +1,71 @@
+#include "fsp/makespan.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fsbb::fsp {
+
+void extend_fronts(const Instance& inst, JobId job, std::span<Time> fronts) {
+  FSBB_ASSERT(fronts.size() == static_cast<std::size_t>(inst.machines()));
+  Time prev = 0;
+  for (int k = 0; k < inst.machines(); ++k) {
+    const Time start = std::max(prev, fronts[k]);
+    prev = start + inst.pt(job, k);
+    fronts[k] = prev;
+  }
+}
+
+void compute_fronts(const Instance& inst, std::span<const JobId> prefix,
+                    std::span<Time> fronts) {
+  FSBB_CHECK(fronts.size() == static_cast<std::size_t>(inst.machines()));
+  std::fill(fronts.begin(), fronts.end(), Time{0});
+  for (const JobId job : prefix) {
+    extend_fronts(inst, job, fronts);
+  }
+}
+
+Time makespan(const Instance& inst, std::span<const JobId> perm) {
+  FSBB_CHECK(perm.size() == static_cast<std::size_t>(inst.jobs()));
+  std::vector<Time> fronts(static_cast<std::size_t>(inst.machines()), 0);
+  for (const JobId job : perm) {
+    extend_fronts(inst, job, fronts);
+  }
+  return fronts.back();
+}
+
+Matrix<Time> completion_matrix(const Instance& inst,
+                               std::span<const JobId> perm) {
+  const auto n = static_cast<std::size_t>(perm.size());
+  const auto m = static_cast<std::size_t>(inst.machines());
+  Matrix<Time> c(n, m);
+  std::vector<Time> fronts(m, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    extend_fronts(inst, perm[i], fronts);
+    std::copy(fronts.begin(), fronts.end(), c.row(i).begin());
+  }
+  return c;
+}
+
+bool is_valid_permutation(const Instance& inst, std::span<const JobId> perm) {
+  const int n = inst.jobs();
+  if (perm.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const JobId job : perm) {
+    if (job < 0 || job >= n || seen[static_cast<std::size_t>(job)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(job)] = true;
+  }
+  return true;
+}
+
+std::vector<JobId> identity_permutation(int jobs) {
+  std::vector<JobId> perm(static_cast<std::size_t>(jobs));
+  std::iota(perm.begin(), perm.end(), JobId{0});
+  return perm;
+}
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,35 @@
+// Schedule evaluation: makespans, machine fronts, completion matrices.
+//
+// "Fronts" are the per-machine completion times of a scheduled prefix — the
+// state a branch-and-bound node needs in order to bound or extend itself.
+#pragma once
+
+#include <span>
+
+#include "common/matrix.h"
+#include "fsp/instance.h"
+
+namespace fsbb::fsp {
+
+/// Makespan of a complete permutation schedule. O(n * m).
+Time makespan(const Instance& inst, std::span<const JobId> perm);
+
+/// Per-machine completion times after processing `prefix` in order.
+/// `fronts` must have size m; it is fully overwritten. O(|prefix| * m).
+void compute_fronts(const Instance& inst, std::span<const JobId> prefix,
+                    std::span<Time> fronts);
+
+/// Extends fronts in place by scheduling one more job. O(m).
+void extend_fronts(const Instance& inst, JobId job, std::span<Time> fronts);
+
+/// Full completion-time matrix C(i, k) = completion of perm[i] on machine k.
+Matrix<Time> completion_matrix(const Instance& inst,
+                               std::span<const JobId> perm);
+
+/// True iff perm is a permutation of {0, .., n-1} for this instance.
+bool is_valid_permutation(const Instance& inst, std::span<const JobId> perm);
+
+/// Identity permutation 0..n-1.
+std::vector<JobId> identity_permutation(int jobs);
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,123 @@
+#include "fsp/neh.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/matrix.h"
+#include "fsp/makespan.h"
+
+namespace fsbb::fsp {
+namespace {
+
+// Taillard acceleration scaffolding for one insertion round:
+//   e(i, k)  completion time of sequence prefix [0, i) on machine k
+//   q(i, k)  "tail": duration between the start of sequence suffix [i, q)
+//            on machine k and the end of the schedule
+//   f(i, k)  completion time of the candidate job inserted at slot i
+// Makespan with the candidate at slot i = max_k f(i, k) + q(i, k).
+struct InsertionTables {
+  Matrix<Time> e, q, f;
+};
+
+InsertionTables build_tables(const Instance& inst,
+                             std::span<const JobId> seq, JobId job) {
+  const auto len = seq.size();
+  const auto m = static_cast<std::size_t>(inst.machines());
+  InsertionTables t{
+      Matrix<Time>(len + 1, m), Matrix<Time>(len + 1, m), Matrix<Time>(len + 1, m)};
+
+  for (std::size_t i = 0; i <= len; ++i) {
+    for (std::size_t k = 0; k < m; ++k) {
+      // e: forward completion times of the prefix of length i.
+      if (i == 0) {
+        t.e(i, k) = 0;
+      } else {
+        const Time up = t.e(i - 1, k);
+        const Time left = k == 0 ? Time{0} : t.e(i, k - 1);
+        t.e(i, k) = std::max(up, left) +
+                    inst.pt(seq[i - 1], static_cast<int>(k));
+      }
+    }
+  }
+  for (std::size_t ii = len + 1; ii-- > 0;) {
+    for (std::size_t kk = m; kk-- > 0;) {
+      // q: backward tails of the suffix starting at ii.
+      if (ii == len) {
+        t.q(ii, kk) = 0;
+      } else {
+        const Time down = t.q(ii + 1, kk);
+        const Time right = kk == m - 1 ? Time{0} : t.q(ii, kk + 1);
+        t.q(ii, kk) = std::max(down, right) +
+                      inst.pt(seq[ii], static_cast<int>(kk));
+      }
+    }
+  }
+  for (std::size_t i = 0; i <= len; ++i) {
+    for (std::size_t k = 0; k < m; ++k) {
+      // f: candidate job completion when inserted at slot i.
+      const Time up = t.e(i, k);
+      const Time left = k == 0 ? Time{0} : t.f(i, k - 1);
+      t.f(i, k) = std::max(up, left) + inst.pt(job, static_cast<int>(k));
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::pair<int, Time> best_insertion(const Instance& inst,
+                                    std::span<const JobId> sequence,
+                                    JobId job) {
+  const InsertionTables t = build_tables(inst, sequence, job);
+  const auto len = sequence.size();
+  const auto m = static_cast<std::size_t>(inst.machines());
+
+  int best_pos = 0;
+  Time best_ms = std::numeric_limits<Time>::max();
+  for (std::size_t i = 0; i <= len; ++i) {
+    Time ms = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      ms = std::max(ms, t.f(i, k) + t.q(i, k));
+    }
+    if (ms < best_ms) {  // strict < keeps the earliest best slot (NEH tie rule)
+      best_ms = ms;
+      best_pos = static_cast<int>(i);
+    }
+  }
+  return {best_pos, best_ms};
+}
+
+NehResult neh(const Instance& inst) {
+  const int n = inst.jobs();
+  std::vector<JobId> by_total = identity_permutation(n);
+  std::vector<Time> totals(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < inst.machines(); ++k) {
+      totals[static_cast<std::size_t>(j)] += inst.pt(j, k);
+    }
+  }
+  std::stable_sort(by_total.begin(), by_total.end(), [&](JobId x, JobId y) {
+    if (totals[static_cast<std::size_t>(x)] !=
+        totals[static_cast<std::size_t>(y)]) {
+      return totals[static_cast<std::size_t>(x)] >
+             totals[static_cast<std::size_t>(y)];
+    }
+    return x < y;
+  });
+
+  std::vector<JobId> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  Time ms = 0;
+  for (const JobId job : by_total) {
+    const auto [pos, best_ms] = best_insertion(inst, seq, job);
+    seq.insert(seq.begin() + pos, job);
+    ms = best_ms;
+  }
+  FSBB_CHECK(is_valid_permutation(inst, seq));
+  FSBB_CHECK(ms == makespan(inst, seq));
+  return NehResult{std::move(seq), ms};
+}
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,32 @@
+// NEH constructive heuristic (Nawaz–Enscore–Ham 1983) with Taillard's
+// O(n^2 m) acceleration. The engine seeds its initial upper bound with the
+// NEH makespan — the "initial seed UB" of the paper's Figure 1 — so pruning
+// starts working from the first branching.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fsp/instance.h"
+
+namespace fsbb::fsp {
+
+/// Result of the NEH construction.
+struct NehResult {
+  std::vector<JobId> permutation;
+  Time makespan = 0;
+};
+
+/// Runs NEH: jobs sorted by non-increasing total processing time, then
+/// inserted one-by-one at the makespan-minimizing position. Taillard's
+/// heads/tails trick evaluates all q+1 insertion slots of a q-job partial
+/// sequence in O(q m), for O(n^2 m) total.
+NehResult neh(const Instance& inst);
+
+/// Evaluates every insertion position of `job` into `sequence` and returns
+/// (best_position, best_makespan). Exposed for tests; O(|sequence| * m).
+std::pair<int, Time> best_insertion(const Instance& inst,
+                                    std::span<const JobId> sequence,
+                                    JobId job);
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,40 @@
+// Taillard's flow-shop benchmark generator and instance registry.
+//
+// É. Taillard, "Benchmarks for basic scheduling problems", EJOR 64 (1993).
+// Processing times are unif(1, 99) drawn machine-major from the
+// minimal-standard LCG (common/rng.h Lcg31). Given the published time seeds
+// this reproduces the standard ta001–ta120 instance set bit-for-bit; the
+// CLUSTER'12 paper evaluates the m = 20 classes (20x20 … 200x20).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "fsp/instance.h"
+
+namespace fsbb::fsp {
+
+/// One entry of the standard benchmark registry.
+struct TaillardSpec {
+  int id;                  ///< 1-based standard index (ta001 == 1).
+  int jobs;                ///< n
+  int machines;            ///< m
+  std::int32_t time_seed;  ///< published seed for the processing-time matrix
+};
+
+/// The 120 published instance specs (12 classes x 10 instances).
+std::span<const TaillardSpec> taillard_registry();
+
+/// Generates an n x m instance from an arbitrary seed (Taillard's scheme).
+Instance make_taillard_instance(int jobs, int machines, std::int32_t time_seed,
+                                std::string name = {});
+
+/// The standard instance ta<id> (id in [1, 120]).
+Instance taillard_instance(int id);
+
+/// First registry instance of the (jobs x machines) class; throws if the
+/// class is not part of the published set.
+Instance taillard_class_representative(int jobs, int machines);
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,86 @@
+#include "gpubb/adaptive_evaluator.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/cost_model.h"
+#include "gpusim/timing.h"
+#include "gpusim/transfer.h"
+
+namespace fsbb::gpubb {
+namespace {
+
+// Break-even batch size: smallest whole-block pool whose modeled GPU cost
+// per node undercuts one LB on a CPU core divided by the host thread count
+// (the threaded evaluator's ideal throughput). Conservative: it uses the
+// root-node work estimate (n remaining), the heaviest case.
+std::size_t derive_threshold(const gpusim::SimDevice& device,
+                             const fsp::LowerBoundData& data,
+                             const GpuBoundEvaluator& gpu,
+                             std::size_t cpu_threads) {
+  const core::CpuCostModel cpu_model(
+      data, core::CpuCostParams::xeon_e5520_reference());
+  const double cpu_per_node =
+      cpu_model.lb_eval_seconds(data.jobs()) /
+      static_cast<double>(std::max<std::size_t>(1, cpu_threads));
+
+  // Static per-thread work estimate from the Table I access counts; all
+  // accesses priced as global (conservative for shared placements).
+  gpusim::ThreadWork work;
+  const auto acc = data.accesses_per_eval(data.jobs());
+  work.accesses[static_cast<std::size_t>(gpusim::MemSpace::kGlobal)] =
+      static_cast<double>(acc.total());
+  work.ops = 2.0 * static_cast<double>(acc.total());
+
+  const auto block = static_cast<std::size_t>(gpu.block_threads());
+  const gpusim::GpuCalibration calib = gpusim::GpuCalibration::fermi_defaults();
+  const gpusim::TransferModel transfers(device.spec());
+  for (std::size_t pool = block; pool <= (std::size_t{1} << 20); pool *= 2) {
+    const int grid = static_cast<int>(pool / block);
+    const auto est = gpusim::estimate_kernel_time(
+        device.spec(), calib, {grid, static_cast<int>(block)},
+        gpu.occupancy(), work);
+    const double gpu_per_node =
+        (est.seconds + calib.iteration_overhead_s(data.jobs()) +
+         transfers.seconds(pool * (static_cast<std::size_t>(data.jobs()) + 2)) +
+         transfers.seconds(pool * 4)) /
+        static_cast<double>(pool);
+    if (gpu_per_node < cpu_per_node) return pool;
+  }
+  return std::size_t{1} << 20;
+}
+
+}  // namespace
+
+AdaptiveEvaluator::AdaptiveEvaluator(gpusim::SimDevice& device,
+                                     const fsp::Instance& inst,
+                                     const fsp::LowerBoundData& data,
+                                     PlacementPolicy policy,
+                                     std::size_t cpu_threads,
+                                     std::size_t threshold)
+    : cpu_(inst, data, cpu_threads),
+      gpu_(device, inst, data, policy),
+      threshold_(threshold != 0
+                     ? threshold
+                     : derive_threshold(device, data, gpu_, cpu_.threads())) {}
+
+std::string AdaptiveEvaluator::name() const {
+  return "adaptive[" + cpu_.name() + "|" + gpu_.name() + "@" +
+         std::to_string(threshold_) + "]";
+}
+
+void AdaptiveEvaluator::evaluate(std::span<core::Subproblem> batch) {
+  const WallTimer timer;
+  if (batch.size() >= threshold_) {
+    gpu_.evaluate(batch);
+    ++gpu_batches_;
+  } else {
+    cpu_.evaluate(batch);
+    ++cpu_batches_;
+  }
+  ++ledger_.batches;
+  ledger_.nodes += batch.size();
+  ledger_.wall_seconds += timer.seconds();
+}
+
+}  // namespace fsbb::gpubb

@@ -1,0 +1,46 @@
+// Adaptive bounding backend — the paper's §VI outlook ("combination of the
+// GPU-based bounding model with the multi-core parallel search") in its
+// simplest useful form: route each batch to the device only when it is
+// large enough to amortize the offload overheads, otherwise bound it on
+// host threads. The threshold defaults to the modeled break-even pool size
+// (where the GPU's modeled per-node cost undercuts the threaded CPU's).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/evaluator.h"
+#include "gpubb/gpu_evaluator.h"
+
+namespace fsbb::gpubb {
+
+/// Routes batches between a threaded CPU evaluator and the GPU evaluator.
+class AdaptiveEvaluator final : public core::BoundEvaluator {
+ public:
+  /// threshold == 0 derives the break-even batch size from the offload
+  /// model at construction time (one sampled kernel run on synthetic
+  /// root-like nodes is NOT needed — the threshold uses the static Table I
+  /// work estimate, which is exact for the root and conservative below).
+  AdaptiveEvaluator(gpusim::SimDevice& device, const fsp::Instance& inst,
+                    const fsp::LowerBoundData& data, PlacementPolicy policy,
+                    std::size_t cpu_threads = 0, std::size_t threshold = 0);
+
+  void evaluate(std::span<core::Subproblem> batch) override;
+  std::string name() const override;
+  const core::EvalLedger& ledger() const override { return ledger_; }
+
+  std::size_t threshold() const { return threshold_; }
+  std::uint64_t cpu_batches() const { return cpu_batches_; }
+  std::uint64_t gpu_batches() const { return gpu_batches_; }
+  const GpuBoundEvaluator& gpu() const { return gpu_; }
+
+ private:
+  core::ThreadedCpuEvaluator cpu_;
+  GpuBoundEvaluator gpu_;
+  std::size_t threshold_;
+  std::uint64_t cpu_batches_ = 0;
+  std::uint64_t gpu_batches_ = 0;
+  core::EvalLedger ledger_;
+};
+
+}  // namespace fsbb::gpubb

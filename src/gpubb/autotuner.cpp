@@ -1,0 +1,87 @@
+#include "gpubb/autotuner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "gpubb/device_lb_data.h"
+#include "gpubb/lb_kernel.h"
+#include "gpusim/occupancy.h"
+
+namespace fsbb::gpubb {
+
+OffloadScenario measure_scenario(gpusim::SimDevice& device,
+                                 const fsp::Instance& inst,
+                                 const fsp::LowerBoundData& data,
+                                 PlacementPolicy policy,
+                                 std::span<const core::Subproblem> sample,
+                                 std::size_t frontier_nodes, int block_threads,
+                                 gpusim::GpuCalibration calibration,
+                                 core::CpuCostParams cpu_params) {
+  const PlacementPlan pre_plan =
+      make_placement_plan(policy, data, device.spec());
+  if (block_threads == 0) {
+    block_threads = recommended_block_threads(pre_plan, device.spec());
+  }
+  FSBB_CHECK_MSG(sample.size() >= static_cast<std::size_t>(block_threads),
+                 "scenario sample must fill at least one thread block");
+  // Whole blocks only, so idle tail threads cannot dilute the averages.
+  const std::size_t usable =
+      sample.size() / static_cast<std::size_t>(block_threads) *
+      static_cast<std::size_t>(block_threads);
+  sample = sample.subspan(0, usable);
+
+  const PlacementPlan& plan = pre_plan;
+  DeviceLbData device_data(device, data, plan);
+
+  PackedPool packed = PackedPool::pack(sample, inst.jobs());
+  DevicePool pool = DevicePool::upload(device, packed);
+  const gpusim::KernelRun run =
+      launch_lb1_kernel(device, device_data, pool, block_threads);
+
+  OffloadScenario sc;
+  sc.spec = &device.spec();
+  sc.calibration = calibration;
+  sc.cpu_params = cpu_params;
+  sc.thread_work = gpusim::ThreadWork::from_run(run);
+  sc.occupancy = gpusim::compute_occupancy(
+      device.spec(), plan.smem_config,
+      lb1_kernel_resources(device_data, block_threads));
+  sc.block_threads = block_threads;
+  sc.lb_data = &data;
+  sc.frontier_nodes = frontier_nodes;
+  sc.node_bytes_down =
+      static_cast<std::size_t>(inst.jobs()) + sizeof(std::uint16_t);
+  sc.node_bytes_up = sizeof(std::int32_t);
+
+  double remaining = 0;
+  for (const core::Subproblem& sp : sample) {
+    remaining += sp.remaining();
+  }
+  sc.avg_remaining = remaining / static_cast<double>(sample.size());
+  return sc;
+}
+
+AutotuneResult autotune_pool_size(const OffloadScenario& scenario,
+                                  std::size_t min_pool, std::size_t max_pool) {
+  FSBB_CHECK(min_pool >= 1 && min_pool <= max_pool);
+  const auto block = static_cast<std::size_t>(scenario.block_threads);
+
+  AutotuneResult result;
+  for (std::size_t p = min_pool; p <= max_pool; p *= 2) {
+    const std::size_t pool = std::max(block, p / block * block);
+    const OffloadCycleCost cost = model_offload_cycle(scenario, pool);
+    AutotunePoint point;
+    point.pool_size = pool;
+    point.nodes_per_second =
+        static_cast<double>(pool) / cost.gpu_total_seconds();
+    point.speedup = cost.speedup();
+    result.curve.push_back(point);
+    if (point.nodes_per_second > result.best_nodes_per_second) {
+      result.best_nodes_per_second = point.nodes_per_second;
+      result.best_pool_size = pool;
+    }
+  }
+  return result;
+}
+
+}  // namespace fsbb::gpubb

@@ -1,0 +1,55 @@
+// Runtime pool-size auto-tuning (the paper's conclusion: "this parameter
+// has to be determined at runtime by testing different pool sizes").
+//
+// Two layers:
+//   * measure_scenario(): runs the bounding kernel on a real sample of
+//     nodes, harvesting per-thread work counters, occupancy and node
+//     shapes into an OffloadScenario.
+//   * autotune_pool_size(): sweeps candidate pool sizes (powers of two of
+//     whole blocks) through the offload cost model and picks the pool with
+//     the best modeled node throughput.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/subproblem.h"
+#include "fsp/instance.h"
+#include "fsp/lb_data.h"
+#include "gpubb/offload_model.h"
+#include "gpubb/placement.h"
+#include "gpusim/kernel.h"
+
+namespace fsbb::gpubb {
+
+/// Builds a priced scenario from a functional kernel run over `sample`
+/// (truncated to whole blocks; at least one block required).
+/// block_threads == 0 picks the placement's recommended block size.
+OffloadScenario measure_scenario(
+    gpusim::SimDevice& device, const fsp::Instance& inst,
+    const fsp::LowerBoundData& data, PlacementPolicy policy,
+    std::span<const core::Subproblem> sample, std::size_t frontier_nodes,
+    int block_threads = 0,
+    gpusim::GpuCalibration calibration = gpusim::GpuCalibration::fermi_defaults(),
+    core::CpuCostParams cpu_params = core::CpuCostParams::xeon_e5520_reference());
+
+/// One sweep point of the tuner.
+struct AutotunePoint {
+  std::size_t pool_size = 0;
+  double nodes_per_second = 0;
+  double speedup = 0;  ///< vs. the serial reference
+};
+
+/// Tuner outcome: the full curve plus the argmax.
+struct AutotuneResult {
+  std::vector<AutotunePoint> curve;
+  std::size_t best_pool_size = 0;
+  double best_nodes_per_second = 0;
+};
+
+/// Sweeps pool sizes in [min_pool, max_pool] (doubling, block-aligned).
+AutotuneResult autotune_pool_size(const OffloadScenario& scenario,
+                                  std::size_t min_pool, std::size_t max_pool);
+
+}  // namespace fsbb::gpubb

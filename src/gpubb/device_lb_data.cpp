@@ -1,0 +1,85 @@
+#include "gpubb/device_lb_data.h"
+
+#include "common/check.h"
+
+namespace fsbb::gpubb {
+
+DeviceLbData::DeviceLbData(gpusim::SimDevice& device,
+                           const fsp::LowerBoundData& data,
+                           const PlacementPlan& plan)
+    : jobs_(data.jobs()), machines_(data.machines()), pairs_(data.pairs()),
+      plan_(plan) {
+  FSBB_CHECK_MSG(jobs_ <= 255,
+                 "GPU path packs job ids as u8 (the paper stops at n = 200)");
+
+  const auto n = static_cast<std::size_t>(jobs_);
+  const auto m = static_cast<std::size_t>(machines_);
+  const auto p = static_cast<std::size_t>(pairs_);
+
+  auto space_of = [&](LbStructure s) {
+    // Shared-resident tables still live in global memory; blocks stage them
+    // at launch. The *backing* allocation is global either way; the view's
+    // space tag decides how accesses are priced.
+    return plan_.of(s);
+  };
+
+  ptm_ = device.alloc<std::uint8_t>(n * m, space_of(LbStructure::kPtm));
+  lm_ = device.alloc<std::uint16_t>(n * p, space_of(LbStructure::kLm));
+  jm_ = device.alloc<std::uint8_t>(n * p, space_of(LbStructure::kJm));
+  rm_ = device.alloc<std::int32_t>(m, space_of(LbStructure::kRm));
+  qm_ = device.alloc<std::int32_t>(m, space_of(LbStructure::kQm));
+  mm_ = device.alloc<std::int16_t>(2 * p, space_of(LbStructure::kMm));
+
+  for (int j = 0; j < jobs_; ++j) {
+    for (int k = 0; k < machines_; ++k) {
+      const fsp::Time t = data.ptm(j, k);
+      FSBB_CHECK_MSG(t <= 255, "GPU path packs processing times as u8");
+      ptm_.host_span()[static_cast<std::size_t>(j) * m +
+                       static_cast<std::size_t>(k)] =
+          static_cast<std::uint8_t>(t);
+    }
+    for (int s = 0; s < pairs_; ++s) {
+      const fsp::Time lag = data.lm(j, s);
+      FSBB_CHECK_MSG(lag <= 65535, "lag exceeds u16 packing");
+      lm_.host_span()[static_cast<std::size_t>(j) * p +
+                      static_cast<std::size_t>(s)] =
+          static_cast<std::uint16_t>(lag);
+    }
+  }
+  for (int s = 0; s < pairs_; ++s) {
+    for (int i = 0; i < jobs_; ++i) {
+      jm_.host_span()[static_cast<std::size_t>(s) * n +
+                      static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(data.jm(s, i));
+    }
+    mm_.host_span()[2 * static_cast<std::size_t>(s)] = data.mm(s).k;
+    mm_.host_span()[2 * static_cast<std::size_t>(s) + 1] = data.mm(s).l;
+  }
+  for (int k = 0; k < machines_; ++k) {
+    rm_.host_span()[static_cast<std::size_t>(k)] = data.rm(k);
+    qm_.host_span()[static_cast<std::size_t>(k)] = data.qm(k);
+  }
+
+  upload_bytes_ = ptm_.size_bytes() + lm_.size_bytes() + jm_.size_bytes() +
+                  rm_.size_bytes() + qm_.size_bytes() + mm_.size_bytes();
+
+  // Per-block staging volume: every element of every shared-resident table.
+  auto add_staged = [&](LbStructure s, std::uint64_t elements) {
+    if (plan_.in_shared(s)) staged_elements_per_block_ += elements;
+  };
+  add_staged(LbStructure::kPtm, n * m);
+  add_staged(LbStructure::kLm, n * p);
+  add_staged(LbStructure::kJm, n * p);
+  add_staged(LbStructure::kRm, m);
+  add_staged(LbStructure::kQm, m);
+  add_staged(LbStructure::kMm, 2 * p);
+}
+
+void DeviceLbData::account_block_staging(
+    gpusim::AccessCounters& counters) const {
+  if (staged_elements_per_block_ == 0) return;
+  counters.add_load(gpusim::MemSpace::kGlobal, staged_elements_per_block_);
+  counters.add_store(gpusim::MemSpace::kShared, staged_elements_per_block_);
+}
+
+}  // namespace fsbb::gpubb

@@ -1,0 +1,69 @@
+// Device-resident, packed copies of the six LB structures.
+//
+// Packing mirrors what a real CUDA port would ship to the card (and what
+// the paper's shared-memory arithmetic assumes): u8 processing times
+// (Taillard times are 1..99), u8 Johnson job ids (n <= 255 on the GPU
+// path, as in the paper, which stops at 200 jobs), u16 lags, i32 head/tail
+// minima, i16 machine-pair ids. The one-time upload of the tables and the
+// per-block shared staging are both accounted.
+#pragma once
+
+#include <cstdint>
+
+#include "fsp/lb_data.h"
+#include "gpubb/placement.h"
+#include "gpusim/kernel.h"
+#include "gpusim/memory.h"
+
+namespace fsbb::gpubb {
+
+/// The packed tables plus their placement, ready for kernel launches.
+class DeviceLbData {
+ public:
+  /// Packs and "uploads" the tables. Throws if the instance exceeds the
+  /// packed-type ranges (n > 255 or processing time > 255).
+  DeviceLbData(gpusim::SimDevice& device, const fsp::LowerBoundData& data,
+               const PlacementPlan& plan);
+
+  int jobs() const { return jobs_; }
+  int machines() const { return machines_; }
+  int pairs() const { return pairs_; }
+  const PlacementPlan& plan() const { return plan_; }
+
+  /// One-time host->device bytes for the six tables.
+  std::size_t upload_bytes() const { return upload_bytes_; }
+
+  /// Elements every block copies global->shared before computing.
+  std::uint64_t staged_elements_per_block() const {
+    return staged_elements_per_block_;
+  }
+
+  gpusim::DeviceView<std::uint8_t> ptm() const { return ptm_.view(); }
+  gpusim::DeviceView<std::uint16_t> lm() const { return lm_.view(); }
+  gpusim::DeviceView<std::uint8_t> jm() const { return jm_.view(); }
+  gpusim::DeviceView<std::int32_t> rm() const { return rm_.view(); }
+  gpusim::DeviceView<std::int32_t> qm() const { return qm_.view(); }
+  /// Interleaved pairs: mm()[2s] = k, mm()[2s+1] = l.
+  gpusim::DeviceView<std::int16_t> mm() const { return mm_.view(); }
+
+  /// Records the per-block staging work (global loads + shared stores) on
+  /// `counters`; called by the kernel's block prologue.
+  void account_block_staging(gpusim::AccessCounters& counters) const;
+
+ private:
+  int jobs_ = 0;
+  int machines_ = 0;
+  int pairs_ = 0;
+  PlacementPlan plan_;
+  std::size_t upload_bytes_ = 0;
+  std::uint64_t staged_elements_per_block_ = 0;
+
+  gpusim::DeviceBuffer<std::uint8_t> ptm_;
+  gpusim::DeviceBuffer<std::uint16_t> lm_;
+  gpusim::DeviceBuffer<std::uint8_t> jm_;
+  gpusim::DeviceBuffer<std::int32_t> rm_;
+  gpusim::DeviceBuffer<std::int32_t> qm_;
+  gpusim::DeviceBuffer<std::int16_t> mm_;
+};
+
+}  // namespace fsbb::gpubb

@@ -1,0 +1,71 @@
+#include "gpubb/gpu_evaluator.h"
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace fsbb::gpubb {
+
+GpuBoundEvaluator::GpuBoundEvaluator(gpusim::SimDevice& device,
+                                     const fsp::Instance& inst,
+                                     const fsp::LowerBoundData& data,
+                                     PlacementPolicy policy, int block_threads,
+                                     gpusim::GpuCalibration calibration)
+    : device_(&device), inst_(&inst), policy_(policy),
+      block_threads_(block_threads), calibration_(calibration),
+      device_data_(device, data, make_placement_plan(policy, data, device.spec())),
+      transfer_model_(device.spec()) {
+  if (block_threads_ == 0) {
+    block_threads_ =
+        recommended_block_threads(device_data_.plan(), device.spec());
+  }
+  occupancy_ = gpusim::compute_occupancy(
+      device.spec(), device_data_.plan().smem_config,
+      lb1_kernel_resources(device_data_, block_threads_));
+  // Account the one-time upload of the six tables.
+  transfer_model_.record(gpusim::TransferDir::kHostToDevice,
+                         device_data_.upload_bytes(), gpu_ledger_.transfers);
+}
+
+std::string GpuBoundEvaluator::name() const {
+  return std::string("gpusim[") + to_string(policy_) + "]";
+}
+
+void GpuBoundEvaluator::evaluate(std::span<core::Subproblem> batch) {
+  if (batch.empty()) return;
+  const WallTimer timer;
+
+  PackedPool packed = PackedPool::pack(batch, inst_->jobs());
+  transfer_model_.record(gpusim::TransferDir::kHostToDevice,
+                         packed.h2d_bytes(), gpu_ledger_.transfers);
+
+  DevicePool pool = DevicePool::upload(*device_, packed);
+  const gpusim::KernelRun run =
+      launch_lb1_kernel(*device_, device_data_, pool, block_threads_);
+
+  const gpusim::LaunchConfig config{
+      static_cast<int>((pool.count + block_threads_ - 1) / block_threads_),
+      block_threads_};
+  const auto estimate = gpusim::estimate_kernel_time(
+      device_->spec(), calibration_, config, occupancy_,
+      gpusim::ThreadWork::from_run(run));
+  gpu_ledger_.kernel_seconds += estimate.seconds;
+  gpu_ledger_.iteration_seconds +=
+      calibration_.iteration_overhead_s(inst_->jobs());
+  gpu_ledger_.counters += run.counters;
+  ++gpu_ledger_.launches;
+
+  transfer_model_.record(gpusim::TransferDir::kDeviceToHost,
+                         packed.d2h_bytes(), gpu_ledger_.transfers);
+
+  // Write the functional results back into the nodes.
+  const auto lbs = pool.lbs.host_span();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].lb = lbs[i];
+  }
+
+  ++ledger_.batches;
+  ledger_.nodes += batch.size();
+  ledger_.wall_seconds += timer.seconds();
+}
+
+}  // namespace fsbb::gpubb

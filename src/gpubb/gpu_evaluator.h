@@ -1,0 +1,70 @@
+// BoundEvaluator backed by the simulated GPU (paper Fig. 3).
+//
+// evaluate(batch): pack the pool, model the H2D transfer, run the bounding
+// kernel functionally (every LB value is real), model the kernel time and
+// the D2H transfer, write the bounds back into the nodes. The engine that
+// owns this evaluator is therefore the paper's hybrid CPU-GPU B&B.
+#pragma once
+
+#include <memory>
+
+#include "core/evaluator.h"
+#include "gpubb/device_lb_data.h"
+#include "gpubb/lb_kernel.h"
+#include "gpubb/placement.h"
+#include "gpusim/calibration.h"
+#include "gpusim/kernel.h"
+#include "gpusim/occupancy.h"
+#include "gpusim/timing.h"
+#include "gpusim/transfer.h"
+
+namespace fsbb::gpubb {
+
+/// Modeled-time ledger of every offload the evaluator performed.
+struct GpuLedger {
+  gpusim::TransferLedger transfers;
+  double kernel_seconds = 0;     ///< modeled device compute
+  double iteration_seconds = 0;  ///< modeled per-offload host/driver overhead
+  std::uint64_t launches = 0;
+  gpusim::AccessCounters counters;  ///< functional totals over all launches
+
+  /// Modeled end-to-end GPU-side seconds.
+  double modeled_seconds() const {
+    return transfers.total_seconds() + kernel_seconds + iteration_seconds;
+  }
+};
+
+/// Simulated-GPU bounding backend.
+class GpuBoundEvaluator final : public core::BoundEvaluator {
+ public:
+  /// block_threads == 0 picks the recommended size for the placement
+  /// (256, bumped while a lone resident block has < 16 warps).
+  GpuBoundEvaluator(gpusim::SimDevice& device, const fsp::Instance& inst,
+                    const fsp::LowerBoundData& data, PlacementPolicy policy,
+                    int block_threads = 0,
+                    gpusim::GpuCalibration calibration =
+                        gpusim::GpuCalibration::fermi_defaults());
+
+  void evaluate(std::span<core::Subproblem> batch) override;
+  std::string name() const override;
+  const core::EvalLedger& ledger() const override { return ledger_; }
+
+  const GpuLedger& gpu_ledger() const { return gpu_ledger_; }
+  const DeviceLbData& device_data() const { return device_data_; }
+  const gpusim::OccupancyResult& occupancy() const { return occupancy_; }
+  int block_threads() const { return block_threads_; }
+
+ private:
+  gpusim::SimDevice* device_;
+  const fsp::Instance* inst_;
+  PlacementPolicy policy_;
+  int block_threads_;
+  gpusim::GpuCalibration calibration_;
+  DeviceLbData device_data_;
+  gpusim::OccupancyResult occupancy_;
+  gpusim::TransferModel transfer_model_;
+  core::EvalLedger ledger_;
+  GpuLedger gpu_ledger_;
+};
+
+}  // namespace fsbb::gpubb

@@ -1,0 +1,206 @@
+#include "gpubb/lb_kernel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fsbb::gpubb {
+namespace {
+
+/// lb1_evaluate provider that reads the packed device tables through the
+/// counting ThreadCtx. Widening casts reproduce exactly the host values.
+class DeviceLb1Provider {
+ public:
+  DeviceLb1Provider(gpusim::ThreadCtx& ctx, const DeviceLbData& d)
+      : ctx_(&ctx), d_(&d) {}
+
+  int jobs() const { return d_->jobs(); }
+  int machines() const { return d_->machines(); }
+  int pairs() const { return d_->pairs(); }
+
+  fsp::JobId jm(int pair, int pos) const {
+    return static_cast<fsp::JobId>(ctx_->ld(
+        d_->jm(), static_cast<std::size_t>(pair) * jobs() +
+                      static_cast<std::size_t>(pos)));
+  }
+  fsp::Time lm(int job, int pair) const {
+    return static_cast<fsp::Time>(ctx_->ld(
+        d_->lm(), static_cast<std::size_t>(job) * pairs() +
+                      static_cast<std::size_t>(pair)));
+  }
+  fsp::Time ptm(int job, int machine) const {
+    return static_cast<fsp::Time>(ctx_->ld(
+        d_->ptm(), static_cast<std::size_t>(job) * machines() +
+                       static_cast<std::size_t>(machine)));
+  }
+  fsp::Time rm(int machine) const {
+    return ctx_->ld(d_->rm(), static_cast<std::size_t>(machine));
+  }
+  fsp::Time qm(int machine) const {
+    return ctx_->ld(d_->qm(), static_cast<std::size_t>(machine));
+  }
+  int mm_k(int pair) const {
+    return ctx_->ld(d_->mm(), 2 * static_cast<std::size_t>(pair));
+  }
+  int mm_l(int pair) const {
+    return ctx_->ld(d_->mm(), 2 * static_cast<std::size_t>(pair) + 1);
+  }
+
+ private:
+  gpusim::ThreadCtx* ctx_;
+  const DeviceLbData* d_;
+};
+
+// Hard caps of the packed kernel's per-thread scratch (local memory).
+constexpr int kMaxJobs = 256;
+constexpr int kMaxMachines = 64;
+
+}  // namespace
+
+PackedPool PackedPool::pack(std::span<const core::Subproblem> batch,
+                            int jobs) {
+  FSBB_CHECK_MSG(jobs <= 255, "GPU pool packs permutations as u8");
+  PackedPool p;
+  p.jobs = jobs;
+  p.count = static_cast<int>(batch.size());
+  p.perms.resize(batch.size() * static_cast<std::size_t>(jobs));
+  p.depths.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const core::Subproblem& sp = batch[i];
+    FSBB_CHECK(sp.jobs() == jobs);
+    for (int j = 0; j < jobs; ++j) {
+      p.perms[i * static_cast<std::size_t>(jobs) + static_cast<std::size_t>(j)] =
+          static_cast<std::uint8_t>(sp.perm[static_cast<std::size_t>(j)]);
+    }
+    p.depths[i] = static_cast<std::uint16_t>(sp.depth);
+  }
+  return p;
+}
+
+DevicePool DevicePool::upload(gpusim::SimDevice& device,
+                              const PackedPool& pool) {
+  DevicePool d;
+  d.jobs = pool.jobs;
+  d.count = pool.count;
+  d.perms = device.alloc<std::uint8_t>(pool.perms.size(),
+                                       gpusim::MemSpace::kGlobal);
+  d.depths = device.alloc<std::uint16_t>(pool.depths.size(),
+                                         gpusim::MemSpace::kGlobal);
+  d.lbs = device.alloc<std::int32_t>(static_cast<std::size_t>(pool.count),
+                                     gpusim::MemSpace::kGlobal);
+  std::copy(pool.perms.begin(), pool.perms.end(), d.perms.host_span().begin());
+  std::copy(pool.depths.begin(), pool.depths.end(),
+            d.depths.host_span().begin());
+  return d;
+}
+
+int recommended_block_threads(const PlacementPlan& plan,
+                              const gpusim::DeviceSpec& spec, int base) {
+  int bt = base;
+  for (;;) {
+    const gpusim::KernelResources res{bt, 26, plan.shared_bytes_per_block};
+    const auto occ = gpusim::compute_occupancy(spec, plan.smem_config, res);
+    if (occ.blocks_per_sm > 1 || occ.active_warps >= 16 ||
+        bt * 2 > spec.max_threads_per_block) {
+      return bt;
+    }
+    const gpusim::KernelResources doubled{bt * 2, 26,
+                                          plan.shared_bytes_per_block};
+    const auto occ2 = gpusim::compute_occupancy(spec, plan.smem_config, doubled);
+    if (occ2.active_warps <= occ.active_warps) return bt;
+    bt *= 2;
+  }
+}
+
+gpusim::KernelResources lb1_kernel_resources(const DeviceLbData& data,
+                                             int block_threads) {
+  gpusim::KernelResources r;
+  r.block_threads = block_threads;
+  // 26 registers/thread: the paper's reported figure for its nvcc-compiled
+  // LB kernel (§IV-B) — the occupancy-limiting factor of the global-memory
+  // configuration.
+  r.registers_per_thread = 26;
+  r.shared_bytes_per_block = data.plan().shared_bytes_per_block;
+  return r;
+}
+
+gpusim::KernelRun launch_lb1_kernel(gpusim::SimDevice& device,
+                                    const DeviceLbData& data, DevicePool& pool,
+                                    int block_threads,
+                                    std::int64_t sample_max_threads) {
+  FSBB_CHECK(pool.jobs == data.jobs());
+  FSBB_CHECK_MSG(data.jobs() <= kMaxJobs && data.machines() <= kMaxMachines,
+                 "instance exceeds kernel scratch caps");
+
+  const int grid_blocks =
+      static_cast<int>((static_cast<std::int64_t>(pool.count) + block_threads - 1) /
+                       block_threads);
+  const gpusim::LaunchConfig config{grid_blocks, block_threads};
+
+  const auto perms = pool.perms.view();
+  const auto depths = pool.depths.view();
+  const auto lbs = pool.lbs.mut_view();
+  const DeviceLbData* d = &data;
+  const int n = data.jobs();
+  const int m = data.machines();
+  const int count = pool.count;
+
+  auto body = [d, perms, depths, lbs, n, m, count](gpusim::ThreadCtx& ctx) {
+    const std::int64_t idx = ctx.global_idx();
+    if (idx >= count) return;
+
+    // --- unpack the node: replay the prefix to rebuild machine fronts ---
+    const int depth =
+        ctx.ld(depths, static_cast<std::size_t>(idx));
+    fsp::Time fronts[kMaxMachines] = {};
+    std::uint8_t scheduled[kMaxJobs] = {};
+
+    // Per-thread scratch lives in local memory; account its traffic.
+    ctx.add_stores(gpusim::MemSpace::kLocal,
+                   static_cast<std::uint64_t>(m) + static_cast<std::uint64_t>(n));
+
+    const std::size_t perm_base = static_cast<std::size_t>(idx) *
+                                  static_cast<std::size_t>(n);
+    auto provider = DeviceLb1Provider(ctx, *d);
+    for (int pos = 0; pos < depth; ++pos) {
+      const auto job = static_cast<int>(
+          ctx.ld(perms, perm_base + static_cast<std::size_t>(pos)));
+      scheduled[job] = 1;
+      ctx.add_stores(gpusim::MemSpace::kLocal, 1);
+      fsp::Time prev = 0;
+      for (int k = 0; k < m; ++k) {
+        const fsp::Time start = std::max(prev, fronts[k]);
+        prev = start + provider.ptm(job, k);
+        fronts[k] = prev;
+      }
+      ctx.add_loads(gpusim::MemSpace::kLocal, static_cast<std::uint64_t>(m));
+      ctx.add_stores(gpusim::MemSpace::kLocal, static_cast<std::uint64_t>(m));
+      ctx.add_ops(static_cast<std::uint64_t>(m) * 2);
+    }
+
+    // --- the LB1 sweep itself (shared with the CPU path) ----------------
+    const fsp::Time lb = fsp::lb1_evaluate(
+        provider, std::span<const fsp::Time>(fronts, static_cast<std::size_t>(m)),
+        std::span<const std::uint8_t>(scheduled, static_cast<std::size_t>(n)));
+
+    // Scratch reads inside the sweep (fronts twice per pair, the scheduled
+    // mask once per Johnson entry) plus the comparison/accumulate ALU work.
+    const auto pairs = static_cast<std::uint64_t>(d->pairs());
+    ctx.add_loads(gpusim::MemSpace::kLocal,
+                  pairs * (2 + static_cast<std::uint64_t>(n)));
+    ctx.add_ops(pairs * (static_cast<std::uint64_t>(n) * 4 + 6));
+
+    ctx.st(lbs, static_cast<std::size_t>(idx), static_cast<std::int32_t>(lb));
+  };
+
+  auto prologue = [d](int /*block*/, gpusim::AccessCounters& counters) {
+    d->account_block_staging(counters);
+  };
+
+  if (sample_max_threads > 0) {
+    return device.launch_sampled(config, sample_max_threads, body, prologue);
+  }
+  return device.launch(config, body, prologue);
+}
+
+}  // namespace fsbb::gpubb

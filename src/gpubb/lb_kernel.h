@@ -1,0 +1,72 @@
+// The LB1 bounding kernel (paper Fig. 3): one simulated GPU thread bounds
+// one sub-problem. The arithmetic is the shared lb1_evaluate template, so
+// kernel results are bit-identical to the CPU evaluator by construction —
+// and tested to be.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/subproblem.h"
+#include "fsp/lb1.h"
+#include "gpubb/device_lb_data.h"
+#include "gpusim/kernel.h"
+#include "gpusim/occupancy.h"
+
+namespace fsbb::gpubb {
+
+/// Host-side packed pool: the bytes an offload iteration ships to the card.
+/// Permutations are u8 (n <= 255 on the GPU path), depths u16.
+struct PackedPool {
+  int jobs = 0;
+  int count = 0;
+  std::vector<std::uint8_t> perms;   ///< count x jobs, row-major
+  std::vector<std::uint16_t> depths; ///< count
+
+  std::size_t h2d_bytes() const {
+    return perms.size() * sizeof(std::uint8_t) +
+           depths.size() * sizeof(std::uint16_t);
+  }
+  std::size_t d2h_bytes() const {
+    return static_cast<std::size_t>(count) * sizeof(std::int32_t);
+  }
+
+  static PackedPool pack(std::span<const core::Subproblem> batch, int jobs);
+};
+
+/// Simulated-device mirror of a packed pool plus the LB output buffer.
+struct DevicePool {
+  gpusim::DeviceBuffer<std::uint8_t> perms;
+  gpusim::DeviceBuffer<std::uint16_t> depths;
+  gpusim::DeviceBuffer<std::int32_t> lbs;
+  int jobs = 0;
+  int count = 0;
+
+  static DevicePool upload(gpusim::SimDevice& device, const PackedPool& pool);
+};
+
+/// Launches the bounding kernel over `pool` on `device` and returns the run
+/// counters. If `sample_max_threads` > 0, only a prefix of the blocks is
+/// executed (timing-model sampling); otherwise every node is bounded.
+gpusim::KernelRun launch_lb1_kernel(gpusim::SimDevice& device,
+                                    const DeviceLbData& data, DevicePool& pool,
+                                    int block_threads,
+                                    std::int64_t sample_max_threads = 0);
+
+/// Static kernel resource demands for the occupancy calculator. The
+/// register count (26/thread) is the figure the paper reports for its
+/// compiled kernel; it is an input to the model, not something a host
+/// simulation could derive.
+gpusim::KernelResources lb1_kernel_resources(const DeviceLbData& data,
+                                             int block_threads);
+
+/// Picks the LB kernel's block size for a placement. Starts from `base`
+/// (the paper's 256) and doubles while a single block monopolizes the SM
+/// with fewer than 16 resident warps — the adjustment that recovers the
+/// paper's reported "16 active warps" for the 200x20 shared placement,
+/// where a 42 KB block under 256 threads would otherwise idle at 8 warps.
+int recommended_block_threads(const PlacementPlan& plan,
+                              const gpusim::DeviceSpec& spec, int base = 256);
+
+}  // namespace fsbb::gpubb

@@ -1,0 +1,59 @@
+#include "gpubb/offload_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "gpusim/transfer.h"
+
+namespace fsbb::gpubb {
+
+OffloadCycleCost model_offload_cycle(const OffloadScenario& scenario,
+                                     std::size_t pool_size) {
+  FSBB_CHECK(scenario.spec != nullptr && scenario.lb_data != nullptr);
+  FSBB_CHECK(pool_size >= 1);
+
+  const core::CpuCostModel cpu(*scenario.lb_data, scenario.cpu_params);
+  const int remaining =
+      std::max(1, static_cast<int>(std::lround(scenario.avg_remaining)));
+  const double lb_serial = cpu.lb_eval_seconds(remaining);
+  const double p = static_cast<double>(pool_size);
+
+  OffloadCycleCost c;
+
+  // Serial reference: pop + bound + (amortized) branch + insert per node,
+  // heap at the frontier size.
+  c.serial_seconds =
+      p * (lb_serial + 2 * cpu.pool_op_seconds(scenario.frontier_nodes) +
+           scenario.cpu_params.branch_per_child_seconds);
+
+  // GPU-side host work: the same selection/branching machinery, but the
+  // heap additionally holds the in-flight children of the current pool
+  // (about 2P: one generation awaiting bounding, one being inserted), plus
+  // the packing of every node for transfer.
+  const std::size_t resident = scenario.frontier_nodes + 2 * pool_size;
+  c.host_seconds =
+      p * (2 * cpu.pool_op_seconds(resident) +
+           scenario.cpu_params.branch_per_child_seconds +
+           static_cast<double>(scenario.node_bytes_down) *
+               scenario.calibration.host_pack_seconds_per_byte);
+
+  const gpusim::TransferModel transfers(*scenario.spec);
+  c.h2d_seconds = transfers.seconds(pool_size * scenario.node_bytes_down);
+  c.d2h_seconds = transfers.seconds(pool_size * scenario.node_bytes_up);
+
+  const int grid = static_cast<int>(
+      (pool_size + static_cast<std::size_t>(scenario.block_threads) - 1) /
+      static_cast<std::size_t>(scenario.block_threads));
+  const gpusim::LaunchConfig config{grid, scenario.block_threads};
+  c.kernel_seconds =
+      gpusim::estimate_kernel_time(*scenario.spec, scenario.calibration,
+                                   config, scenario.occupancy,
+                                   scenario.thread_work)
+          .seconds;
+
+  c.overhead_seconds =
+      scenario.calibration.iteration_overhead_s(scenario.lb_data->jobs());
+  return c;
+}
+
+}  // namespace fsbb::gpubb

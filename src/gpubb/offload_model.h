@@ -1,0 +1,73 @@
+// End-to-end cost model of one offload iteration — the quantity behind
+// every table of the paper.
+//
+// The paper's "parallel efficiency" is T_serial / T_gpu over the same node
+// set. In steady state both sides process the same P nodes per iteration:
+//
+//   serial:  P * ( LB-eval + 2 heap ops @ resident-pool + branch )
+//   gpu:     P * ( 2 heap ops @ inflated-pool + branch + packing )
+//            + H2D(P) + kernel(P) + D2H(P) + per-iteration overhead
+//
+// The GPU side's heap is larger (it holds the P in-flight children on top
+// of the frontier), which is what erodes the advantage of huge pools on
+// small instances (Table II, 20x20 row). All LB work terms come from the
+// *measured* per-thread counters of a sampled kernel run on real nodes, so
+// the model prices real work, not a guess.
+#pragma once
+
+#include "core/cost_model.h"
+#include "fsp/lb_data.h"
+#include "gpusim/calibration.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/occupancy.h"
+#include "gpusim/timing.h"
+
+namespace fsbb::gpubb {
+
+/// Inputs describing one (instance, placement, pool size) configuration.
+struct OffloadScenario {
+  const gpusim::DeviceSpec* spec = nullptr;
+  gpusim::GpuCalibration calibration;
+  core::CpuCostParams cpu_params;
+
+  /// Measured per-thread kernel work (sampled functional run).
+  gpusim::ThreadWork thread_work;
+  gpusim::OccupancyResult occupancy;
+  int block_threads = 256;
+
+  /// Average unscheduled jobs over the sampled nodes (prices serial LB).
+  double avg_remaining = 0;
+  const fsp::LowerBoundData* lb_data = nullptr;
+
+  /// Bytes shipped per node each direction.
+  std::size_t node_bytes_down = 0;  ///< packed permutation + depth
+  std::size_t node_bytes_up = 4;    ///< one i32 bound
+
+  /// Frontier size both sides keep resident (the frozen pool L).
+  std::size_t frontier_nodes = 0;
+};
+
+/// Cost breakdown of one iteration at pool size P.
+struct OffloadCycleCost {
+  double serial_seconds = 0;  ///< same P nodes on the reference CPU core
+  double host_seconds = 0;    ///< GPU-side host work (select/branch/pack)
+  double h2d_seconds = 0;
+  double kernel_seconds = 0;
+  double d2h_seconds = 0;
+  double overhead_seconds = 0;  ///< per-iteration driver/sync cost
+
+  double gpu_total_seconds() const {
+    return host_seconds + h2d_seconds + kernel_seconds + d2h_seconds +
+           overhead_seconds;
+  }
+  /// The paper's parallel efficiency for this configuration.
+  double speedup() const {
+    return gpu_total_seconds() > 0 ? serial_seconds / gpu_total_seconds() : 0;
+  }
+};
+
+/// Prices one offload iteration of `pool_size` nodes.
+OffloadCycleCost model_offload_cycle(const OffloadScenario& scenario,
+                                     std::size_t pool_size);
+
+}  // namespace fsbb::gpubb

@@ -1,0 +1,156 @@
+#include "gpubb/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fsbb::gpubb {
+
+const char* to_string(LbStructure s) {
+  switch (s) {
+    case LbStructure::kPtm:
+      return "PTM";
+    case LbStructure::kLm:
+      return "LM";
+    case LbStructure::kJm:
+      return "JM";
+    case LbStructure::kRm:
+      return "RM";
+    case LbStructure::kQm:
+      return "QM";
+    case LbStructure::kMm:
+      return "MM";
+  }
+  return "?";
+}
+
+const char* to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kAllGlobal:
+      return "all-global";
+    case PlacementPolicy::kSharedJmPtm:
+      return "shared-JM+PTM";
+    case PlacementPolicy::kSharedJm:
+      return "shared-JM";
+    case PlacementPolicy::kSharedPtm:
+      return "shared-PTM";
+    case PlacementPolicy::kAuto:
+      return "auto-greedy";
+  }
+  return "?";
+}
+
+std::size_t PackedSizes::total() const {
+  return std::accumulate(bytes.begin(), bytes.end(), std::size_t{0});
+}
+
+PackedSizes PackedSizes::from(const fsp::LowerBoundData& data) {
+  const auto n = static_cast<std::size_t>(data.jobs());
+  const auto m = static_cast<std::size_t>(data.machines());
+  const auto p = static_cast<std::size_t>(data.pairs());
+  PackedSizes s;
+  s.bytes[static_cast<std::size_t>(LbStructure::kPtm)] = n * m;      // u8
+  s.bytes[static_cast<std::size_t>(LbStructure::kLm)] = n * p * 2;   // u16
+  s.bytes[static_cast<std::size_t>(LbStructure::kJm)] = n * p;       // u8
+  s.bytes[static_cast<std::size_t>(LbStructure::kRm)] = m * 4;       // i32
+  s.bytes[static_cast<std::size_t>(LbStructure::kQm)] = m * 4;       // i32
+  s.bytes[static_cast<std::size_t>(LbStructure::kMm)] = p * 4;       // 2xi16
+  return s;
+}
+
+namespace {
+
+// Table I access counts per structure for one LB evaluation, with the
+// conservative n' = n (every job unscheduled — the root-node worst case the
+// paper's own table uses).
+std::array<double, kNumLbStructures> access_weights(
+    const fsp::LowerBoundData& data) {
+  const auto counts = data.accesses_per_eval(data.jobs());
+  return {static_cast<double>(counts.ptm), static_cast<double>(counts.lm),
+          static_cast<double>(counts.jm),  static_cast<double>(counts.rm),
+          static_cast<double>(counts.qm),  static_cast<double>(counts.mm)};
+}
+
+}  // namespace
+
+std::string PlacementPlan::describe() const {
+  std::ostringstream os;
+  os << to_string(policy) << " [";
+  for (int i = 0; i < kNumLbStructures; ++i) {
+    if (i) os << ", ";
+    os << to_string(static_cast<LbStructure>(i)) << "="
+       << gpusim::to_string(space[static_cast<std::size_t>(i)]);
+  }
+  os << "] shared/block=" << shared_bytes_per_block << "B";
+  return os.str();
+}
+
+PlacementPlan make_placement_plan(PlacementPolicy policy,
+                                  const fsp::LowerBoundData& data,
+                                  const gpusim::DeviceSpec& spec) {
+  const PackedSizes sizes = PackedSizes::from(data);
+
+  PlacementPlan plan;
+  plan.policy = policy;
+  plan.space.fill(gpusim::MemSpace::kGlobal);
+
+  std::vector<LbStructure> to_shared;
+  switch (policy) {
+    case PlacementPolicy::kAllGlobal:
+      break;
+    case PlacementPolicy::kSharedJmPtm:
+      to_shared = {LbStructure::kJm, LbStructure::kPtm};
+      break;
+    case PlacementPolicy::kSharedJm:
+      to_shared = {LbStructure::kJm};
+      break;
+    case PlacementPolicy::kSharedPtm:
+      to_shared = {LbStructure::kPtm};
+      break;
+    case PlacementPolicy::kAuto: {
+      // Greedy knapsack by access-frequency density (accesses per byte),
+      // the quantitative form of the paper's Table I argument.
+      const auto weights = access_weights(data);
+      std::vector<int> order(kNumLbStructures);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        const double da = weights[static_cast<std::size_t>(a)] /
+                          static_cast<double>(sizes.bytes[static_cast<std::size_t>(a)]);
+        const double db = weights[static_cast<std::size_t>(b)] /
+                          static_cast<double>(sizes.bytes[static_cast<std::size_t>(b)]);
+        return da > db;
+      });
+      const std::size_t budget =
+          spec.shared_mem_bytes(gpusim::SmemConfig::kPreferShared);
+      std::size_t used = 0;
+      for (const int i : order) {
+        const std::size_t b = sizes.bytes[static_cast<std::size_t>(i)];
+        if (used + b <= budget) {
+          to_shared.push_back(static_cast<LbStructure>(i));
+          used += b;
+        }
+      }
+      break;
+    }
+  }
+
+  for (const LbStructure s : to_shared) {
+    plan.space[static_cast<std::size_t>(s)] = gpusim::MemSpace::kShared;
+    plan.shared_bytes_per_block += sizes.of(s);
+  }
+  if (plan.shared_bytes_per_block > 0) {
+    plan.smem_config = gpusim::SmemConfig::kPreferShared;
+    FSBB_CHECK_MSG(
+        plan.shared_bytes_per_block <= spec.shared_mem_bytes(plan.smem_config),
+        "placement '" + std::string(to_string(policy)) +
+            "' does not fit in shared memory for this instance");
+  } else {
+    plan.smem_config = gpusim::SmemConfig::kPreferL1;
+  }
+  return plan;
+}
+
+}  // namespace fsbb::gpubb

@@ -1,0 +1,82 @@
+// Data-placement policies for the six LB structures (paper §III-B, §IV-B).
+//
+// The paper's analysis: shared memory is fast but small; for n = 200 the
+// packed JM + LM (38 KB each) + PTM (4 KB) cannot all fit in 48 KB, so the
+// choice matters. JM and PTM have the highest access-frequency-to-size
+// ratios → put those two in shared memory, everything else in global
+// backed by L1. kAuto re-derives that reasoning greedily from Table I and
+// the packed sizes, so it reproduces the paper's recommendation for the
+// m = 20 benchmark classes and adapts to other shapes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "fsp/lb_data.h"
+#include "gpusim/counters.h"
+#include "gpusim/device_spec.h"
+
+namespace fsbb::gpubb {
+
+/// The six structures, in the paper's order.
+enum class LbStructure : int {
+  kPtm = 0,
+  kLm = 1,
+  kJm = 2,
+  kRm = 3,
+  kQm = 4,
+  kMm = 5,
+};
+inline constexpr int kNumLbStructures = 6;
+
+const char* to_string(LbStructure s);
+
+/// Placement policies exercised by the benches.
+enum class PlacementPolicy {
+  kAllGlobal,    ///< Table II: everything in global memory (L1-preferred)
+  kSharedJmPtm,  ///< Table III: the paper's recommendation
+  kSharedJm,     ///< ablation: Johnson matrix only
+  kSharedPtm,    ///< ablation: processing times only
+  kAuto,         ///< greedy frequency/size knapsack over the smem budget
+};
+
+const char* to_string(PlacementPolicy p);
+
+/// Packed on-device byte sizes (u8 PTM/JM, u16 LM, i32 RM/QM, i16 MM pairs).
+struct PackedSizes {
+  std::array<std::size_t, kNumLbStructures> bytes{};
+  std::size_t of(LbStructure s) const {
+    return bytes[static_cast<std::size_t>(s)];
+  }
+  std::size_t total() const;
+
+  static PackedSizes from(const fsp::LowerBoundData& data);
+};
+
+/// A concrete placement: one memory space per structure.
+struct PlacementPlan {
+  PlacementPolicy policy = PlacementPolicy::kAllGlobal;
+  std::array<gpusim::MemSpace, kNumLbStructures> space{};
+  /// Bytes each block stages into its shared memory (0 for all-global).
+  std::size_t shared_bytes_per_block = 0;
+  /// The L1/shared split the plan wants (paper §IV-B: 48 KB L1 when the
+  /// tables live in global memory, 48 KB shared when they are staged).
+  gpusim::SmemConfig smem_config = gpusim::SmemConfig::kPreferL1;
+
+  gpusim::MemSpace of(LbStructure s) const {
+    return space[static_cast<std::size_t>(s)];
+  }
+  bool in_shared(LbStructure s) const {
+    return of(s) == gpusim::MemSpace::kShared;
+  }
+  std::string describe() const;
+};
+
+/// Builds the plan for a policy. Throws if the requested structures do not
+/// fit in the device's shared memory.
+PlacementPlan make_placement_plan(PlacementPolicy policy,
+                                  const fsp::LowerBoundData& data,
+                                  const gpusim::DeviceSpec& spec);
+
+}  // namespace fsbb::gpubb

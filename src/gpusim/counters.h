@@ -1,0 +1,91 @@
+// Memory-space taxonomy and access counters.
+//
+// Every load/store a simulated kernel performs is tagged with the memory
+// space it would hit on the real device; the timing model prices each space
+// differently (issue cost + latency). Counters are kept per host worker and
+// reduced after the launch, so the functional execution stays lock-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fsbb::gpusim {
+
+/// CUDA memory spaces the simulator distinguishes (paper §III-B).
+enum class MemSpace : std::uint8_t {
+  kGlobal = 0,
+  kShared = 1,
+  kConstant = 2,
+  kLocal = 3,     ///< thread-private local memory / L1-backed spills
+  kRegister = 4,  ///< register-file traffic (essentially free)
+};
+
+inline constexpr int kNumSpaces = 5;
+
+const char* to_string(MemSpace s);
+
+/// Loads/stores observed in one memory space.
+struct SpaceCounters {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+
+  std::uint64_t total() const { return loads + stores; }
+
+  SpaceCounters& operator+=(const SpaceCounters& o) {
+    loads += o.loads;
+    stores += o.stores;
+    return *this;
+  }
+};
+
+/// Full per-kernel (or per-worker) counter set.
+struct AccessCounters {
+  std::array<SpaceCounters, kNumSpaces> space{};
+  std::uint64_t arithmetic_ops = 0;
+
+  void add_load(MemSpace s, std::uint64_t n = 1) {
+    space[static_cast<std::size_t>(s)].loads += n;
+  }
+  void add_store(MemSpace s, std::uint64_t n = 1) {
+    space[static_cast<std::size_t>(s)].stores += n;
+  }
+  void add_ops(std::uint64_t n) { arithmetic_ops += n; }
+
+  const SpaceCounters& of(MemSpace s) const {
+    return space[static_cast<std::size_t>(s)];
+  }
+
+  std::uint64_t total_accesses() const {
+    std::uint64_t t = 0;
+    for (const auto& s : space) t += s.total();
+    return t;
+  }
+
+  /// Accesses + arithmetic: the work proxy used for warp-divergence
+  /// measurement (a lockstep warp is as slow as its busiest lane).
+  std::uint64_t work_units() const { return total_accesses() + arithmetic_ops; }
+
+  AccessCounters& operator+=(const AccessCounters& o) {
+    for (std::size_t i = 0; i < space.size(); ++i) space[i] += o.space[i];
+    arithmetic_ops += o.arithmetic_ops;
+    return *this;
+  }
+};
+
+inline const char* to_string(MemSpace s) {
+  switch (s) {
+    case MemSpace::kGlobal:
+      return "global";
+    case MemSpace::kShared:
+      return "shared";
+    case MemSpace::kConstant:
+      return "constant";
+    case MemSpace::kLocal:
+      return "local";
+    case MemSpace::kRegister:
+      return "register";
+  }
+  return "?";
+}
+
+}  // namespace fsbb::gpusim

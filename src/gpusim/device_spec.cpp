@@ -1,0 +1,81 @@
+#include "gpusim/device_spec.h"
+
+#include "common/check.h"
+
+namespace fsbb::gpusim {
+
+const char* to_string(SmemConfig c) {
+  switch (c) {
+    case SmemConfig::kPreferL1:
+      return "16KB-shared/48KB-L1";
+    case SmemConfig::kPreferShared:
+      return "48KB-shared/16KB-L1";
+  }
+  return "?";
+}
+
+void DeviceSpec::validate() const {
+  FSBB_CHECK_MSG(sm_count > 0, "sm_count must be positive");
+  FSBB_CHECK_MSG(cores_per_sm > 0, "cores_per_sm must be positive");
+  FSBB_CHECK_MSG(clock_ghz > 0, "clock must be positive");
+  FSBB_CHECK_MSG(warp_size > 0, "warp size must be positive");
+  FSBB_CHECK_MSG(max_warps_per_sm > 0, "max_warps_per_sm must be positive");
+  FSBB_CHECK_MSG(max_blocks_per_sm > 0, "max_blocks_per_sm must be positive");
+  FSBB_CHECK_MSG(max_threads_per_block % warp_size == 0,
+                 "max block size must be warp-aligned");
+  FSBB_CHECK_MSG(registers_per_sm > 0, "registers_per_sm must be positive");
+  FSBB_CHECK_MSG(global_mem_bytes > 0, "global memory must be positive");
+  FSBB_CHECK_MSG(pcie_bandwidth_gbps > 0, "pcie bandwidth must be positive");
+}
+
+DeviceSpec DeviceSpec::tesla_c2050() {
+  DeviceSpec s;
+  s.name = "Tesla C2050 (Fermi, simulated)";
+  s.sm_count = 14;
+  s.cores_per_sm = 32;
+  s.clock_ghz = 1.15;
+  s.warp_size = 32;
+  s.max_warps_per_sm = 48;
+  s.max_blocks_per_sm = 8;
+  s.max_threads_per_block = 1024;
+  s.registers_per_sm = 32768;
+  s.register_alloc_unit = 64;
+  s.shared_mem_prefer_l1 = 16 * 1024;
+  s.shared_mem_prefer_shared = 48 * 1024;
+  s.shared_alloc_unit = 128;
+  s.global_mem_bytes = std::size_t{2800} * 1024 * 1024;  // 2.8 GB (ECC on)
+  s.global_bandwidth_gbps = 144.0;
+  s.pcie_bandwidth_gbps = 5.6;  // effective PCIe 2.0 x16
+  s.pcie_latency_s = 15e-6;
+  s.peak_gflops_double = 515.0;
+  s.validate();
+  return s;
+}
+
+DeviceSpec DeviceSpec::tesla_c1060() {
+  DeviceSpec s;
+  s.name = "Tesla C1060 (GT200, simulated)";
+  s.sm_count = 30;
+  s.cores_per_sm = 8;
+  s.clock_ghz = 1.30;
+  s.warp_size = 32;
+  s.max_warps_per_sm = 32;
+  s.max_blocks_per_sm = 8;
+  s.max_threads_per_block = 512;
+  s.registers_per_sm = 16384;
+  s.register_alloc_unit = 64;
+  // GT200 has a fixed 16 KB shared memory and no L1; model both configs as
+  // the same 16 KB so kPreferShared is a no-op on this device.
+  s.shared_mem_prefer_l1 = 16 * 1024;
+  s.shared_mem_prefer_shared = 16 * 1024;
+  s.shared_alloc_unit = 512;
+  s.global_mem_bytes = std::size_t{4096} * 1024 * 1024;
+  s.global_bandwidth_gbps = 102.0;
+  s.pcie_bandwidth_gbps = 5.2;
+  s.pcie_latency_s = 15e-6;
+  s.peak_gflops_double = 78.0;
+  s.validate();
+  return s;
+}
+
+}  // namespace fsbb::gpusim

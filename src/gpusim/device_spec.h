@@ -1,0 +1,72 @@
+// Simulated GPU device descriptions.
+//
+// The evaluation substitutes a functional + analytic-timing simulator for
+// the paper's real hardware (see DESIGN.md §2). DeviceSpec captures every
+// architectural parameter the occupancy calculator and the timing model
+// consume. tesla_c2050() matches the card the paper used; tesla_c1060()
+// (the previous generation, no configurable shared/L1) is provided for
+// what-if ablations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fsbb::gpusim {
+
+/// Shared-memory / L1 split of a Fermi-class multiprocessor (paper §IV-B).
+enum class SmemConfig {
+  kPreferL1,      ///< 16 KB shared memory, 48 KB L1 cache
+  kPreferShared,  ///< 48 KB shared memory, 16 KB L1 cache
+};
+
+const char* to_string(SmemConfig c);
+
+/// Architectural description of a simulated CUDA device.
+struct DeviceSpec {
+  std::string name;
+
+  int sm_count = 0;               ///< streaming multiprocessors
+  int cores_per_sm = 0;           ///< CUDA cores per SM
+  double clock_ghz = 0;           ///< core clock
+  int warp_size = 32;
+
+  int max_warps_per_sm = 0;       ///< resident-warp cap
+  int max_blocks_per_sm = 0;      ///< resident-block cap
+  int max_threads_per_block = 0;
+
+  std::uint32_t registers_per_sm = 0;      ///< 32-bit registers per SM
+  std::uint32_t register_alloc_unit = 64;  ///< warp-granular allocation unit
+
+  std::size_t shared_mem_prefer_l1 = 0;      ///< bytes when kPreferL1
+  std::size_t shared_mem_prefer_shared = 0;  ///< bytes when kPreferShared
+  std::size_t shared_alloc_unit = 128;       ///< per-block rounding, bytes
+
+  std::size_t global_mem_bytes = 0;
+  double global_bandwidth_gbps = 0;  ///< device memory bandwidth
+
+  double pcie_bandwidth_gbps = 0;  ///< effective host<->device throughput
+  double pcie_latency_s = 0;       ///< per-transfer fixed cost
+
+  double peak_gflops_double = 0;  ///< for the iso-GFLOPS comparison (Fig. 5)
+
+  std::size_t shared_mem_bytes(SmemConfig c) const {
+    return c == SmemConfig::kPreferShared ? shared_mem_prefer_shared
+                                          : shared_mem_prefer_l1;
+  }
+
+  int total_cores() const { return sm_count * cores_per_sm; }
+
+  /// Validates internal consistency (positive counts, warp multiples, ...).
+  void validate() const;
+
+  /// The Tesla C2050 of the paper: Fermi, 14 SMs x 32 cores @ 1.15 GHz,
+  /// 448 cores, 2.8 GB global (ECC on), 515 double GFLOPS.
+  static DeviceSpec tesla_c2050();
+
+  /// Previous-generation Tesla C1060 (GT200): no L1/shared split, 30 SMs
+  /// x 8 cores. Used by the what-if ablation bench.
+  static DeviceSpec tesla_c1060();
+};
+
+}  // namespace fsbb::gpusim

@@ -1,0 +1,101 @@
+// Simulated device memory: owning buffers tagged with a memory space, plus
+// the lightweight views kernels read through (every access is counted).
+//
+// Functionally all spaces are host RAM; the space tag drives the access
+// counters and therefore the timing model. Buffers RAII-track their bytes
+// against the owning device's capacity (the C2050's 2.8 GB is why the paper
+// excludes the 500-job instances). Shared-memory staging (a block copying a
+// global table into its shared array) is modeled by gpubb at launch time —
+// see gpubb/device_lb_data.h.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "gpusim/counters.h"
+
+namespace fsbb::gpusim {
+
+/// Read-only kernel-side view of a device buffer.
+template <typename T>
+struct DeviceView {
+  const T* data = nullptr;
+  std::size_t size = 0;
+  MemSpace space = MemSpace::kGlobal;
+};
+
+/// Mutable kernel-side view (kernel outputs).
+template <typename T>
+struct DeviceMutView {
+  T* data = nullptr;
+  std::size_t size = 0;
+  MemSpace space = MemSpace::kGlobal;
+};
+
+/// Owning simulated device allocation. Move-only: the buffer decrements the
+/// device's allocation ledger when destroyed.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(std::size_t count, MemSpace space,
+               std::shared_ptr<std::atomic<std::size_t>> ledger = nullptr)
+      : storage_(count), space_(space), ledger_(std::move(ledger)),
+        tracked_bytes_(ledger_ ? count * sizeof(T) : 0) {}
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : storage_(std::move(o.storage_)), space_(o.space_),
+        ledger_(std::move(o.ledger_)), tracked_bytes_(o.tracked_bytes_) {
+    o.tracked_bytes_ = 0;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      storage_ = std::move(o.storage_);
+      space_ = o.space_;
+      ledger_ = std::move(o.ledger_);
+      tracked_bytes_ = o.tracked_bytes_;
+      o.tracked_bytes_ = 0;
+    }
+    return *this;
+  }
+
+  ~DeviceBuffer() { release(); }
+
+  std::size_t size() const { return storage_.size(); }
+  std::size_t size_bytes() const { return storage_.size() * sizeof(T); }
+  MemSpace space() const { return space_; }
+  bool empty() const { return storage_.empty(); }
+
+  std::span<T> host_span() { return storage_; }
+  std::span<const T> host_span() const { return storage_; }
+
+  DeviceView<T> view() const {
+    return DeviceView<T>{storage_.data(), storage_.size(), space_};
+  }
+  DeviceMutView<T> mut_view() {
+    return DeviceMutView<T>{storage_.data(), storage_.size(), space_};
+  }
+
+ private:
+  void release() {
+    if (ledger_ && tracked_bytes_ > 0) {
+      ledger_->fetch_sub(tracked_bytes_, std::memory_order_relaxed);
+      tracked_bytes_ = 0;
+    }
+  }
+
+  std::vector<T> storage_;
+  MemSpace space_ = MemSpace::kGlobal;
+  std::shared_ptr<std::atomic<std::size_t>> ledger_;
+  std::size_t tracked_bytes_ = 0;
+};
+
+}  // namespace fsbb::gpusim

@@ -1,0 +1,94 @@
+#include "gpusim/occupancy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fsbb::gpusim {
+
+const char* to_string(OccupancyLimiter l) {
+  switch (l) {
+    case OccupancyLimiter::kBlockCap:
+      return "block-cap";
+    case OccupancyLimiter::kWarpCap:
+      return "warp-cap";
+    case OccupancyLimiter::kRegisters:
+      return "registers";
+    case OccupancyLimiter::kSharedMemory:
+      return "shared-memory";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t round_up(std::size_t value, std::size_t unit) {
+  return unit == 0 ? value : (value + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+OccupancyResult compute_occupancy(const DeviceSpec& spec, SmemConfig config,
+                                  const KernelResources& kernel) {
+  FSBB_CHECK_MSG(kernel.block_threads >= 1, "empty thread block");
+  FSBB_CHECK_MSG(kernel.block_threads <= spec.max_threads_per_block,
+                 "block exceeds max_threads_per_block");
+  FSBB_CHECK_MSG(kernel.registers_per_thread >= 0, "negative register count");
+
+  const int warps_per_block =
+      (kernel.block_threads + spec.warp_size - 1) / spec.warp_size;
+
+  // Register allocation is warp-granular on Fermi: each warp reserves
+  // ceil(regs_per_thread * warp_size / unit) * unit registers.
+  const std::uint32_t regs_per_warp = static_cast<std::uint32_t>(round_up(
+      static_cast<std::size_t>(kernel.registers_per_thread) *
+          static_cast<std::size_t>(spec.warp_size),
+      spec.register_alloc_unit));
+  const std::uint32_t regs_per_block =
+      regs_per_warp * static_cast<std::uint32_t>(warps_per_block);
+
+  const std::size_t smem_per_block =
+      round_up(kernel.shared_bytes_per_block, spec.shared_alloc_unit);
+  const std::size_t smem_budget = spec.shared_mem_bytes(config);
+
+  FSBB_CHECK_MSG(smem_per_block <= smem_budget,
+                 "one block's shared memory exceeds the SM budget");
+  FSBB_CHECK_MSG(regs_per_block == 0 || regs_per_block <= spec.registers_per_sm,
+                 "one block's registers exceed the SM register file");
+
+  struct Limit {
+    int blocks;
+    OccupancyLimiter which;
+  };
+  Limit limits[4] = {
+      {spec.max_blocks_per_sm, OccupancyLimiter::kBlockCap},
+      {spec.max_warps_per_sm / warps_per_block, OccupancyLimiter::kWarpCap},
+      {regs_per_block == 0
+           ? spec.max_blocks_per_sm
+           : static_cast<int>(spec.registers_per_sm / regs_per_block),
+       OccupancyLimiter::kRegisters},
+      {smem_per_block == 0
+           ? spec.max_blocks_per_sm
+           : static_cast<int>(smem_budget / smem_per_block),
+       OccupancyLimiter::kSharedMemory},
+  };
+
+  OccupancyResult r;
+  r.warps_per_block = warps_per_block;
+  r.blocks_per_sm = limits[0].blocks;
+  r.limiter = limits[0].which;
+  for (const Limit& lim : limits) {
+    if (lim.blocks < r.blocks_per_sm) {
+      r.blocks_per_sm = lim.blocks;
+      r.limiter = lim.which;
+    }
+  }
+  FSBB_CHECK_MSG(r.blocks_per_sm >= 1,
+                 "kernel cannot be resident on this device");
+  r.active_warps = r.blocks_per_sm * warps_per_block;
+  r.occupancy =
+      static_cast<double>(r.active_warps) / spec.max_warps_per_sm;
+  return r;
+}
+
+}  // namespace fsbb::gpusim

@@ -1,0 +1,50 @@
+// Fermi occupancy calculator (the "CUDA GPU occupancy calculator" the paper
+// invokes in §IV-B to explain why the shared-memory placement caps active
+// warps at 32 / 16 depending on the instance size).
+//
+// Resident blocks per SM are limited by four resources; the binding one is
+// reported so benches can print the same analysis as the paper:
+//   * the resident-block cap,
+//   * the resident-warp cap,
+//   * the register file (warp-granular allocation units),
+//   * shared memory (block-granular allocation units, split-dependent).
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/device_spec.h"
+
+namespace fsbb::gpusim {
+
+/// Static per-kernel resource demands.
+struct KernelResources {
+  int block_threads = 256;
+  int registers_per_thread = 0;
+  std::size_t shared_bytes_per_block = 0;
+};
+
+/// Which resource capped the resident-block count.
+enum class OccupancyLimiter {
+  kBlockCap,
+  kWarpCap,
+  kRegisters,
+  kSharedMemory,
+};
+
+const char* to_string(OccupancyLimiter l);
+
+/// Occupancy of one SM for a kernel.
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int warps_per_block = 0;
+  int active_warps = 0;    ///< blocks_per_sm * warps_per_block
+  double occupancy = 0.0;  ///< active_warps / max_warps_per_sm
+  OccupancyLimiter limiter = OccupancyLimiter::kBlockCap;
+};
+
+/// Computes resident blocks/warps per SM. Throws CheckFailure if the kernel
+/// cannot run at all (block too large, or one block exceeds a resource).
+OccupancyResult compute_occupancy(const DeviceSpec& spec, SmemConfig config,
+                                  const KernelResources& kernel);
+
+}  // namespace fsbb::gpusim

@@ -1,0 +1,81 @@
+#include "gpusim/timing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fsbb::gpusim {
+
+ThreadWork ThreadWork::from_run(const KernelRun& run) {
+  ThreadWork w;
+  w.ops = run.per_thread_ops();
+  for (int s = 0; s < kNumSpaces; ++s) {
+    w.accesses[static_cast<std::size_t>(s)] =
+        run.per_thread(static_cast<MemSpace>(s));
+  }
+  w.divergence = run.divergence_factor();
+  return w;
+}
+
+KernelTimeEstimate estimate_kernel_time(const DeviceSpec& spec,
+                                        const GpuCalibration& calib,
+                                        const LaunchConfig& config,
+                                        const OccupancyResult& occupancy,
+                                        const ThreadWork& work) {
+  FSBB_CHECK(config.grid_blocks >= 1);
+  FSBB_CHECK(occupancy.blocks_per_sm >= 1);
+
+  // Per-warp cycle budgets from the per-thread averages (a warp executes
+  // its 32 lanes in lockstep, so per-thread counts are per-warp-instruction
+  // counts).
+  double issue_warp = work.ops * calib.issue_cycles_per_op;
+  double latency_warp = 0;
+  for (int s = 0; s < kNumSpaces; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    issue_warp += work.accesses[i] * calib.issue_cycles_per_access[i];
+    latency_warp += work.accesses[i] * calib.latency_cycles[i];
+  }
+  // Lockstep: the warp executes at the pace of its busiest lane.
+  issue_warp *= std::max(1.0, work.divergence);
+  latency_warp *= std::max(1.0, work.divergence);
+
+  const double grid = config.grid_blocks;
+  const double sms = spec.sm_count;
+
+  // Effective resident warps per busy SM and the number of slot rounds.
+  // Tiny grids leave SMs idle but each busy SM still hosts a whole block;
+  // mid-size grids under-fill the occupancy limit; large grids run at the
+  // occupancy limit for grid/(S*B) rounds (fractional: the hardware
+  // scheduler backfills finishing SMs, so no ceil cliff).
+  double w_eff;
+  double rounds;
+  if (grid <= sms) {
+    w_eff = occupancy.warps_per_block;
+    rounds = 1.0;
+  } else {
+    const double blocks_per_sm_eff =
+        std::min(static_cast<double>(occupancy.blocks_per_sm), grid / sms);
+    w_eff = blocks_per_sm_eff * occupancy.warps_per_block;
+    rounds = std::max(1.0, grid / (sms * occupancy.blocks_per_sm));
+  }
+
+  const double hiding =
+      1.0 + calib.latency_hiding_beta * std::max(0.0, w_eff - 1.0);
+  const double t_slot_cycles = w_eff * issue_warp + latency_warp / hiding;
+
+  const double clock_hz = spec.clock_ghz * 1e9;
+
+  KernelTimeEstimate est;
+  est.rounds = rounds;
+  est.effective_warps = w_eff;
+  est.issue_seconds = rounds * w_eff * issue_warp / clock_hz;
+  est.latency_seconds = rounds * (latency_warp / hiding) / clock_hz;
+  est.seconds =
+      rounds * t_slot_cycles / clock_hz + calib.kernel_launch_overhead_s;
+  est.seconds_per_thread_ =
+      est.seconds /
+      std::max<double>(1.0, static_cast<double>(config.total_threads()));
+  return est;
+}
+
+}  // namespace fsbb::gpusim

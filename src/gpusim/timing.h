@@ -1,0 +1,66 @@
+// Analytic kernel-time estimator.
+//
+// Inputs: the launch geometry, the SM occupancy (how many warps are
+// resident), and the *measured* per-thread work of the kernel (ops and
+// per-space accesses from the functional run). Output: modeled seconds.
+//
+// Model (one SM "slot round" completes its resident W warps):
+//
+//   issue_warp   = ops * c_op + sum_s acc_s * c_issue[s]     (cycles/warp)
+//   latency_warp = sum_s acc_s * latency[s]                  (cycles/warp)
+//   T_slot(W)    = W * issue_warp + latency_warp / (1 + beta*(W-1))
+//
+// i.e. the issue streams of the W warps serialize on the SM's pipelines
+// while memory latency is progressively hidden by warp interleaving —
+// exactly the occupancy story of paper §IV-B: fewer resident warps expose
+// more latency.
+//
+// Grid mapping assumes the hardware scheduler keeps SMs fed (dynamic block
+// dispatch): with G blocks over S SMs at B resident blocks/SM,
+//   rounds        = max(1, G / (S * B_eff))      (fractional, no ceil)
+//   B_eff         = min(B, G / S)                (small grids under-occupy)
+//   W_eff         = B_eff_warps                  (per-SM resident warps)
+//   kernel time   = rounds * T_slot(W_eff) / clock + launch overhead
+// Small grids therefore run latency-exposed (the paper's "the number of
+// blocks must be at least double the number of multiprocessors").
+#pragma once
+
+#include "gpusim/calibration.h"
+#include "gpusim/counters.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel.h"
+#include "gpusim/occupancy.h"
+
+namespace fsbb::gpusim {
+
+/// Per-thread average work of a kernel (from KernelRun).
+struct ThreadWork {
+  double ops = 0;
+  std::array<double, kNumSpaces> accesses{};  // loads + stores per space
+  /// Lockstep penalty (>= 1): warps advance at the pace of their busiest
+  /// lane, so per-warp cycle budgets scale by this factor.
+  double divergence = 1.0;
+
+  static ThreadWork from_run(const KernelRun& run);
+};
+
+/// Modeled kernel time with its components, for reporting.
+struct KernelTimeEstimate {
+  double seconds = 0;          ///< total modeled time incl. launch overhead
+  double issue_seconds = 0;    ///< issue-serialization component
+  double latency_seconds = 0;  ///< exposed-latency component
+  double rounds = 0;           ///< slot rounds executed per SM
+  double effective_warps = 0;  ///< resident warps actually achieved
+  double per_thread_seconds() const { return seconds_per_thread_; }
+
+  double seconds_per_thread_ = 0;
+};
+
+/// Prices one kernel launch.
+KernelTimeEstimate estimate_kernel_time(const DeviceSpec& spec,
+                                        const GpuCalibration& calib,
+                                        const LaunchConfig& config,
+                                        const OccupancyResult& occupancy,
+                                        const ThreadWork& work);
+
+}  // namespace fsbb::gpusim

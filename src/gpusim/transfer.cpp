@@ -1,0 +1,25 @@
+#include "gpusim/transfer.h"
+
+namespace fsbb::gpusim {
+
+double TransferModel::seconds(std::size_t bytes) const {
+  const double bw_bytes_per_s = spec_->pcie_bandwidth_gbps * 1e9;
+  return spec_->pcie_latency_s + static_cast<double>(bytes) / bw_bytes_per_s;
+}
+
+double TransferModel::record(TransferDir dir, std::size_t bytes,
+                             TransferLedger& ledger) const {
+  const double s = seconds(bytes);
+  if (dir == TransferDir::kHostToDevice) {
+    ++ledger.h2d_transfers;
+    ledger.h2d_bytes += bytes;
+    ledger.h2d_seconds += s;
+  } else {
+    ++ledger.d2h_transfers;
+    ledger.d2h_bytes += bytes;
+    ledger.d2h_seconds += s;
+  }
+  return s;
+}
+
+}  // namespace fsbb::gpusim

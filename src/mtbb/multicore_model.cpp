@@ -1,0 +1,38 @@
+#include "mtbb/multicore_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fsbb::mtbb {
+
+double multicore_speedup(const MulticoreModelParams& params, int threads,
+                         int jobs) {
+  FSBB_CHECK(threads >= 1 && jobs >= 1);
+  const int phys = std::min(threads, params.physical_cores);
+  // Physical cores scale near-linearly with a small scheduling drag;
+  // hyper-threads add only their SMT yield.
+  double effective =
+      phys * (1.0 - params.per_core_overhead * (phys - 1));
+  if (threads > params.physical_cores) {
+    effective += params.smt_yield * (threads - params.physical_cores);
+  }
+  // Smaller instances keep PTM/LM/JM cache-resident on every core.
+  const double cache_factor =
+      1.0 + params.cache_bonus *
+                std::log10(static_cast<double>(params.reference_jobs) /
+                           static_cast<double>(jobs));
+  return params.clock_ratio() * effective * cache_factor;
+}
+
+double multicore_gflops(const MulticoreModelParams& params, int threads) {
+  return params.gflops_per_thread * threads;
+}
+
+int threads_for_gflops(const MulticoreModelParams& params, double gflops) {
+  FSBB_CHECK(gflops > 0);
+  return static_cast<int>(std::ceil(gflops / params.gflops_per_thread));
+}
+
+}  // namespace fsbb::mtbb

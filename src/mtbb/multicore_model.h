@@ -1,0 +1,47 @@
+// Analytic model of the paper's multi-core baseline (Table IV, Figure 5).
+//
+// The paper runs its Pthread B&B on an Intel Core i7-970 (6 cores / 12
+// hardware threads, 3.20 GHz, 76.8 double GFLOPS per core) and reports
+// speedups *relative to the serial B&B on the 2.27 GHz Xeon E5520*. That
+// cross-machine baseline is why 3 threads already yield x4: the clock
+// ratio (3.20 / 2.27 = 1.41) multiplies near-linear scaling. Beyond the 6
+// physical cores, extra threads only harvest the small SMT yield, which is
+// what saturates Table IV around x9-x11; smaller instances scale slightly
+// better because their working set stays cache-resident.
+#pragma once
+
+namespace fsbb::mtbb {
+
+/// Constants of the Table IV model.
+struct MulticoreModelParams {
+  double reference_clock_ghz = 2.27;  ///< serial baseline: Xeon E5520
+  double multicore_clock_ghz = 3.20;  ///< Intel Core i7-970
+  int physical_cores = 6;
+  double smt_yield = 0.12;            ///< marginal value of a hyper-thread
+  double per_core_overhead = 0.005;   ///< scheduling drag per extra core
+  double cache_bonus = 0.09;          ///< small-instance cache advantage
+  int reference_jobs = 200;           ///< instance size with bonus == 1
+  double gflops_per_thread = 76.8;    ///< the paper's per-core peak figure
+
+  double clock_ratio() const {
+    return multicore_clock_ghz / reference_clock_ghz;
+  }
+
+  static MulticoreModelParams i7_970_defaults() {
+    return MulticoreModelParams{};
+  }
+};
+
+/// Modeled speedup of `threads` workers on an n-job instance, relative to
+/// the serial reference core (the paper's Table IV cells).
+double multicore_speedup(const MulticoreModelParams& params, int threads,
+                         int jobs);
+
+/// The paper's "theoretical peak of GFLOPS" column: threads x 76.8.
+double multicore_gflops(const MulticoreModelParams& params, int threads);
+
+/// Threads needed to reach (at least) the given GFLOPS budget — how the
+/// paper picks 7 threads for the iso-500-GFLOPS comparison of Figure 5.
+int threads_for_gflops(const MulticoreModelParams& params, double gflops);
+
+}  // namespace fsbb::mtbb

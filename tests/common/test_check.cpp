@@ -1,0 +1,39 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbb {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(FSBB_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(FSBB_CHECK_MSG(true, "never seen"));
+}
+
+TEST(Check, FailingConditionThrowsCheckFailure) {
+  EXPECT_THROW(FSBB_CHECK(false), CheckFailure);
+  EXPECT_THROW(FSBB_CHECK_MSG(false, "boom"), CheckFailure);
+}
+
+TEST(Check, MessageCarriesConditionAndLocation) {
+  try {
+    FSBB_CHECK_MSG(2 < 1, "two is not less than one");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, AssertActiveInDebugBuilds) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(FSBB_ASSERT(false));
+#else
+  EXPECT_THROW(FSBB_ASSERT(false), CheckFailure);
+#endif
+}
+
+}  // namespace
+}  // namespace fsbb

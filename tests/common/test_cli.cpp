@@ -1,0 +1,55 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace fsbb {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv,
+              std::vector<std::string> known) {
+  std::vector<const char*> v(argv);
+  return CliArgs::parse(static_cast<int>(v.size()), v.data(), known);
+}
+
+TEST(Cli, ParsesSeparateAndEqualsForms) {
+  const auto args = parse({"prog", "--pool", "8192", "--policy=shared"},
+                          {"pool", "policy"});
+  EXPECT_EQ(args.get_or("pool", ""), "8192");
+  EXPECT_EQ(args.get_or("policy", ""), "shared");
+  EXPECT_EQ(args.get_int_or("pool", 0), 8192);
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  const auto args = parse({"prog", "file1", "--n", "5", "file2"}, {"n"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  EXPECT_THROW(parse({"prog", "--nope", "1"}, {"yes"}), CheckFailure);
+  EXPECT_THROW(parse({"prog", "--nope=1"}, {"yes"}), CheckFailure);
+}
+
+TEST(Cli, MissingValueThrows) {
+  EXPECT_THROW(parse({"prog", "--pool"}, {"pool"}), CheckFailure);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto args = parse({"prog"}, {"pool"});
+  EXPECT_FALSE(args.has("pool"));
+  EXPECT_EQ(args.get_int_or("pool", 4096), 4096);
+  EXPECT_DOUBLE_EQ(args.get_double_or("x", 1.5), 1.5);
+  EXPECT_FALSE(args.get("pool").has_value());
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = parse({"prog", "--ratio", "2.75"}, {"ratio"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("ratio", 0), 2.75);
+}
+
+}  // namespace
+}  // namespace fsbb

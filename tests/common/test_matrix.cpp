@@ -1,0 +1,81 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace fsbb {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<int> m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructorAndIndexing) {
+  Matrix<int> m(3, 4, 7);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m(r, c), 7);
+    }
+  }
+  m(2, 3) = -1;
+  EXPECT_EQ(m(2, 3), -1);
+}
+
+TEST(Matrix, RowsAreContiguousSpans) {
+  Matrix<int> m(2, 3);
+  std::iota(m.flat().begin(), m.flat().end(), 0);
+  const auto row1 = m.row(1);
+  ASSERT_EQ(row1.size(), 3u);
+  EXPECT_EQ(row1[0], 3);
+  EXPECT_EQ(row1[2], 5);
+}
+
+TEST(Matrix, EqualityComparesShapeAndContent) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(0, 1) = 9;
+  EXPECT_FALSE(a == b);
+  Matrix<int> c(4, 1, 1);  // same element count, different shape
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, SizeBytes) {
+  Matrix<std::int16_t> m(10, 20);
+  EXPECT_EQ(m.size_bytes(), 10u * 20u * sizeof(std::int16_t));
+}
+
+TEST(Span2d, ViewsAliasTheMatrix) {
+  Matrix<int> m(2, 2, 0);
+  auto v = m.view();
+  v(1, 1) = 42;
+  EXPECT_EQ(m(1, 1), 42);
+  EXPECT_EQ(m.view()(1, 1), 42);
+}
+
+TEST(Span2d, RowAccess) {
+  Matrix<int> m(3, 2, 5);
+  Span2d<const int> v = std::as_const(m).view();
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 2u);
+  EXPECT_EQ(v.row(2)[1], 5);
+}
+
+#ifndef NDEBUG
+TEST(Matrix, OutOfBoundsThrowsInDebug) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW(m(2, 0), CheckFailure);
+  EXPECT_THROW(m(0, 2), CheckFailure);
+  EXPECT_THROW(m.row(5), CheckFailure);
+}
+#endif
+
+}  // namespace
+}  // namespace fsbb

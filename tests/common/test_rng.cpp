@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace fsbb {
+namespace {
+
+// The classic minimal-standard validation (Park & Miller 1988): starting
+// from seed 1, the 10000th successive state must be 1043618065. This pins
+// our LCG to the exact generator Taillard's benchmark paper uses.
+TEST(Lcg31, ParkMillerGoldenValue) {
+  Lcg31 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    rng.unif(0, 0);  // advance; the [0,0] draw returns 0 but steps the state
+  }
+  EXPECT_EQ(rng.state(), 1043618065);
+}
+
+TEST(Lcg31, UnifStaysInRange) {
+  Lcg31 rng(873654221);  // the ta001 time seed
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.unif(1, 99);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 99);
+  }
+}
+
+TEST(Lcg31, DeterministicForEqualSeeds) {
+  Lcg31 a(12345);
+  Lcg31 b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.unif(0, 1000), b.unif(0, 1000));
+  }
+}
+
+TEST(Lcg31, RejectsInvalidSeeds) {
+  EXPECT_THROW(Lcg31(0), CheckFailure);
+  EXPECT_THROW(Lcg31(-5), CheckFailure);
+  EXPECT_THROW(Lcg31(Lcg31::kModulus), CheckFailure);
+}
+
+TEST(Lcg31, CoversFullRangeEventually) {
+  Lcg31 rng(42);
+  std::set<std::int32_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.unif(0, 9));
+  EXPECT_EQ(seen.size(), 10u);  // all of 0..9 observed
+}
+
+TEST(SplitMix64, KnownFirstOutputs) {
+  // Reference values of the canonical splitmix64 with seed 0.
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(rng.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(rng.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, NextBelowIsInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(SplitMix64, NextInIsInclusive) {
+  SplitMix64 rng(9);
+  bool saw_low = false;
+  bool saw_high = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_low |= v == -3;
+    saw_high |= v == 3;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Shuffle, ProducesAPermutationDeterministically) {
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  SplitMix64 rng(123);
+  shuffle(v, rng);
+
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+
+  std::vector<int> v2(50);
+  for (int i = 0; i < 50; ++i) v2[static_cast<std::size_t>(i)] = i;
+  SplitMix64 rng2(123);
+  shuffle(v2, rng2);
+  EXPECT_EQ(v, v2);
+}
+
+}  // namespace
+}  // namespace fsbb

@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace fsbb {
+namespace {
+
+TEST(AsciiTable, RendersHeaderRuleAndRows) {
+  AsciiTable t("demo");
+  t.set_header({"instance", "speedup"});
+  t.add_row({"200x20", "77.46"});
+  t.add_row({"20x20", "41.65"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("### demo"), std::string::npos);
+  EXPECT_NE(out.find("instance"), std::string::npos);
+  EXPECT_NE(out.find("77.46"), std::string::npos);
+  EXPECT_NE(out.find("|--"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTable, ColumnsAreAligned) {
+  AsciiTable t;
+  t.set_header({"a", "bbbb"});
+  t.add_row({"xxxxxx", "1"});
+  const std::string out = t.to_string();
+  // Every data line must have the same length as the header line.
+  const auto first_nl = out.find('\n');
+  const auto header_len = first_nl;
+  std::size_t pos = first_nl + 1;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    EXPECT_EQ(nl - pos, header_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(AsciiTable, MismatchedRowWidthThrows) {
+  AsciiTable t;
+  t.set_header({"one", "two"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(AsciiTable, HeaderAfterRowsThrows) {
+  AsciiTable t;
+  t.add_row({"a"});
+  EXPECT_THROW(t.set_header({"h"}), CheckFailure);
+}
+
+TEST(AsciiTable, NumFormatting) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(AsciiTable::num(std::int64_t{262144}), "262144");
+}
+
+TEST(AsciiTable, TableWithoutHeader) {
+  AsciiTable t;
+  t.add_row({"x", "y"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| x | y |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsbb

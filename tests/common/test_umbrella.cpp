@@ -1,0 +1,32 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "fsbb.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbb {
+namespace {
+
+TEST(Umbrella, EndToEndThroughTheUmbrellaHeaderOnly) {
+  const fsp::Instance inst =
+      fsp::make_instance(fsp::InstanceFamily::kUniform, 7, 4, 99);
+  const auto data = fsp::LowerBoundData::build(inst);
+  core::SerialCpuEvaluator eval(inst, data);
+  core::BBEngine engine(inst, data, eval, core::EngineOptions{});
+  const core::SolveResult result = engine.solve();
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.best_makespan, fsp::brute_force(inst).makespan);
+
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  gpubb::GpuBoundEvaluator gpu(device, inst, data,
+                               gpubb::PlacementPolicy::kAuto);
+  std::vector<core::Subproblem> batch{core::Subproblem::root(inst.jobs())};
+  gpu.evaluate(batch);
+  EXPECT_GT(batch.front().lb, 0);
+
+  EXPECT_GT(mtbb::multicore_speedup(
+                mtbb::MulticoreModelParams::i7_970_defaults(), 7, 20),
+            1.0);
+}
+
+}  // namespace
+}  // namespace fsbb

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "fsp/brute_force.h"
+#include "fsp/generators.h"
+#include "fsp/lb2.h"
+#include "fsp/lb_one_machine.h"
+
+namespace fsbb::core {
+namespace {
+
+fsp::Instance test_instance(std::uint64_t seed) {
+  return fsp::make_instance(fsp::InstanceFamily::kUniform, 8, 4, seed);
+}
+
+TEST(CallbackEvaluator, WrapsAnArbitraryBound) {
+  const fsp::Instance inst = test_instance(1);
+  CallbackEvaluator eval("always-7", [](const Subproblem&) { return 7; });
+  std::vector<Subproblem> batch(3, Subproblem::root(inst.jobs()));
+  eval.evaluate(batch);
+  for (const Subproblem& sp : batch) EXPECT_EQ(sp.lb, 7);
+  EXPECT_EQ(eval.name(), "always-7");
+  EXPECT_EQ(eval.ledger().nodes, 3u);
+}
+
+class BoundChoice : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundChoice, EngineProvesTheSameOptimumWithEveryBound) {
+  // LB0, LB1 and LB2 differ in tree size, never in the answer.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const fsp::Instance inst = test_instance(seed);
+  const auto lb1_data = fsp::LowerBoundData::build(inst);
+  const auto lb2_data = fsp::Lb2Data::build(inst);
+  const auto opt = fsp::brute_force(inst);
+
+  CallbackEvaluator lb0("lb0", [&](const Subproblem& sp) {
+    return fsp::lb0_from_prefix(inst, lb1_data, sp.prefix());
+  });
+  CallbackEvaluator lb2("lb2", [&](const Subproblem& sp) {
+    return fsp::lb2_from_prefix(inst, lb1_data, lb2_data, sp.prefix());
+  });
+  SerialCpuEvaluator lb1(inst, lb1_data);
+
+  std::uint64_t branched_lb0 = 0;
+  std::uint64_t branched_lb2 = 0;
+  for (BoundEvaluator* eval :
+       std::initializer_list<BoundEvaluator*>{&lb0, &lb1, &lb2}) {
+    EngineOptions options;
+    options.initial_ub = inst.total_work();  // same weak UB for all bounds
+    BBEngine engine(inst, lb1_data, *eval, options);
+    const SolveResult result = engine.solve();
+    ASSERT_TRUE(result.proven_optimal) << eval->name();
+    ASSERT_EQ(result.best_makespan, opt.makespan) << eval->name();
+    if (eval == &lb0) branched_lb0 = result.stats.branched;
+    if (eval == &lb2) branched_lb2 = result.stats.branched;
+  }
+  // A stronger bound never explores a larger tree under identical control.
+  EXPECT_LE(branched_lb2, branched_lb0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundChoice, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace fsbb::core

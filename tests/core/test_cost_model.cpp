@@ -1,0 +1,76 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "fsp/taillard.h"
+
+namespace fsbb::core {
+namespace {
+
+TEST(CpuCostModel, LbCostInCrediblePerNodeRange) {
+  // The LB of a 200x20 node costs O(100 us) on a ~2 GHz core; the model
+  // must land in that magnitude for the speedup tables to be meaningful.
+  const auto inst = fsp::taillard_instance(101);  // 200x20
+  const auto data = fsp::LowerBoundData::build(inst);
+  const CpuCostModel model(data, CpuCostParams::xeon_e5520_reference());
+  const double t = model.lb_eval_seconds(200);
+  EXPECT_GT(t, 20e-6);
+  EXPECT_LT(t, 1e-3);
+}
+
+TEST(CpuCostModel, LbCostGrowsWithRemainingJobs) {
+  const auto inst = fsp::taillard_instance(21);  // 20x20
+  const auto data = fsp::LowerBoundData::build(inst);
+  const CpuCostModel model(data, CpuCostParams::xeon_e5520_reference());
+  double prev = 0;
+  for (int r = 1; r <= 20; ++r) {
+    const double t = model.lb_eval_seconds(r);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CpuCostModel, LbCostGrowsWithInstanceSize) {
+  const CpuCostParams params = CpuCostParams::xeon_e5520_reference();
+  double prev = 0;
+  for (const int id : {21, 51, 81, 101}) {  // 20x20, 50x20, 100x20, 200x20
+    const auto inst = fsp::taillard_instance(id);
+    const auto data = fsp::LowerBoundData::build(inst);
+    const CpuCostModel model(data, params);
+    const double t = model.lb_eval_seconds(inst.jobs());
+    EXPECT_GT(t, prev) << inst.name();
+    prev = t;
+  }
+}
+
+TEST(CpuCostModel, PoolOpGrowsLogarithmically) {
+  const auto inst = fsp::taillard_instance(21);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const CpuCostModel model(data, CpuCostParams::xeon_e5520_reference());
+  const double at_1k = model.pool_op_seconds(1 << 10);
+  const double at_1m = model.pool_op_seconds(1 << 20);
+  EXPECT_GT(at_1m, at_1k);
+  // Doubling the exponent should roughly double the log part, nowhere near
+  // the 1000x of linear growth.
+  EXPECT_LT(at_1m, 3 * at_1k);
+}
+
+TEST(CpuCostModel, SerialNodeCostDominatedByBounding) {
+  const auto inst = fsp::taillard_instance(101);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const CpuCostModel model(data, CpuCostParams::xeon_e5520_reference());
+  const double node = model.serial_node_seconds(200, 100000);
+  const double lb = model.lb_eval_seconds(200);
+  // The paper measured ~98.5% of serial time in the bounding operator.
+  EXPECT_GT(lb / node, 0.95);
+}
+
+TEST(CpuCostModel, BranchCostLinearInChildren) {
+  const auto inst = fsp::taillard_instance(21);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const CpuCostModel model(data, CpuCostParams::xeon_e5520_reference());
+  EXPECT_DOUBLE_EQ(model.branch_seconds(10), 10 * model.branch_seconds(1));
+}
+
+}  // namespace
+}  // namespace fsbb::core

@@ -1,0 +1,99 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::core {
+namespace {
+
+std::vector<Subproblem> random_batch(const fsp::Instance& inst, int count,
+                                     std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<Subproblem> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Subproblem sp = Subproblem::root(inst.jobs());
+    shuffle(sp.perm, rng);
+    sp.depth = static_cast<std::int32_t>(rng.next_below(
+        static_cast<std::uint64_t>(inst.jobs())));
+    batch.push_back(std::move(sp));
+  }
+  return batch;
+}
+
+TEST(SerialCpuEvaluator, FillsEveryBound) {
+  const fsp::Instance inst = fsp::taillard_instance(1);
+  const auto data = fsp::LowerBoundData::build(inst);
+  SerialCpuEvaluator eval(inst, data);
+
+  auto batch = random_batch(inst, 64, 1);
+  eval.evaluate(batch);
+  for (const Subproblem& sp : batch) {
+    EXPECT_NE(sp.lb, Subproblem::kUnevaluated);
+    EXPECT_GT(sp.lb, 0);
+  }
+  EXPECT_EQ(eval.ledger().batches, 1u);
+  EXPECT_EQ(eval.ledger().nodes, 64u);
+}
+
+class ThreadedMatchesSerial : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadedMatchesSerial, IdenticalBoundsForAnyThreadCount) {
+  const fsp::Instance inst = fsp::taillard_instance(21);  // 20x20
+  const auto data = fsp::LowerBoundData::build(inst);
+
+  auto serial_batch = random_batch(inst, 100, 42);
+  auto threaded_batch = serial_batch;  // copy
+
+  SerialCpuEvaluator serial(inst, data);
+  ThreadedCpuEvaluator threaded(inst, data,
+                                static_cast<std::size_t>(GetParam()));
+  serial.evaluate(serial_batch);
+  threaded.evaluate(threaded_batch);
+
+  for (std::size_t i = 0; i < serial_batch.size(); ++i) {
+    ASSERT_EQ(serial_batch[i].lb, threaded_batch[i].lb) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadedMatchesSerial,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ThreadedCpuEvaluator, NameIncludesThreadCount) {
+  const fsp::Instance inst = fsp::taillard_instance(1);
+  const auto data = fsp::LowerBoundData::build(inst);
+  ThreadedCpuEvaluator eval(inst, data, 3);
+  EXPECT_EQ(eval.name(), "cpu-threads-3");
+  EXPECT_EQ(eval.threads(), 3u);
+}
+
+TEST(Evaluators, EmptyBatchIsHarmless) {
+  const fsp::Instance inst = fsp::taillard_instance(1);
+  const auto data = fsp::LowerBoundData::build(inst);
+  SerialCpuEvaluator serial(inst, data);
+  ThreadedCpuEvaluator threaded(inst, data, 2);
+  std::vector<Subproblem> empty;
+  EXPECT_NO_THROW(serial.evaluate(empty));
+  EXPECT_NO_THROW(threaded.evaluate(empty));
+}
+
+TEST(Evaluators, RepeatedEvaluationIsIdempotent) {
+  const fsp::Instance inst = fsp::taillard_instance(1);
+  const auto data = fsp::LowerBoundData::build(inst);
+  SerialCpuEvaluator eval(inst, data);
+  auto batch = random_batch(inst, 10, 7);
+  eval.evaluate(batch);
+  std::vector<fsp::Time> first;
+  for (const auto& sp : batch) first.push_back(sp.lb);
+  eval.evaluate(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].lb, first[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fsbb::core

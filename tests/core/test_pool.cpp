@@ -1,0 +1,110 @@
+#include "core/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace fsbb::core {
+namespace {
+
+Subproblem node(int jobs, int depth, Time lb) {
+  Subproblem sp = Subproblem::root(jobs);
+  sp.depth = depth;
+  sp.lb = lb;
+  return sp;
+}
+
+TEST(DfsPool, LifoOrder) {
+  auto pool = make_pool(SelectionStrategy::kDepthFirst);
+  pool->push(node(4, 1, 10));
+  pool->push(node(4, 2, 5));
+  pool->push(node(4, 3, 20));
+  EXPECT_EQ(pool->size(), 3u);
+  EXPECT_EQ(pool->pop().depth, 3);
+  EXPECT_EQ(pool->pop().depth, 2);
+  EXPECT_EQ(pool->pop().depth, 1);
+  EXPECT_TRUE(pool->empty());
+}
+
+TEST(BestFirstPool, PopsSmallestLowerBound) {
+  auto pool = make_pool(SelectionStrategy::kBestFirst);
+  pool->push(node(4, 1, 30));
+  pool->push(node(4, 1, 10));
+  pool->push(node(4, 1, 20));
+  EXPECT_EQ(pool->pop().lb, 10);
+  EXPECT_EQ(pool->pop().lb, 20);
+  EXPECT_EQ(pool->pop().lb, 30);
+}
+
+TEST(BestFirstPool, TieBreaksDeeperFirstThenInsertion) {
+  auto pool = make_pool(SelectionStrategy::kBestFirst);
+  Subproblem a = node(4, 1, 10);
+  a.perm[0] = 1;  // tag via perm to identify later
+  Subproblem b = node(4, 3, 10);
+  b.perm[0] = 2;
+  Subproblem c = node(4, 3, 10);
+  c.perm[0] = 3;
+  pool->push(std::move(a));
+  pool->push(std::move(b));
+  pool->push(std::move(c));
+  // Same lb: deeper first; same depth: earlier insertion first.
+  EXPECT_EQ(pool->pop().perm[0], 2);
+  EXPECT_EQ(pool->pop().perm[0], 3);
+  EXPECT_EQ(pool->pop().perm[0], 1);
+}
+
+TEST(BestFirstPool, InterleavedPushPop) {
+  auto pool = make_pool(SelectionStrategy::kBestFirst);
+  pool->push(node(4, 1, 50));
+  pool->push(node(4, 1, 40));
+  EXPECT_EQ(pool->pop().lb, 40);
+  pool->push(node(4, 1, 30));
+  pool->push(node(4, 1, 60));
+  EXPECT_EQ(pool->pop().lb, 30);
+  EXPECT_EQ(pool->pop().lb, 50);
+  EXPECT_EQ(pool->pop().lb, 60);
+}
+
+TEST(Pool, DrainReturnsEverythingDeterministically) {
+  for (const auto strategy :
+       {SelectionStrategy::kDepthFirst, SelectionStrategy::kBestFirst}) {
+    auto pool = make_pool(strategy);
+    for (int i = 0; i < 20; ++i) pool->push(node(4, i % 4, 100 - i));
+    auto a = pool->drain();
+    EXPECT_EQ(a.size(), 20u);
+    EXPECT_TRUE(pool->empty());
+
+    auto pool2 = make_pool(strategy);
+    for (int i = 0; i < 20; ++i) pool2->push(node(4, i % 4, 100 - i));
+    const auto b = pool2->drain();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].lb, b[i].lb);
+      EXPECT_EQ(a[i].depth, b[i].depth);
+    }
+  }
+}
+
+TEST(BestFirstPool, DrainIsSortedByPriority) {
+  auto pool = make_pool(SelectionStrategy::kBestFirst);
+  for (int i = 0; i < 50; ++i) pool->push(node(4, 0, (i * 37) % 100));
+  const auto nodes = pool->drain();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LE(nodes[i - 1].lb, nodes[i].lb);
+  }
+}
+
+TEST(Pool, PopOnEmptyThrows) {
+  auto pool = make_pool(SelectionStrategy::kBestFirst);
+  EXPECT_THROW(pool->pop(), CheckFailure);
+}
+
+TEST(Pool, StrategyNames) {
+  EXPECT_STREQ(to_string(SelectionStrategy::kDepthFirst), "depth-first");
+  EXPECT_STREQ(to_string(SelectionStrategy::kBestFirst), "best-first");
+}
+
+}  // namespace
+}  // namespace fsbb::core

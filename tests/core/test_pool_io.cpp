@@ -1,0 +1,98 @@
+#include "core/pool_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "fsp/generators.h"
+
+namespace fsbb::core {
+namespace {
+
+FrozenPool sample_pool() {
+  const fsp::Instance inst =
+      fsp::make_instance(fsp::InstanceFamily::kUniform, 10, 5, 42);
+  const auto data = fsp::LowerBoundData::build(inst);
+  return freeze_pool(inst, data, 25, inst.total_work());
+}
+
+TEST(PoolIo, RoundTripIsBitIdentical) {
+  const FrozenPool pool = sample_pool();
+  std::stringstream ss;
+  write_frozen_pool(ss, pool);
+  const FrozenPool loaded = read_frozen_pool(ss);
+
+  EXPECT_EQ(loaded.incumbent, pool.incumbent);
+  ASSERT_EQ(loaded.nodes.size(), pool.nodes.size());
+  for (std::size_t i = 0; i < pool.nodes.size(); ++i) {
+    EXPECT_EQ(loaded.nodes[i].perm, pool.nodes[i].perm);
+    EXPECT_EQ(loaded.nodes[i].depth, pool.nodes[i].depth);
+    EXPECT_EQ(loaded.nodes[i].lb, pool.nodes[i].lb);
+  }
+}
+
+TEST(PoolIo, FileRoundTrip) {
+  const FrozenPool pool = sample_pool();
+  const std::string path = ::testing::TempDir() + "/fsbb_pool_io_test.pool";
+  write_frozen_pool_file(path, pool);
+  const FrozenPool loaded = read_frozen_pool_file(path);
+  EXPECT_EQ(loaded.nodes.size(), pool.nodes.size());
+  EXPECT_EQ(loaded.incumbent, pool.incumbent);
+}
+
+TEST(PoolIo, ReloadedPoolExploresIdentically) {
+  const fsp::Instance inst =
+      fsp::make_instance(fsp::InstanceFamily::kUniform, 10, 5, 42);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const FrozenPool pool = freeze_pool(inst, data, 25, inst.total_work());
+
+  std::stringstream ss;
+  write_frozen_pool(ss, pool);
+  const FrozenPool loaded = read_frozen_pool(ss);
+
+  SerialCpuEvaluator e1(inst, data);
+  SerialCpuEvaluator e2(inst, data);
+  const auto a =
+      explore_frozen(inst, data, pool, e1, SelectionStrategy::kBestFirst, 8);
+  const auto b =
+      explore_frozen(inst, data, loaded, e2, SelectionStrategy::kBestFirst, 8);
+  EXPECT_EQ(a.best_makespan, b.best_makespan);
+  EXPECT_EQ(a.stats.branched, b.stats.branched);
+  EXPECT_EQ(a.stats.pruned, b.stats.pruned);
+}
+
+TEST(PoolIo, RejectsCorruptInputs) {
+  {
+    std::istringstream in("not-a-pool 1\n");
+    EXPECT_THROW(read_frozen_pool(in), CheckFailure);
+  }
+  {
+    std::istringstream in("fsbb-frozen-pool 99\n3 1 100\n0 0 1 2 50\n");
+    EXPECT_THROW(read_frozen_pool(in), CheckFailure);  // bad version
+  }
+  {
+    // Duplicate job in the permutation.
+    std::istringstream in("fsbb-frozen-pool 1\n3 1 100\n0 0 0 2 50\n");
+    EXPECT_THROW(read_frozen_pool(in), CheckFailure);
+  }
+  {
+    // Truncated node line.
+    std::istringstream in("fsbb-frozen-pool 1\n3 2 100\n0 0 1 2 50\n");
+    EXPECT_THROW(read_frozen_pool(in), CheckFailure);
+  }
+  {
+    // Depth beyond the job count.
+    std::istringstream in("fsbb-frozen-pool 1\n3 1 100\n7 0 1 2 50\n");
+    EXPECT_THROW(read_frozen_pool(in), CheckFailure);
+  }
+}
+
+TEST(PoolIo, RefusesEmptyPools) {
+  FrozenPool empty;
+  std::stringstream ss;
+  EXPECT_THROW(write_frozen_pool(ss, empty), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fsbb::core

@@ -1,0 +1,104 @@
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fsp/brute_force.h"
+
+namespace fsbb::core {
+namespace {
+
+fsp::Instance random_instance(int jobs, int machines, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Matrix<fsp::Time> pt(static_cast<std::size_t>(jobs),
+                       static_cast<std::size_t>(machines));
+  for (auto& v : pt.flat()) v = static_cast<fsp::Time>(rng.next_in(1, 50));
+  return fsp::Instance("rand", std::move(pt));
+}
+
+TEST(Protocol, FreezeProducesBoundedNodesAndAnIncumbent) {
+  const fsp::Instance inst = random_instance(11, 5, 3);
+  const auto data = fsp::LowerBoundData::build(inst);
+  // Weak incumbent: random instances this small are otherwise pruned at
+  // the root, and the protocol needs a live pool to freeze.
+  const FrozenPool frozen = freeze_pool(inst, data, 50, inst.total_work());
+  EXPECT_GE(frozen.nodes.size(), 50u);
+  EXPECT_GT(frozen.incumbent, 0);
+  for (const Subproblem& sp : frozen.nodes) {
+    EXPECT_NE(sp.lb, Subproblem::kUnevaluated);
+    EXPECT_LT(sp.lb, frozen.incumbent);
+  }
+  EXPECT_GT(frozen.generation_stats.branched, 0u);
+}
+
+TEST(Protocol, FreezeIsDeterministic) {
+  const fsp::Instance inst = random_instance(11, 5, 4);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const FrozenPool a = freeze_pool(inst, data, 40, inst.total_work());
+  const FrozenPool b = freeze_pool(inst, data, 40, inst.total_work());
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_EQ(a.incumbent, b.incumbent);
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].perm, b.nodes[i].perm);
+    EXPECT_EQ(a.nodes[i].depth, b.nodes[i].depth);
+    EXPECT_EQ(a.nodes[i].lb, b.nodes[i].lb);
+  }
+}
+
+TEST(Protocol, ExploringTheFrozenPoolFindsTheOptimum) {
+  const fsp::Instance inst = random_instance(9, 4, 5);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const auto opt = fsp::brute_force(inst);
+  const FrozenPool frozen = freeze_pool(inst, data, 20, inst.total_work());
+
+  SerialCpuEvaluator eval(inst, data);
+  const SolveResult result = explore_frozen(
+      inst, data, frozen, eval, SelectionStrategy::kBestFirst, 1);
+  EXPECT_TRUE(result.proven_optimal);
+  // The frozen frontier plus the incumbent covers the whole tree, so the
+  // final answer must still be the global optimum.
+  EXPECT_EQ(std::min(result.best_makespan, frozen.incumbent), opt.makespan);
+}
+
+TEST(Protocol, SerialAndThreadedBackendsExploreIdenticalNodeSets) {
+  const fsp::Instance inst = random_instance(10, 5, 6);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const FrozenPool frozen = freeze_pool(inst, data, 30, inst.total_work());
+
+  SerialCpuEvaluator serial(inst, data);
+  ThreadedCpuEvaluator threaded(inst, data, 4);
+
+  const SolveResult a = explore_frozen(inst, data, frozen, serial,
+                                       SelectionStrategy::kBestFirst, 16);
+  const SolveResult b = explore_frozen(inst, data, frozen, threaded,
+                                       SelectionStrategy::kBestFirst, 16);
+  EXPECT_EQ(a.best_makespan, b.best_makespan);
+  // Same batches, deterministic bounds -> identical operator counts.
+  EXPECT_EQ(a.stats.branched, b.stats.branched);
+  EXPECT_EQ(a.stats.generated, b.stats.generated);
+  EXPECT_EQ(a.stats.evaluated, b.stats.evaluated);
+  EXPECT_EQ(a.stats.pruned, b.stats.pruned);
+  EXPECT_EQ(a.stats.leaves, b.stats.leaves);
+}
+
+TEST(Protocol, NodeBudgetCapsExploration) {
+  const fsp::Instance inst = random_instance(12, 5, 7);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const FrozenPool frozen = freeze_pool(inst, data, 30, inst.total_work());
+  SerialCpuEvaluator eval(inst, data);
+  const SolveResult result =
+      explore_frozen(inst, data, frozen, eval, SelectionStrategy::kBestFirst,
+                     8, /*node_budget=*/10);
+  EXPECT_FALSE(result.proven_optimal);
+  EXPECT_LE(result.stats.branched, 10u);
+}
+
+TEST(Protocol, FreezeTargetBeyondTreeSizeThrows) {
+  // A 3-job instance cannot hold a pool of 10000 live nodes.
+  const fsp::Instance inst = random_instance(3, 2, 8);
+  const auto data = fsp::LowerBoundData::build(inst);
+  EXPECT_THROW(freeze_pool(inst, data, 10000), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fsbb::core

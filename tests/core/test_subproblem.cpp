@@ -1,0 +1,76 @@
+#include "core/subproblem.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fsbb::core {
+namespace {
+
+TEST(Subproblem, RootHasIdentityPermAndEmptyPrefix) {
+  const Subproblem root = Subproblem::root(5);
+  EXPECT_EQ(root.jobs(), 5);
+  EXPECT_EQ(root.depth, 0);
+  EXPECT_EQ(root.remaining(), 5);
+  EXPECT_FALSE(root.is_complete());
+  EXPECT_TRUE(root.prefix().empty());
+  EXPECT_EQ(root.free_jobs().size(), 5u);
+  EXPECT_EQ(root.lb, Subproblem::kUnevaluated);
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(root.perm[static_cast<std::size_t>(j)], j);
+  }
+}
+
+TEST(Subproblem, ChildSwapsSelectedJobToFront) {
+  const Subproblem root = Subproblem::root(4);
+  const Subproblem c2 = root.child(2);  // schedule free job #2 (= job 2)
+  EXPECT_EQ(c2.depth, 1);
+  EXPECT_EQ(c2.perm[0], 2);
+  EXPECT_EQ(c2.remaining(), 3);
+  ASSERT_EQ(c2.prefix().size(), 1u);
+  EXPECT_EQ(c2.prefix()[0], 2);
+  // The child's perm is still a permutation.
+  auto sorted = c2.perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(sorted[static_cast<std::size_t>(j)], j);
+  // Parent untouched.
+  EXPECT_EQ(root.perm[0], 0);
+  EXPECT_EQ(root.depth, 0);
+}
+
+TEST(Subproblem, ChildOfChildReachesCompletion) {
+  Subproblem sp = Subproblem::root(3);
+  sp = sp.child(1);  // schedule job 1
+  sp = sp.child(0);  // schedule first free job
+  sp = sp.child(0);
+  EXPECT_TRUE(sp.is_complete());
+  EXPECT_EQ(sp.remaining(), 0);
+  EXPECT_EQ(sp.prefix().size(), 3u);
+}
+
+TEST(Subproblem, EveryChildSchedulesADistinctJob) {
+  const Subproblem root = Subproblem::root(6);
+  std::vector<JobId> firsts;
+  for (int i = 0; i < root.remaining(); ++i) {
+    firsts.push_back(root.child(i).perm[0]);
+  }
+  std::sort(firsts.begin(), firsts.end());
+  for (int j = 0; j < 6; ++j) EXPECT_EQ(firsts[static_cast<std::size_t>(j)], j);
+}
+
+TEST(Subproblem, ChildResetsLb) {
+  Subproblem root = Subproblem::root(3);
+  root.lb = 123;
+  EXPECT_EQ(root.child(0).lb, Subproblem::kUnevaluated);
+}
+
+#ifndef NDEBUG
+TEST(Subproblem, ChildIndexOutOfRangeThrowsInDebug) {
+  const Subproblem root = Subproblem::root(3);
+  EXPECT_THROW(root.child(3), CheckFailure);
+  EXPECT_THROW(root.child(-1), CheckFailure);
+}
+#endif
+
+}  // namespace
+}  // namespace fsbb::core

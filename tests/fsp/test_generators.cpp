@@ -1,0 +1,108 @@
+#include "fsp/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fsp/brute_force.h"
+#include "fsp/lb1.h"
+#include "fsp/lb_data.h"
+
+namespace fsbb::fsp {
+namespace {
+
+const InstanceFamily kAllFamilies[] = {
+    InstanceFamily::kUniform, InstanceFamily::kJobCorrelated,
+    InstanceFamily::kMachineCorrelated, InstanceFamily::kTrend,
+    InstanceFamily::kTwoPlateaus};
+
+class EveryFamily
+    : public ::testing::TestWithParam<std::tuple<InstanceFamily, int>> {};
+
+TEST_P(EveryFamily, TimesStayInThePackedRange) {
+  const auto [family, seed] = GetParam();
+  const Instance inst =
+      make_instance(family, 15, 8, static_cast<std::uint64_t>(seed));
+  EXPECT_EQ(inst.jobs(), 15);
+  EXPECT_EQ(inst.machines(), 8);
+  for (int j = 0; j < inst.jobs(); ++j) {
+    for (int k = 0; k < inst.machines(); ++k) {
+      ASSERT_GE(inst.pt(j, k), 1);
+      ASSERT_LE(inst.pt(j, k), 99);
+    }
+  }
+}
+
+TEST_P(EveryFamily, DeterministicInSeed) {
+  const auto [family, seed] = GetParam();
+  const Instance a =
+      make_instance(family, 10, 5, static_cast<std::uint64_t>(seed));
+  const Instance b =
+      make_instance(family, 10, 5, static_cast<std::uint64_t>(seed));
+  EXPECT_EQ(a.ptm(), b.ptm());
+  const Instance c =
+      make_instance(family, 10, 5, static_cast<std::uint64_t>(seed) + 1);
+  EXPECT_FALSE(a.ptm() == c.ptm());
+}
+
+TEST_P(EveryFamily, Lb1RemainsValid) {
+  const auto [family, seed] = GetParam();
+  const Instance inst =
+      make_instance(family, 7, 4, static_cast<std::uint64_t>(seed));
+  const auto data = LowerBoundData::build(inst);
+  EXPECT_LE(lb1_from_prefix(inst, data, {}), brute_force(inst).makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(FamiliesAndSeeds, EveryFamily,
+                         ::testing::Combine(::testing::ValuesIn(kAllFamilies),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Generators, JobCorrelatedRowsHaveLowSpread) {
+  const Instance inst =
+      make_instance(InstanceFamily::kJobCorrelated, 30, 10, 7);
+  for (int j = 0; j < inst.jobs(); ++j) {
+    Time lo = 99;
+    Time hi = 1;
+    for (int k = 0; k < inst.machines(); ++k) {
+      lo = std::min(lo, inst.pt(j, k));
+      hi = std::max(hi, inst.pt(j, k));
+    }
+    EXPECT_LE(hi - lo, 16) << "job " << j;  // base +-8 noise
+  }
+}
+
+TEST(Generators, TrendGrowsAlongMachines) {
+  const Instance inst = make_instance(InstanceFamily::kTrend, 40, 10, 9);
+  // Column means must increase from the first to the last machine.
+  auto column_mean = [&](int k) {
+    double sum = 0;
+    for (int j = 0; j < inst.jobs(); ++j) sum += inst.pt(j, k);
+    return sum / inst.jobs();
+  };
+  EXPECT_GT(column_mean(inst.machines() - 1), column_mean(0) + 20);
+}
+
+TEST(Generators, TwoPlateausIsBimodal) {
+  const Instance inst = make_instance(InstanceFamily::kTwoPlateaus, 30, 10, 4);
+  int mid = 0;
+  for (const Time t : inst.ptm().flat()) {
+    if (t > 20 && t < 70) ++mid;
+  }
+  EXPECT_EQ(mid, 0);  // nothing between the plateaus
+}
+
+TEST(Generators, FamilyNames) {
+  EXPECT_STREQ(to_string(InstanceFamily::kUniform), "uniform");
+  EXPECT_STREQ(to_string(InstanceFamily::kTrend), "trend");
+  EXPECT_STREQ(to_string(InstanceFamily::kTwoPlateaus), "two-plateaus");
+}
+
+TEST(Generators, NamesEncodeShapeAndSeed) {
+  const Instance inst = make_instance(InstanceFamily::kTrend, 12, 6, 42);
+  EXPECT_NE(inst.name().find("trend"), std::string::npos);
+  EXPECT_NE(inst.name().find("12x6"), std::string::npos);
+  EXPECT_NE(inst.name().find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsbb::fsp

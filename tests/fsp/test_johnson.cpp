@@ -1,0 +1,116 @@
+#include "fsp/johnson.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "fsp/brute_force.h"
+#include "fsp/makespan.h"
+
+namespace fsbb::fsp {
+namespace {
+
+// Exhaustive optimum of the 2-machine (lagged) problem by permutation scan.
+Time brute_force_two_machine(std::span<const Time> a, std::span<const Time> b,
+                             std::span<const Time> lags) {
+  std::vector<JobId> perm(a.size());
+  std::iota(perm.begin(), perm.end(), JobId{0});
+  Time best = std::numeric_limits<Time>::max();
+  do {
+    best = std::min(best, two_machine_lag_makespan(perm, a, b, lags));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Johnson, TextbookExample) {
+  // Classic Johnson instance: optimal order starts with small-a jobs.
+  const std::vector<Time> a{3, 5, 1, 6, 7};
+  const std::vector<Time> b{6, 2, 2, 6, 5};
+  const auto order = johnson_order(a, b);
+  const std::vector<Time> zero(a.size(), 0);
+  EXPECT_EQ(two_machine_lag_makespan(order, a, b, zero),
+            brute_force_two_machine(a, b, zero));
+}
+
+class JohnsonRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(JohnsonRandom, OptimalOnRandomInstances) {
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 3 + static_cast<int>(rng.next_below(5));  // 3..7 jobs
+  std::vector<Time> a(static_cast<std::size_t>(n));
+  std::vector<Time> b(static_cast<std::size_t>(n));
+  const std::vector<Time> zero(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    a[static_cast<std::size_t>(j)] = static_cast<Time>(rng.next_in(1, 30));
+    b[static_cast<std::size_t>(j)] = static_cast<Time>(rng.next_in(1, 30));
+  }
+  const auto order = johnson_order(a, b);
+  EXPECT_EQ(two_machine_lag_makespan(order, a, b, zero),
+            brute_force_two_machine(a, b, zero));
+}
+
+TEST_P(JohnsonRandom, LagVariantOptimalOnRandomInstances) {
+  // Mitten: Johnson's rule on (a+l, l+b) is optimal with time lags.
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = 3 + static_cast<int>(rng.next_below(4));  // 3..6 jobs
+  std::vector<Time> a(static_cast<std::size_t>(n));
+  std::vector<Time> b(static_cast<std::size_t>(n));
+  std::vector<Time> lags(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    a[static_cast<std::size_t>(j)] = static_cast<Time>(rng.next_in(1, 20));
+    b[static_cast<std::size_t>(j)] = static_cast<Time>(rng.next_in(1, 20));
+    lags[static_cast<std::size_t>(j)] = static_cast<Time>(rng.next_in(0, 40));
+  }
+  const auto order = johnson_order_with_lags(a, b, lags);
+  EXPECT_EQ(two_machine_lag_makespan(order, a, b, lags),
+            brute_force_two_machine(a, b, lags));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JohnsonRandom, ::testing::Range(0, 30));
+
+TEST(Johnson, OrderIsAPermutation) {
+  const std::vector<Time> a{9, 9, 9, 1};
+  const std::vector<Time> b{9, 9, 9, 9};
+  auto order = johnson_order(a, b);
+  std::sort(order.begin(), order.end());
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(order[static_cast<std::size_t>(j)], j);
+}
+
+TEST(Johnson, DeterministicTieBreaking) {
+  const std::vector<Time> a{5, 5, 5};
+  const std::vector<Time> b{5, 5, 5};
+  const auto o1 = johnson_order(a, b);
+  const auto o2 = johnson_order(a, b);
+  EXPECT_EQ(o1, o2);
+  // All ties: job-id order within the second (a >= b) class.
+  EXPECT_EQ(o1, (std::vector<JobId>{0, 1, 2}));
+}
+
+TEST(Johnson, TwoMachineMakespanRecurrence) {
+  const std::vector<Time> a{2, 3};
+  const std::vector<Time> b{4, 1};
+  const std::vector<JobId> order{0, 1};
+  // t1: 2 then 5; t2: max(0,2)+4=6 then max(6,5)+1=7.
+  EXPECT_EQ(two_machine_makespan(order, a, b), 7);
+}
+
+TEST(Johnson, LagMakespanRespectsStartOffsets) {
+  const std::vector<Time> a{2};
+  const std::vector<Time> b{3};
+  const std::vector<Time> lags{4};
+  const std::vector<JobId> order{0};
+  // t1 = 10+2 = 12; t2 = max(20, 12+4) + 3 = 23.
+  EXPECT_EQ(two_machine_lag_makespan(order, a, b, lags, 10, 20), 23);
+}
+
+TEST(Johnson, MismatchedSizesThrow) {
+  const std::vector<Time> a{1, 2};
+  const std::vector<Time> b{1};
+  EXPECT_THROW(johnson_order(a, b), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fsbb::fsp

@@ -1,0 +1,120 @@
+#include "fsp/lb2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fsp/brute_force.h"
+#include "fsp/generators.h"
+#include "fsp/makespan.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::fsp {
+namespace {
+
+Instance random_instance(int jobs, int machines, std::uint64_t seed) {
+  return make_instance(InstanceFamily::kUniform, jobs, machines, seed);
+}
+
+class Lb2Random : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lb2Random, ValidAtEveryDepth) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  SplitMix64 rng(seed * 101 + 7);
+  const Instance inst = random_instance(7, 3 + GetParam() % 4, seed);
+  const auto lb1_data = LowerBoundData::build(inst);
+  const auto lb2_data = Lb2Data::build(inst);
+
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  for (int depth = 0; depth <= inst.jobs(); ++depth) {
+    const std::span<const JobId> prefix(perm.data(),
+                                        static_cast<std::size_t>(depth));
+    const Time lb = lb2_from_prefix(inst, lb1_data, lb2_data, prefix);
+    ASSERT_LE(lb, brute_force_completion(inst, prefix).makespan)
+        << "depth " << depth;
+  }
+}
+
+TEST_P(Lb2Random, DominatesLb1NodeForNode) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  SplitMix64 rng(seed * 31 + 11);
+  const Instance inst = random_instance(9, 5, seed);
+  const auto lb1_data = LowerBoundData::build(inst);
+  const auto lb2_data = Lb2Data::build(inst);
+
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  for (int depth = 0; depth < inst.jobs(); ++depth) {
+    const std::span<const JobId> prefix(perm.data(),
+                                        static_cast<std::size_t>(depth));
+    ASSERT_GE(lb2_from_prefix(inst, lb1_data, lb2_data, prefix),
+              lb1_from_prefix(inst, lb1_data, prefix))
+        << "depth " << depth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lb2Random, ::testing::Range(0, 20));
+
+TEST(Lb2, RootEqualsLb1AtTheRoot) {
+  // With nothing scheduled, U is the full job set, so LB2's minima equal
+  // LB1's static ones and the bounds coincide.
+  const Instance inst = taillard_instance(21);
+  const auto lb1_data = LowerBoundData::build(inst);
+  const auto lb2_data = Lb2Data::build(inst);
+  EXPECT_EQ(lb2_from_prefix(inst, lb1_data, lb2_data, {}),
+            lb1_from_prefix(inst, lb1_data, {}));
+}
+
+TEST(Lb2, CompleteScheduleReturnsExactMakespan) {
+  SplitMix64 rng(5);
+  const Instance inst = random_instance(10, 6, 3);
+  const auto lb1_data = LowerBoundData::build(inst);
+  const auto lb2_data = Lb2Data::build(inst);
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  EXPECT_EQ(lb2_from_prefix(inst, lb1_data, lb2_data, perm),
+            makespan(inst, perm));
+}
+
+TEST(Lb2, StrictlyStrongerSomewhere) {
+  // On uniform instances LB2 must actually improve on LB1 for at least one
+  // mid-tree node — otherwise the extra sweep is pointless.
+  SplitMix64 rng(17);
+  bool improved = false;
+  for (std::uint64_t seed = 0; seed < 20 && !improved; ++seed) {
+    const Instance inst = random_instance(10, 6, seed);
+    const auto lb1_data = LowerBoundData::build(inst);
+    const auto lb2_data = Lb2Data::build(inst);
+    auto perm = identity_permutation(inst.jobs());
+    shuffle(perm, rng);
+    for (int depth = 2; depth <= 6; ++depth) {
+      const std::span<const JobId> prefix(perm.data(),
+                                          static_cast<std::size_t>(depth));
+      if (lb2_from_prefix(inst, lb1_data, lb2_data, prefix) >
+          lb1_from_prefix(inst, lb1_data, prefix)) {
+        improved = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(improved);
+}
+
+TEST(Lb2, HeadTailMatricesAreConsistent) {
+  const Instance inst = taillard_instance(1);
+  const auto lb2_data = Lb2Data::build(inst);
+  for (int j = 0; j < inst.jobs(); ++j) {
+    EXPECT_EQ(lb2_data.head(j, 0), 0);
+    EXPECT_EQ(lb2_data.tail(j, inst.machines() - 1), 0);
+    // head(k) + pt(k) + tail(k) is the job's total work, for every k.
+    Time total = 0;
+    for (int k = 0; k < inst.machines(); ++k) total += inst.pt(j, k);
+    for (int k = 0; k < inst.machines(); ++k) {
+      ASSERT_EQ(lb2_data.head(j, k) + inst.pt(j, k) + lb2_data.tail(j, k),
+                total);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsbb::fsp

@@ -1,0 +1,152 @@
+#include "fsp/lb_data.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fsp/johnson.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::fsp {
+namespace {
+
+class LbDataOnInstance : public ::testing::TestWithParam<int> {
+ protected:
+  Instance inst_ = taillard_instance(GetParam());
+  LowerBoundData data_ = LowerBoundData::build(inst_);
+};
+
+TEST_P(LbDataOnInstance, DimensionsMatchTableI) {
+  const int n = inst_.jobs();
+  const int m = inst_.machines();
+  const int p = m * (m - 1) / 2;
+  EXPECT_EQ(data_.jobs(), n);
+  EXPECT_EQ(data_.machines(), m);
+  EXPECT_EQ(data_.pairs(), p);
+  EXPECT_EQ(data_.ptm_matrix().rows(), static_cast<std::size_t>(n));
+  EXPECT_EQ(data_.ptm_matrix().cols(), static_cast<std::size_t>(m));
+  EXPECT_EQ(data_.lm_matrix().rows(), static_cast<std::size_t>(n));
+  EXPECT_EQ(data_.lm_matrix().cols(), static_cast<std::size_t>(p));
+  EXPECT_EQ(data_.jm_matrix().rows(), static_cast<std::size_t>(p));
+  EXPECT_EQ(data_.jm_matrix().cols(), static_cast<std::size_t>(n));
+  EXPECT_EQ(data_.rm_span().size(), static_cast<std::size_t>(m));
+  EXPECT_EQ(data_.qm_span().size(), static_cast<std::size_t>(m));
+  EXPECT_EQ(data_.mm_span().size(), static_cast<std::size_t>(p));
+}
+
+TEST_P(LbDataOnInstance, MachinePairsAreOrderedCouples) {
+  int idx = 0;
+  for (int k = 0; k < inst_.machines(); ++k) {
+    for (int l = k + 1; l < inst_.machines(); ++l) {
+      EXPECT_EQ(data_.mm(idx).k, k);
+      EXPECT_EQ(data_.mm(idx).l, l);
+      ++idx;
+    }
+  }
+  EXPECT_EQ(idx, data_.pairs());
+}
+
+TEST_P(LbDataOnInstance, LagsArePartialSumsBetweenPair) {
+  for (int s = 0; s < data_.pairs(); ++s) {
+    const auto [k, l] = data_.mm(s);
+    for (int j = 0; j < inst_.jobs(); ++j) {
+      Time expect = 0;
+      for (int u = k + 1; u < l; ++u) expect += inst_.pt(j, u);
+      ASSERT_EQ(data_.lm(j, s), expect) << "job " << j << " pair " << s;
+    }
+  }
+}
+
+TEST_P(LbDataOnInstance, AdjacentPairsHaveZeroLag) {
+  for (int s = 0; s < data_.pairs(); ++s) {
+    const auto [k, l] = data_.mm(s);
+    if (l == k + 1) {
+      for (int j = 0; j < inst_.jobs(); ++j) EXPECT_EQ(data_.lm(j, s), 0);
+    }
+  }
+}
+
+TEST_P(LbDataOnInstance, JohnsonRowsArePermutations) {
+  for (int s = 0; s < data_.pairs(); ++s) {
+    std::vector<JobId> row(data_.jm_matrix().row(s).begin(),
+                           data_.jm_matrix().row(s).end());
+    std::sort(row.begin(), row.end());
+    for (int j = 0; j < inst_.jobs(); ++j) {
+      ASSERT_EQ(row[static_cast<std::size_t>(j)], j) << "pair " << s;
+    }
+  }
+}
+
+TEST_P(LbDataOnInstance, JohnsonRowsMatchDirectConstruction) {
+  // Spot-check the first and last machine pair against johnson_order_with_lags.
+  for (const int s : {0, data_.pairs() - 1}) {
+    const auto [k, l] = data_.mm(s);
+    std::vector<Time> a, b, lags;
+    for (int j = 0; j < inst_.jobs(); ++j) {
+      a.push_back(inst_.pt(j, k));
+      b.push_back(inst_.pt(j, l));
+      lags.push_back(data_.lm(j, s));
+    }
+    const auto expect = johnson_order_with_lags(a, b, lags);
+    for (int i = 0; i < inst_.jobs(); ++i) {
+      ASSERT_EQ(data_.jm(s, i), expect[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST_P(LbDataOnInstance, HeadAndTailMinimaDefinitions) {
+  const int n = inst_.jobs();
+  const int m = inst_.machines();
+  for (int k = 0; k < m; ++k) {
+    Time min_head = std::numeric_limits<Time>::max();
+    Time min_tail = std::numeric_limits<Time>::max();
+    for (int j = 0; j < n; ++j) {
+      Time head = 0;
+      for (int u = 0; u < k; ++u) head += inst_.pt(j, u);
+      Time tail = 0;
+      for (int u = k + 1; u < m; ++u) tail += inst_.pt(j, u);
+      min_head = std::min(min_head, head);
+      min_tail = std::min(min_tail, tail);
+    }
+    EXPECT_EQ(data_.rm(k), min_head);
+    EXPECT_EQ(data_.qm(k), min_tail);
+  }
+  EXPECT_EQ(data_.rm(0), 0);      // no machine before the first
+  EXPECT_EQ(data_.qm(m - 1), 0);  // no machine after the last
+}
+
+INSTANTIATE_TEST_SUITE_P(TaillardSmall, LbDataOnInstance,
+                         ::testing::Values(1, 11, 21));
+
+TEST(LbDataSizes, HostSizesForPaperInstance) {
+  const Instance inst = taillard_instance(101);  // 200x20
+  const LowerBoundData data = LowerBoundData::build(inst);
+  const auto sizes = data.host_sizes();
+  EXPECT_EQ(sizes.ptm, 200u * 20u * sizeof(Time));
+  EXPECT_EQ(sizes.lm, 200u * 190u * sizeof(Time));
+  EXPECT_EQ(sizes.jm, 190u * 200u * sizeof(JobId));
+  EXPECT_EQ(sizes.rm, 20u * sizeof(Time));
+  EXPECT_EQ(sizes.qm, 20u * sizeof(Time));
+  EXPECT_EQ(sizes.mm, 190u * sizeof(MachinePair));
+  EXPECT_EQ(sizes.total(),
+            sizes.ptm + sizes.lm + sizes.jm + sizes.rm + sizes.qm + sizes.mm);
+}
+
+TEST(LbDataAccessCounts, MatchTableIFormulas) {
+  const Instance inst = taillard_instance(21);  // 20x20
+  const LowerBoundData data = LowerBoundData::build(inst);
+  const auto acc = data.accesses_per_eval(/*n_remaining=*/15);
+  const std::int64_t m = 20;
+  const std::int64_t p = m * (m - 1) / 2;
+  EXPECT_EQ(acc.ptm, 15 * m * (m - 1));
+  EXPECT_EQ(acc.lm, 15 * p);
+  EXPECT_EQ(acc.jm, 20 * p);
+  EXPECT_EQ(acc.rm, m * (m - 1));
+  EXPECT_EQ(acc.qm, p);
+  EXPECT_EQ(acc.mm, m * (m - 1));
+  EXPECT_EQ(acc.total(), acc.ptm + acc.lm + acc.jm + acc.rm + acc.qm + acc.mm);
+}
+
+}  // namespace
+}  // namespace fsbb::fsp

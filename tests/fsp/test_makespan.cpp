@@ -1,0 +1,133 @@
+#include "fsp/makespan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::fsp {
+namespace {
+
+Instance tiny_2x2() {
+  Matrix<Time> pt(2, 2);
+  pt(0, 0) = 3;
+  pt(0, 1) = 2;
+  pt(1, 0) = 1;
+  pt(1, 1) = 4;
+  return Instance("2x2", std::move(pt));
+}
+
+TEST(Makespan, HandComputedTwoJobsTwoMachines) {
+  const Instance inst = tiny_2x2();
+  // Order (0, 1): M1 finishes 0 at 3, 1 at 4; M2: 0 at 5, 1 at max(5,4)+4=9.
+  const std::vector<JobId> order01{0, 1};
+  EXPECT_EQ(makespan(inst, order01), 9);
+  // Order (1, 0): M1: 1 at 1, 0 at 4; M2: 1 at 5, 0 at max(5,4)+2=7.
+  const std::vector<JobId> order10{1, 0};
+  EXPECT_EQ(makespan(inst, order10), 7);
+}
+
+TEST(Makespan, SingleMachineIsSumOfTimes) {
+  Matrix<Time> pt(4, 1);
+  pt(0, 0) = 5;
+  pt(1, 0) = 7;
+  pt(2, 0) = 1;
+  pt(3, 0) = 2;
+  const Instance inst("1m", std::move(pt));
+  const auto perm = identity_permutation(4);
+  EXPECT_EQ(makespan(inst, perm), 15);
+}
+
+TEST(Makespan, SingleJobIsSumOverMachines) {
+  Matrix<Time> pt(1, 5);
+  for (int k = 0; k < 5; ++k) pt(0, k) = k + 1;
+  const Instance inst("1j", std::move(pt));
+  const std::vector<JobId> perm{0};
+  EXPECT_EQ(makespan(inst, perm), 15);
+}
+
+TEST(Makespan, LowerBoundedByCriticalSums) {
+  const Instance inst = taillard_instance(1);  // 20x5
+  auto perm = identity_permutation(inst.jobs());
+  const Time ms = makespan(inst, perm);
+
+  Time max_machine_load = 0;
+  for (int k = 0; k < inst.machines(); ++k) {
+    Time load = 0;
+    for (int j = 0; j < inst.jobs(); ++j) load += inst.pt(j, k);
+    max_machine_load = std::max(max_machine_load, load);
+  }
+  Time max_job_total = 0;
+  for (int j = 0; j < inst.jobs(); ++j) {
+    Time total = 0;
+    for (int k = 0; k < inst.machines(); ++k) total += inst.pt(j, k);
+    max_job_total = std::max(max_job_total, total);
+  }
+  EXPECT_GE(ms, max_machine_load);
+  EXPECT_GE(ms, max_job_total);
+  EXPECT_LE(ms, inst.total_work());
+}
+
+TEST(Fronts, IncrementalMatchesBatchReplay) {
+  const Instance inst = taillard_instance(21);  // 20x20
+  SplitMix64 rng(7);
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+
+  std::vector<Time> inc(static_cast<std::size_t>(inst.machines()), 0);
+  for (std::size_t depth = 0; depth <= 10; ++depth) {
+    std::vector<Time> batch(static_cast<std::size_t>(inst.machines()));
+    compute_fronts(inst, std::span<const JobId>(perm.data(), depth), batch);
+    EXPECT_EQ(inc, batch) << "depth " << depth;
+    if (depth < 10) extend_fronts(inst, perm[depth], inc);
+  }
+}
+
+TEST(Fronts, LastFrontOfFullPermIsMakespan) {
+  const Instance inst = taillard_instance(1);
+  auto perm = identity_permutation(inst.jobs());
+  std::vector<Time> fronts(static_cast<std::size_t>(inst.machines()));
+  compute_fronts(inst, perm, fronts);
+  EXPECT_EQ(fronts.back(), makespan(inst, perm));
+}
+
+TEST(CompletionMatrix, RowsAreMonotoneAndMatchMakespan) {
+  const Instance inst = taillard_instance(1);
+  const auto perm = identity_permutation(inst.jobs());
+  const Matrix<Time> c = completion_matrix(inst, perm);
+  ASSERT_EQ(c.rows(), static_cast<std::size_t>(inst.jobs()));
+  ASSERT_EQ(c.cols(), static_cast<std::size_t>(inst.machines()));
+  EXPECT_EQ(c(c.rows() - 1, c.cols() - 1), makespan(inst, perm));
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t k = 1; k < c.cols(); ++k) {
+      EXPECT_GT(c(i, k), c(i, k - 1));  // strictly later down the line (pt >= 1)
+    }
+    if (i > 0) {
+      for (std::size_t k = 0; k < c.cols(); ++k) {
+        EXPECT_GT(c(i, k), c(i - 1, k));  // each machine processes in order
+      }
+    }
+  }
+}
+
+TEST(Validation, DetectsBadPermutations) {
+  const Instance inst = tiny_2x2();
+  EXPECT_TRUE(is_valid_permutation(inst, std::vector<JobId>{0, 1}));
+  EXPECT_TRUE(is_valid_permutation(inst, std::vector<JobId>{1, 0}));
+  EXPECT_FALSE(is_valid_permutation(inst, std::vector<JobId>{0, 0}));
+  EXPECT_FALSE(is_valid_permutation(inst, std::vector<JobId>{0}));
+  EXPECT_FALSE(is_valid_permutation(inst, std::vector<JobId>{0, 2}));
+  EXPECT_FALSE(is_valid_permutation(inst, std::vector<JobId>{-1, 1}));
+}
+
+TEST(Validation, IdentityPermutation) {
+  const auto perm = identity_permutation(5);
+  ASSERT_EQ(perm.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(perm[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace fsbb::fsp

@@ -1,0 +1,110 @@
+#include "fsp/neh.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "fsp/brute_force.h"
+#include "fsp/lb1.h"
+#include "fsp/makespan.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::fsp {
+namespace {
+
+Instance random_instance(int jobs, int machines, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Matrix<Time> pt(static_cast<std::size_t>(jobs),
+                  static_cast<std::size_t>(machines));
+  for (auto& v : pt.flat()) v = static_cast<Time>(rng.next_in(1, 99));
+  return Instance("rand", std::move(pt));
+}
+
+TEST(Neh, ProducesAValidPermutationWithMatchingMakespan) {
+  const Instance inst = taillard_instance(21);  // 20x20
+  const NehResult result = neh(inst);
+  EXPECT_TRUE(is_valid_permutation(inst, result.permutation));
+  EXPECT_EQ(result.makespan, makespan(inst, result.permutation));
+}
+
+class NehQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(NehQuality, WithinReasonOfOptimumOnSmallInstances) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Instance inst = random_instance(8, 5, seed);
+  const NehResult result = neh(inst);
+  const BruteForceResult opt = brute_force(inst);
+  EXPECT_GE(result.makespan, opt.makespan);
+  // NEH is typically within a few percent; 25% is a loose safety margin.
+  EXPECT_LE(static_cast<double>(result.makespan),
+            1.25 * static_cast<double>(opt.makespan))
+      << "seed " << seed;
+}
+
+TEST_P(NehQuality, UpperBoundIsAtLeastTheRootLowerBound) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 7 + 2;
+  const Instance inst = random_instance(12, 6, seed);
+  const LowerBoundData data = LowerBoundData::build(inst);
+  EXPECT_GE(neh(inst).makespan, lb1_from_prefix(inst, data, {}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NehQuality, ::testing::Range(0, 15));
+
+TEST(Neh, BestInsertionMatchesNaiveScan) {
+  const Instance inst = taillard_instance(1);  // 20x5
+  SplitMix64 rng(3);
+  auto all = identity_permutation(inst.jobs());
+  shuffle(all, rng);
+  const std::vector<JobId> seq(all.begin(), all.begin() + 7);
+  const JobId candidate = all[7];
+
+  const auto [pos, ms] = best_insertion(inst, seq, candidate);
+
+  // Naive: try every slot with a full makespan evaluation.
+  int naive_pos = -1;
+  Time naive_ms = std::numeric_limits<Time>::max();
+  for (int i = 0; i <= static_cast<int>(seq.size()); ++i) {
+    std::vector<JobId> trial = seq;
+    trial.insert(trial.begin() + i, candidate);
+    std::vector<Time> fronts(static_cast<std::size_t>(inst.machines()));
+    compute_fronts(inst, trial, fronts);
+    if (fronts.back() < naive_ms) {
+      naive_ms = fronts.back();
+      naive_pos = i;
+    }
+  }
+  EXPECT_EQ(ms, naive_ms);
+  EXPECT_EQ(pos, naive_pos);
+}
+
+TEST(Neh, SingleJobInstance) {
+  Matrix<Time> pt(1, 3);
+  pt(0, 0) = 2;
+  pt(0, 1) = 3;
+  pt(0, 2) = 4;
+  const Instance inst("one", std::move(pt));
+  const NehResult result = neh(inst);
+  EXPECT_EQ(result.makespan, 9);
+  EXPECT_EQ(result.permutation, std::vector<JobId>{0});
+}
+
+TEST(Neh, DeterministicAcrossRuns) {
+  const Instance inst = taillard_instance(11);  // 20x10
+  const NehResult a = neh(inst);
+  const NehResult b = neh(inst);
+  EXPECT_EQ(a.permutation, b.permutation);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(Neh, KnownGoodQualityOnTaillard20x5) {
+  // ta001's optimum is 1278 (published). NEH must land within 10% — a
+  // well-known empirical property of NEH on this instance family.
+  const Instance inst = taillard_instance(1);
+  const NehResult result = neh(inst);
+  EXPECT_GE(result.makespan, 1278);
+  EXPECT_LE(result.makespan, 1278 * 1.10);
+}
+
+}  // namespace
+}  // namespace fsbb::fsp

@@ -1,0 +1,97 @@
+#include "fsp/taillard.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace fsbb::fsp {
+namespace {
+
+TEST(TaillardRegistry, HasAll120Instances) {
+  const auto reg = taillard_registry();
+  ASSERT_EQ(reg.size(), 120u);
+  for (int i = 0; i < 120; ++i) {
+    EXPECT_EQ(reg[static_cast<std::size_t>(i)].id, i + 1);
+  }
+}
+
+TEST(TaillardRegistry, ClassStructure) {
+  std::map<std::pair<int, int>, int> counts;
+  for (const auto& spec : taillard_registry()) {
+    ++counts[{spec.jobs, spec.machines}];
+  }
+  ASSERT_EQ(counts.size(), 12u);
+  for (const auto& [cls, count] : counts) {
+    EXPECT_EQ(count, 10) << cls.first << "x" << cls.second;
+  }
+  // The paper's four benchmark classes are present.
+  EXPECT_TRUE(counts.count({20, 20}));
+  EXPECT_TRUE(counts.count({50, 20}));
+  EXPECT_TRUE(counts.count({100, 20}));
+  EXPECT_TRUE(counts.count({200, 20}));
+}
+
+TEST(TaillardRegistry, KnownSeeds) {
+  const auto reg = taillard_registry();
+  EXPECT_EQ(reg[0].time_seed, 873654221);     // ta001, 20x5
+  EXPECT_EQ(reg[20].time_seed, 479340445);    // ta021, 20x20
+  EXPECT_EQ(reg[100].time_seed, 2013025619);  // ta101, 200x20
+  EXPECT_EQ(reg[110].time_seed, 1368624604);  // ta111, 500x20
+}
+
+TEST(TaillardGenerator, MatchesPublishedScheme) {
+  // Re-derive ta001's first processing times directly from the LCG to pin
+  // the machine-major generation order.
+  Lcg31 rng(873654221);
+  const Instance inst = taillard_instance(1);
+  ASSERT_EQ(inst.jobs(), 20);
+  ASSERT_EQ(inst.machines(), 5);
+  for (int machine = 0; machine < 5; ++machine) {
+    for (int job = 0; job < 20; ++job) {
+      EXPECT_EQ(inst.pt(job, machine), rng.unif(1, 99));
+    }
+  }
+}
+
+TEST(TaillardGenerator, TimesInPublishedRange) {
+  const Instance inst = taillard_instance(21);  // 20x20
+  for (int j = 0; j < inst.jobs(); ++j) {
+    for (int k = 0; k < inst.machines(); ++k) {
+      EXPECT_GE(inst.pt(j, k), 1);
+      EXPECT_LE(inst.pt(j, k), 99);
+    }
+  }
+}
+
+TEST(TaillardGenerator, Deterministic) {
+  const Instance a = make_taillard_instance(15, 7, 424242);
+  const Instance b = make_taillard_instance(15, 7, 424242);
+  EXPECT_EQ(a.ptm(), b.ptm());
+  const Instance c = make_taillard_instance(15, 7, 424243);
+  EXPECT_FALSE(a.ptm() == c.ptm());
+}
+
+TEST(TaillardGenerator, NamesFollowConvention) {
+  EXPECT_EQ(taillard_instance(1).name(), "ta001");
+  EXPECT_EQ(taillard_instance(42).name(), "ta042");
+  EXPECT_EQ(taillard_instance(111).name(), "ta111");
+}
+
+TEST(TaillardGenerator, ClassRepresentative) {
+  const Instance inst = taillard_class_representative(200, 20);
+  EXPECT_EQ(inst.jobs(), 200);
+  EXPECT_EQ(inst.machines(), 20);
+  EXPECT_EQ(inst.name(), "ta101");  // first 200x20 instance
+  EXPECT_THROW(taillard_class_representative(33, 3), CheckFailure);
+}
+
+TEST(TaillardGenerator, InvalidIdsThrow) {
+  EXPECT_THROW(taillard_instance(0), CheckFailure);
+  EXPECT_THROW(taillard_instance(121), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fsbb::fsp

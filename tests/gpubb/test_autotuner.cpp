@@ -1,0 +1,96 @@
+#include "gpubb/autotuner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/protocol.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::gpubb {
+namespace {
+
+class AutotunerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    inst_ = new fsp::Instance(fsp::taillard_instance(21));  // 20x20
+    data_ = new fsp::LowerBoundData(fsp::LowerBoundData::build(*inst_));
+    device_ = new gpusim::SimDevice(gpusim::DeviceSpec::tesla_c2050());
+    frozen_ = new core::FrozenPool(core::freeze_pool(*inst_, *data_, 1500));
+    scenario_ = new OffloadScenario(measure_scenario(
+        *device_, *inst_, *data_, PlacementPolicy::kSharedJmPtm,
+        frozen_->nodes, frozen_->nodes.size()));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    delete frozen_;
+    delete device_;
+    delete data_;
+    delete inst_;
+  }
+
+  static fsp::Instance* inst_;
+  static fsp::LowerBoundData* data_;
+  static gpusim::SimDevice* device_;
+  static core::FrozenPool* frozen_;
+  static OffloadScenario* scenario_;
+};
+
+fsp::Instance* AutotunerFixture::inst_ = nullptr;
+fsp::LowerBoundData* AutotunerFixture::data_ = nullptr;
+gpusim::SimDevice* AutotunerFixture::device_ = nullptr;
+core::FrozenPool* AutotunerFixture::frozen_ = nullptr;
+OffloadScenario* AutotunerFixture::scenario_ = nullptr;
+
+TEST_F(AutotunerFixture, SweepsTheFullDoublingRange) {
+  const AutotuneResult result =
+      autotune_pool_size(*scenario_, 4096, 262144);
+  EXPECT_EQ(result.curve.size(), 7u);  // 4096 .. 262144 doubling
+  EXPECT_EQ(result.curve.front().pool_size, 4096u);
+  EXPECT_EQ(result.curve.back().pool_size, 262144u);
+}
+
+TEST_F(AutotunerFixture, BestIsTheArgmaxOfTheCurve) {
+  const AutotuneResult result = autotune_pool_size(*scenario_, 4096, 262144);
+  double best = 0;
+  std::size_t best_pool = 0;
+  for (const AutotunePoint& p : result.curve) {
+    EXPECT_GT(p.nodes_per_second, 0);
+    EXPECT_GT(p.speedup, 0);
+    if (p.nodes_per_second > best) {
+      best = p.nodes_per_second;
+      best_pool = p.pool_size;
+    }
+  }
+  EXPECT_EQ(result.best_pool_size, best_pool);
+  EXPECT_DOUBLE_EQ(result.best_nodes_per_second, best);
+}
+
+TEST_F(AutotunerFixture, RecommendsMoreThanTheMinimumBlockCount) {
+  // The paper: 16 blocks (4096) is never optimal — at least double the SM
+  // count is needed. The tuner must not pick the smallest pool.
+  const AutotuneResult result = autotune_pool_size(*scenario_, 4096, 262144);
+  EXPECT_GT(result.best_pool_size, 4096u);
+}
+
+TEST_F(AutotunerFixture, PoolSizesAreBlockAligned) {
+  const AutotuneResult result = autotune_pool_size(*scenario_, 5000, 50000);
+  for (const AutotunePoint& p : result.curve) {
+    EXPECT_EQ(p.pool_size % 256, 0u) << p.pool_size;
+  }
+}
+
+TEST_F(AutotunerFixture, InvalidRangeThrows) {
+  EXPECT_THROW(autotune_pool_size(*scenario_, 4096, 1024), CheckFailure);
+  EXPECT_THROW(autotune_pool_size(*scenario_, 0, 1024), CheckFailure);
+}
+
+TEST_F(AutotunerFixture, ScenarioSampleMustFillABlock) {
+  std::vector<core::Subproblem> tiny(
+      10, core::Subproblem::root(inst_->jobs()));
+  EXPECT_THROW(measure_scenario(*device_, *inst_, *data_,
+                                PlacementPolicy::kAllGlobal, tiny, 100),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace fsbb::gpubb

@@ -1,0 +1,110 @@
+#include "gpubb/device_lb_data.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::gpubb {
+namespace {
+
+TEST(DeviceLbData, PackedValuesRoundTrip) {
+  const auto inst = fsp::taillard_instance(21);  // 20x20
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  const PlacementPlan plan =
+      make_placement_plan(PlacementPolicy::kAllGlobal, data, device.spec());
+  const DeviceLbData dev(device, data, plan);
+
+  const auto n = static_cast<std::size_t>(data.jobs());
+  const auto p = static_cast<std::size_t>(data.pairs());
+  for (int j = 0; j < data.jobs(); ++j) {
+    for (int k = 0; k < data.machines(); ++k) {
+      ASSERT_EQ(static_cast<fsp::Time>(
+                    dev.ptm().data[static_cast<std::size_t>(j) *
+                                       static_cast<std::size_t>(data.machines()) +
+                                   static_cast<std::size_t>(k)]),
+                data.ptm(j, k));
+    }
+    for (int s = 0; s < data.pairs(); ++s) {
+      ASSERT_EQ(static_cast<fsp::Time>(
+                    dev.lm().data[static_cast<std::size_t>(j) * p +
+                                  static_cast<std::size_t>(s)]),
+                data.lm(j, s));
+    }
+  }
+  for (int s = 0; s < data.pairs(); ++s) {
+    for (int i = 0; i < data.jobs(); ++i) {
+      ASSERT_EQ(static_cast<fsp::JobId>(
+                    dev.jm().data[static_cast<std::size_t>(s) * n +
+                                  static_cast<std::size_t>(i)]),
+                data.jm(s, i));
+    }
+    ASSERT_EQ(dev.mm().data[2 * static_cast<std::size_t>(s)], data.mm(s).k);
+    ASSERT_EQ(dev.mm().data[2 * static_cast<std::size_t>(s) + 1],
+              data.mm(s).l);
+  }
+  for (int k = 0; k < data.machines(); ++k) {
+    ASSERT_EQ(dev.rm().data[static_cast<std::size_t>(k)], data.rm(k));
+    ASSERT_EQ(dev.qm().data[static_cast<std::size_t>(k)], data.qm(k));
+  }
+}
+
+TEST(DeviceLbData, SpaceTagsFollowThePlan) {
+  const auto inst = fsp::taillard_instance(21);
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  const PlacementPlan plan =
+      make_placement_plan(PlacementPolicy::kSharedJmPtm, data, device.spec());
+  const DeviceLbData dev(device, data, plan);
+  EXPECT_EQ(dev.jm().space, gpusim::MemSpace::kShared);
+  EXPECT_EQ(dev.ptm().space, gpusim::MemSpace::kShared);
+  EXPECT_EQ(dev.lm().space, gpusim::MemSpace::kGlobal);
+  EXPECT_EQ(dev.rm().space, gpusim::MemSpace::kGlobal);
+}
+
+TEST(DeviceLbData, UploadBytesAreThePackedTotal) {
+  const auto inst = fsp::taillard_instance(101);  // 200x20
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  const PlacementPlan plan =
+      make_placement_plan(PlacementPolicy::kAllGlobal, data, device.spec());
+  const DeviceLbData dev(device, data, plan);
+  EXPECT_EQ(dev.upload_bytes(), PackedSizes::from(data).total());
+}
+
+TEST(DeviceLbData, StagingCountsOnlySharedStructures) {
+  const auto inst = fsp::taillard_instance(21);  // 20x20
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+
+  const DeviceLbData all_global(
+      device, data,
+      make_placement_plan(PlacementPolicy::kAllGlobal, data, device.spec()));
+  EXPECT_EQ(all_global.staged_elements_per_block(), 0u);
+
+  const DeviceLbData shared(
+      device, data,
+      make_placement_plan(PlacementPolicy::kSharedJmPtm, data, device.spec()));
+  // JM: 190*20 entries + PTM: 20*20 entries.
+  EXPECT_EQ(shared.staged_elements_per_block(), 190u * 20u + 20u * 20u);
+
+  gpusim::AccessCounters counters;
+  shared.account_block_staging(counters);
+  EXPECT_EQ(counters.of(gpusim::MemSpace::kGlobal).loads, 4200u);
+  EXPECT_EQ(counters.of(gpusim::MemSpace::kShared).stores, 4200u);
+}
+
+TEST(DeviceLbData, RejectsInstancesBeyondPackedRanges) {
+  // 300 jobs exceeds the u8 job-id packing (the paper's GPU path also
+  // stops at 200 jobs).
+  const auto inst = fsp::make_taillard_instance(300, 5, 12345);
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  const PlacementPlan plan =
+      make_placement_plan(PlacementPolicy::kAllGlobal, data, device.spec());
+  EXPECT_THROW(DeviceLbData(device, data, plan), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fsbb::gpubb

@@ -1,0 +1,119 @@
+#include "gpubb/gpu_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "fsp/brute_force.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::gpubb {
+namespace {
+
+fsp::Instance random_instance(int jobs, int machines, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Matrix<fsp::Time> pt(static_cast<std::size_t>(jobs),
+                       static_cast<std::size_t>(machines));
+  for (auto& v : pt.flat()) v = static_cast<fsp::Time>(rng.next_in(1, 50));
+  return fsp::Instance("rand", std::move(pt));
+}
+
+TEST(GpuBoundEvaluator, MatchesSerialBoundsExactly) {
+  const fsp::Instance inst = fsp::taillard_instance(21);
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+
+  SplitMix64 rng(77);
+  std::vector<core::Subproblem> gpu_batch;
+  for (int i = 0; i < 200; ++i) {
+    core::Subproblem sp = core::Subproblem::root(inst.jobs());
+    shuffle(sp.perm, rng);
+    sp.depth = static_cast<std::int32_t>(rng.next_below(20));
+    gpu_batch.push_back(std::move(sp));
+  }
+  auto cpu_batch = gpu_batch;
+
+  GpuBoundEvaluator gpu(device, inst, data, PlacementPolicy::kSharedJmPtm);
+  core::SerialCpuEvaluator cpu(inst, data);
+  gpu.evaluate(gpu_batch);
+  cpu.evaluate(cpu_batch);
+  for (std::size_t i = 0; i < gpu_batch.size(); ++i) {
+    ASSERT_EQ(gpu_batch[i].lb, cpu_batch[i].lb);
+  }
+}
+
+class GpuEngineVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuEngineVsBruteForce, HybridEngineFindsTheOptimum) {
+  // The full paper pipeline at miniature scale: CPU branches, the
+  // simulated GPU bounds pools of children, elimination prunes.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const fsp::Instance inst = random_instance(8, 4 + GetParam() % 3, seed);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const auto opt = fsp::brute_force(inst);
+
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  GpuBoundEvaluator gpu(device, inst, data, PlacementPolicy::kAuto);
+  core::EngineOptions options;
+  options.batch_size = 64;  // pool size of the offload
+  core::BBEngine engine(inst, data, gpu, options);
+  const core::SolveResult result = engine.solve();
+
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.best_makespan, opt.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpuEngineVsBruteForce, ::testing::Range(0, 10));
+
+TEST(GpuBoundEvaluator, LedgerTracksOffloadTraffic) {
+  const fsp::Instance inst = fsp::taillard_instance(1);
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  GpuBoundEvaluator gpu(device, inst, data, PlacementPolicy::kAllGlobal);
+
+  // Table upload is recorded at construction.
+  EXPECT_EQ(gpu.gpu_ledger().transfers.h2d_transfers, 1u);
+  EXPECT_EQ(gpu.gpu_ledger().launches, 0u);
+
+  std::vector<core::Subproblem> batch;
+  for (int i = 0; i < 256; ++i) {
+    batch.push_back(core::Subproblem::root(inst.jobs()));
+  }
+  gpu.evaluate(batch);
+
+  const GpuLedger& ledger = gpu.gpu_ledger();
+  EXPECT_EQ(ledger.launches, 1u);
+  EXPECT_EQ(ledger.transfers.h2d_transfers, 2u);
+  EXPECT_EQ(ledger.transfers.d2h_transfers, 1u);
+  EXPECT_GT(ledger.kernel_seconds, 0.0);
+  EXPECT_GT(ledger.modeled_seconds(), 0.0);
+  EXPECT_GT(ledger.counters.total_accesses(), 0u);
+  EXPECT_EQ(gpu.ledger().nodes, 256u);
+
+  gpu.evaluate(batch);
+  EXPECT_EQ(gpu.gpu_ledger().launches, 2u);
+}
+
+TEST(GpuBoundEvaluator, OccupancyReflectsPlacement) {
+  const fsp::Instance inst = fsp::taillard_instance(101);  // 200x20
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+
+  const GpuBoundEvaluator global(device, inst, data,
+                                 PlacementPolicy::kAllGlobal);
+  const GpuBoundEvaluator shared(device, inst, data,
+                                 PlacementPolicy::kSharedJmPtm);
+  EXPECT_EQ(global.occupancy().active_warps, 32);  // register-limited
+  EXPECT_LT(shared.occupancy().active_warps, 32);  // smem-limited
+}
+
+TEST(GpuBoundEvaluator, NameMentionsThePolicy) {
+  const fsp::Instance inst = fsp::taillard_instance(1);
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  GpuBoundEvaluator gpu(device, inst, data, PlacementPolicy::kSharedJmPtm);
+  EXPECT_NE(gpu.name().find("shared-JM+PTM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsbb::gpubb

@@ -1,0 +1,106 @@
+#include "gpubb/offload_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+#include "fsp/taillard.h"
+#include "gpubb/autotuner.h"
+
+namespace fsbb::gpubb {
+namespace {
+
+// A realistic scenario measured from a frozen pool of a 20x20 instance.
+class OffloadModelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    inst_ = new fsp::Instance(fsp::taillard_instance(21));
+    data_ = new fsp::LowerBoundData(fsp::LowerBoundData::build(*inst_));
+    device_ = new gpusim::SimDevice(gpusim::DeviceSpec::tesla_c2050());
+    frozen_ = new core::FrozenPool(core::freeze_pool(*inst_, *data_, 2000));
+    scenario_ = new OffloadScenario(measure_scenario(
+        *device_, *inst_, *data_, PlacementPolicy::kAllGlobal,
+        frozen_->nodes, frozen_->nodes.size()));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    delete frozen_;
+    delete device_;
+    delete data_;
+    delete inst_;
+  }
+
+  static fsp::Instance* inst_;
+  static fsp::LowerBoundData* data_;
+  static gpusim::SimDevice* device_;
+  static core::FrozenPool* frozen_;
+  static OffloadScenario* scenario_;
+};
+
+fsp::Instance* OffloadModelFixture::inst_ = nullptr;
+fsp::LowerBoundData* OffloadModelFixture::data_ = nullptr;
+gpusim::SimDevice* OffloadModelFixture::device_ = nullptr;
+core::FrozenPool* OffloadModelFixture::frozen_ = nullptr;
+OffloadScenario* OffloadModelFixture::scenario_ = nullptr;
+
+TEST_F(OffloadModelFixture, ScenarioMeasurementIsSane) {
+  EXPECT_GT(scenario_->thread_work.ops, 0);
+  EXPECT_GT(scenario_->thread_work
+                .accesses[static_cast<std::size_t>(gpusim::MemSpace::kGlobal)],
+            0);
+  EXPECT_GT(scenario_->avg_remaining, 0);
+  EXPECT_LE(scenario_->avg_remaining, inst_->jobs());
+  EXPECT_EQ(scenario_->node_bytes_down, 22u);  // 20 u8 perm + u16 depth
+  EXPECT_EQ(scenario_->occupancy.active_warps, 32);
+}
+
+TEST_F(OffloadModelFixture, CostComponentsArePositiveAndConsistent) {
+  const OffloadCycleCost c = model_offload_cycle(*scenario_, 8192);
+  EXPECT_GT(c.serial_seconds, 0);
+  EXPECT_GT(c.host_seconds, 0);
+  EXPECT_GT(c.h2d_seconds, 0);
+  EXPECT_GT(c.kernel_seconds, 0);
+  EXPECT_GT(c.d2h_seconds, 0);
+  EXPECT_GT(c.overhead_seconds, 0);
+  EXPECT_NEAR(c.gpu_total_seconds(),
+              c.host_seconds + c.h2d_seconds + c.kernel_seconds +
+                  c.d2h_seconds + c.overhead_seconds,
+              1e-12);
+  EXPECT_GT(c.speedup(), 1.0);  // the GPU must win at a healthy pool size
+}
+
+TEST_F(OffloadModelFixture, SerialCostScalesLinearly) {
+  const double s1 = model_offload_cycle(*scenario_, 4096).serial_seconds;
+  const double s2 = model_offload_cycle(*scenario_, 8192).serial_seconds;
+  EXPECT_NEAR(s2 / s1, 2.0, 1e-6);
+}
+
+TEST_F(OffloadModelFixture, SmallPoolsArePenalized) {
+  // The paper's core observation (Table II): 4096-node pools under-fill
+  // the card and pay relatively more overhead than 8192-node pools.
+  const double s_small = model_offload_cycle(*scenario_, 4096).speedup();
+  const double s_mid = model_offload_cycle(*scenario_, 8192).speedup();
+  EXPECT_GT(s_mid, s_small);
+}
+
+TEST_F(OffloadModelFixture, KernelTimeGrowsWithPool) {
+  const double k1 = model_offload_cycle(*scenario_, 16384).kernel_seconds;
+  const double k2 = model_offload_cycle(*scenario_, 65536).kernel_seconds;
+  EXPECT_GT(k2, 2 * k1);
+  EXPECT_LT(k2, 8 * k1);
+}
+
+TEST_F(OffloadModelFixture, HostHeapCostGrowsWithPool) {
+  const double h1 =
+      model_offload_cycle(*scenario_, 8192).host_seconds / 8192;
+  const double h2 =
+      model_offload_cycle(*scenario_, 262144).host_seconds / 262144;
+  EXPECT_GT(h2, h1);  // per-node host cost rises with the inflated heap
+}
+
+TEST(OffloadModel, RequiresScenarioPointers) {
+  OffloadScenario empty;
+  EXPECT_THROW(model_offload_cycle(empty, 1024), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fsbb::gpubb

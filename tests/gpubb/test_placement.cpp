@@ -1,0 +1,132 @@
+#include "gpubb/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::gpubb {
+namespace {
+
+const gpusim::DeviceSpec kSpec = gpusim::DeviceSpec::tesla_c2050();
+
+TEST(PackedSizes, MatchThePapersArithmetic) {
+  // §IV-B: for n = 200, JM is 38 KB, PTM 4 KB; together 42 KB < 48 KB,
+  // while adding LM would exceed the budget.
+  const auto inst = fsp::taillard_instance(101);  // 200x20
+  const auto data = fsp::LowerBoundData::build(inst);
+  const PackedSizes sizes = PackedSizes::from(data);
+  EXPECT_EQ(sizes.of(LbStructure::kJm), 200u * 190u);       // 38000 B
+  EXPECT_EQ(sizes.of(LbStructure::kPtm), 200u * 20u);       // 4000 B
+  EXPECT_EQ(sizes.of(LbStructure::kLm), 200u * 190u * 2u);  // u16 lags
+  EXPECT_EQ(sizes.of(LbStructure::kRm), 80u);
+  EXPECT_EQ(sizes.of(LbStructure::kQm), 80u);
+  EXPECT_EQ(sizes.of(LbStructure::kMm), 760u);
+}
+
+TEST(Placement, AllGlobalUsesNoSharedAndPrefersL1) {
+  const auto inst = fsp::taillard_instance(21);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const PlacementPlan plan =
+      make_placement_plan(PlacementPolicy::kAllGlobal, data, kSpec);
+  EXPECT_EQ(plan.shared_bytes_per_block, 0u);
+  EXPECT_EQ(plan.smem_config, gpusim::SmemConfig::kPreferL1);
+  for (int i = 0; i < kNumLbStructures; ++i) {
+    EXPECT_EQ(plan.of(static_cast<LbStructure>(i)), gpusim::MemSpace::kGlobal);
+  }
+}
+
+TEST(Placement, SharedJmPtmPutsExactlyThoseTwoInShared) {
+  const auto inst = fsp::taillard_instance(101);  // 200x20
+  const auto data = fsp::LowerBoundData::build(inst);
+  const PlacementPlan plan =
+      make_placement_plan(PlacementPolicy::kSharedJmPtm, data, kSpec);
+  EXPECT_TRUE(plan.in_shared(LbStructure::kJm));
+  EXPECT_TRUE(plan.in_shared(LbStructure::kPtm));
+  EXPECT_FALSE(plan.in_shared(LbStructure::kLm));
+  EXPECT_FALSE(plan.in_shared(LbStructure::kRm));
+  EXPECT_EQ(plan.shared_bytes_per_block, 42000u);
+  EXPECT_EQ(plan.smem_config, gpusim::SmemConfig::kPreferShared);
+}
+
+TEST(Placement, AutoReproducesThePapersRecommendation) {
+  // Greedy frequency/size selection must always include JM and PTM (the
+  // paper's recommendation). LM must be excluded exactly when it does not
+  // fit (n >= 100 at m = 20); for the small classes everything fits, so
+  // the greedy plan legitimately stages LM too.
+  for (const int id : {21, 51, 81, 101}) {
+    const auto inst = fsp::taillard_instance(id);
+    const auto data = fsp::LowerBoundData::build(inst);
+    const PlacementPlan plan =
+        make_placement_plan(PlacementPolicy::kAuto, data, kSpec);
+    EXPECT_TRUE(plan.in_shared(LbStructure::kJm)) << inst.name();
+    EXPECT_TRUE(plan.in_shared(LbStructure::kPtm)) << inst.name();
+    if (inst.jobs() >= 100) {
+      EXPECT_FALSE(plan.in_shared(LbStructure::kLm)) << inst.name();
+    } else {
+      EXPECT_TRUE(plan.in_shared(LbStructure::kLm)) << inst.name();
+    }
+    EXPECT_LE(plan.shared_bytes_per_block,
+              kSpec.shared_mem_bytes(gpusim::SmemConfig::kPreferShared));
+  }
+}
+
+TEST(Placement, LmDoesNotFitForLargeInstances) {
+  // For n = 200 the u16 lag matrix alone is 76 KB > 48 KB: asking for an
+  // impossible placement must fail loudly.
+  const auto inst = fsp::taillard_instance(101);
+  const auto data = fsp::LowerBoundData::build(inst);
+  PlacementPlan plan;
+  EXPECT_THROW(
+      plan = [&] {
+        PlacementPlan p;
+        p.policy = PlacementPolicy::kSharedJmPtm;
+        // Simulate the paper's rejected alternative by hand: JM + LM.
+        const PackedSizes sizes = PackedSizes::from(data);
+        FSBB_CHECK(sizes.of(LbStructure::kJm) + sizes.of(LbStructure::kLm) <=
+                   kSpec.shared_mem_bytes(gpusim::SmemConfig::kPreferShared));
+        return p;
+      }(),
+      CheckFailure);
+}
+
+TEST(Placement, SingleStructurePolicies) {
+  const auto inst = fsp::taillard_instance(101);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const PlacementPlan jm =
+      make_placement_plan(PlacementPolicy::kSharedJm, data, kSpec);
+  EXPECT_TRUE(jm.in_shared(LbStructure::kJm));
+  EXPECT_FALSE(jm.in_shared(LbStructure::kPtm));
+  EXPECT_EQ(jm.shared_bytes_per_block, 38000u);
+
+  const PlacementPlan ptm =
+      make_placement_plan(PlacementPolicy::kSharedPtm, data, kSpec);
+  EXPECT_TRUE(ptm.in_shared(LbStructure::kPtm));
+  EXPECT_EQ(ptm.shared_bytes_per_block, 4000u);
+}
+
+TEST(Placement, DescribeMentionsPolicyAndPlacements) {
+  const auto inst = fsp::taillard_instance(21);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const PlacementPlan plan =
+      make_placement_plan(PlacementPolicy::kSharedJmPtm, data, kSpec);
+  const std::string desc = plan.describe();
+  EXPECT_NE(desc.find("shared-JM+PTM"), std::string::npos);
+  EXPECT_NE(desc.find("JM=shared"), std::string::npos);
+  EXPECT_NE(desc.find("LM=global"), std::string::npos);
+}
+
+TEST(Placement, PolicyNames) {
+  EXPECT_STREQ(to_string(PlacementPolicy::kAllGlobal), "all-global");
+  EXPECT_STREQ(to_string(PlacementPolicy::kSharedJmPtm), "shared-JM+PTM");
+  EXPECT_STREQ(to_string(PlacementPolicy::kAuto), "auto-greedy");
+}
+
+TEST(Placement, StructureNames) {
+  EXPECT_STREQ(to_string(LbStructure::kPtm), "PTM");
+  EXPECT_STREQ(to_string(LbStructure::kJm), "JM");
+  EXPECT_STREQ(to_string(LbStructure::kMm), "MM");
+}
+
+}  // namespace
+}  // namespace fsbb::gpubb

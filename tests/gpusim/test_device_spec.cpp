@@ -1,0 +1,60 @@
+#include "gpusim/device_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace fsbb::gpusim {
+namespace {
+
+TEST(DeviceSpec, TeslaC2050MatchesThePaper) {
+  const DeviceSpec s = DeviceSpec::tesla_c2050();
+  EXPECT_EQ(s.sm_count, 14);
+  EXPECT_EQ(s.cores_per_sm, 32);
+  EXPECT_EQ(s.total_cores(), 448);
+  EXPECT_DOUBLE_EQ(s.clock_ghz, 1.15);
+  EXPECT_EQ(s.warp_size, 32);
+  EXPECT_DOUBLE_EQ(s.peak_gflops_double, 515.0);  // paper §V
+  EXPECT_EQ(s.shared_mem_bytes(SmemConfig::kPreferShared), 48u * 1024u);
+  EXPECT_EQ(s.shared_mem_bytes(SmemConfig::kPreferL1), 16u * 1024u);
+  EXPECT_EQ(s.global_mem_bytes, std::size_t{2800} * 1024 * 1024);
+}
+
+TEST(DeviceSpec, FermiResidencyLimits) {
+  const DeviceSpec s = DeviceSpec::tesla_c2050();
+  EXPECT_EQ(s.max_warps_per_sm, 48);
+  EXPECT_EQ(s.max_blocks_per_sm, 8);
+  EXPECT_EQ(s.max_threads_per_block, 1024);
+  EXPECT_EQ(s.registers_per_sm, 32768u);
+}
+
+TEST(DeviceSpec, C1060IsAValidOlderDevice) {
+  const DeviceSpec s = DeviceSpec::tesla_c1060();
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.total_cores(), 240);
+  // GT200 has no configurable split.
+  EXPECT_EQ(s.shared_mem_bytes(SmemConfig::kPreferShared),
+            s.shared_mem_bytes(SmemConfig::kPreferL1));
+}
+
+TEST(DeviceSpec, ValidationCatchesNonsense) {
+  DeviceSpec s = DeviceSpec::tesla_c2050();
+  s.sm_count = 0;
+  EXPECT_THROW(s.validate(), CheckFailure);
+
+  s = DeviceSpec::tesla_c2050();
+  s.max_threads_per_block = 1000;  // not warp-aligned
+  EXPECT_THROW(s.validate(), CheckFailure);
+
+  s = DeviceSpec::tesla_c2050();
+  s.pcie_bandwidth_gbps = 0;
+  EXPECT_THROW(s.validate(), CheckFailure);
+}
+
+TEST(DeviceSpec, SmemConfigNames) {
+  EXPECT_STREQ(to_string(SmemConfig::kPreferL1), "16KB-shared/48KB-L1");
+  EXPECT_STREQ(to_string(SmemConfig::kPreferShared), "48KB-shared/16KB-L1");
+}
+
+}  // namespace
+}  // namespace fsbb::gpusim

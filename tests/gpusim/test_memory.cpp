@@ -1,0 +1,99 @@
+#include "gpusim/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "gpusim/kernel.h"
+
+namespace fsbb::gpusim {
+namespace {
+
+TEST(DeviceBuffer, DefaultIsEmpty) {
+  DeviceBuffer<int> b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(DeviceBuffer, ViewsAliasStorage) {
+  DeviceBuffer<int> b(4, MemSpace::kShared);
+  b.host_span()[2] = 42;
+  EXPECT_EQ(b.view().data[2], 42);
+  EXPECT_EQ(b.view().space, MemSpace::kShared);
+  EXPECT_EQ(b.view().size, 4u);
+  b.mut_view().data[3] = 7;
+  EXPECT_EQ(b.host_span()[3], 7);
+}
+
+TEST(SimDevice, TracksGlobalAllocations) {
+  SimDevice dev(DeviceSpec::tesla_c2050());
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  auto a = dev.alloc<std::int32_t>(1000, MemSpace::kGlobal);
+  EXPECT_EQ(dev.allocated_bytes(), 4000u);
+  {
+    auto b = dev.alloc<std::uint8_t>(512, MemSpace::kGlobal);
+    EXPECT_EQ(dev.allocated_bytes(), 4512u);
+  }
+  // b released on scope exit.
+  EXPECT_EQ(dev.allocated_bytes(), 4000u);
+}
+
+TEST(SimDevice, SharedViewsDoNotConsumeGlobalCapacity) {
+  SimDevice dev(DeviceSpec::tesla_c2050());
+  auto s = dev.alloc<int>(100, MemSpace::kShared);
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(SimDevice, ExhaustionThrows) {
+  DeviceSpec tiny = DeviceSpec::tesla_c2050();
+  tiny.global_mem_bytes = 1024;
+  SimDevice dev(tiny);
+  EXPECT_THROW(dev.alloc<std::int64_t>(1000, MemSpace::kGlobal), CheckFailure);
+}
+
+TEST(DeviceBuffer, MoveTransfersLedgerOwnership) {
+  SimDevice dev(DeviceSpec::tesla_c2050());
+  auto a = dev.alloc<int>(256, MemSpace::kGlobal);
+  EXPECT_EQ(dev.allocated_bytes(), 1024u);
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(dev.allocated_bytes(), 1024u);  // no double count, no release
+  DeviceBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(dev.allocated_bytes(), 1024u);
+}
+
+TEST(DeviceBuffer, ReassignmentReleasesTheOldAllocation) {
+  SimDevice dev(DeviceSpec::tesla_c2050());
+  auto a = dev.alloc<int>(256, MemSpace::kGlobal);
+  a = dev.alloc<int>(128, MemSpace::kGlobal);
+  EXPECT_EQ(dev.allocated_bytes(), 512u);
+}
+
+TEST(MemSpace, Names) {
+  EXPECT_STREQ(to_string(MemSpace::kGlobal), "global");
+  EXPECT_STREQ(to_string(MemSpace::kShared), "shared");
+  EXPECT_STREQ(to_string(MemSpace::kConstant), "constant");
+  EXPECT_STREQ(to_string(MemSpace::kLocal), "local");
+  EXPECT_STREQ(to_string(MemSpace::kRegister), "register");
+}
+
+TEST(AccessCounters, AccumulateAndMerge) {
+  AccessCounters a;
+  a.add_load(MemSpace::kGlobal, 5);
+  a.add_store(MemSpace::kGlobal, 2);
+  a.add_load(MemSpace::kShared);
+  a.add_ops(10);
+  EXPECT_EQ(a.of(MemSpace::kGlobal).loads, 5u);
+  EXPECT_EQ(a.of(MemSpace::kGlobal).stores, 2u);
+  EXPECT_EQ(a.of(MemSpace::kGlobal).total(), 7u);
+  EXPECT_EQ(a.total_accesses(), 8u);
+
+  AccessCounters b;
+  b.add_load(MemSpace::kGlobal, 3);
+  b.add_ops(1);
+  b += a;
+  EXPECT_EQ(b.of(MemSpace::kGlobal).loads, 8u);
+  EXPECT_EQ(b.arithmetic_ops, 11u);
+}
+
+}  // namespace
+}  // namespace fsbb::gpusim

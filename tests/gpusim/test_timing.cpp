@@ -1,0 +1,133 @@
+#include "gpusim/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace fsbb::gpusim {
+namespace {
+
+const DeviceSpec kSpec = DeviceSpec::tesla_c2050();
+const GpuCalibration kCalib = GpuCalibration::fermi_defaults();
+
+ThreadWork lb_like_work(double global_accesses, double shared_accesses) {
+  ThreadWork w;
+  w.ops = (global_accesses + shared_accesses) * 1.5;
+  w.accesses[static_cast<std::size_t>(MemSpace::kGlobal)] = global_accesses;
+  w.accesses[static_cast<std::size_t>(MemSpace::kShared)] = shared_accesses;
+  return w;
+}
+
+OccupancyResult occupancy_for(std::size_t smem) {
+  return compute_occupancy(kSpec,
+                           smem > 0 ? SmemConfig::kPreferShared
+                                    : SmemConfig::kPreferL1,
+                           KernelResources{256, 26, smem});
+}
+
+TEST(Timing, MoreWorkTakesLonger) {
+  const auto occ = occupancy_for(0);
+  const LaunchConfig config{1024, 256};
+  const double light =
+      estimate_kernel_time(kSpec, kCalib, config, occ, lb_like_work(1e3, 0))
+          .seconds;
+  const double heavy =
+      estimate_kernel_time(kSpec, kCalib, config, occ, lb_like_work(1e5, 0))
+          .seconds;
+  EXPECT_GT(heavy, 10 * light);
+}
+
+TEST(Timing, LargerGridsTakeProportionallyLongerOnceSaturated) {
+  const auto occ = occupancy_for(0);
+  const auto work = lb_like_work(2e4, 0);
+  const double t1 =
+      estimate_kernel_time(kSpec, kCalib, LaunchConfig{256, 256}, occ, work)
+          .seconds;
+  const double t2 =
+      estimate_kernel_time(kSpec, kCalib, LaunchConfig{512, 256}, occ, work)
+          .seconds;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.1);
+}
+
+TEST(Timing, SmallGridsLoseEfficiency) {
+  // The paper's observation: 16 blocks on 14 SMs cannot feed the card; the
+  // per-node cost at 16 blocks must exceed the per-node cost at 1024.
+  const auto occ = occupancy_for(0);
+  const auto work = lb_like_work(2e4, 0);
+  const auto at_16 =
+      estimate_kernel_time(kSpec, kCalib, LaunchConfig{16, 256}, occ, work);
+  const auto at_1024 =
+      estimate_kernel_time(kSpec, kCalib, LaunchConfig{1024, 256}, occ, work);
+  const double per_node_16 = at_16.seconds / (16 * 256);
+  const double per_node_1024 = at_1024.seconds / (1024 * 256);
+  EXPECT_GT(per_node_16, 1.2 * per_node_1024);
+  EXPECT_LT(at_16.effective_warps, at_1024.effective_warps);
+}
+
+TEST(Timing, HigherOccupancyHidesLatency) {
+  // Same per-thread work, same grid; fewer resident warps (more smem per
+  // block) must not be faster.
+  const auto work = lb_like_work(2e4, 0);
+  const LaunchConfig config{1024, 256};
+  const double w32 =
+      estimate_kernel_time(kSpec, kCalib, config, occupancy_for(0), work)
+          .seconds;
+  const double w16 =
+      estimate_kernel_time(kSpec, kCalib, config, occupancy_for(21000), work)
+          .seconds;
+  const double w8 =
+      estimate_kernel_time(kSpec, kCalib, config, occupancy_for(42000), work)
+          .seconds;
+  EXPECT_LE(w32, w16);
+  EXPECT_LE(w16, w8);
+}
+
+TEST(Timing, SharedAccessesAreCheaperThanGlobal) {
+  const auto occ = occupancy_for(0);
+  const LaunchConfig config{1024, 256};
+  const double global_heavy =
+      estimate_kernel_time(kSpec, kCalib, config, occ, lb_like_work(2e4, 0))
+          .seconds;
+  const double shared_heavy =
+      estimate_kernel_time(kSpec, kCalib, config, occ, lb_like_work(0, 2e4))
+          .seconds;
+  EXPECT_LT(shared_heavy, global_heavy);
+}
+
+TEST(Timing, RoundsReflectGridOverCapacity) {
+  const auto occ = occupancy_for(0);  // 4 blocks/SM -> 56 slots
+  const auto work = lb_like_work(1e3, 0);
+  EXPECT_DOUBLE_EQ(
+      estimate_kernel_time(kSpec, kCalib, LaunchConfig{56, 256}, occ, work)
+          .rounds,
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      estimate_kernel_time(kSpec, kCalib, LaunchConfig{112, 256}, occ, work)
+          .rounds,
+      2.0);
+  // Sub-capacity grids still take one round.
+  EXPECT_DOUBLE_EQ(
+      estimate_kernel_time(kSpec, kCalib, LaunchConfig{10, 256}, occ, work)
+          .rounds,
+      1.0);
+}
+
+TEST(Timing, LaunchOverheadIsTheFloor) {
+  const auto occ = occupancy_for(0);
+  const auto est = estimate_kernel_time(kSpec, kCalib, LaunchConfig{1, 32},
+                                        occ, lb_like_work(0, 0));
+  EXPECT_GE(est.seconds, kCalib.kernel_launch_overhead_s);
+}
+
+TEST(Timing, BreakdownSumsConsistently) {
+  const auto occ = occupancy_for(0);
+  const auto est = estimate_kernel_time(kSpec, kCalib, LaunchConfig{512, 256},
+                                        occ, lb_like_work(1e4, 2e3));
+  EXPECT_GT(est.issue_seconds, 0);
+  EXPECT_GT(est.latency_seconds, 0);
+  EXPECT_NEAR(est.seconds,
+              est.issue_seconds + est.latency_seconds +
+                  kCalib.kernel_launch_overhead_s,
+              est.seconds * 1e-9);
+}
+
+}  // namespace
+}  // namespace fsbb::gpusim

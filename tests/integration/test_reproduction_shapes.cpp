@@ -1,0 +1,184 @@
+// Shape tests for the paper's headline results. These pin the *qualitative*
+// claims of Tables II/III and Figures 4/5 on the simulated C2050 so any
+// calibration or model regression that would flip a conclusion of the
+// reproduction fails loudly. Absolute values are checked only as wide bands
+// (see EXPERIMENTS.md for the full numeric comparison).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/protocol.h"
+#include "fsp/taillard.h"
+#include "gpubb/autotuner.h"
+#include "gpubb/offload_model.h"
+#include "mtbb/multicore_model.h"
+
+namespace fsbb {
+namespace {
+
+struct InstanceScenarios {
+  gpubb::OffloadScenario global;
+  gpubb::OffloadScenario shared;
+};
+
+// Scenario measurements are expensive (a frozen pool needs thousands of
+// real LB evaluations), so build them once for the whole suite.
+class ReproductionShapes : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kFrontier = 4096;
+
+  static void SetUpTestSuite() {
+    device_ = new gpusim::SimDevice(gpusim::DeviceSpec::tesla_c2050());
+    scenarios_ = new std::map<int, InstanceScenarios>;
+    instances_ = new std::vector<std::unique_ptr<fsp::Instance>>;
+    lb_data_ = new std::vector<std::unique_ptr<fsp::LowerBoundData>>;
+    for (const int jobs : {20, 50, 100, 200}) {
+      instances_->push_back(std::make_unique<fsp::Instance>(
+          fsp::taillard_class_representative(jobs, 20)));
+      const fsp::Instance& inst = *instances_->back();
+      lb_data_->push_back(std::make_unique<fsp::LowerBoundData>(
+          fsp::LowerBoundData::build(inst)));
+      const fsp::LowerBoundData& data = *lb_data_->back();
+      const core::FrozenPool frozen = core::freeze_pool(inst, data, 1024);
+      InstanceScenarios s{
+          gpubb::measure_scenario(*device_, inst, data,
+                                  gpubb::PlacementPolicy::kAllGlobal,
+                                  frozen.nodes, kFrontier),
+          gpubb::measure_scenario(*device_, inst, data,
+                                  gpubb::PlacementPolicy::kSharedJmPtm,
+                                  frozen.nodes, kFrontier)};
+      scenarios_->emplace(jobs, std::move(s));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete scenarios_;
+    delete lb_data_;
+    delete instances_;
+    delete device_;
+  }
+
+  static double speedup(int jobs, bool shared, std::size_t pool) {
+    const InstanceScenarios& s = scenarios_->at(jobs);
+    return gpubb::model_offload_cycle(shared ? s.shared : s.global, pool)
+        .speedup();
+  }
+
+  static gpusim::SimDevice* device_;
+  static std::map<int, InstanceScenarios>* scenarios_;
+  static std::vector<std::unique_ptr<fsp::Instance>>* instances_;
+  static std::vector<std::unique_ptr<fsp::LowerBoundData>>* lb_data_;
+};
+
+gpusim::SimDevice* ReproductionShapes::device_ = nullptr;
+std::map<int, InstanceScenarios>* ReproductionShapes::scenarios_ = nullptr;
+std::vector<std::unique_ptr<fsp::Instance>>* ReproductionShapes::instances_ =
+    nullptr;
+std::vector<std::unique_ptr<fsp::LowerBoundData>>* ReproductionShapes::lb_data_ =
+    nullptr;
+
+TEST_F(ReproductionShapes, TableII_SmallestPoolIsNeverBest) {
+  // 16 blocks on 14 SMs starve the card (paper §IV-A).
+  for (const int jobs : {20, 50, 100, 200}) {
+    EXPECT_GT(speedup(jobs, false, 8192), speedup(jobs, false, 4096))
+        << jobs << "x20";
+  }
+}
+
+TEST_F(ReproductionShapes, TableII_LargeInstancesKeepImprovingWithPoolSize) {
+  for (const int jobs : {100, 200}) {
+    EXPECT_GT(speedup(jobs, false, 262144), speedup(jobs, false, 16384))
+        << jobs << "x20";
+  }
+}
+
+TEST_F(ReproductionShapes, TableII_SmallInstancePeaksEarlyThenDeclines) {
+  // The 20x20 row of Table II peaks at pool 8192 and declines afterwards.
+  EXPECT_GT(speedup(20, false, 8192), speedup(20, false, 262144));
+}
+
+TEST_F(ReproductionShapes, TableII_SpeedupBandsAreCredible) {
+  // Paper Table II spans roughly x41..x78. Allow generous slack: every
+  // configuration must accelerate by more than x15 and less than x160.
+  for (const int jobs : {20, 50, 100, 200}) {
+    for (const std::size_t pool : {8192u, 65536u, 262144u}) {
+      const double s = speedup(jobs, false, pool);
+      EXPECT_GT(s, 15.0) << jobs << "x20 pool " << pool;
+      EXPECT_LT(s, 160.0) << jobs << "x20 pool " << pool;
+    }
+  }
+}
+
+TEST_F(ReproductionShapes, TableIII_SharedPlacementWinsEverywhere) {
+  // Table III dominates Table II cell-by-cell.
+  for (const int jobs : {20, 50, 100, 200}) {
+    for (const std::size_t pool : {8192u, 65536u, 262144u}) {
+      EXPECT_GT(speedup(jobs, true, pool), speedup(jobs, false, pool))
+          << jobs << "x20 pool " << pool;
+    }
+  }
+}
+
+TEST_F(ReproductionShapes, TableIII_PeakGainOverGlobalNearPaperRatio) {
+  // Paper: 200x20 at the largest pool goes from x77.46 to x100.48 — a
+  // 1.30x gain. Accept 1.1x .. 1.8x.
+  const double gain =
+      speedup(200, true, 262144) / speedup(200, false, 262144);
+  EXPECT_GT(gain, 1.10);
+  EXPECT_LT(gain, 1.80);
+}
+
+TEST_F(ReproductionShapes, Figure4_GapWidensWithInstanceSize) {
+  // At the largest pool, the absolute shared-vs-global gap grows with n.
+  const double gap_small =
+      speedup(20, true, 262144) - speedup(20, false, 262144);
+  const double gap_large =
+      speedup(200, true, 262144) - speedup(200, false, 262144);
+  EXPECT_GT(gap_large, gap_small);
+}
+
+TEST_F(ReproductionShapes, Figure5_GpuBeatsIsoGflopsMulticoreEverywhere) {
+  const auto params = mtbb::MulticoreModelParams::i7_970_defaults();
+  const int threads = mtbb::threads_for_gflops(params, 500.0);
+  for (const int jobs : {20, 50, 100, 200}) {
+    const double gpu = speedup(jobs, true, 8192);
+    const double cpu = mtbb::multicore_speedup(params, threads, jobs);
+    EXPECT_GT(gpu, cpu) << jobs << "x20";
+  }
+}
+
+TEST_F(ReproductionShapes, Figure5_GpuAdvantageGrowsWithInstanceSize) {
+  // Paper: x6.7 on 20x20 up to x11.5 on 200x20 at iso-GFLOPS.
+  const auto params = mtbb::MulticoreModelParams::i7_970_defaults();
+  const int threads = mtbb::threads_for_gflops(params, 500.0);
+  const double ratio_small = speedup(20, true, 262144) /
+                             mtbb::multicore_speedup(params, threads, 20);
+  const double ratio_large = speedup(200, true, 262144) /
+                             mtbb::multicore_speedup(params, threads, 200);
+  EXPECT_GT(ratio_large, ratio_small);
+  EXPECT_GT(ratio_large, 4.0);
+}
+
+TEST_F(ReproductionShapes, OccupancyStory_SharedPlacementLimitsWarps) {
+  // §IV-B: registers cap the all-global kernel at 32 warps for every
+  // instance; the staged tables push large instances below that.
+  for (const int jobs : {20, 50, 100, 200}) {
+    const auto& s = scenarios_->at(jobs);
+    EXPECT_EQ(s.global.occupancy.active_warps, 32) << jobs;
+    if (jobs >= 100) {
+      EXPECT_LT(s.shared.occupancy.active_warps, 32) << jobs;
+    } else {
+      EXPECT_EQ(s.shared.occupancy.active_warps, 32) << jobs;
+    }
+  }
+}
+
+TEST_F(ReproductionShapes, Autotuner_PrefersLargePoolsForLargeInstances) {
+  const auto tuned_small = gpubb::autotune_pool_size(
+      scenarios_->at(20).shared, 4096, 262144);
+  const auto tuned_large = gpubb::autotune_pool_size(
+      scenarios_->at(200).shared, 4096, 262144);
+  EXPECT_GE(tuned_large.best_pool_size, tuned_small.best_pool_size);
+}
+
+}  // namespace
+}  // namespace fsbb

@@ -1,0 +1,125 @@
+#include "mtbb/mt_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/protocol.h"
+#include "fsp/brute_force.h"
+#include "fsp/makespan.h"
+
+namespace fsbb::mtbb {
+namespace {
+
+fsp::Instance random_instance(int jobs, int machines, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Matrix<fsp::Time> pt(static_cast<std::size_t>(jobs),
+                       static_cast<std::size_t>(machines));
+  for (auto& v : pt.flat()) v = static_cast<fsp::Time>(rng.next_in(1, 50));
+  return fsp::Instance("rand", std::move(pt));
+}
+
+using MtCase = std::tuple<int, int>;  // (seed, threads)
+
+class MtEngineVsBruteForce : public ::testing::TestWithParam<MtCase> {};
+
+TEST_P(MtEngineVsBruteForce, FindsTheOptimum) {
+  const auto [seed, threads] = GetParam();
+  const fsp::Instance inst =
+      random_instance(8, 4, static_cast<std::uint64_t>(seed));
+  const auto data = fsp::LowerBoundData::build(inst);
+  const auto opt = fsp::brute_force(inst);
+
+  MtOptions options;
+  options.threads = static_cast<std::size_t>(threads);
+  const core::SolveResult result = mt_solve(inst, data, options);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.best_makespan, opt.makespan);
+  ASSERT_FALSE(result.best_permutation.empty());
+  EXPECT_EQ(fsp::makespan(inst, result.best_permutation), opt.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MtEngineVsBruteForce,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+TEST(MtEngine, RepeatedRunsAgreeOnTheOptimum) {
+  const fsp::Instance inst = random_instance(9, 5, 99);
+  const auto data = fsp::LowerBoundData::build(inst);
+  MtOptions options;
+  options.threads = 6;
+  const auto first = mt_solve(inst, data, options).best_makespan;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(mt_solve(inst, data, options).best_makespan, first);
+  }
+}
+
+TEST(MtEngine, NodeBudgetStopsEarly) {
+  const fsp::Instance inst = random_instance(11, 5, 3);
+  const auto data = fsp::LowerBoundData::build(inst);
+  MtOptions options;
+  options.threads = 4;
+  options.node_budget = 20;
+  const core::SolveResult result = mt_solve(inst, data, options);
+  EXPECT_FALSE(result.proven_optimal);
+  // Budget is a stop signal, not a hard cap: in-flight workers finish
+  // their node, so allow a small overshoot.
+  EXPECT_LE(result.stats.branched, 20u + options.threads);
+}
+
+TEST(MtEngine, SolveFromFrozenPoolMatchesSerialOutcome) {
+  const fsp::Instance inst = random_instance(9, 4, 17);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const core::FrozenPool frozen =
+      core::freeze_pool(inst, data, 15, inst.total_work());
+
+  core::SerialCpuEvaluator eval(inst, data);
+  const core::SolveResult serial = core::explore_frozen(
+      inst, data, frozen, eval, core::SelectionStrategy::kBestFirst, 1);
+
+  MtOptions options;
+  options.threads = 4;
+  const core::SolveResult mt =
+      mt_solve_from(inst, data, frozen.nodes, frozen.incumbent, options);
+  EXPECT_EQ(mt.best_makespan, serial.best_makespan);
+  EXPECT_TRUE(mt.proven_optimal);
+}
+
+TEST(MtEngine, InitialUbEqualToOptimumStillTerminates) {
+  const fsp::Instance inst = random_instance(7, 4, 21);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const auto opt = fsp::brute_force(inst);
+  MtOptions options;
+  options.threads = 3;
+  options.initial_ub = opt.makespan;
+  const core::SolveResult result = mt_solve(inst, data, options);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.best_makespan, opt.makespan);
+}
+
+TEST(MtEngine, RejectsUnevaluatedInitialNodes) {
+  const fsp::Instance inst = random_instance(6, 3, 1);
+  const auto data = fsp::LowerBoundData::build(inst);
+  std::vector<core::Subproblem> nodes;
+  nodes.push_back(core::Subproblem::root(inst.jobs()));
+  MtOptions options;
+  EXPECT_THROW(mt_solve_from(inst, data, std::move(nodes), 1000, options),
+               CheckFailure);
+}
+
+TEST(MtEngine, StatsAccumulateAcrossWorkers) {
+  const fsp::Instance inst = random_instance(8, 4, 12);
+  const auto data = fsp::LowerBoundData::build(inst);
+  MtOptions options;
+  options.threads = 4;
+  options.initial_ub = inst.total_work();  // force real branching
+  const core::SolveResult result = mt_solve(inst, data, options);
+  EXPECT_GT(result.stats.branched, 0u);
+  EXPECT_GE(result.stats.generated, result.stats.branched);
+  EXPECT_EQ(result.stats.generated,
+            result.stats.evaluated + result.stats.leaves);
+}
+
+}  // namespace
+}  // namespace fsbb::mtbb

@@ -1,0 +1,98 @@
+#include "mtbb/multicore_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace fsbb::mtbb {
+namespace {
+
+const MulticoreModelParams kParams = MulticoreModelParams::i7_970_defaults();
+
+TEST(MulticoreModel, ClockRatioMatchesThePaperMachines) {
+  EXPECT_NEAR(kParams.clock_ratio(), 3.20 / 2.27, 1e-12);
+}
+
+TEST(MulticoreModel, TableIvBands200x20) {
+  // Paper Table IV, 200x20 row: 4.03, 6.98, 8.76, 9.04, 9.32 for
+  // 3, 5, 7, 9, 11 threads. The model must land in ±15% of each cell.
+  const int threads[] = {3, 5, 7, 9, 11};
+  const double paper[] = {4.03, 6.98, 8.76, 9.04, 9.32};
+  for (int i = 0; i < 5; ++i) {
+    const double s = multicore_speedup(kParams, threads[i], 200);
+    EXPECT_NEAR(s, paper[i], paper[i] * 0.15)
+        << "threads " << threads[i];
+  }
+}
+
+TEST(MulticoreModel, TableIvBands20x20) {
+  // Paper Table IV, 20x20 row: 4.43, 7.35, 9.22, 10.04, 10.85.
+  const int threads[] = {3, 5, 7, 9, 11};
+  const double paper[] = {4.43, 7.35, 9.22, 10.04, 10.85};
+  for (int i = 0; i < 5; ++i) {
+    const double s = multicore_speedup(kParams, threads[i], 20);
+    EXPECT_NEAR(s, paper[i], paper[i] * 0.15)
+        << "threads " << threads[i];
+  }
+}
+
+TEST(MulticoreModel, SpeedupIsMonotoneInThreads) {
+  for (const int jobs : {20, 50, 100, 200}) {
+    double prev = 0;
+    for (int t = 1; t <= 12; ++t) {
+      const double s = multicore_speedup(kParams, t, jobs);
+      EXPECT_GT(s, prev) << "threads " << t << " jobs " << jobs;
+      prev = s;
+    }
+  }
+}
+
+TEST(MulticoreModel, SaturatesBeyondPhysicalCores) {
+  // Marginal gain of an extra physical core vs. an extra hyper-thread.
+  const double core_gain = multicore_speedup(kParams, 6, 200) -
+                           multicore_speedup(kParams, 5, 200);
+  const double smt_gain = multicore_speedup(kParams, 8, 200) -
+                          multicore_speedup(kParams, 7, 200);
+  EXPECT_GT(core_gain, 3 * smt_gain);
+}
+
+TEST(MulticoreModel, SmallerInstancesScaleSlightlyBetter) {
+  for (const int t : {3, 7, 11}) {
+    EXPECT_GT(multicore_speedup(kParams, t, 20),
+              multicore_speedup(kParams, t, 200));
+    EXPECT_GT(multicore_speedup(kParams, t, 50),
+              multicore_speedup(kParams, t, 100));
+  }
+}
+
+TEST(MulticoreModel, SuperlinearityComesOnlyFromTheClockRatio) {
+  // Per-thread efficiency on the same machine never exceeds 1.
+  for (int t = 1; t <= 12; ++t) {
+    const double s = multicore_speedup(kParams, t, 200);
+    EXPECT_LE(s / (kParams.clock_ratio() * t), 1.0 + 1e-9);
+  }
+}
+
+TEST(MulticoreModel, GflopsColumnMatchesThePaper) {
+  // Table IV header: 230.4, 384, 537.6, 691.2, 844.8 GFLOPS.
+  EXPECT_NEAR(multicore_gflops(kParams, 3), 230.4, 1e-9);
+  EXPECT_NEAR(multicore_gflops(kParams, 5), 384.0, 1e-9);
+  EXPECT_NEAR(multicore_gflops(kParams, 7), 537.6, 1e-9);
+  EXPECT_NEAR(multicore_gflops(kParams, 9), 691.2, 1e-9);
+  EXPECT_NEAR(multicore_gflops(kParams, 11), 844.8, 1e-9);
+}
+
+TEST(MulticoreModel, IsoGflopsThreadCountForFigure5) {
+  // The paper picks 7 threads as the ~500 GFLOPS match for the C2050.
+  EXPECT_EQ(threads_for_gflops(kParams, 500.0), 7);
+  EXPECT_EQ(threads_for_gflops(kParams, 76.8), 1);
+  EXPECT_THROW(threads_for_gflops(kParams, 0), CheckFailure);
+}
+
+TEST(MulticoreModel, InvalidInputsThrow) {
+  EXPECT_THROW(multicore_speedup(kParams, 0, 20), CheckFailure);
+  EXPECT_THROW(multicore_speedup(kParams, 3, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fsbb::mtbb
