@@ -6,18 +6,16 @@
 // per-thread work on that real pool, then price configurations with the
 // calibrated offload model. Absolute speedups are modeled (no C2050 here);
 // node counts and kernel work are functionally real.
+//
+// The heavy lifting lives behind the facade (api/scenario.h); this header
+// keeps the paper's sweep constants plus thin aliases so every bench speaks
+// the same configuration language as the Solver CLI.
 #pragma once
 
 #include <cstddef>
-#include <memory>
-#include <vector>
+#include <utility>
 
-#include "core/protocol.h"
-#include "fsp/instance.h"
-#include "fsp/lb_data.h"
-#include "fsp/taillard.h"
-#include "gpubb/autotuner.h"
-#include "gpubb/offload_model.h"
+#include "api/scenario.h"
 #include "gpubb/placement.h"
 #include "gpusim/kernel.h"
 
@@ -32,31 +30,18 @@ inline const int kPaperJobCounts[] = {20, 50, 100, 200};
 
 /// Live-frontier size assumed by the host-side heap model (the frozen list
 /// L of the protocol).
-inline constexpr std::size_t kFrontierNodes = 4096;
+inline constexpr std::size_t kFrontierNodes = api::kDefaultFrontierNodes;
 
 /// Nodes frozen per instance; they double as the kernel measurement sample.
-inline constexpr std::size_t kFreezeTarget = 1024;
+inline constexpr std::size_t kFreezeTarget = api::kDefaultFreezeTarget;
 
-/// One benchmark instance with its frozen workload.
-struct InstanceSetup {
-  std::unique_ptr<fsp::Instance> instance;
-  std::unique_ptr<fsp::LowerBoundData> data;
-  core::FrozenPool frozen;
-
-  const fsp::Instance& inst() const { return *instance; }
-  const fsp::LowerBoundData& lb() const { return *data; }
-};
+/// One benchmark instance with its frozen workload (facade type).
+using InstanceSetup = api::Workload;
 
 /// Builds the class-representative instance and freezes its pool.
 inline InstanceSetup make_setup(int jobs, int machines = 20,
                                 std::size_t freeze_target = kFreezeTarget) {
-  InstanceSetup s;
-  s.instance = std::make_unique<fsp::Instance>(
-      fsp::taillard_class_representative(jobs, machines));
-  s.data = std::make_unique<fsp::LowerBoundData>(
-      fsp::LowerBoundData::build(*s.instance));
-  s.frozen = core::freeze_pool(*s.instance, *s.data, freeze_target);
-  return s;
+  return api::make_class_workload(jobs, machines, freeze_target);
 }
 
 /// Measures the offload scenario of one placement on the frozen pool.
@@ -64,8 +49,9 @@ inline gpubb::OffloadScenario scenario_for(
     gpusim::SimDevice& device, const InstanceSetup& setup,
     gpubb::PlacementPolicy policy,
     std::size_t frontier_nodes = kFrontierNodes) {
-  return gpubb::measure_scenario(device, setup.inst(), setup.lb(), policy,
-                                 setup.frozen.nodes, frontier_nodes);
+  api::SolverConfig config;
+  config.placement = policy;
+  return api::measure_offload(device, setup, config, frontier_nodes);
 }
 
 }  // namespace fsbb::bench

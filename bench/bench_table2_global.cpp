@@ -2,23 +2,37 @@
 // E5520 core) per (instance, pool size) with ALL six LB structures in GPU
 // global memory (L1-preferred split).
 //
+// Driven entirely through the facade: the device, placement and block size
+// come from a SolverConfig (overridable from the command line, e.g.
+// `--device c1060` for a what-if run), workloads and scenario pricing come
+// from api/scenario.h.
+//
 // Paper reference values: averages x44.52 (pool 4096) .. x60.64 (262144),
 // peak x77.46 on 200x20 at the largest pool; 20x20 peaks early at 8192.
 #include <cstdio>
 #include <iostream>
 
+#include "api/scenario.h"
 #include "bench_common.h"
 #include "common/stats.h"
 #include "common/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fsbb;
 
-  gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
+  const CliArgs args =
+      CliArgs::parse(argc, argv, api::SolverConfig::cli_flags());
+  api::SolverConfig config = api::SolverConfig::from_cli(args);
+  if (!args.has("placement")) {
+    config.placement = gpubb::PlacementPolicy::kAllGlobal;  // Table II setup
+  }
+
+  gpusim::SimDevice device(api::device_spec_for(config));
   std::cout << "Table II reproduction — all matrices in global memory\n"
             << "device: " << device.spec().name << "\n\n";
 
-  AsciiTable table("parallel efficiency vs. pool size (global placement)");
+  AsciiTable table(std::string("parallel efficiency vs. pool size (") +
+                   gpubb::to_string(config.placement) + " placement)");
   std::vector<std::string> header{"instance"};
   for (const std::size_t pool : bench::kPaperPoolSizes) {
     header.push_back(std::to_string(pool) + " (" +
@@ -28,9 +42,9 @@ int main() {
 
   std::vector<RunningStats> per_pool(std::size(bench::kPaperPoolSizes));
   for (const int jobs : bench::kPaperJobCounts) {
-    const bench::InstanceSetup setup = bench::make_setup(jobs);
+    const api::Workload workload = api::make_class_workload(jobs);
     const gpubb::OffloadScenario scenario =
-        bench::scenario_for(device, setup, gpubb::PlacementPolicy::kAllGlobal);
+        api::measure_offload(device, workload, config);
 
     std::vector<std::string> row{std::to_string(jobs) + "x20"};
     for (std::size_t i = 0; i < std::size(bench::kPaperPoolSizes); ++i) {

@@ -1,103 +1,39 @@
-// Solve (or partially explore) a Taillard benchmark instance with any of
-// the library's backends.
+// Solve (or partially explore) a Taillard benchmark instance with any
+// registered backend — a thin wrapper over the Solver facade, showing that
+// a complete CLI needs no evaluator or engine wiring at all.
 //
-//   $ ./taillard_solver --id 1 --backend mt --threads 8
-//   $ ./taillard_solver --id 21 --backend gpusim --batch 8192 --budget 20000
-//   $ ./taillard_solver --jobs 12 --machines 10 --seed 4242 --backend serial
+//   $ ./taillard_solver --ta 1 --backend multicore --threads 8
+//   $ ./taillard_solver --ta 21 --backend gpu-sim --batch 8192 --node-budget 20000
+//   $ ./taillard_solver --jobs 12 --machines 10 --seed 4242
 //
-// Backends: serial | threads | gpusim | mt. For the hard m = 20 classes use
-// --budget to cap the exploration (they are open research problems!).
+// Backends: whatever the registry holds (cpu-serial, cpu-threads, callback,
+// gpu-sim, adaptive, multicore, ...). For the hard m = 20 classes use
+// --node-budget to cap the exploration (they are open research problems!).
 #include <iostream>
-#include <memory>
-#include <optional>
 
-#include "common/cli.h"
-#include "core/engine.h"
-#include "fsp/makespan.h"
+#include "api/solver.h"
 #include "fsp/neh.h"
-#include "fsp/taillard.h"
-#include "gpubb/gpu_evaluator.h"
-#include "mtbb/mt_engine.h"
 
 int main(int argc, char** argv) {
   using namespace fsbb;
 
-  const CliArgs args = CliArgs::parse(
-      argc, argv,
-      {"id", "jobs", "machines", "seed", "backend", "threads", "batch",
-       "budget", "time-limit", "placement"});
+  api::SolverConfig config;
+  try {
+    config = api::SolverConfig::from_argv(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
 
-  const fsp::Instance inst = [&] {
-    if (args.has("id")) {
-      return fsp::taillard_instance(
-          static_cast<int>(args.get_int_or("id", 1)));
-    }
-    return fsp::make_taillard_instance(
-        static_cast<int>(args.get_int_or("jobs", 10)),
-        static_cast<int>(args.get_int_or("machines", 5)),
-        static_cast<std::int32_t>(args.get_int_or("seed", 873654221)));
-  }();
-  const auto data = fsp::LowerBoundData::build(inst);
-  const std::string backend = args.get_or("backend", "serial");
-  const auto budget =
-      static_cast<std::uint64_t>(args.get_int_or("budget", 0));
+  const std::vector<fsp::Instance> instances =
+      api::make_instances(config.instance);
+  const fsp::Instance& inst = instances.front();
 
   std::cout << "instance " << inst.name() << " (" << inst.jobs() << "x"
-            << inst.machines() << "), backend " << backend << "\n";
-  std::cout << "NEH seed UB: " << fsp::neh(inst).makespan << "\n";
+            << inst.machines() << "), backend " << config.backend << "\n"
+            << "NEH seed UB: " << fsp::neh(inst).makespan << "\n\n";
 
-  core::SolveResult result;
-  if (backend == "mt") {
-    mtbb::MtOptions options;
-    options.threads =
-        static_cast<std::size_t>(args.get_int_or("threads", 4));
-    options.node_budget = budget;
-    result = mtbb::mt_solve(inst, data, options);
-  } else {
-    std::unique_ptr<gpusim::SimDevice> device;
-    std::unique_ptr<core::BoundEvaluator> evaluator;
-    core::EngineOptions options;
-    options.node_budget = budget;
-    options.time_limit_seconds = args.get_double_or("time-limit", 0);
-    if (backend == "serial") {
-      evaluator = std::make_unique<core::SerialCpuEvaluator>(inst, data);
-    } else if (backend == "threads") {
-      evaluator = std::make_unique<core::ThreadedCpuEvaluator>(
-          inst, data, static_cast<std::size_t>(args.get_int_or("threads", 4)));
-      options.batch_size =
-          static_cast<std::size_t>(args.get_int_or("batch", 1024));
-    } else if (backend == "gpusim") {
-      device = std::make_unique<gpusim::SimDevice>(
-          gpusim::DeviceSpec::tesla_c2050());
-      const std::string placement = args.get_or("placement", "shared");
-      evaluator = std::make_unique<gpubb::GpuBoundEvaluator>(
-          *device, inst, data,
-          placement == "global" ? gpubb::PlacementPolicy::kAllGlobal
-                                : gpubb::PlacementPolicy::kSharedJmPtm);
-      options.batch_size =
-          static_cast<std::size_t>(args.get_int_or("batch", 8192));
-    } else {
-      std::cerr << "unknown backend '" << backend
-                << "' (serial|threads|gpusim|mt)\n";
-      return 1;
-    }
-    core::BBEngine engine(inst, data, *evaluator, options);
-    result = engine.solve();
-    std::cout << "evaluator: " << evaluator->name() << "\n";
-  }
-
-  std::cout << (result.proven_optimal ? "OPTIMAL " : "best-so-far ")
-            << "makespan: " << result.best_makespan << "\n"
-            << "branched " << result.stats.branched << ", bounded "
-            << result.stats.evaluated << ", pruned " << result.stats.pruned
-            << ", leaves " << result.stats.leaves << "\n"
-            << "wall time " << result.stats.wall_seconds << " s ("
-            << static_cast<int>(result.stats.bounding_fraction() * 100)
-            << "% bounding)\n";
-  if (!result.best_permutation.empty()) {
-    std::cout << "schedule:";
-    for (const fsp::JobId job : result.best_permutation) std::cout << " " << job;
-    std::cout << "\n";
-  }
+  const api::Solver solver(config);
+  std::cout << solver.solve(inst);
   return 0;
 }

@@ -1,0 +1,278 @@
+#include "api/backend_registry.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "fsp/lb1.h"
+#include "fsp/lb2.h"
+#include "fsp/lb_one_machine.h"
+#include "gpubb/adaptive_evaluator.h"
+#include "gpubb/gpu_evaluator.h"
+#include "gpusim/kernel.h"
+#include "mtbb/mt_engine.h"
+
+namespace fsbb::api {
+namespace {
+
+// Engine batch size each backend uses when config.batch_size == 0. The
+// serial modes bound node-by-node (the classic B&B); the parallel modes
+// accumulate a pool, the paper's Type-1 offload shape.
+std::size_t default_batch(const std::string& key) {
+  if (key == "cpu-threads") return 64;
+  if (key == "gpu-sim" || key == "adaptive") return 256;
+  return 1;
+}
+
+void require_lb1(const BackendContext& ctx, const std::string& key) {
+  FSBB_CHECK_MSG(ctx.config->bound == Bound::kLb1,
+                 "backend '" + key + "' only implements lb1; use cpu-serial "
+                 "or callback for " + std::string(to_string(ctx.config->bound)));
+}
+
+// Serial evaluator for the configured bound. LB1 gets the scratch-reusing
+// fast path; LB0/LB2 go through the callback seam (lb2 owns its tables).
+std::unique_ptr<core::BoundEvaluator> make_serial_evaluator(
+    const BackendContext& ctx) {
+  const fsp::Instance& inst = *ctx.instance;
+  const fsp::LowerBoundData& data = *ctx.data;
+  switch (ctx.config->bound) {
+    case Bound::kLb1:
+      return std::make_unique<core::SerialCpuEvaluator>(inst, data);
+    case Bound::kLb0:
+      return std::make_unique<core::CallbackEvaluator>(
+          "lb0-serial", [&inst, &data](const core::Subproblem& sp) {
+            return fsp::lb0_from_prefix(inst, data, sp.prefix());
+          });
+    case Bound::kLb2: {
+      auto lb2 = std::make_shared<fsp::Lb2Data>(fsp::Lb2Data::build(inst));
+      return std::make_unique<core::CallbackEvaluator>(
+          "lb2-serial", [&inst, &data, lb2](const core::Subproblem& sp) {
+            return fsp::lb2_from_prefix(inst, data, *lb2, sp.prefix());
+          });
+    }
+  }
+  FSBB_CHECK_MSG(false, "unreachable bound");
+  return nullptr;
+}
+
+/// Backend driving the shared BBEngine with an owned BoundEvaluator.
+class EngineBackend final : public Backend {
+ public:
+  EngineBackend(std::string key, const BackendContext& ctx,
+                std::unique_ptr<gpusim::SimDevice> device,
+                std::unique_ptr<core::BoundEvaluator> evaluator)
+      : key_(std::move(key)),
+        ctx_(ctx),
+        device_(std::move(device)),
+        evaluator_(std::move(evaluator)) {}
+
+  std::string name() const override { return key_; }
+  std::string detail() const override { return evaluator_->name(); }
+
+  core::SolveResult solve() override {
+    core::BBEngine engine(*ctx_.instance, *ctx_.data, *evaluator_, options());
+    return engine.solve();
+  }
+
+  core::SolveResult solve_from(std::vector<core::Subproblem> initial,
+                               fsp::Time initial_ub) override {
+    core::BBEngine engine(*ctx_.instance, *ctx_.data, *evaluator_, options());
+    return engine.solve_from(std::move(initial), initial_ub);
+  }
+
+  const core::EvalLedger* eval_ledger() const override {
+    return &evaluator_->ledger();
+  }
+
+ private:
+  core::EngineOptions options() const {
+    const SolverConfig& c = *ctx_.config;
+    core::EngineOptions o;
+    o.strategy = c.strategy;
+    o.batch_size = c.batch_size != 0 ? c.batch_size : default_batch(key_);
+    o.initial_ub = c.initial_ub;
+    o.node_budget = c.node_budget;
+    o.time_limit_seconds = c.time_limit_seconds;
+    return o;
+  }
+
+  std::string key_;
+  BackendContext ctx_;
+  std::unique_ptr<gpusim::SimDevice> device_;  // referenced by evaluator_
+  std::unique_ptr<core::BoundEvaluator> evaluator_;
+};
+
+/// The §V shared-pool Pthread baseline, which runs its own search loop.
+class MulticoreBackend final : public Backend {
+ public:
+  explicit MulticoreBackend(const BackendContext& ctx) : ctx_(ctx) {}
+
+  std::string name() const override { return "multicore"; }
+
+  core::SolveResult solve() override {
+    return mtbb::mt_solve(*ctx_.instance, *ctx_.data, options());
+  }
+
+  core::SolveResult solve_from(std::vector<core::Subproblem> initial,
+                               fsp::Time initial_ub) override {
+    return mtbb::mt_solve_from(*ctx_.instance, *ctx_.data, std::move(initial),
+                               initial_ub, options());
+  }
+
+ private:
+  mtbb::MtOptions options() const {
+    mtbb::MtOptions o;
+    o.threads = ctx_.config->threads;
+    o.initial_ub = ctx_.config->initial_ub;
+    o.node_budget = ctx_.config->node_budget;
+    return o;
+  }
+
+  BackendContext ctx_;
+};
+
+void check_context(const BackendContext& ctx) {
+  FSBB_CHECK_MSG(ctx.instance && ctx.data && ctx.config,
+                 "BackendContext must carry instance, data and config");
+}
+
+void register_builtins(BackendRegistry& r) {
+  r.add("cpu-serial",
+        "serial host bounding (lb0/lb1/lb2 per --bound); the reference",
+        [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
+          return std::make_unique<EngineBackend>("cpu-serial", ctx, nullptr,
+                                                 make_serial_evaluator(ctx));
+        });
+  r.add("callback",
+        "serial callback evaluator around the configured bound; the "
+        "template for plugging in new bounds",
+        [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
+          const fsp::Instance& inst = *ctx.instance;
+          const fsp::LowerBoundData& data = *ctx.data;
+          std::unique_ptr<core::BoundEvaluator> eval;
+          if (ctx.config->bound == Bound::kLb1) {
+            eval = std::make_unique<core::CallbackEvaluator>(
+                "lb1-callback", [&inst, &data](const core::Subproblem& sp) {
+                  return fsp::lb1_from_prefix(inst, data, sp.prefix());
+                });
+          } else {
+            eval = make_serial_evaluator(ctx);
+          }
+          return std::make_unique<EngineBackend>("callback", ctx, nullptr,
+                                                 std::move(eval));
+        });
+  r.add("cpu-threads",
+        "lb1 fanned over a host thread pool (--threads); Type-1 parallelism",
+        [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
+          require_lb1(ctx, "cpu-threads");
+          auto eval = std::make_unique<core::ThreadedCpuEvaluator>(
+              *ctx.instance, *ctx.data, ctx.config->threads);
+          return std::make_unique<EngineBackend>("cpu-threads", ctx, nullptr,
+                                                 std::move(eval));
+        });
+  r.add("gpu-sim",
+        "hybrid CPU + simulated-GPU B&B (the paper's contribution); "
+        "--device, --placement, --block-threads apply",
+        [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
+          require_lb1(ctx, "gpu-sim");
+          auto device =
+              std::make_unique<gpusim::SimDevice>(device_spec_for(*ctx.config));
+          auto eval = std::make_unique<gpubb::GpuBoundEvaluator>(
+              *device, *ctx.instance, *ctx.data, ctx.config->placement,
+              ctx.config->block_threads);
+          return std::make_unique<EngineBackend>(
+              "gpu-sim", ctx, std::move(device), std::move(eval));
+        });
+  r.add("adaptive",
+        "routes each batch to host threads or the simulated GPU at the "
+        "modeled break-even pool size (§VI outlook)",
+        [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
+          require_lb1(ctx, "adaptive");
+          auto device =
+              std::make_unique<gpusim::SimDevice>(device_spec_for(*ctx.config));
+          auto eval = std::make_unique<gpubb::AdaptiveEvaluator>(
+              *device, *ctx.instance, *ctx.data, ctx.config->placement,
+              ctx.config->threads);
+          return std::make_unique<EngineBackend>(
+              "adaptive", ctx, std::move(device), std::move(eval));
+        });
+  r.add("multicore",
+        "shared-pool Pthread-style B&B over --threads workers (§V "
+        "baseline); strategy/batch/time-limit do not apply",
+        [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
+          require_lb1(ctx, "multicore");
+          return std::make_unique<MulticoreBackend>(ctx);
+        });
+}
+
+}  // namespace
+
+BackendRegistry& BackendRegistry::global() {
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void BackendRegistry::add(std::string key, std::string description,
+                          Factory factory) {
+  FSBB_CHECK_MSG(!key.empty(), "backend key must not be empty");
+  FSBB_CHECK_MSG(factory != nullptr, "backend factory must not be null");
+  const std::lock_guard<std::mutex> lock(mu_);
+  const bool inserted =
+      entries_
+          .emplace(std::move(key),
+                   Entry{std::move(description), std::move(factory)})
+          .second;
+  FSBB_CHECK_MSG(inserted, "backend key already registered");
+}
+
+bool BackendRegistry::contains(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) != 0;
+}
+
+std::vector<std::string> BackendRegistry::keys() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;  // std::map iteration order: already sorted
+}
+
+std::string BackendRegistry::description(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  FSBB_CHECK_MSG(it != entries_.end(), "unknown backend '" + key + "'");
+  return it->second.description;
+}
+
+void BackendRegistry::require(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(key) != 0) return;
+  std::string known;
+  for (const auto& [k, entry] : entries_) {
+    if (!known.empty()) known += ", ";
+    known += k;
+  }
+  FSBB_CHECK_MSG(false,
+                 "unknown backend '" + key + "' (registered: " + known + ")");
+}
+
+std::unique_ptr<Backend> BackendRegistry::create(
+    const std::string& key, const BackendContext& ctx) const {
+  check_context(ctx);
+  require(key);
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    factory = entries_.at(key).factory;
+  }
+  std::unique_ptr<Backend> backend = factory(ctx);
+  FSBB_CHECK_MSG(backend != nullptr, "backend factory returned null");
+  return backend;
+}
+
+}  // namespace fsbb::api

@@ -1,0 +1,173 @@
+#include "api/report.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace fsbb::api {
+namespace {
+
+// Minimal JSON writer: enough for the report shape, deterministic output.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  std::ostringstream ss;
+  ss << v;
+  return ss.str();
+}
+
+class JsonObject {
+ public:
+  void field(const std::string& key, const std::string& raw_value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + json_escape(key) + "\":" + raw_value;
+  }
+  void str(const std::string& key, const std::string& value) {
+    field(key, "\"" + json_escape(value) + "\"");
+  }
+  template <typename T>
+  void integer(const std::string& key, T value) {
+    field(key, std::to_string(value));
+  }
+  void real(const std::string& key, double value) { field(key, num(value)); }
+  void boolean(const std::string& key, bool value) {
+    field(key, value ? "true" : "false");
+  }
+  std::string done() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+std::string config_json(const SolverConfig& c) {
+  JsonObject inst;
+  inst.integer("ta_id", c.instance.ta_id);
+  inst.integer("jobs", c.instance.jobs);
+  inst.integer("machines", c.instance.machines);
+  inst.integer("seed", c.instance.seed);
+  inst.integer("count", c.instance.count);
+
+  JsonObject o;
+  o.str("backend", c.backend);
+  o.str("bound", to_string(c.bound));
+  o.str("strategy", core::to_string(c.strategy));
+  o.integer("batch_size", c.batch_size);
+  o.integer("threads", c.threads);
+  o.integer("batch_workers", c.batch_workers);
+  o.integer("block_threads", c.block_threads);
+  o.str("placement", gpubb::to_string(c.placement));
+  o.str("device", c.device);
+  o.field("initial_ub",
+          c.initial_ub ? std::to_string(*c.initial_ub) : "null");
+  o.integer("node_budget", c.node_budget);
+  o.real("time_limit_seconds", c.time_limit_seconds);
+  o.field("instance", inst.done());
+  return o.done();
+}
+
+std::string stats_json(const core::EngineStats& s) {
+  JsonObject o;
+  o.integer("branched", s.branched);
+  o.integer("generated", s.generated);
+  o.integer("evaluated", s.evaluated);
+  o.integer("pruned", s.pruned);
+  o.integer("leaves", s.leaves);
+  o.integer("ub_updates", s.ub_updates);
+  o.real("wall_seconds", s.wall_seconds);
+  o.real("bounding_seconds", s.bounding_seconds);
+  o.integer("initial_ub", s.initial_ub);
+  return o.done();
+}
+
+std::string ledger_json(const core::EvalLedger& l) {
+  JsonObject o;
+  o.integer("batches", l.batches);
+  o.integer("nodes", l.nodes);
+  o.real("wall_seconds", l.wall_seconds);
+  return o.done();
+}
+
+}  // namespace
+
+std::string SolveReport::to_json() const {
+  JsonObject inst;
+  inst.str("name", instance_name);
+  inst.integer("jobs", jobs);
+  inst.integer("machines", machines);
+
+  std::string perm = "[";
+  for (std::size_t i = 0; i < best_permutation.size(); ++i) {
+    if (i) perm += ",";
+    perm += std::to_string(best_permutation[i]);
+  }
+  perm += "]";
+
+  JsonObject result;
+  result.integer("best_makespan", best_makespan);
+  result.boolean("proven_optimal", proven_optimal);
+  result.field("best_permutation", perm);
+
+  JsonObject o;
+  o.field("config", config_json(config));
+  o.field("instance", inst.done());
+  o.str("backend", backend);
+  o.str("evaluator", evaluator);
+  o.field("result", result.done());
+  o.field("stats", stats_json(stats));
+  o.field("eval", eval ? ledger_json(*eval) : "null");
+  return o.done();
+}
+
+void SolveReport::print_text(std::ostream& os) const {
+  os << instance_name << " (" << jobs << "x" << machines << ") via " << backend;
+  if (!evaluator.empty()) os << " [" << evaluator << "]";
+  os << "\n  makespan " << best_makespan
+     << (proven_optimal ? " (proven optimal)" : " (not proven)") << "\n  ";
+  if (best_permutation.empty()) {
+    os << "no schedule beat the initial bound";
+  } else {
+    os << "order";
+    for (const fsp::JobId j : best_permutation) os << " J" << j;
+  }
+  os << "\n  " << stats.branched << " branched, " << stats.evaluated
+     << " bounded, " << stats.pruned << " pruned, " << stats.leaves
+     << " leaves, " << stats.ub_updates << " incumbent updates\n"
+     << "  " << num(stats.wall_seconds) << " s total, "
+     << static_cast<int>(stats.bounding_fraction() * 100)
+     << "% in the bounding operator\n";
+}
+
+std::ostream& operator<<(std::ostream& os, const SolveReport& report) {
+  report.print_text(os);
+  return os;
+}
+
+}  // namespace fsbb::api

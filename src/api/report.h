@@ -1,0 +1,48 @@
+// SolveReport — the structured outcome of one facade solve.
+//
+// Replaces ad-hoc stdout printing: the config echo makes the run
+// reproducible (config.to_cli() is a working command line), the engine
+// stats and evaluator ledger make it comparable, and to_json() makes it
+// machine-readable for harnesses that aggregate many runs.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/solver_config.h"
+#include "core/engine.h"
+#include "core/evaluator.h"
+
+namespace fsbb::api {
+
+struct SolveReport {
+  SolverConfig config;  ///< echo of the requesting configuration
+
+  std::string instance_name;
+  int jobs = 0;
+  int machines = 0;
+
+  std::string backend;    ///< registry key that ran the solve
+  std::string evaluator;  ///< bounding operator detail ("" when n/a)
+
+  fsp::Time best_makespan = 0;
+  std::vector<fsp::JobId> best_permutation;  ///< empty if nothing beat the UB
+  bool proven_optimal = false;
+
+  core::EngineStats stats;
+  /// Bounding-operator totals; unset for backends without an evaluator
+  /// seam (multicore).
+  std::optional<core::EvalLedger> eval;
+
+  /// Single-line-per-field JSON object, deterministic key order.
+  std::string to_json() const;
+
+  /// Human-readable multi-line summary (what the examples print).
+  void print_text(std::ostream& os) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const SolveReport& report);
+
+}  // namespace fsbb::api

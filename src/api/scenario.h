@@ -1,0 +1,57 @@
+// Facade over the paper's §IV experimental protocol and offload pricing.
+//
+// Hard Taillard classes cannot be solved in a benchmark run, so the paper
+// measures every competitor on the same frozen pool L and prices
+// configurations with the calibrated offload model. This header is that
+// workflow behind SolverConfig, so benches and harnesses configure it the
+// same way they configure real solves (device, placement, block size all
+// come from the config).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "api/solver_config.h"
+#include "core/protocol.h"
+#include "gpubb/autotuner.h"
+#include "gpubb/offload_model.h"
+#include "gpusim/kernel.h"
+
+namespace fsbb::api {
+
+/// Default frozen-list size (doubles as the kernel measurement sample).
+inline constexpr std::size_t kDefaultFreezeTarget = 1024;
+
+/// Default live-frontier size assumed by the host-side heap model.
+inline constexpr std::size_t kDefaultFrontierNodes = 4096;
+
+/// One benchmark instance with its LB tables and frozen workload.
+struct Workload {
+  std::unique_ptr<fsp::Instance> instance;
+  std::unique_ptr<fsp::LowerBoundData> data;
+  core::FrozenPool frozen;
+
+  const fsp::Instance& inst() const { return *instance; }
+  const fsp::LowerBoundData& lb() const { return *data; }
+};
+
+/// Builds the (jobs x machines) Taillard class representative and freezes
+/// its pool with a serial best-first run.
+Workload make_class_workload(int jobs, int machines = 20,
+                             std::size_t freeze_target = kDefaultFreezeTarget);
+
+/// Same for an arbitrary instance spec (ta_id or synthetic seed). The
+/// incumbent used while freezing defaults to NEH; pass a weaker bound to
+/// force branching on instances NEH nearly solves.
+Workload make_workload(const InstanceSpec& spec,
+                       std::size_t freeze_target = kDefaultFreezeTarget,
+                       std::optional<fsp::Time> initial_ub = std::nullopt);
+
+/// Samples the bounding kernel on the workload's frozen nodes and prices
+/// the offload under the config's device/placement/block-size choices.
+gpubb::OffloadScenario measure_offload(
+    gpusim::SimDevice& device, const Workload& workload,
+    const SolverConfig& config,
+    std::size_t frontier_nodes = kDefaultFrontierNodes);
+
+}  // namespace fsbb::api

@@ -1,0 +1,79 @@
+#include "api/solver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fsbb::api {
+
+Solver::Solver(SolverConfig config) : config_(std::move(config)) {
+  config_.validate();
+  BackendRegistry::global().require(config_.backend);
+}
+
+SolveReport Solver::solve(const fsp::Instance& inst) const {
+  return run_one(inst, nullptr);
+}
+
+SolveReport Solver::solve_frozen(const fsp::Instance& inst,
+                                 const core::FrozenPool& frozen) const {
+  return run_one(inst, &frozen);
+}
+
+SolveReport Solver::run_one(const fsp::Instance& inst,
+                            const core::FrozenPool* frozen) const {
+  const fsp::LowerBoundData data = fsp::LowerBoundData::build(inst);
+  const BackendContext ctx{&inst, &data, &config_};
+  const std::unique_ptr<Backend> backend =
+      BackendRegistry::global().create(config_.backend, ctx);
+
+  const core::SolveResult result =
+      frozen ? backend->solve_from(frozen->nodes, frozen->incumbent)
+             : backend->solve();
+
+  SolveReport report;
+  report.config = config_;
+  report.instance_name = inst.name();
+  report.jobs = inst.jobs();
+  report.machines = inst.machines();
+  report.backend = backend->name();
+  report.evaluator = backend->detail();
+  report.best_makespan = result.best_makespan;
+  report.best_permutation = result.best_permutation;
+  report.proven_optimal = result.proven_optimal;
+  report.stats = result.stats;
+  if (const core::EvalLedger* ledger = backend->eval_ledger()) {
+    report.eval = *ledger;
+  }
+  return report;
+}
+
+std::vector<SolveReport> Solver::solve_many(
+    std::span<const fsp::Instance> instances, ThreadPool& pool) const {
+  std::vector<SolveReport> reports(instances.size());
+  if (instances.empty()) return reports;
+  // One chunk per instance: whichever worker frees up takes the next one.
+  pool.parallel_for(
+      0, instances.size(),
+      [&](std::size_t lo, std::size_t hi, std::size_t /*worker*/) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          reports[i] = run_one(instances[i], nullptr);
+        }
+      },
+      instances.size());
+  return reports;
+}
+
+std::vector<SolveReport> Solver::solve_many(
+    std::span<const fsp::Instance> instances) const {
+  std::size_t workers = config_.batch_workers;
+  if (workers == 0) {
+    workers = std::min<std::size_t>(std::max<std::size_t>(instances.size(), 1),
+                                    config_.threads);
+  }
+  ThreadPool pool(workers);
+  return solve_many(instances, pool);
+}
+
+}  // namespace fsbb::api

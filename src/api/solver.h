@@ -1,0 +1,60 @@
+// fsbb::api::Solver — the facade and single front door of the library.
+//
+//   api::SolverConfig config;            // or SolverConfig::from_argv(...)
+//   config.backend = "gpu-sim";
+//   api::Solver solver(config);
+//   api::SolveReport report = solver.solve(instance);
+//
+// The Solver validates the configuration once, builds per-instance state
+// (LowerBoundData, the backend from the registry) per call, and returns a
+// structured SolveReport. solve_many() runs independent instances
+// concurrently over a shared ThreadPool — each instance gets its own
+// backend, so any registered backend batches safely.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "api/backend_registry.h"
+#include "api/report.h"
+#include "api/solver_config.h"
+#include "common/threadpool.h"
+#include "core/protocol.h"
+
+namespace fsbb::api {
+
+class Solver {
+ public:
+  /// Validates the config (including backend existence); throws
+  /// CheckFailure so misconfiguration fails before any search runs.
+  explicit Solver(SolverConfig config);
+
+  const SolverConfig& config() const { return config_; }
+
+  /// Solves one instance from the root.
+  SolveReport solve(const fsp::Instance& inst) const;
+
+  /// Explores a frozen pool (§IV protocol) under this configuration.
+  SolveReport solve_frozen(const fsp::Instance& inst,
+                           const core::FrozenPool& frozen) const;
+
+  /// Batch API: solves independent instances concurrently on `pool`
+  /// (one chunk per instance, so finished workers steal the next one).
+  /// Reports come back in input order. The first exception, if any, is
+  /// rethrown after the batch drains.
+  std::vector<SolveReport> solve_many(std::span<const fsp::Instance> instances,
+                                      ThreadPool& pool) const;
+
+  /// Convenience overload over an internal pool of config.batch_workers
+  /// workers (0 = min(instances, config.threads)).
+  std::vector<SolveReport> solve_many(
+      std::span<const fsp::Instance> instances) const;
+
+ private:
+  SolveReport run_one(const fsp::Instance& inst,
+                      const core::FrozenPool* frozen) const;
+
+  SolverConfig config_;
+};
+
+}  // namespace fsbb::api

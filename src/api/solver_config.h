@@ -1,0 +1,107 @@
+// SolverConfig — the one value type that selects everything about a solve.
+//
+// The paper frames GPU-accelerated B&B as a single engine with
+// interchangeable bounding operators; SolverConfig is that framing as data:
+// backend key (see api/backend_registry.h), bound choice, selection
+// strategy, batch size, device/placement knobs, limits, and the instance
+// spec used by the CLI and batch front ends. Every field parses from
+// `--flag value` command lines (common/cli) and round-trips through
+// to_cli(), so a report's config echo is a reproducible invocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/pool.h"
+#include "fsp/instance.h"
+#include "gpubb/placement.h"
+#include "gpusim/device_spec.h"
+
+namespace fsbb::api {
+
+/// Which lower bound the bounding operator computes.
+enum class Bound {
+  kLb0,  ///< single-machine bound, Θ(n m) — the cheap baseline
+  kLb1,  ///< Lageweg–Lenstra–Rinnooy Kan two-machine bound (the paper's)
+  kLb2,  ///< LB1 with node-local head/tail minima — dominates LB1
+};
+
+const char* to_string(Bound b);
+Bound parse_bound(const std::string& text);  ///< "lb0" | "lb1" | "lb2"
+
+core::SelectionStrategy parse_strategy(const std::string& text);
+gpubb::PlacementPolicy parse_placement(const std::string& text);
+
+/// Which problem instance(s) the CLI front ends solve.
+struct InstanceSpec {
+  /// > 0 selects the published Taillard instance ta<id> (1..120) and the
+  /// jobs/machines/seed fields are ignored.
+  int ta_id = 0;
+  int jobs = 10;
+  int machines = 5;
+  std::int32_t seed = 123456789;  ///< Taillard time seed
+  /// Batch solves: `count` instances with seeds seed .. seed + count - 1.
+  int count = 1;
+
+  bool operator==(const InstanceSpec&) const = default;
+};
+
+/// Materializes the spec (count instances; ta_id implies count == 1).
+std::vector<fsp::Instance> make_instances(const InstanceSpec& spec);
+
+/// Full description of one solve. Defaults are deterministic: nothing in
+/// here (and nothing derived from it, e.g. evaluator names) depends on the
+/// machine's detected hardware concurrency.
+struct SolverConfig {
+  /// Backend registry key: cpu-serial, cpu-threads, callback, gpu-sim,
+  /// adaptive, multicore (api/backend_registry.h has the authoritative list).
+  std::string backend = "cpu-serial";
+  Bound bound = Bound::kLb1;
+  core::SelectionStrategy strategy = core::SelectionStrategy::kBestFirst;
+  /// Children accumulated per bounding batch; 0 = the backend's default.
+  std::size_t batch_size = 0;
+  /// Host worker threads for cpu-threads / adaptive / multicore. Fixed
+  /// default (not hardware concurrency) so reports are machine-stable.
+  std::size_t threads = 4;
+  /// Workers used by Solver::solve_many; 0 = min(instances, threads).
+  std::size_t batch_workers = 0;
+  /// GPU kernel block size; 0 = the placement's recommended size.
+  int block_threads = 0;
+  gpubb::PlacementPolicy placement = gpubb::PlacementPolicy::kAuto;
+  /// Simulated device: "c2050" (the paper's) or "c1060".
+  std::string device = "c2050";
+  /// Starting incumbent; NEH if unset.
+  std::optional<fsp::Time> initial_ub;
+  std::uint64_t node_budget = 0;     ///< 0 = solve to optimality
+  double time_limit_seconds = 0;     ///< 0 = unlimited
+  InstanceSpec instance;
+
+  bool operator==(const SolverConfig&) const = default;
+
+  /// Every `--flag` the config understands, for CliArgs::parse.
+  static const std::vector<std::string>& cli_flags();
+
+  /// Reads every recognized flag; untouched fields keep their defaults.
+  /// Throws CheckFailure on unparseable enum values.
+  static SolverConfig from_cli(const CliArgs& args);
+
+  /// Parses argv directly (extra_flags are accepted but ignored — for
+  /// binaries that add their own switches on top).
+  static SolverConfig from_argv(int argc, const char* const* argv,
+                                const std::vector<std::string>& extra_flags = {});
+
+  /// The config as `--flag=value` tokens; from_cli(parse(to_cli())) == *this.
+  std::vector<std::string> to_cli() const;
+
+  /// Checks enum-free fields (device key, thread counts); backend existence
+  /// is checked by the registry at Solver construction.
+  void validate() const;
+};
+
+/// Resolves config.device ("c2050" | "c1060"); throws CheckFailure otherwise.
+gpusim::DeviceSpec device_spec_for(const SolverConfig& config);
+
+}  // namespace fsbb::api

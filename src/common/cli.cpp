@@ -8,12 +8,13 @@
 namespace fsbb {
 
 CliArgs CliArgs::parse(int argc, const char* const* argv,
-                       const std::vector<std::string>& known_flags) {
+                       const std::vector<std::string>& known_flags,
+                       const std::vector<std::string>& bool_flags) {
   CliArgs out;
   if (argc > 0) out.program_ = argv[0];
-  auto known = [&](const std::string& name) {
-    return std::find(known_flags.begin(), known_flags.end(), name) !=
-           known_flags.end();
+  const auto contains = [](const std::vector<std::string>& flags,
+                           const std::string& name) {
+    return std::find(flags.begin(), flags.end(), name) != flags.end();
   };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -26,9 +27,12 @@ CliArgs CliArgs::parse(int argc, const char* const* argv,
     if (const auto eq = name.find('='); eq != std::string::npos) {
       value = name.substr(eq + 1);
       name = name.substr(0, eq);
-      FSBB_CHECK_MSG(known(name), "unknown flag --" + name);
+      FSBB_CHECK_MSG(contains(known_flags, name) || contains(bool_flags, name),
+                     "unknown flag --" + name);
+    } else if (contains(bool_flags, name)) {
+      value = "1";
     } else {
-      FSBB_CHECK_MSG(known(name), "unknown flag --" + name);
+      FSBB_CHECK_MSG(contains(known_flags, name), "unknown flag --" + name);
       FSBB_CHECK_MSG(i + 1 < argc, "flag --" + name + " needs a value");
       value = argv[++i];
     }
@@ -54,13 +58,37 @@ std::string CliArgs::get_or(const std::string& name,
 
 std::int64_t CliArgs::get_int_or(const std::string& name,
                                  std::int64_t fallback) const {
-  if (const auto v = get(name)) return std::stoll(*v);
-  return fallback;
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t parsed = std::stoll(*v, &consumed);
+    FSBB_CHECK_MSG(consumed == v->size(),
+                   "flag --" + name + ": trailing junk in '" + *v + "'");
+    return parsed;
+  } catch (const CheckFailure&) {
+    throw;
+  } catch (const std::exception&) {
+    throw CheckFailure("flag --" + name + ": '" + *v +
+                       "' is not a valid integer");
+  }
 }
 
 double CliArgs::get_double_or(const std::string& name, double fallback) const {
-  if (const auto v = get(name)) return std::stod(*v);
-  return fallback;
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*v, &consumed);
+    FSBB_CHECK_MSG(consumed == v->size(),
+                   "flag --" + name + ": trailing junk in '" + *v + "'");
+    return parsed;
+  } catch (const CheckFailure&) {
+    throw;
+  } catch (const std::exception&) {
+    throw CheckFailure("flag --" + name + ": '" + *v +
+                       "' is not a valid number");
+  }
 }
 
 }  // namespace fsbb

@@ -1,7 +1,8 @@
 // Minimal command-line flag parsing for the example binaries.
 //
-// Supports `--name value` and `--name=value`; everything else is collected
-// as positional arguments. Unknown flags are an error so typos surface.
+// Supports `--name value` and `--name=value`, plus declared boolean
+// switches (`--name` with no value); everything else is collected as
+// positional arguments. Unknown flags are an error so typos surface.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +16,13 @@ namespace fsbb {
 /// Parsed command line: declared flags plus positional arguments.
 class CliArgs {
  public:
-  /// Parses argv. `known_flags` lists every accepted `--flag` name.
-  /// Throws CheckFailure on unknown flags or missing values.
+  /// Parses argv. `known_flags` lists every accepted value-carrying
+  /// `--flag name`; `bool_flags` lists switches that take no value (their
+  /// presence stores "1", so has() answers them). Throws CheckFailure on
+  /// unknown flags or missing values.
   static CliArgs parse(int argc, const char* const* argv,
-                       const std::vector<std::string>& known_flags);
+                       const std::vector<std::string>& known_flags,
+                       const std::vector<std::string>& bool_flags = {});
 
   bool has(const std::string& name) const;
   std::optional<std::string> get(const std::string& name) const;

@@ -27,7 +27,10 @@ ThreadedCpuEvaluator::ThreadedCpuEvaluator(const fsp::Instance& inst,
     : inst_(&inst), data_(&data), pool_(threads) {}
 
 std::string ThreadedCpuEvaluator::name() const {
-  return "cpu-threads-" + std::to_string(pool_.thread_count());
+  // Deliberately excludes the thread count: bounds are bit-identical for
+  // any pool size, and reports/golden tests must not vary by machine.
+  // threads() still exposes the actual pool size.
+  return "cpu-threads";
 }
 
 void ThreadedCpuEvaluator::evaluate(std::span<Subproblem> batch) {

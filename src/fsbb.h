@@ -18,6 +18,12 @@
 //             tables, the LB1 kernel, GPU/adaptive evaluators, the offload
 //             cost model, the pool-size auto-tuner
 //   mtbb/     the multi-core baseline: shared-pool engine + i7-970 model
+//   api/      the facade: SolverConfig, the string-keyed backend registry,
+//             the Solver front door (single + batch solves), structured
+//             SolveReports with JSON export, and the §IV scenario helpers
+//
+// Applications should start at api/ — everything below it is reachable
+// through SolverConfig without hand-wiring evaluators and engines.
 //
 // Quickstart: see examples/quickstart.cpp and README.md.
 #pragma once
@@ -72,3 +78,9 @@
 
 #include "mtbb/mt_engine.h"       // IWYU pragma: export
 #include "mtbb/multicore_model.h" // IWYU pragma: export
+
+#include "api/backend_registry.h" // IWYU pragma: export
+#include "api/report.h"           // IWYU pragma: export
+#include "api/scenario.h"         // IWYU pragma: export
+#include "api/solver.h"           // IWYU pragma: export
+#include "api/solver_config.h"    // IWYU pragma: export

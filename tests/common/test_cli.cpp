@@ -8,9 +8,11 @@ namespace fsbb {
 namespace {
 
 CliArgs parse(std::initializer_list<const char*> argv,
-              std::vector<std::string> known) {
+              std::vector<std::string> known,
+              std::vector<std::string> bool_flags = {}) {
   std::vector<const char*> v(argv);
-  return CliArgs::parse(static_cast<int>(v.size()), v.data(), known);
+  return CliArgs::parse(static_cast<int>(v.size()), v.data(), known,
+                        bool_flags);
 }
 
 TEST(Cli, ParsesSeparateAndEqualsForms) {
@@ -44,6 +46,18 @@ TEST(Cli, DefaultsWhenAbsent) {
   EXPECT_EQ(args.get_int_or("pool", 4096), 4096);
   EXPECT_DOUBLE_EQ(args.get_double_or("x", 1.5), 1.5);
   EXPECT_FALSE(args.get("pool").has_value());
+}
+
+TEST(Cli, BooleanSwitchesNeedNoValue) {
+  const auto args = parse({"prog", "--json", "--pool", "64"}, {"pool"},
+                          {"json", "all"});
+  EXPECT_TRUE(args.has("json"));
+  EXPECT_FALSE(args.has("all"));
+  EXPECT_EQ(args.get_int_or("pool", 0), 64);
+  // A trailing switch must not consume a missing value.
+  EXPECT_TRUE(parse({"prog", "--all"}, {}, {"all"}).has("all"));
+  // Unknown switches still throw.
+  EXPECT_THROW(parse({"prog", "--verbose"}, {"pool"}, {"json"}), CheckFailure);
 }
 
 TEST(Cli, DoubleParsing) {

@@ -63,12 +63,16 @@ TEST_P(ThreadedMatchesSerial, IdenticalBoundsForAnyThreadCount) {
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadedMatchesSerial,
                          ::testing::Values(1, 2, 3, 8));
 
-TEST(ThreadedCpuEvaluator, NameIncludesThreadCount) {
+TEST(ThreadedCpuEvaluator, NameIsStableAcrossThreadCounts) {
+  // Reports and golden tests must not vary with detected hardware
+  // concurrency, so the name excludes the pool size.
   const fsp::Instance inst = fsp::taillard_instance(1);
   const auto data = fsp::LowerBoundData::build(inst);
-  ThreadedCpuEvaluator eval(inst, data, 3);
-  EXPECT_EQ(eval.name(), "cpu-threads-3");
-  EXPECT_EQ(eval.threads(), 3u);
+  ThreadedCpuEvaluator three(inst, data, 3);
+  ThreadedCpuEvaluator detected(inst, data, 0);
+  EXPECT_EQ(three.name(), "cpu-threads");
+  EXPECT_EQ(three.name(), detected.name());
+  EXPECT_EQ(three.threads(), 3u);
 }
 
 TEST(Evaluators, EmptyBatchIsHarmless) {

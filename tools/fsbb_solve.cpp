@@ -1,0 +1,114 @@
+// fsbb_solve — the configuration-driven solver CLI.
+//
+// Everything is selected by SolverConfig flags; no backend, bound or engine
+// is named in code. Extra switches on top of the config:
+//
+//   --list-backends     print the registry and exit
+//   --all               run every registered backend on the same instance(s)
+//   --json              emit one JSON report per line instead of text
+//   --frozen N          freeze a pool of N nodes first, then explore it
+//                       (the paper's §IV protocol) instead of root solves
+//
+// Examples:
+//   $ fsbb_solve --jobs 10 --machines 5 --seed 123456789 --all
+//   $ fsbb_solve --ta 1 --backend gpu-sim --placement shared-JM+PTM --json
+//   $ fsbb_solve --jobs 9 --count 8 --backend cpu-serial --batch-workers 4
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/backend_registry.h"
+#include "api/scenario.h"
+#include "api/solver.h"
+#include "common/table.h"
+
+namespace {
+
+int list_backends() {
+  using namespace fsbb;
+  const api::BackendRegistry& registry = api::BackendRegistry::global();
+  AsciiTable table("registered backends");
+  table.set_header({"key", "description"});
+  for (const std::string& key : registry.keys()) {
+    table.add_row({key, registry.description(key)});
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsbb;
+
+  api::SolverConfig config;
+  CliArgs args;
+  try {
+    std::vector<std::string> known = api::SolverConfig::cli_flags();
+    known.push_back("frozen");
+    args = CliArgs::parse(argc, argv, known, {"list-backends", "all", "json"});
+    config = api::SolverConfig::from_cli(args);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n\nflags: ";
+    for (const std::string& f : api::SolverConfig::cli_flags()) {
+      std::cerr << "--" << f << " ";
+    }
+    std::cerr << "--list-backends --all --json --frozen\n";
+    return 1;
+  }
+
+  if (args.has("list-backends")) return list_backends();
+
+  const bool json = args.has("json");
+  const auto freeze_target =
+      static_cast<std::size_t>(args.get_int_or("frozen", 0));
+
+  std::vector<std::string> backends;
+  if (args.has("all")) {
+    backends = api::BackendRegistry::global().keys();
+  } else {
+    backends.push_back(config.backend);
+  }
+
+  try {
+    // §IV protocol: every backend explores the same frozen list, so it is
+    // built once, outside the backend loop. On instances NEH nearly
+    // solves, pass a weak --ub (e.g. the total work) so the pool can
+    // actually reach the target.
+    std::optional<api::Workload> workload;
+    if (freeze_target > 0) {
+      workload = api::make_workload(config.instance, freeze_target,
+                                    config.initial_ub);
+    }
+    for (const std::string& backend : backends) {
+      config.backend = backend;
+      const api::Solver solver(config);
+
+      std::vector<api::SolveReport> reports;
+      if (workload) {
+        reports.push_back(solver.solve_frozen(workload->inst(),
+                                              workload->frozen));
+      } else {
+        const std::vector<fsp::Instance> instances =
+            api::make_instances(config.instance);
+        reports = instances.size() == 1
+                      ? std::vector<api::SolveReport>{solver.solve(
+                            instances.front())}
+                      : solver.solve_many(instances);
+      }
+
+      for (const api::SolveReport& report : reports) {
+        if (json) {
+          std::cout << report.to_json() << "\n";
+        } else {
+          std::cout << report << "\n";
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
