@@ -10,6 +10,7 @@
 #include "gpubb/gpu_evaluator.h"
 #include "gpusim/kernel.h"
 #include "mtbb/mt_engine.h"
+#include "mtbb/steal_engine.h"
 
 namespace fsbb::api {
 namespace {
@@ -102,6 +103,16 @@ class EngineBackend final : public Backend {
   std::unique_ptr<core::BoundEvaluator> evaluator_;
 };
 
+mtbb::MtOptions mt_options(const BackendContext& ctx) {
+  mtbb::MtOptions o;
+  o.threads = ctx.config->threads;
+  o.initial_ub = ctx.config->initial_ub;
+  o.node_budget = ctx.config->node_budget;
+  o.victim_order = ctx.config->victim_order;
+  o.steal_batch = ctx.config->steal_batch;
+  return o;
+}
+
 /// The §V shared-pool Pthread baseline, which runs its own search loop.
 class MulticoreBackend final : public Backend {
  public:
@@ -110,24 +121,38 @@ class MulticoreBackend final : public Backend {
   std::string name() const override { return "multicore"; }
 
   core::SolveResult solve() override {
-    return mtbb::mt_solve(*ctx_.instance, *ctx_.data, options());
+    return mtbb::mt_solve(*ctx_.instance, *ctx_.data, mt_options(ctx_));
   }
 
   core::SolveResult solve_from(std::vector<core::Subproblem> initial,
                                fsp::Time initial_ub) override {
     return mtbb::mt_solve_from(*ctx_.instance, *ctx_.data, std::move(initial),
-                               initial_ub, options());
+                               initial_ub, mt_options(ctx_));
   }
 
  private:
-  mtbb::MtOptions options() const {
-    mtbb::MtOptions o;
-    o.threads = ctx_.config->threads;
-    o.initial_ub = ctx_.config->initial_ub;
-    o.node_budget = ctx_.config->node_budget;
-    return o;
+  BackendContext ctx_;
+};
+
+/// The sharded-pool work-stealing engine (mtbb/steal_engine.h).
+class StealBackend final : public Backend {
+ public:
+  explicit StealBackend(const BackendContext& ctx) : ctx_(ctx) {}
+
+  std::string name() const override { return "cpu-steal"; }
+
+  core::SolveResult solve() override {
+    return mtbb::steal_solve(*ctx_.instance, *ctx_.data, mt_options(ctx_));
   }
 
+  core::SolveResult solve_from(std::vector<core::Subproblem> initial,
+                               fsp::Time initial_ub) override {
+    return mtbb::steal_solve_from(*ctx_.instance, *ctx_.data,
+                                  std::move(initial), initial_ub,
+                                  mt_options(ctx_));
+  }
+
+ private:
   BackendContext ctx_;
 };
 
@@ -202,6 +227,14 @@ void register_builtins(BackendRegistry& r) {
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
           require_lb1(ctx, "multicore");
           return std::make_unique<MulticoreBackend>(ctx);
+        });
+  r.add("cpu-steal",
+        "work-stealing sharded-pool B&B over --threads workers "
+        "(--victim-order, --steal-batch); strategy/batch/time-limit do "
+        "not apply",
+        [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
+          require_lb1(ctx, "cpu-steal");
+          return std::make_unique<StealBackend>(ctx);
         });
 }
 

@@ -5,9 +5,10 @@
 #include <sstream>
 
 namespace fsbb::api {
-namespace {
 
 // Minimal JSON writer: enough for the report shape, deterministic output.
+// Every control character (U+0000–U+001F) must be escaped — RFC 8259 — or
+// a backend name / error string with a stray byte emits invalid JSON.
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -19,8 +20,17 @@ std::string json_escape(const std::string& s) {
       case '\\':
         out += "\\\\";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       case '\n':
         out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
         break;
       case '\t':
         out += "\\t";
@@ -28,7 +38,8 @@ std::string json_escape(const std::string& s) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;
@@ -37,6 +48,8 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
+
+namespace {
 
 std::string num(double v) {
   std::ostringstream ss;
@@ -82,6 +95,8 @@ std::string config_json(const SolverConfig& c) {
   o.integer("batch_size", c.batch_size);
   o.integer("threads", c.threads);
   o.integer("batch_workers", c.batch_workers);
+  o.str("victim_order", core::to_string(c.victim_order));
+  o.integer("steal_batch", c.steal_batch);
   o.integer("block_threads", c.block_threads);
   o.str("placement", gpubb::to_string(c.placement));
   o.str("device", c.device);
@@ -115,6 +130,15 @@ std::string ledger_json(const core::EvalLedger& l) {
   return o.done();
 }
 
+std::string steal_json(const core::StealStats& s) {
+  JsonObject o;
+  o.integer("attempts", s.steal_attempts);
+  o.integer("successes", s.steal_successes);
+  o.integer("nodes_stolen", s.nodes_stolen);
+  o.real("success_rate", s.success_rate());
+  return o.done();
+}
+
 }  // namespace
 
 std::string SolveReport::to_json() const {
@@ -143,6 +167,7 @@ std::string SolveReport::to_json() const {
   o.field("result", result.done());
   o.field("stats", stats_json(stats));
   o.field("eval", eval ? ledger_json(*eval) : "null");
+  o.field("steal", steal ? steal_json(*steal) : "null");
   return o.done();
 }
 
@@ -163,6 +188,11 @@ void SolveReport::print_text(std::ostream& os) const {
      << "  " << num(stats.wall_seconds) << " s total, "
      << static_cast<int>(stats.bounding_fraction() * 100)
      << "% in the bounding operator\n";
+  if (steal) {
+    os << "  " << steal->nodes_stolen << " nodes stolen in "
+       << steal->steal_successes << "/" << steal->steal_attempts
+       << " successful steals\n";
+  }
 }
 
 std::ostream& operator<<(std::ostream& os, const SolveReport& report) {

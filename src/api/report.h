@@ -17,6 +17,10 @@
 
 namespace fsbb::api {
 
+/// Escapes `s` for use inside a JSON string literal: quotes, backslashes
+/// and every control character (U+0000–U+001F, per RFC 8259).
+std::string json_escape(const std::string& s);
+
 struct SolveReport {
   SolverConfig config;  ///< echo of the requesting configuration
 
@@ -33,8 +37,10 @@ struct SolveReport {
 
   core::EngineStats stats;
   /// Bounding-operator totals; unset for backends without an evaluator
-  /// seam (multicore).
+  /// seam (multicore, cpu-steal).
   std::optional<core::EvalLedger> eval;
+  /// Work-stealing traffic; set only by sharded-pool backends (cpu-steal).
+  std::optional<core::StealStats> steal;
 
   /// Single-line-per-field JSON object, deterministic key order.
   std::string to_json() const;

@@ -43,6 +43,7 @@ SolveReport Solver::run_one(const fsp::Instance& inst,
   report.best_permutation = result.best_permutation;
   report.proven_optimal = result.proven_optimal;
   report.stats = result.stats;
+  report.steal = result.steal;
   if (const core::EvalLedger* ledger = backend->eval_ledger()) {
     report.eval = *ledger;
   }

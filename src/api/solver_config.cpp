@@ -89,7 +89,7 @@ const std::vector<std::string>& SolverConfig::cli_flags() {
       "threads",    "batch-workers", "block-threads", "placement",
       "device",     "ub",            "node-budget",   "time-limit",
       "ta",         "jobs",          "machines",      "seed",
-      "count",
+      "count",      "victim-order",  "steal-batch",
   };
   return kFlags;
 }
@@ -102,6 +102,10 @@ SolverConfig SolverConfig::from_cli(const CliArgs& args) {
   c.batch_size = get_count_flag(args, "batch", c.batch_size);
   c.threads = get_count_flag(args, "threads", c.threads);
   c.batch_workers = get_count_flag(args, "batch-workers", c.batch_workers);
+  if (const auto v = args.get("victim-order")) {
+    c.victim_order = core::parse_victim_order(*v);
+  }
+  c.steal_batch = get_count_flag(args, "steal-batch", c.steal_batch);
   c.block_threads =
       static_cast<int>(args.get_int_or("block-threads", c.block_threads));
   if (const auto v = args.get("placement")) c.placement = parse_placement(*v);
@@ -144,6 +148,8 @@ std::vector<std::string> SolverConfig::to_cli() const {
   flag("batch", std::to_string(batch_size));
   flag("threads", std::to_string(threads));
   flag("batch-workers", std::to_string(batch_workers));
+  flag("victim-order", core::to_string(victim_order));
+  flag("steal-batch", std::to_string(steal_batch));
   flag("block-threads", std::to_string(block_threads));
   flag("placement", gpubb::to_string(placement));
   flag("device", device);
@@ -167,6 +173,7 @@ std::vector<std::string> SolverConfig::to_cli() const {
 void SolverConfig::validate() const {
   FSBB_CHECK_MSG(!backend.empty(), "backend key must not be empty");
   FSBB_CHECK_MSG(threads >= 1, "threads must be >= 1");
+  FSBB_CHECK_MSG(steal_batch >= 1, "steal batch must be >= 1");
   FSBB_CHECK_MSG(time_limit_seconds >= 0, "time limit must be >= 0");
   device_spec_for(*this);  // throws on unknown device keys
   if (instance.ta_id == 0) {

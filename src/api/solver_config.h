@@ -16,6 +16,7 @@
 
 #include "common/cli.h"
 #include "core/pool.h"
+#include "core/steal_stats.h"
 #include "fsp/instance.h"
 #include "gpubb/placement.h"
 #include "gpusim/device_spec.h"
@@ -68,6 +69,10 @@ struct SolverConfig {
   std::size_t threads = 4;
   /// Workers used by Solver::solve_many; 0 = min(instances, threads).
   std::size_t batch_workers = 0;
+  /// cpu-steal: victim scan order for starving workers.
+  core::VictimOrder victim_order = core::VictimOrder::kRoundRobin;
+  /// cpu-steal: nodes moved per successful steal (>= 1).
+  std::size_t steal_batch = 4;
   /// GPU kernel block size; 0 = the placement's recommended size.
   int block_threads = 0;
   gpubb::PlacementPolicy placement = gpubb::PlacementPolicy::kAuto;

@@ -21,6 +21,7 @@
 
 #include "core/evaluator.h"
 #include "core/pool.h"
+#include "core/steal_stats.h"
 #include "core/subproblem.h"
 #include "fsp/instance.h"
 #include "fsp/lb_data.h"
@@ -69,6 +70,8 @@ struct SolveResult {
   std::vector<JobId> best_permutation;  ///< empty if no schedule beat the UB
   bool proven_optimal = false;          ///< search space exhausted
   EngineStats stats;
+  /// Work-stealing traffic, for engines that shard their pool (else unset).
+  std::optional<StealStats> steal;
   std::vector<Subproblem> remaining_pool;  ///< see collect_pool_on_stop
 };
 

@@ -1,0 +1,33 @@
+// Work-stealing policy enums and counters — the lightweight slice of
+// core/work_steal.h that results (SolveResult, SolveReport) and options
+// (MtOptions, SolverConfig) need without pulling in the deque machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fsbb::core {
+
+/// Which victim a starving worker probes first.
+enum class VictimOrder {
+  kRoundRobin,  ///< cycle shards starting after the thief (deterministic)
+  kRandom,      ///< per-thief seeded random victim sequence
+};
+
+const char* to_string(VictimOrder order);
+VictimOrder parse_victim_order(const std::string& text);
+
+/// Work-stealing traffic counters, merged across workers.
+struct StealStats {
+  std::uint64_t steal_attempts = 0;   ///< victim probes (incl. empty ones)
+  std::uint64_t steal_successes = 0;  ///< probes that returned >= 1 node
+  std::uint64_t nodes_stolen = 0;     ///< total nodes that changed shard
+
+  double success_rate() const {
+    return steal_attempts > 0
+               ? static_cast<double>(steal_successes) / steal_attempts
+               : 0.0;
+  }
+};
+
+}  // namespace fsbb::core

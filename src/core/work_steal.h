@@ -1,0 +1,85 @@
+// Sharded work-stealing pools — the scalable alternative to the single
+// mutex-guarded Pool of the §V multicore baseline.
+//
+// Each worker owns one deque-backed local pool: it pushes and pops at the
+// back (LIFO — dive toward leaves, hot caches), while thieves steal from
+// the front (FIFO — the oldest nodes sit closest to the root and carry the
+// biggest subtrees, so one steal moves a large chunk of work). This is the
+// per-worker-pool design Gmys (2020) and Chakroun & Melab (2012) show is
+// what lets exact flow-shop B&B scale past the shared-pool ceiling.
+//
+// Subproblems own heap memory (the permutation vector), so the deques use
+// fine-grained per-shard locking rather than a Chase–Lev array: the owner's
+// lock is uncontended in the common case and a steal only touches one
+// victim. The architecture (local LIFO, steal-oldest, round-robin victims)
+// is what buys the scaling, not the lock elision.
+//
+// drain() is deterministic given the deque contents (shard 0..W-1, each
+// front to back), so the frozen-pool protocol keeps working on top.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/steal_stats.h"
+#include "core/subproblem.h"
+
+namespace fsbb::core {
+
+/// One worker's local pool. Owner operations (push/pop) hit the back;
+/// steals take the oldest nodes from the front. All operations are
+/// thread-safe; the owner's lock is uncontended unless a thief is present.
+class WorkStealingDeque {
+ public:
+  /// Owner: push a node on the back (LIFO hot end).
+  void push(Subproblem&& sp);
+
+  /// Owner: pop the most recently pushed node; nullopt when empty.
+  std::optional<Subproblem> pop();
+
+  /// Thief: move up to `max_nodes` of the *oldest* nodes into `out`.
+  /// Returns how many were taken (0 when the deque is empty).
+  std::size_t steal(std::vector<Subproblem>& out, std::size_t max_nodes);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Removes every node front-to-back (deterministic given the contents).
+  std::vector<Subproblem> drain();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Subproblem> items_;
+};
+
+/// A fixed set of per-worker deques plus the cross-shard operations the
+/// steal engine and the frozen-pool protocol need. Shard addresses are
+/// stable for the pool's lifetime.
+class ShardedPool {
+ public:
+  explicit ShardedPool(std::size_t shards);
+
+  std::size_t shards() const { return shards_.size(); }
+  WorkStealingDeque& shard(std::size_t i) { return *shards_[i]; }
+  const WorkStealingDeque& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Round-robin an initial node list across the shards (node i goes to
+  /// shard i % W) so every worker starts with a slice of the frozen pool.
+  void distribute(std::vector<Subproblem> nodes);
+
+  std::size_t size() const;  ///< sum over shards (racy under concurrency)
+  bool empty() const { return size() == 0; }
+
+  /// Drains shard 0..W-1, each front-to-back — deterministic given the
+  /// per-shard contents, like Pool::drain().
+  std::vector<Subproblem> drain();
+
+ private:
+  std::vector<std::unique_ptr<WorkStealingDeque>> shards_;
+};
+
+}  // namespace fsbb::core

@@ -17,7 +17,8 @@
 //   gpubb/    the paper's contribution: placement policies, packed device
 //             tables, the LB1 kernel, GPU/adaptive evaluators, the offload
 //             cost model, the pool-size auto-tuner
-//   mtbb/     the multi-core baseline: shared-pool engine + i7-970 model
+//   mtbb/     the multi-core engines: shared-pool baseline, work-stealing
+//             sharded-pool engine, i7-970 model
 //   api/      the facade: SolverConfig, the string-keyed backend registry,
 //             the Solver front door (single + batch solves), structured
 //             SolveReports with JSON export, and the §IV scenario helpers
@@ -57,7 +58,9 @@
 #include "core/pool.h"         // IWYU pragma: export
 #include "core/pool_io.h"      // IWYU pragma: export
 #include "core/protocol.h"     // IWYU pragma: export
+#include "core/steal_stats.h"  // IWYU pragma: export
 #include "core/subproblem.h"   // IWYU pragma: export
+#include "core/work_steal.h"   // IWYU pragma: export
 
 #include "gpusim/calibration.h" // IWYU pragma: export
 #include "gpusim/counters.h"    // IWYU pragma: export
@@ -78,6 +81,7 @@
 
 #include "mtbb/mt_engine.h"       // IWYU pragma: export
 #include "mtbb/multicore_model.h" // IWYU pragma: export
+#include "mtbb/steal_engine.h"    // IWYU pragma: export
 
 #include "api/backend_registry.h" // IWYU pragma: export
 #include "api/report.h"           // IWYU pragma: export

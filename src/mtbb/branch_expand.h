@@ -1,0 +1,91 @@
+// The branch + bound expansion step shared by the mtbb engines.
+//
+// Both the shared-pool baseline (mt_engine) and the work-stealing engine
+// (steal_engine) expand a popped node the same way: branch every free job,
+// route complete children through the makespan, bound the rest with the
+// scratch-reusing LB1 and keep the survivors under the incumbent snapshot.
+// One definition here keeps the two engines bit-identical per node — the
+// cross-engine agreement the differential-fuzz suite checks depends on it.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/subproblem.h"
+#include "fsp/instance.h"
+#include "fsp/lb1.h"
+#include "fsp/lb_data.h"
+#include "fsp/makespan.h"
+#include "fsp/neh.h"
+
+namespace fsbb::mtbb::detail {
+
+/// Best complete schedule seen while expanding one node.
+struct BestLeaf {
+  fsp::Time makespan = std::numeric_limits<fsp::Time>::max();
+  std::vector<fsp::JobId> perm;
+};
+
+/// Branches `node`, bounds every incomplete child with LB1, appends the
+/// children below `ub_snapshot` to `survivors` (cleared first) and
+/// accumulates the generated/evaluated/pruned/leaves counters into
+/// `stats`. Returns the best complete child, if any.
+inline BestLeaf expand_node(const fsp::Instance& inst,
+                            const fsp::LowerBoundData& data,
+                            const core::Subproblem& node,
+                            fsp::Time ub_snapshot, fsp::Lb1Scratch& scratch,
+                            core::EngineStats& stats,
+                            std::vector<core::Subproblem>& survivors) {
+  survivors.clear();
+  BestLeaf best;
+  const int r = node.remaining();
+  for (int i = 0; i < r; ++i) {
+    core::Subproblem child = node.child(i);
+    ++stats.generated;
+    if (child.is_complete()) {
+      ++stats.leaves;
+      const fsp::Time ms = fsp::makespan(inst, child.perm);
+      if (ms < best.makespan) {
+        best.makespan = ms;
+        best.perm = child.perm;
+      }
+      continue;
+    }
+    child.lb = fsp::lb1_from_prefix(inst, data, child.prefix(), scratch);
+    ++stats.evaluated;
+    if (child.lb < ub_snapshot) {
+      survivors.push_back(std::move(child));
+    } else {
+      ++stats.pruned;
+    }
+  }
+  return best;
+}
+
+/// The engines' shared root-solve prologue: the starting incumbent (NEH
+/// unless overridden) with its seed schedule, plus the bounded root node.
+struct RootStart {
+  fsp::Time ub;
+  std::vector<fsp::JobId> seed_perm;
+  core::Subproblem root;
+};
+
+inline RootStart make_root_start(const fsp::Instance& inst,
+                                 const fsp::LowerBoundData& data,
+                                 const std::optional<fsp::Time>& initial_ub) {
+  RootStart start;
+  if (initial_ub.has_value()) {
+    start.ub = *initial_ub;
+  } else {
+    fsp::NehResult neh = fsp::neh(inst);
+    start.ub = neh.makespan;
+    start.seed_perm = std::move(neh.permutation);
+  }
+  start.root = core::Subproblem::root(inst.jobs());
+  start.root.lb = fsp::lb1_from_prefix(inst, data, start.root.prefix());
+  return start;
+}
+
+}  // namespace fsbb::mtbb::detail

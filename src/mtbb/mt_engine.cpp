@@ -8,8 +8,7 @@
 #include "common/timer.h"
 #include "core/pool.h"
 #include "fsp/lb1.h"
-#include "fsp/makespan.h"
-#include "fsp/neh.h"
+#include "mtbb/branch_expand.h"
 
 namespace fsbb::mtbb {
 namespace {
@@ -65,36 +64,14 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
       std::lock_guard<std::mutex> lock(sh.mu);
       return sh.ub;
     }();
-    survivors.clear();
-    fsp::Time best_leaf = std::numeric_limits<fsp::Time>::max();
-    std::vector<fsp::JobId> best_leaf_perm;
-    const int r = node.remaining();
-    for (int i = 0; i < r; ++i) {
-      Subproblem child = node.child(i);
-      ++local.generated;
-      if (child.is_complete()) {
-        ++local.leaves;
-        const fsp::Time ms = fsp::makespan(inst, child.perm);
-        if (ms < best_leaf) {
-          best_leaf = ms;
-          best_leaf_perm = child.perm;
-        }
-        continue;
-      }
-      child.lb = fsp::lb1_from_prefix(inst, data, child.prefix(), scratch);
-      ++local.evaluated;
-      if (child.lb < ub_snapshot) {
-        survivors.push_back(std::move(child));
-      } else {
-        ++local.pruned;
-      }
-    }
+    detail::BestLeaf best_leaf = detail::expand_node(
+        inst, data, node, ub_snapshot, scratch, local, survivors);
 
     {
       std::lock_guard<std::mutex> lock(sh.mu);
-      if (best_leaf < sh.ub) {
-        sh.ub = best_leaf;
-        sh.best_perm = std::move(best_leaf_perm);
+      if (best_leaf.makespan < sh.ub) {
+        sh.ub = best_leaf.makespan;
+        sh.best_perm = std::move(best_leaf.perm);
         ++local.ub_updates;
       }
       for (Subproblem& child : survivors) {
@@ -169,21 +146,12 @@ core::SolveResult run(const fsp::Instance& inst,
 core::SolveResult mt_solve(const fsp::Instance& inst,
                            const fsp::LowerBoundData& data,
                            const MtOptions& options) {
-  fsp::Time ub;
-  std::vector<fsp::JobId> seed;
-  if (options.initial_ub.has_value()) {
-    ub = *options.initial_ub;
-  } else {
-    fsp::NehResult neh = fsp::neh(inst);
-    ub = neh.makespan;
-    seed = std::move(neh.permutation);
-  }
-
-  Subproblem root = Subproblem::root(inst.jobs());
-  root.lb = fsp::lb1_from_prefix(inst, data, root.prefix());
+  detail::RootStart start =
+      detail::make_root_start(inst, data, options.initial_ub);
   std::vector<Subproblem> initial;
-  initial.push_back(std::move(root));
-  return run(inst, data, std::move(initial), ub, options, std::move(seed));
+  initial.push_back(std::move(start.root));
+  return run(inst, data, std::move(initial), start.ub, options,
+             std::move(start.seed_perm));
 }
 
 core::SolveResult mt_solve_from(const fsp::Instance& inst,

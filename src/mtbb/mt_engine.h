@@ -16,18 +16,24 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/steal_stats.h"
 #include "fsp/instance.h"
 #include "fsp/lb_data.h"
 
 namespace fsbb::mtbb {
 
-/// Multi-threaded solve configuration.
+/// Multi-threaded solve configuration (shared by the shared-pool baseline
+/// and the work-stealing engine; the steal knobs only affect the latter).
 struct MtOptions {
   std::size_t threads = 4;
   /// Starting incumbent; NEH if unset.
   std::optional<fsp::Time> initial_ub;
   /// Stop after this many branched nodes across all workers (0 = solve).
   std::uint64_t node_budget = 0;
+  /// Victim scan order for starving workers (steal engine only).
+  core::VictimOrder victim_order = core::VictimOrder::kRoundRobin;
+  /// Nodes moved per successful steal (steal engine only; >= 1).
+  std::size_t steal_batch = 4;
 };
 
 /// Solves from the root with `options.threads` workers.

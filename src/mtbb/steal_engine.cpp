@@ -1,0 +1,270 @@
+#include "mtbb/steal_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/work_steal.h"
+#include "fsp/lb1.h"
+#include "mtbb/branch_expand.h"
+
+namespace fsbb::mtbb {
+namespace {
+
+using core::StealStats;
+using core::Subproblem;
+
+/// Failed steal rounds before a starving worker naps instead of spinning.
+constexpr int kSpinRoundsBeforeNap = 16;
+constexpr auto kNap = std::chrono::microseconds(100);
+
+/// Everything the workers share. The hot path (pop/push/prune) only
+/// touches the worker's own shard and two atomics.
+struct Shared {
+  explicit Shared(std::size_t workers) : pool(workers) {}
+
+  core::ShardedPool pool;
+  /// Nodes resident anywhere: in a deque or being branched. Children are
+  /// counted before their parent is released, so 0 means the tree is done.
+  std::atomic<std::uint64_t> in_flight{0};
+  std::atomic<fsp::Time> ub{std::numeric_limits<fsp::Time>::max()};
+  std::atomic<std::uint64_t> branched{0};  // budget accounting only
+  std::atomic<bool> stop{false};           // budget exhausted
+  std::uint64_t node_budget = 0;
+  core::VictimOrder victim_order = core::VictimOrder::kRoundRobin;
+  std::size_t steal_batch = 1;
+
+  std::mutex best_mu;                 // guards the two fields below
+  fsp::Time best_perm_makespan = std::numeric_limits<fsp::Time>::max();
+  std::vector<fsp::JobId> best_perm;
+
+  std::mutex stats_mu;  // merge point at worker exit
+  core::EngineStats stats;
+  StealStats steal_stats;
+
+  /// Start barrier: workers spin here until the whole gang exists, so the
+  /// shard holding the root cannot race ahead of thieves that the OS has
+  /// not scheduled yet (on short solves that skew serializes the search).
+  std::atomic<std::size_t> ready{0};
+};
+
+void await_gang(Shared& sh) {
+  sh.ready.fetch_add(1, std::memory_order_acq_rel);
+  while (sh.ready.load(std::memory_order_acquire) < sh.pool.shards()) {
+    std::this_thread::yield();
+  }
+}
+
+/// One victim-scan round. Returns a node to process (stolen batch minus
+/// one lands in the thief's own deque) or nullopt if every victim was dry.
+std::optional<Subproblem> try_steal(Shared& sh, std::size_t id,
+                                    std::size_t& rr_cursor, SplitMix64& rng,
+                                    std::vector<Subproblem>& loot,
+                                    StealStats& local) {
+  const std::size_t workers = sh.pool.shards();
+  if (workers <= 1) return std::nullopt;
+  for (std::size_t probe = 0; probe + 1 < workers; ++probe) {
+    std::size_t victim;
+    if (sh.victim_order == core::VictimOrder::kRandom) {
+      victim = static_cast<std::size_t>(rng.next_below(workers - 1));
+      if (victim >= id) ++victim;  // skip self, stay uniform
+    } else {
+      // Skip self without consuming a probe, so every scan covers all
+      // W-1 other shards (at 2 threads the single probe must always
+      // land on the other worker).
+      if (rr_cursor == id) rr_cursor = rr_cursor + 1 == workers ? 0 : rr_cursor + 1;
+      victim = rr_cursor;
+      rr_cursor = rr_cursor + 1 == workers ? 0 : rr_cursor + 1;
+    }
+    loot.clear();
+    ++local.steal_attempts;
+    if (sh.pool.shard(victim).steal(loot, sh.steal_batch) == 0) continue;
+    ++local.steal_successes;
+    local.nodes_stolen += loot.size();
+    // Keep the oldest node for immediate branching; the rest refill the
+    // local deque (in_flight is unchanged — the nodes merely moved shard).
+    Subproblem next = std::move(loot.front());
+    for (std::size_t i = 1; i < loot.size(); ++i) {
+      sh.pool.shard(id).push(std::move(loot[i]));
+    }
+    return next;
+  }
+  return std::nullopt;
+}
+
+void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
+            Shared& sh, std::size_t id) {
+  fsp::Lb1Scratch scratch(inst.jobs(), inst.machines());
+  core::EngineStats local;
+  StealStats local_steals;
+  std::vector<Subproblem> survivors;
+  std::vector<Subproblem> loot;
+  std::size_t rr_cursor = (id + 1) % sh.pool.shards();
+  SplitMix64 rng(0x5163a1ULL + id);  // per-worker victim sequence
+  int dry_rounds = 0;
+  await_gang(sh);
+
+  for (;;) {
+    if (sh.stop.load(std::memory_order_acquire)) break;
+    std::optional<Subproblem> node = sh.pool.shard(id).pop();
+    if (!node) node = try_steal(sh, id, rr_cursor, rng, loot, local_steals);
+    if (!node) {
+      // Two-phase quiescence: observing zero once is not enough in
+      // general (a node could be between a pop and its children's
+      // pushes), so confirm after a full fence. in_flight counts
+      // children before releasing the parent, which makes the confirmed
+      // zero final: nothing can re-raise it.
+      if (sh.in_flight.load(std::memory_order_acquire) == 0) {
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (sh.in_flight.load(std::memory_order_seq_cst) == 0) break;
+      }
+      if (++dry_rounds >= kSpinRoundsBeforeNap) {
+        std::this_thread::sleep_for(kNap);
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    dry_rounds = 0;
+
+    const fsp::Time ub_snapshot = sh.ub.load(std::memory_order_acquire);
+    if (node->lb >= ub_snapshot) {
+      ++local.pruned;
+      sh.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    const std::uint64_t branched_total =
+        sh.branched.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (sh.node_budget != 0 && branched_total >= sh.node_budget) {
+      sh.stop.store(true, std::memory_order_release);
+    }
+    ++local.branched;
+
+    detail::BestLeaf best_leaf = detail::expand_node(
+        inst, data, *node, ub_snapshot, scratch, local, survivors);
+
+    if (best_leaf.makespan < sh.ub.load(std::memory_order_acquire)) {
+      // Lock-free incumbent: CAS-min the atomic every worker prunes
+      // against, then record the permutation behind the mutex (its own
+      // makespan field keeps late-arriving weaker updates out).
+      fsp::Time cur = sh.ub.load(std::memory_order_relaxed);
+      while (best_leaf.makespan < cur &&
+             !sh.ub.compare_exchange_weak(cur, best_leaf.makespan,
+                                          std::memory_order_acq_rel)) {
+      }
+      const std::lock_guard<std::mutex> lock(sh.best_mu);
+      if (best_leaf.makespan < sh.best_perm_makespan) {
+        sh.best_perm_makespan = best_leaf.makespan;
+        sh.best_perm = std::move(best_leaf.perm);
+        ++local.ub_updates;
+      }
+    }
+
+    // Children first, parent last: in_flight can only hit zero when the
+    // whole subtree below every popped node has been accounted.
+    const fsp::Time ub_fresh = sh.ub.load(std::memory_order_acquire);
+    for (Subproblem& child : survivors) {
+      if (child.lb < ub_fresh) {
+        sh.in_flight.fetch_add(1, std::memory_order_acq_rel);
+        sh.pool.shard(id).push(std::move(child));
+      } else {
+        ++local.pruned;
+      }
+    }
+    sh.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  const std::lock_guard<std::mutex> lock(sh.stats_mu);
+  sh.stats.branched += local.branched;
+  sh.stats.generated += local.generated;
+  sh.stats.evaluated += local.evaluated;
+  sh.stats.pruned += local.pruned;
+  sh.stats.leaves += local.leaves;
+  sh.stats.ub_updates += local.ub_updates;
+  sh.steal_stats.steal_attempts += local_steals.steal_attempts;
+  sh.steal_stats.steal_successes += local_steals.steal_successes;
+  sh.steal_stats.nodes_stolen += local_steals.nodes_stolen;
+}
+
+core::SolveResult run(const fsp::Instance& inst,
+                      const fsp::LowerBoundData& data,
+                      std::vector<Subproblem> initial, fsp::Time initial_ub,
+                      const MtOptions& options,
+                      std::vector<fsp::JobId> seed_perm) {
+  FSBB_CHECK_MSG(options.threads >= 1, "need at least one worker");
+  FSBB_CHECK_MSG(options.steal_batch >= 1, "steal batch must be >= 1");
+  const WallTimer timer;
+
+  Shared sh(options.threads);
+  sh.ub.store(initial_ub, std::memory_order_relaxed);
+  sh.best_perm_makespan = initial_ub;
+  sh.best_perm = std::move(seed_perm);
+  sh.node_budget = options.node_budget;
+  sh.victim_order = options.victim_order;
+  sh.steal_batch = options.steal_batch;
+  sh.stats.initial_ub = initial_ub;
+
+  std::vector<Subproblem> live;
+  live.reserve(initial.size());
+  for (Subproblem& sp : initial) {
+    FSBB_CHECK_MSG(sp.lb != Subproblem::kUnevaluated,
+                   "steal engine requires bounded initial nodes");
+    if (sp.lb < initial_ub) {
+      live.push_back(std::move(sp));
+    } else {
+      ++sh.stats.pruned;
+    }
+  }
+  sh.in_flight.store(live.size(), std::memory_order_relaxed);
+  sh.pool.distribute(std::move(live));
+
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(options.threads);
+    for (std::size_t i = 0; i < options.threads; ++i) {
+      workers.emplace_back(
+          [&inst, &data, &sh, i] { worker(inst, data, sh, i); });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  core::SolveResult result;
+  result.best_makespan = sh.best_perm_makespan;
+  result.best_permutation = std::move(sh.best_perm);
+  result.proven_optimal = !sh.stop.load(std::memory_order_acquire);
+  result.stats = sh.stats;
+  result.stats.wall_seconds = timer.seconds();
+  // Bounding dominates worker time; report it as such for the profile bench.
+  result.stats.bounding_seconds = result.stats.wall_seconds;
+  result.steal = sh.steal_stats;
+  return result;
+}
+
+}  // namespace
+
+core::SolveResult steal_solve(const fsp::Instance& inst,
+                              const fsp::LowerBoundData& data,
+                              const MtOptions& options) {
+  detail::RootStart start =
+      detail::make_root_start(inst, data, options.initial_ub);
+  std::vector<Subproblem> initial;
+  initial.push_back(std::move(start.root));
+  return run(inst, data, std::move(initial), start.ub, options,
+             std::move(start.seed_perm));
+}
+
+core::SolveResult steal_solve_from(const fsp::Instance& inst,
+                                   const fsp::LowerBoundData& data,
+                                   std::vector<core::Subproblem> initial,
+                                   fsp::Time initial_ub,
+                                   const MtOptions& options) {
+  return run(inst, data, std::move(initial), initial_ub, options, {});
+}
+
+}  // namespace fsbb::mtbb

@@ -17,7 +17,8 @@ namespace {
 TEST(BackendRegistry, BuiltinsArePresentAndSorted) {
   const std::vector<std::string> keys = BackendRegistry::global().keys();
   for (const char* expected : {"adaptive", "callback", "cpu-serial",
-                               "cpu-threads", "gpu-sim", "multicore"}) {
+                               "cpu-steal", "cpu-threads", "gpu-sim",
+                               "multicore"}) {
     EXPECT_NE(std::find(keys.begin(), keys.end(), expected), keys.end())
         << expected;
   }
@@ -167,7 +168,7 @@ TEST(BackendAgreement, EveryBoundProvesTheSameOptimum) {
 TEST(BackendAgreement, Lb1OnlyBackendsRejectOtherBounds) {
   const fsp::Instance inst = fsp::make_taillard_instance(6, 3, 5, "lb1only");
   for (const std::string backend :
-       {"cpu-threads", "gpu-sim", "adaptive", "multicore"}) {
+       {"cpu-threads", "gpu-sim", "adaptive", "multicore", "cpu-steal"}) {
     SolverConfig config;
     config.backend = backend;
     config.bound = Bound::kLb0;

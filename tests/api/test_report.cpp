@@ -1,0 +1,122 @@
+// SolveReport serialization: json_escape must emit RFC 8259-valid string
+// bodies for any byte sequence (control characters included), and the
+// report JSON must carry the steal statistics of sharded-pool backends.
+#include "api/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace fsbb::api {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("cpu-steal"), "cpu-steal");
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("ta-like-10x5-s42"), "ta-like-10x5-s42");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesNamedControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, EscapesEveryRemainingControlCharacterAsUXxxx) {
+  // U+0000..U+001F must never appear raw inside a JSON string (RFC 8259
+  // §7) — a backend name or error string with a stray byte would
+  // otherwise emit invalid JSON.
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(json_escape(std::string("a") + '\0' + "b"),
+            std::string("a\\u0000b"));
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string escaped = json_escape(std::string(1, static_cast<char>(c)));
+    EXPECT_GE(escaped.size(), 2u) << "control char " << c << " left raw";
+    EXPECT_EQ(escaped[0], '\\') << "control char " << c << " left raw";
+  }
+}
+
+TEST(JsonEscape, LeavesHighBytesAlone) {
+  // Non-ASCII (UTF-8 continuation) bytes are not control characters and
+  // must pass through — the signed-char cast bug would send them through
+  // the \u path with a wild sign-extended value.
+  const std::string utf8 = "\xc3\xa9";  // é
+  EXPECT_EQ(json_escape(utf8), utf8);
+}
+
+SolveReport sample_report() {
+  SolveReport r;
+  r.instance_name = "sample-5x3";
+  r.jobs = 5;
+  r.machines = 3;
+  r.backend = "cpu-steal";
+  r.best_makespan = 123;
+  r.best_permutation = {2, 0, 1, 4, 3};
+  r.proven_optimal = true;
+  return r;
+}
+
+TEST(SolveReport, JsonSurvivesControlCharactersInStrings) {
+  SolveReport r = sample_report();
+  r.instance_name = std::string("bad\tname\nwith") + '\x01' + "controls";
+  r.evaluator = "eval\r\"quoted\"";
+  const std::string json = r.to_json();
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\r'), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_NE(json.find("bad\\tname\\nwith\\u0001controls"), std::string::npos);
+}
+
+TEST(SolveReport, JsonCarriesStealStatsWhenPresent) {
+  SolveReport r = sample_report();
+  EXPECT_NE(r.to_json().find("\"steal\":null"), std::string::npos);
+
+  core::StealStats steals;
+  steals.steal_attempts = 10;
+  steals.steal_successes = 4;
+  steals.nodes_stolen = 9;
+  r.steal = steals;
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"steal\":{\"attempts\":10,\"successes\":4,"
+                      "\"nodes_stolen\":9,\"success_rate\":0.4}"),
+            std::string::npos);
+}
+
+TEST(SolveReport, TextSummaryMentionsStealsOnlyWhenPresent) {
+  SolveReport r = sample_report();
+  std::ostringstream plain;
+  plain << r;
+  EXPECT_EQ(plain.str().find("stolen"), std::string::npos);
+
+  core::StealStats steals;
+  steals.steal_attempts = 3;
+  steals.steal_successes = 2;
+  steals.nodes_stolen = 5;
+  r.steal = steals;
+  std::ostringstream with;
+  with << r;
+  EXPECT_NE(with.str().find("5 nodes stolen in 2/3 successful steals"),
+            std::string::npos);
+}
+
+TEST(SolveReport, ConfigEchoCarriesStealKnobs) {
+  SolveReport r = sample_report();
+  r.config.victim_order = core::VictimOrder::kRandom;
+  r.config.steal_batch = 7;
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"victim_order\":\"random\""), std::string::npos);
+  EXPECT_NE(json.find("\"steal_batch\":7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsbb::api

@@ -13,6 +13,7 @@
 #include "fsp/taillard.h"
 #include "gpubb/gpu_evaluator.h"
 #include "mtbb/mt_engine.h"
+#include "mtbb/steal_engine.h"
 
 namespace fsbb {
 namespace {
@@ -59,6 +60,14 @@ TEST_P(BackendAgreement, AllFourBackendsProveTheSameOptimum) {
     ASSERT_TRUE(r.proven_optimal);
     ASSERT_EQ(r.best_makespan, expected) << "mtbb";
   }
+  // Work-stealing sharded-pool B&B (the scalable multicore successor).
+  {
+    mtbb::MtOptions options;
+    options.threads = 4;
+    const auto r = mtbb::steal_solve(inst, data, options);
+    ASSERT_TRUE(r.proven_optimal);
+    ASSERT_EQ(r.best_makespan, expected) << "steal";
+  }
   // Hybrid CPU + simulated GPU (the paper's contribution).
   {
     gpusim::SimDevice device(gpusim::DeviceSpec::tesla_c2050());
@@ -93,14 +102,20 @@ TEST(BackendAgreement, FrozenPoolProtocolAcrossBackends) {
   const auto gpu_result = core::explore_frozen(
       inst, data, frozen, gpu, core::SelectionStrategy::kBestFirst, 256);
 
-  const auto mt_result = mtbb::mt_solve_from(
-      inst, data, frozen.nodes, frozen.incumbent, mtbb::MtOptions{4});
+  mtbb::MtOptions mt_options;
+  mt_options.threads = 4;
+  const auto mt_result = mtbb::mt_solve_from(inst, data, frozen.nodes,
+                                             frozen.incumbent, mt_options);
+  const auto steal_result = mtbb::steal_solve_from(
+      inst, data, frozen.nodes, frozen.incumbent, mt_options);
 
   EXPECT_EQ(serial_result.best_makespan, gpu_result.best_makespan);
   EXPECT_EQ(serial_result.best_makespan, mt_result.best_makespan);
+  EXPECT_EQ(serial_result.best_makespan, steal_result.best_makespan);
   EXPECT_TRUE(serial_result.proven_optimal);
   EXPECT_TRUE(gpu_result.proven_optimal);
   EXPECT_TRUE(mt_result.proven_optimal);
+  EXPECT_TRUE(steal_result.proven_optimal);
 }
 
 TEST(BackendAgreement, IdenticalNodeCountsForIdenticalBatching) {

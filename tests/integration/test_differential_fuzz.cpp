@@ -1,0 +1,111 @@
+// Randomized differential testing: ~200 seeded random instances drawn from
+// every fsp::generators family (n <= 9 so the brute-force oracle stays
+// cheap, m varied), and every registered backend — including the
+// work-stealing cpu-steal engine — must match the oracle on makespan and
+// prove optimality. This is the exactness net under the concurrent engines:
+// a racy incumbent, a lost node or an unsound bound shows up here as a
+// wrong or unproven optimum on a pinpointed (family, n, m, seed) tuple.
+//
+// Sharded so ctest -j spreads the instances across cores; every shard is
+// deterministic in its index.
+#include <gtest/gtest.h>
+
+#include "api/backend_registry.h"
+#include "api/solver.h"
+#include "common/rng.h"
+#include "fsp/brute_force.h"
+#include "fsp/generators.h"
+#include "fsp/makespan.h"
+
+namespace fsbb {
+namespace {
+
+constexpr int kShards = 8;
+constexpr int kInstancesPerShard = 25;  // 8 x 25 = 200 instances
+
+constexpr fsp::InstanceFamily kFamilies[] = {
+    fsp::InstanceFamily::kUniform,           fsp::InstanceFamily::kJobCorrelated,
+    fsp::InstanceFamily::kMachineCorrelated, fsp::InstanceFamily::kTrend,
+    fsp::InstanceFamily::kTwoPlateaus,
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialFuzz, EveryBackendMatchesBruteForce) {
+  const int shard = GetParam();
+  SplitMix64 rng(0xD1FFu * 1000003u + static_cast<std::uint64_t>(shard));
+  const std::vector<std::string> backends = api::BackendRegistry::global().keys();
+
+  for (int i = 0; i < kInstancesPerShard; ++i) {
+    const auto family = kFamilies[rng.next_below(std::size(kFamilies))];
+    const int jobs = static_cast<int>(rng.next_in(5, 9));
+    const int machines = static_cast<int>(rng.next_in(2, 10));
+    const std::uint64_t seed = rng.next();
+    const fsp::Instance inst =
+        fsp::make_instance(family, jobs, machines, seed);
+    const std::string label = std::string(fsp::to_string(family)) + " " +
+                              std::to_string(jobs) + "x" +
+                              std::to_string(machines) + " seed " +
+                              std::to_string(seed);
+
+    const fsp::BruteForceResult oracle = fsp::brute_force(inst);
+    ASSERT_EQ(fsp::makespan(inst, oracle.permutation), oracle.makespan)
+        << label;
+
+    for (const std::string& backend : backends) {
+      api::SolverConfig config;
+      config.backend = backend;
+      config.threads = 3;
+      const api::SolveReport report = api::Solver(config).solve(inst);
+      EXPECT_TRUE(report.proven_optimal) << backend << " on " << label;
+      EXPECT_EQ(report.best_makespan, oracle.makespan)
+          << backend << " on " << label;
+      if (!report.best_permutation.empty()) {
+        EXPECT_EQ(fsp::makespan(inst, report.best_permutation),
+                  report.best_makespan)
+            << backend << " on " << label;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzz,
+                         ::testing::Range(0, kShards));
+
+// The steal engine's own knob matrix gets a dedicated sweep: victim order
+// and steal batch must never change the proven optimum.
+class StealKnobFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(StealKnobFuzz, KnobsNeverChangeTheOptimum) {
+  const int shard = GetParam();
+  SplitMix64 rng(0x57EA1u * 1000033u + static_cast<std::uint64_t>(shard));
+  for (int i = 0; i < 5; ++i) {
+    const auto family = kFamilies[rng.next_below(std::size(kFamilies))];
+    const int jobs = static_cast<int>(rng.next_in(6, 9));
+    const int machines = static_cast<int>(rng.next_in(3, 8));
+    const std::uint64_t seed = rng.next();
+    const fsp::Instance inst =
+        fsp::make_instance(family, jobs, machines, seed);
+    const fsp::Time expected = fsp::brute_force(inst).makespan;
+
+    for (const char* order : {"round-robin", "random"}) {
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
+        api::SolverConfig config;
+        config.backend = "cpu-steal";
+        config.threads = 4;
+        config.victim_order = core::parse_victim_order(order);
+        config.steal_batch = batch;
+        const api::SolveReport report = api::Solver(config).solve(inst);
+        EXPECT_TRUE(report.proven_optimal)
+            << order << "/" << batch << " on seed " << seed;
+        EXPECT_EQ(report.best_makespan, expected)
+            << order << "/" << batch << " on seed " << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, StealKnobFuzz, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace fsbb
