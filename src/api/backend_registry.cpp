@@ -94,6 +94,7 @@ class EngineBackend final : public Backend {
     o.initial_ub = c.initial_ub;
     o.node_budget = c.node_budget;
     o.time_limit_seconds = c.time_limit_seconds;
+    o.control = ctx_.control;
     return o;
   }
 
@@ -110,6 +111,7 @@ mtbb::MtOptions mt_options(const BackendContext& ctx) {
   o.node_budget = ctx.config->node_budget;
   o.victim_order = ctx.config->victim_order;
   o.steal_batch = ctx.config->steal_batch;
+  o.control = ctx.control;
   return o;
 }
 

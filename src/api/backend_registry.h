@@ -43,6 +43,9 @@ struct BackendContext {
   const fsp::Instance* instance = nullptr;
   const fsp::LowerBoundData* data = nullptr;
   const SolverConfig* config = nullptr;
+  /// Cooperative cancellation / deadline / progress block for this solve
+  /// (may be null — solves are then uninterruptible but fully valid).
+  core::SearchControl* control = nullptr;
 };
 
 /// One ready-to-run execution mode bound to a specific instance + config.

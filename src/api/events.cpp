@@ -1,0 +1,79 @@
+#include "api/events.h"
+
+#include "common/json.h"
+
+namespace fsbb::api {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCanceled:
+      return "canceled";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(ProgressEvent::Kind kind) {
+  switch (kind) {
+    case ProgressEvent::Kind::kIncumbent:
+      return "incumbent";
+    case ProgressEvent::Kind::kTick:
+      return "tick";
+    case ProgressEvent::Kind::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+std::string ProgressEvent::to_json() const {
+  JsonWriter o;
+  o.str("kind", to_string(kind));
+  o.integer("job", job);
+  o.real("elapsed_seconds", elapsed_seconds);
+  o.integer("incumbent", incumbent);
+  o.integer("branched", branched);
+  o.integer("evaluated", evaluated);
+  o.integer("pruned", pruned);
+  if (kind == Kind::kIncumbent) {
+    std::string perm = "[";
+    for (std::size_t i = 0; i < permutation.size(); ++i) {
+      if (i) perm += ",";
+      perm += std::to_string(permutation[i]);
+    }
+    o.field("permutation", perm + "]");
+  }
+  if (kind == Kind::kFinished) {
+    // A failed job has no stop reason — it never stopped, it threw.
+    if (error.empty()) {
+      o.str("stop_reason", core::to_string(stop_reason));
+    } else {
+      o.str("error", error);
+    }
+  }
+  return o.done();
+}
+
+ProgressEvent from_search_event(const core::SearchEvent& event,
+                                std::uint64_t job) {
+  ProgressEvent out;
+  out.kind = event.kind == core::SearchEvent::Kind::kIncumbent
+                 ? ProgressEvent::Kind::kIncumbent
+                 : ProgressEvent::Kind::kTick;
+  out.job = job;
+  out.elapsed_seconds = event.elapsed_seconds;
+  out.incumbent = event.incumbent;
+  out.permutation = event.permutation;
+  out.branched = event.branched;
+  out.evaluated = event.evaluated;
+  out.pruned = event.pruned;
+  return out;
+}
+
+}  // namespace fsbb::api

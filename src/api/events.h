@@ -1,0 +1,63 @@
+// Streaming progress events for asynchronous jobs.
+//
+// A submitted job (api/service.h) can be observed while it runs: the
+// engine-side core::SearchEvents (incumbent improvements, periodic
+// counter ticks) are lifted into ProgressEvents tagged with the job id,
+// and the service appends one terminal kFinished event carrying the stop
+// reason (or the error). Every event serializes to a single-line JSON
+// object — the NDJSON vocabulary fsbb_serve speaks on stdout.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/search_control.h"
+#include "fsp/instance.h"
+
+namespace fsbb::api {
+
+/// Lifecycle of a submitted job.
+enum class JobState {
+  kQueued,    ///< accepted, waiting for a service worker
+  kRunning,   ///< a worker is searching
+  kDone,      ///< finished with a report (optimal or early-stopped)
+  kCanceled,  ///< finished with a report whose stop reason is canceled
+  kFailed,    ///< the solve threw; the outcome carries the error
+};
+
+const char* to_string(JobState state);
+
+/// One streamed observation of an in-flight (or just-finished) job.
+struct ProgressEvent {
+  enum class Kind {
+    kIncumbent,  ///< the incumbent improved (permutation attached)
+    kTick,       ///< periodic counters heartbeat (rate limited)
+    kFinished,   ///< terminal: stop_reason (or error) is meaningful
+  };
+
+  Kind kind = Kind::kTick;
+  std::uint64_t job = 0;  ///< service job id (0 = direct, unmanaged solve)
+  double elapsed_seconds = 0;
+  fsp::Time incumbent = std::numeric_limits<fsp::Time>::max();
+  std::vector<fsp::JobId> permutation;  ///< kIncumbent events only
+  std::uint64_t branched = 0;
+  std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;
+  /// kFinished only: why the search returned.
+  core::StopReason stop_reason = core::StopReason::kOptimal;
+  /// kFinished only: non-empty when the job failed instead of finishing.
+  std::string error;
+
+  /// Single-line JSON object, deterministic key order.
+  std::string to_json() const;
+};
+
+const char* to_string(ProgressEvent::Kind kind);
+
+/// Lifts an engine-side search event into the job-tagged API event.
+ProgressEvent from_search_event(const core::SearchEvent& event,
+                                std::uint64_t job);
+
+}  // namespace fsbb::api

@@ -1,55 +1,12 @@
 #include "api/report.h"
 
-#include <cstdio>
 #include <ostream>
 #include <sstream>
 
 namespace fsbb::api {
-
-// Minimal JSON writer: enough for the report shape, deterministic output.
-// Every control character (U+0000–U+001F) must be escaped — RFC 8259 — or
-// a backend name / error string with a stray byte emits invalid JSON.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\b':
-        out += "\\b";
-        break;
-      case '\f':
-        out += "\\f";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 namespace {
+
+using fsbb::JsonWriter;
 
 std::string num(double v) {
   std::ostringstream ss;
@@ -57,38 +14,15 @@ std::string num(double v) {
   return ss.str();
 }
 
-class JsonObject {
- public:
-  void field(const std::string& key, const std::string& raw_value) {
-    if (!body_.empty()) body_ += ",";
-    body_ += "\"" + json_escape(key) + "\":" + raw_value;
-  }
-  void str(const std::string& key, const std::string& value) {
-    field(key, "\"" + json_escape(value) + "\"");
-  }
-  template <typename T>
-  void integer(const std::string& key, T value) {
-    field(key, std::to_string(value));
-  }
-  void real(const std::string& key, double value) { field(key, num(value)); }
-  void boolean(const std::string& key, bool value) {
-    field(key, value ? "true" : "false");
-  }
-  std::string done() const { return "{" + body_ + "}"; }
-
- private:
-  std::string body_;
-};
-
 std::string config_json(const SolverConfig& c) {
-  JsonObject inst;
+  JsonWriter inst;
   inst.integer("ta_id", c.instance.ta_id);
   inst.integer("jobs", c.instance.jobs);
   inst.integer("machines", c.instance.machines);
   inst.integer("seed", c.instance.seed);
   inst.integer("count", c.instance.count);
 
-  JsonObject o;
+  JsonWriter o;
   o.str("backend", c.backend);
   o.str("bound", to_string(c.bound));
   o.str("strategy", core::to_string(c.strategy));
@@ -104,12 +38,15 @@ std::string config_json(const SolverConfig& c) {
           c.initial_ub ? std::to_string(*c.initial_ub) : "null");
   o.integer("node_budget", c.node_budget);
   o.real("time_limit_seconds", c.time_limit_seconds);
+  o.field("deadline_ms",
+          c.deadline_ms ? std::to_string(*c.deadline_ms) : "null");
+  o.integer("progress_interval_ms", c.progress_interval_ms);
   o.field("instance", inst.done());
   return o.done();
 }
 
 std::string stats_json(const core::EngineStats& s) {
-  JsonObject o;
+  JsonWriter o;
   o.integer("branched", s.branched);
   o.integer("generated", s.generated);
   o.integer("evaluated", s.evaluated);
@@ -123,7 +60,7 @@ std::string stats_json(const core::EngineStats& s) {
 }
 
 std::string ledger_json(const core::EvalLedger& l) {
-  JsonObject o;
+  JsonWriter o;
   o.integer("batches", l.batches);
   o.integer("nodes", l.nodes);
   o.real("wall_seconds", l.wall_seconds);
@@ -131,7 +68,7 @@ std::string ledger_json(const core::EvalLedger& l) {
 }
 
 std::string steal_json(const core::StealStats& s) {
-  JsonObject o;
+  JsonWriter o;
   o.integer("attempts", s.steal_attempts);
   o.integer("successes", s.steal_successes);
   o.integer("nodes_stolen", s.nodes_stolen);
@@ -142,7 +79,7 @@ std::string steal_json(const core::StealStats& s) {
 }  // namespace
 
 std::string SolveReport::to_json() const {
-  JsonObject inst;
+  JsonWriter inst;
   inst.str("name", instance_name);
   inst.integer("jobs", jobs);
   inst.integer("machines", machines);
@@ -154,12 +91,13 @@ std::string SolveReport::to_json() const {
   }
   perm += "]";
 
-  JsonObject result;
+  JsonWriter result;
   result.integer("best_makespan", best_makespan);
   result.boolean("proven_optimal", proven_optimal);
+  result.str("stop_reason", core::to_string(stop_reason));
   result.field("best_permutation", perm);
 
-  JsonObject o;
+  JsonWriter o;
   o.field("config", config_json(config));
   o.field("instance", inst.done());
   o.str("backend", backend);
@@ -174,8 +112,13 @@ std::string SolveReport::to_json() const {
 void SolveReport::print_text(std::ostream& os) const {
   os << instance_name << " (" << jobs << "x" << machines << ") via " << backend;
   if (!evaluator.empty()) os << " [" << evaluator << "]";
-  os << "\n  makespan " << best_makespan
-     << (proven_optimal ? " (proven optimal)" : " (not proven)") << "\n  ";
+  os << "\n  makespan " << best_makespan;
+  if (proven_optimal) {
+    os << " (proven optimal)";
+  } else {
+    os << " (not proven; stopped: " << core::to_string(stop_reason) << ")";
+  }
+  os << "\n  ";
   if (best_permutation.empty()) {
     os << "no schedule beat the initial bound";
   } else {

@@ -12,14 +12,15 @@
 #include <vector>
 
 #include "api/solver_config.h"
+#include "common/json.h"
 #include "core/engine.h"
 #include "core/evaluator.h"
 
 namespace fsbb::api {
 
-/// Escapes `s` for use inside a JSON string literal: quotes, backslashes
-/// and every control character (U+0000–U+001F, per RFC 8259).
-std::string json_escape(const std::string& s);
+/// The JSON string-literal escaper (common/json.h), re-exported from its
+/// original home so api::json_escape keeps working.
+using fsbb::json_escape;
 
 struct SolveReport {
   SolverConfig config;  ///< echo of the requesting configuration
@@ -34,6 +35,10 @@ struct SolveReport {
   fsp::Time best_makespan = 0;
   std::vector<fsp::JobId> best_permutation;  ///< empty if nothing beat the UB
   bool proven_optimal = false;
+  /// Why the solve returned (optimal | canceled | deadline | budget |
+  /// frozen); anything but optimal is an early stop whose incumbent is
+  /// still a valid schedule bound.
+  core::StopReason stop_reason = core::StopReason::kOptimal;
 
   core::EngineStats stats;
   /// Bounding-operator totals; unset for backends without an evaluator

@@ -1,22 +1,27 @@
-// fsbb::api::Solver — the facade and single front door of the library.
+// fsbb::api::Solver — the synchronous facade and front door of the library.
 //
 //   api::SolverConfig config;            // or SolverConfig::from_argv(...)
 //   config.backend = "gpu-sim";
 //   api::Solver solver(config);
 //   api::SolveReport report = solver.solve(instance);
 //
-// The Solver validates the configuration once, builds per-instance state
-// (LowerBoundData, the backend from the registry) per call, and returns a
-// structured SolveReport. solve_many() runs independent instances
-// concurrently over a shared ThreadPool — each instance gets its own
-// backend, so any registered backend batches safely.
+// The Solver validates the configuration once and is a thin synchronous
+// wrapper over api::SolverService: solve() submits one job and blocks on
+// its handle, solve_many() submits the whole batch and waits for every
+// handle, so the synchronous and asynchronous paths run the exact same
+// code — including cooperative cancellation and SolverConfig::deadline_ms.
+// Callers that need cancellation, progress streaming or non-blocking
+// futures use SolverService directly (api/service.h).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "api/backend_registry.h"
 #include "api/report.h"
+#include "api/service.h"
 #include "api/solver_config.h"
 #include "common/threadpool.h"
 #include "core/protocol.h"
@@ -31,30 +36,44 @@ class Solver {
 
   const SolverConfig& config() const { return config_; }
 
-  /// Solves one instance from the root.
+  /// Solves one instance from the root (submit + wait on the service).
+  /// Rethrows the job's exception with its original type on failure.
   SolveReport solve(const fsp::Instance& inst) const;
 
   /// Explores a frozen pool (§IV protocol) under this configuration.
   SolveReport solve_frozen(const fsp::Instance& inst,
                            const core::FrozenPool& frozen) const;
 
-  /// Batch API: solves independent instances concurrently on `pool`
-  /// (one chunk per instance, so finished workers steal the next one).
-  /// Reports come back in input order. The first exception, if any, is
-  /// rethrown after the batch drains.
-  std::vector<SolveReport> solve_many(std::span<const fsp::Instance> instances,
-                                      ThreadPool& pool) const;
+  /// Batch API: submits every instance to the internal service (workers =
+  /// config.batch_workers, or config.threads when 0) and waits for all of
+  /// them. Outcomes come back in input order, each carrying its report or
+  /// its error — no completed work is discarded when one instance fails.
+  std::vector<SolveOutcome> solve_many_outcomes(
+      std::span<const fsp::Instance> instances) const;
 
-  /// Convenience overload over an internal pool of config.batch_workers
-  /// workers (0 = min(instances, config.threads)).
+  /// Compatibility shim over solve_many_outcomes: returns the reports, or
+  /// rethrows the first (input-order) error — but only after every
+  /// instance finished, so no in-flight work is abandoned. Prefer
+  /// solve_many_outcomes when partial results matter.
   std::vector<SolveReport> solve_many(
       std::span<const fsp::Instance> instances) const;
 
+  /// Batch API over a caller-owned pool (one chunk per instance, so
+  /// finished workers steal the next one). Same error semantics as
+  /// solve_many(instances).
+  std::vector<SolveReport> solve_many(std::span<const fsp::Instance> instances,
+                                      ThreadPool& pool) const;
+
  private:
-  SolveReport run_one(const fsp::Instance& inst,
-                      const core::FrozenPool* frozen) const;
+  /// The internal job service, created lazily on the first solve.
+  SolverService& service() const;
+  /// Arms a fresh control from the config (deadline), for the direct
+  /// (non-service) execution paths.
+  void arm(core::SearchControl& control) const;
 
   SolverConfig config_;
+  mutable std::mutex service_mu_;
+  mutable std::unique_ptr<SolverService> service_;  // guarded by service_mu_
 };
 
 }  // namespace fsbb::api

@@ -89,7 +89,8 @@ const std::vector<std::string>& SolverConfig::cli_flags() {
       "threads",    "batch-workers", "block-threads", "placement",
       "device",     "ub",            "node-budget",   "time-limit",
       "ta",         "jobs",          "machines",      "seed",
-      "count",      "victim-order",  "steal-batch",
+      "count",      "victim-order",  "steal-batch",   "deadline-ms",
+      "progress-interval-ms",
   };
   return kFlags;
 }
@@ -117,6 +118,11 @@ SolverConfig SolverConfig::from_cli(const CliArgs& args) {
       static_cast<std::uint64_t>(get_count_flag(args, "node-budget",
                                                 static_cast<std::size_t>(c.node_budget)));
   c.time_limit_seconds = args.get_double_or("time-limit", c.time_limit_seconds);
+  if (args.has("deadline-ms")) {
+    c.deadline_ms = get_count_flag(args, "deadline-ms", 0);
+  }
+  c.progress_interval_ms =
+      get_count_flag(args, "progress-interval-ms", c.progress_interval_ms);
   c.instance.ta_id = static_cast<int>(args.get_int_or("ta", c.instance.ta_id));
   c.instance.jobs = static_cast<int>(args.get_int_or("jobs", c.instance.jobs));
   c.instance.machines =
@@ -162,6 +168,8 @@ std::vector<std::string> SolverConfig::to_cli() const {
        << time_limit_seconds;
     flag("time-limit", ss.str());
   }
+  if (deadline_ms) flag("deadline-ms", std::to_string(*deadline_ms));
+  flag("progress-interval-ms", std::to_string(progress_interval_ms));
   flag("ta", std::to_string(instance.ta_id));
   flag("jobs", std::to_string(instance.jobs));
   flag("machines", std::to_string(instance.machines));

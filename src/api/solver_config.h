@@ -67,7 +67,8 @@ struct SolverConfig {
   /// Host worker threads for cpu-threads / adaptive / multicore. Fixed
   /// default (not hardware concurrency) so reports are machine-stable.
   std::size_t threads = 4;
-  /// Workers used by Solver::solve_many; 0 = min(instances, threads).
+  /// Concurrent jobs on the Solver's internal service (solve_many and
+  /// solve alike); 0 = config.threads workers.
   std::size_t batch_workers = 0;
   /// cpu-steal: victim scan order for starving workers.
   core::VictimOrder victim_order = core::VictimOrder::kRoundRobin;
@@ -82,6 +83,15 @@ struct SolverConfig {
   std::optional<fsp::Time> initial_ub;
   std::uint64_t node_budget = 0;     ///< 0 = solve to optimality
   double time_limit_seconds = 0;     ///< 0 = unlimited
+  /// Hard wall-clock deadline in milliseconds, measured from submission.
+  /// Unlike time_limit_seconds (which only the serial engine honors, at
+  /// batch granularity), the deadline flows through core::SearchControl
+  /// and stops every backend. A value of 0 is an already-expired deadline:
+  /// the search stops before branching anything. Unset = no deadline.
+  std::optional<std::uint64_t> deadline_ms;
+  /// Minimum interval between streamed periodic progress events (ticks)
+  /// when a subscriber is attached; incumbent events always pass.
+  std::uint64_t progress_interval_ms = 200;
   InstanceSpec instance;
 
   bool operator==(const SolverConfig&) const = default;

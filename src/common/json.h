@@ -1,0 +1,103 @@
+// Minimal JSON value + recursive-descent parser (RFC 8259 subset).
+//
+// The library *writes* JSON in several places (SolveReport::to_json,
+// ProgressEvent::to_json); fsbb_serve must also *read* it — one request
+// object per stdin line. This is the smallest parser that round-trips
+// that traffic: objects, arrays, strings (with \uXXXX → UTF-8 decoding),
+// numbers, booleans and null. No dependency, no streaming, no comments.
+// Errors throw CheckFailure naming the byte offset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fsbb {
+
+/// Escapes `s` for use inside a JSON string literal: quotes, backslashes
+/// and every control character (U+0000–U+001F, per RFC 8259).
+std::string json_escape(const std::string& s);
+
+/// Minimal insertion-ordered JSON object writer — the emitting
+/// counterpart of JsonValue, shared by SolveReport, ProgressEvent and the
+/// fsbb_serve event envelopes so escaping and formatting live in one
+/// place. field() splices a pre-rendered raw JSON value (nested objects,
+/// arrays, "null"); the typed helpers escape and format scalars.
+class JsonWriter {
+ public:
+  void field(const std::string& key, const std::string& raw_value);
+  void str(const std::string& key, const std::string& value);
+  template <typename T>
+  void integer(const std::string& key, T value) {
+    field(key, std::to_string(value));
+  }
+  void real(const std::string& key, double value);
+  void boolean(const std::string& key, bool value);
+
+  /// The assembled object, e.g. {"a":1,"b":"x"} (fields in call order).
+  std::string done() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// One parsed JSON value. Objects keep their keys sorted (std::map) —
+/// deterministic iteration, which is all the NDJSON protocol needs.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  /// Parses exactly one JSON value (surrounding whitespace allowed);
+  /// throws CheckFailure on syntax errors or trailing garbage.
+  static JsonValue parse(const std::string& text);
+
+  /// Construction, mostly for tests (the parser uses these too).
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue string(std::string s);
+  static JsonValue array(Array items);
+  static JsonValue object(Object members);
+
+  Type type() const;
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_object() const { return type() == Type::kObject; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_bool() const { return type() == Type::kBool; }
+
+  /// Typed accessors; throw CheckFailure on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< as_number, checked integral
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member, or nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+
+  /// Convenience object lookups with fallbacks; throw on type mismatch
+  /// when the key IS present.
+  std::string string_or(const std::string& key, std::string fallback) const;
+  std::int64_t int_or(const std::string& key, std::int64_t fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+ private:
+  // Recursive containers need an indirection; shared_ptr keeps JsonValue
+  // cheap to copy (values are read-only after parse).
+  std::variant<std::monostate, bool, double, std::string,
+               std::shared_ptr<Array>, std::shared_ptr<Object>>
+      value_;
+};
+
+}  // namespace fsbb

@@ -68,25 +68,29 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
   std::vector<Subproblem> pending;  // children awaiting the bounding operator
   pending.reserve(options_.batch_size + static_cast<std::size_t>(inst_->jobs()));
 
-  bool stopped_early = false;
+  std::optional<StopReason> stop;
   auto budget_exhausted = [&] {
     return options_.node_budget != 0 &&
            result.stats.branched >= options_.node_budget;
   };
-  auto pool_frozen = [&] {
-    return options_.freeze_pool_size != 0 &&
-           pool->size() >= options_.freeze_pool_size;
-  };
-  auto out_of_time = [&] {
-    return options_.time_limit_seconds > 0 &&
-           total_timer.seconds() >= options_.time_limit_seconds;
+  // Checked once per bounding batch; the engine may overrun a deadline or
+  // cancellation by at most one batch.
+  auto stop_reason_now = [&]() -> std::optional<StopReason> {
+    if (budget_exhausted()) return StopReason::kBudget;
+    if (options_.freeze_pool_size != 0 &&
+        pool->size() >= options_.freeze_pool_size) {
+      return StopReason::kFrozen;
+    }
+    if (options_.time_limit_seconds > 0 &&
+        total_timer.seconds() >= options_.time_limit_seconds) {
+      return StopReason::kDeadline;
+    }
+    if (options_.control) return options_.control->should_stop();
+    return std::nullopt;
   };
 
   while (!pool->empty()) {
-    if (budget_exhausted() || pool_frozen() || out_of_time()) {
-      stopped_early = true;
-      break;
-    }
+    if ((stop = stop_reason_now())) break;
 
     // --- selection + elimination (lazy) + branching ------------------
     pending.clear();
@@ -109,6 +113,11 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
             result.best_makespan = ms;
             result.best_permutation = child.perm;
             ++result.stats.ub_updates;
+            if (options_.control) {
+              options_.control->emit_incumbent(
+                  ms, child.perm, result.stats.branched,
+                  result.stats.evaluated, result.stats.pruned);
+            }
           }
         } else {
           pending.push_back(std::move(child));
@@ -136,12 +145,20 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
       }
     }
     pending.clear();
+
+    if (options_.control) {
+      options_.control->maybe_emit_tick(result.best_makespan,
+                                        result.stats.branched,
+                                        result.stats.evaluated,
+                                        result.stats.pruned);
+    }
   }
 
   // `pending` is always empty here: the stop conditions are only honoured at
   // the top of the loop, after the previous batch was inserted.
-  result.proven_optimal = !stopped_early && pool->empty();
-  if (stopped_early && options_.collect_pool_on_stop) {
+  result.proven_optimal = !stop && pool->empty();
+  result.stop_reason = stop.value_or(StopReason::kOptimal);
+  if (stop && options_.collect_pool_on_stop) {
     result.remaining_pool = pool->drain();
   }
   result.stats.wall_seconds = total_timer.seconds();

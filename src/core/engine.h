@@ -21,6 +21,7 @@
 
 #include "core/evaluator.h"
 #include "core/pool.h"
+#include "core/search_control.h"
 #include "core/steal_stats.h"
 #include "core/subproblem.h"
 #include "fsp/instance.h"
@@ -45,6 +46,10 @@ struct EngineOptions {
   std::size_t freeze_pool_size = 0;
   /// Keep the unexplored pool in the result when stopping early.
   bool collect_pool_on_stop = false;
+  /// Cooperative cancellation / deadline / progress block (not owned; may
+  /// be null). Polled once per bounding batch, so cancellation and
+  /// deadlines take effect within one batch.
+  SearchControl* control = nullptr;
 };
 
 /// Counters for every operator of the algorithm.
@@ -69,6 +74,9 @@ struct SolveResult {
   Time best_makespan = std::numeric_limits<Time>::max();
   std::vector<JobId> best_permutation;  ///< empty if no schedule beat the UB
   bool proven_optimal = false;          ///< search space exhausted
+  /// Why the solve returned; anything but kOptimal is an early stop with a
+  /// valid partial incumbent.
+  StopReason stop_reason = StopReason::kOptimal;
   EngineStats stats;
   /// Work-stealing traffic, for engines that shard their pool (else unset).
   std::optional<StealStats> steal;

@@ -1,0 +1,99 @@
+#include "core/search_control.h"
+
+namespace fsbb::core {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kOptimal:
+      return "optimal";
+    case StopReason::kCanceled:
+      return "canceled";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kBudget:
+      return "budget";
+    case StopReason::kFrozen:
+      return "frozen";
+  }
+  return "?";
+}
+
+void SearchControl::set_sink(EventSink sink, double min_tick_seconds) {
+  const std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_ = std::move(sink);
+  min_tick_ns_ = static_cast<std::int64_t>(min_tick_seconds * 1e9);
+  has_sink_.store(sink_ != nullptr, std::memory_order_release);
+}
+
+StopReason SearchControl::latch(StopReason reason) {
+  int expected = -1;
+  latched_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                   std::memory_order_acq_rel);
+  // On CAS failure `expected` holds the reason another thread latched first.
+  return expected == -1 ? reason : static_cast<StopReason>(expected);
+}
+
+std::optional<StopReason> SearchControl::should_stop() {
+  const int latched = latched_.load(std::memory_order_acquire);
+  if (latched >= 0) return static_cast<StopReason>(latched);
+  if (cancel_.load(std::memory_order_acquire)) {
+    return latch(StopReason::kCanceled);
+  }
+  const std::int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+  if (deadline != kNoDeadline &&
+      Clock::now().time_since_epoch().count() >= deadline) {
+    return latch(StopReason::kDeadline);
+  }
+  return std::nullopt;
+}
+
+void SearchControl::dispatch(const SearchEvent& event) {
+  // Caller holds sink_mu_.
+  if (sink_) sink_(event);
+}
+
+void SearchControl::emit_incumbent(fsp::Time makespan,
+                                   std::span<const fsp::JobId> perm,
+                                   std::uint64_t branched,
+                                   std::uint64_t evaluated,
+                                   std::uint64_t pruned) {
+  if (!has_sink_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(sink_mu_);
+  if (makespan >= best_emitted_) return;  // a better schedule already streamed
+  best_emitted_ = makespan;
+  SearchEvent event;
+  event.kind = SearchEvent::Kind::kIncumbent;
+  event.incumbent = makespan;
+  event.permutation.assign(perm.begin(), perm.end());
+  event.branched = branched;
+  event.evaluated = evaluated;
+  event.pruned = pruned;
+  event.elapsed_seconds = elapsed_seconds();
+  dispatch(event);
+}
+
+void SearchControl::maybe_emit_tick(fsp::Time incumbent,
+                                    std::uint64_t branched,
+                                    std::uint64_t evaluated,
+                                    std::uint64_t pruned) {
+  if (!has_sink_.load(std::memory_order_acquire)) return;
+  const std::int64_t now = Clock::now().time_since_epoch().count();
+  std::int64_t last = last_tick_ns_.load(std::memory_order_relaxed);
+  if (last != kNoDeadline && now - last < min_tick_ns_) return;
+  // Claim the slot; losing the race means another worker just ticked.
+  if (!last_tick_ns_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    return;
+  }
+  SearchEvent event;
+  event.kind = SearchEvent::Kind::kTick;
+  event.incumbent = incumbent;
+  event.branched = branched;
+  event.evaluated = evaluated;
+  event.pruned = pruned;
+  event.elapsed_seconds = elapsed_seconds();
+  const std::lock_guard<std::mutex> lock(sink_mu_);
+  dispatch(event);
+}
+
+}  // namespace fsbb::core

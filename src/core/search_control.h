@@ -1,0 +1,152 @@
+// SearchControl — the cooperative cancellation / deadline / progress block
+// shared by every engine.
+//
+// A long-running B&B must be observable and stoppable without being torn
+// down: the service layer (api/service.h) hands each job one SearchControl,
+// and every backend — the serial BBEngine, the shared-pool mt engine and
+// the work-stealing engine — polls it at its natural batch boundary (one
+// bounding batch for BBEngine, one node expansion for the mtbb engines).
+// Three concerns, all thread-safe:
+//
+//   * cancellation: request_cancel() from any thread; the search observes
+//     it at the next should_stop() poll and unwinds with a consistent
+//     partial result (StopReason::kCanceled).
+//   * deadline: a steady-clock instant; should_stop() samples the clock
+//     and latches StopReason::kDeadline once passed. Engine-level
+//     time_limit_seconds maps to the same reason.
+//   * progress events: an optional sink receives SearchEvents — incumbent
+//     improvements (gated so streamed incumbents are strictly improving
+//     even when parallel workers race) and rate-limited periodic ticks.
+//
+// should_stop() latches: once it returns a reason it keeps returning that
+// same reason, so every worker of a parallel engine agrees on why the
+// search ended.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fsp/instance.h"
+
+namespace fsbb::core {
+
+/// Why a solve returned. kOptimal means the search space was exhausted;
+/// everything else is an early stop with a valid partial incumbent.
+enum class StopReason {
+  kOptimal,   ///< pool drained, incumbent proven optimal
+  kCanceled,  ///< SearchControl::request_cancel observed
+  kDeadline,  ///< deadline or engine time limit passed
+  kBudget,    ///< node budget exhausted
+  kFrozen,    ///< pool reached freeze_pool_size (§IV protocol snapshot)
+};
+
+const char* to_string(StopReason reason);
+
+/// One observation of a running search, pushed through the event sink.
+struct SearchEvent {
+  enum class Kind {
+    kIncumbent,  ///< the incumbent improved (permutation attached)
+    kTick,       ///< periodic counters heartbeat (rate limited)
+  };
+
+  Kind kind = Kind::kTick;
+  /// Best makespan known when the event was emitted.
+  fsp::Time incumbent = std::numeric_limits<fsp::Time>::max();
+  /// The improving schedule (kIncumbent only; empty for ticks).
+  std::vector<fsp::JobId> permutation;
+  std::uint64_t branched = 0;
+  std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;
+  /// Seconds since the SearchControl was armed (construction).
+  double elapsed_seconds = 0;
+};
+
+/// Shared control block for one solve. Engines only read atomics on the
+/// hot path; the sink mutex is touched on improvements and ticks only.
+class SearchControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using EventSink = std::function<void(const SearchEvent&)>;
+
+  SearchControl() : start_(Clock::now()) {}
+  SearchControl(const SearchControl&) = delete;
+  SearchControl& operator=(const SearchControl&) = delete;
+
+  /// Asks the search to stop at its next poll. Idempotent, any thread.
+  void request_cancel() { cancel_.store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
+  /// Hard wall-clock deadline. A deadline in the past (including
+  /// set_deadline_after(0)) stops the search before it branches anything.
+  void set_deadline(Clock::time_point when) {
+    deadline_ns_.store(when.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+  void set_deadline_after(double seconds) {
+    set_deadline(Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(seconds)));
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != kNoDeadline;
+  }
+
+  /// Installs the event sink. Call before the search starts; the sink may
+  /// be invoked from any engine worker thread (invocations are serialized).
+  /// min_tick_seconds rate-limits kTick events; incumbents always pass.
+  void set_sink(EventSink sink, double min_tick_seconds = 0.2);
+
+  /// The cooperative poll. Returns the reason to stop, or nullopt to keep
+  /// searching. Latches the first reason observed.
+  std::optional<StopReason> should_stop();
+
+  /// Emits a kIncumbent event if `makespan` improves on every incumbent
+  /// already streamed — the gate that keeps the event stream strictly
+  /// improving even when parallel workers discover schedules out of order.
+  void emit_incumbent(fsp::Time makespan, std::span<const fsp::JobId> perm,
+                      std::uint64_t branched, std::uint64_t evaluated,
+                      std::uint64_t pruned);
+
+  /// Emits a kTick heartbeat unless one was emitted less than
+  /// min_tick_seconds ago (or no sink is installed). Cheap when throttled:
+  /// one relaxed atomic load + one clock read.
+  void maybe_emit_tick(fsp::Time incumbent, std::uint64_t branched,
+                       std::uint64_t evaluated, std::uint64_t pruned);
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::min();
+
+  /// First writer wins; everyone afterwards sees the same reason.
+  StopReason latch(StopReason reason);
+  void dispatch(const SearchEvent& event);
+
+  const Clock::time_point start_;
+  std::atomic<bool> cancel_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  std::atomic<int> latched_{-1};
+
+  std::atomic<bool> has_sink_{false};
+  std::atomic<std::int64_t> last_tick_ns_{kNoDeadline};
+  std::int64_t min_tick_ns_ = 0;
+
+  std::mutex sink_mu_;  // serializes sink calls + guards the fields below
+  EventSink sink_;
+  fsp::Time best_emitted_ = std::numeric_limits<fsp::Time>::max();
+};
+
+}  // namespace fsbb::core

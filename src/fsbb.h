@@ -20,8 +20,11 @@
 //   mtbb/     the multi-core engines: shared-pool baseline, work-stealing
 //             sharded-pool engine, i7-970 model
 //   api/      the facade: SolverConfig, the string-keyed backend registry,
-//             the Solver front door (single + batch solves), structured
-//             SolveReports with JSON export, and the §IV scenario helpers
+//             the asynchronous SolverService (SolveHandle futures,
+//             cooperative cancellation, deadlines, streaming
+//             ProgressEvents), the synchronous Solver front door (single +
+//             batch solves), structured SolveReports with JSON export, and
+//             the §IV scenario helpers
 //
 // Applications should start at api/ — everything below it is reachable
 // through SolverConfig without hand-wiring evaluators and engines.
@@ -31,6 +34,7 @@
 
 #include "common/check.h"      // IWYU pragma: export
 #include "common/cli.h"        // IWYU pragma: export
+#include "common/json.h"       // IWYU pragma: export
 #include "common/matrix.h"     // IWYU pragma: export
 #include "common/rng.h"        // IWYU pragma: export
 #include "common/stats.h"      // IWYU pragma: export
@@ -58,6 +62,7 @@
 #include "core/pool.h"         // IWYU pragma: export
 #include "core/pool_io.h"      // IWYU pragma: export
 #include "core/protocol.h"     // IWYU pragma: export
+#include "core/search_control.h" // IWYU pragma: export
 #include "core/steal_stats.h"  // IWYU pragma: export
 #include "core/subproblem.h"   // IWYU pragma: export
 #include "core/work_steal.h"   // IWYU pragma: export
@@ -84,7 +89,9 @@
 #include "mtbb/steal_engine.h"    // IWYU pragma: export
 
 #include "api/backend_registry.h" // IWYU pragma: export
+#include "api/events.h"           // IWYU pragma: export
 #include "api/report.h"           // IWYU pragma: export
 #include "api/scenario.h"         // IWYU pragma: export
+#include "api/service.h"          // IWYU pragma: export
 #include "api/solver.h"           // IWYU pragma: export
 #include "api/solver_config.h"    // IWYU pragma: export

@@ -27,7 +27,20 @@ struct Shared {
   std::uint64_t branched = 0;         // guarded by mu
   std::uint64_t node_budget = 0;
   core::EngineStats stats;            // merged under mu
+  core::StopReason stop_reason = core::StopReason::kOptimal;  // guarded by mu
+  core::SearchControl* control = nullptr;  // may be null
 };
+
+/// Latches the first stop reason and wakes every worker. Caller must NOT
+/// hold sh.mu.
+void request_stop(Shared& sh, core::StopReason reason) {
+  const std::lock_guard<std::mutex> lock(sh.mu);
+  if (!sh.stop) {
+    sh.stop = true;
+    sh.stop_reason = reason;
+  }
+  sh.cv.notify_all();
+}
 
 void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
             Shared& sh) {
@@ -36,7 +49,16 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
   std::vector<Subproblem> survivors;
 
   for (;;) {
+    // Cooperative stop: polled before taking the lock, so a canceled or
+    // past-deadline search unwinds within one node expansion per worker.
+    if (sh.control) {
+      if (const auto reason = sh.control->should_stop()) {
+        request_stop(sh, *reason);
+        break;
+      }
+    }
     Subproblem node;
+    std::uint64_t branched_total = 0;
     {
       std::unique_lock<std::mutex> lock(sh.mu);
       sh.cv.wait(lock, [&] {
@@ -52,8 +74,10 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
       }
       ++sh.branched;
       ++sh.in_flight;
-      if (sh.node_budget != 0 && sh.branched >= sh.node_budget) {
+      branched_total = sh.branched;
+      if (sh.node_budget != 0 && sh.branched >= sh.node_budget && !sh.stop) {
         sh.stop = true;
+        sh.stop_reason = core::StopReason::kBudget;
         sh.cv.notify_all();
       }
     }
@@ -67,12 +91,17 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
     detail::BestLeaf best_leaf = detail::expand_node(
         inst, data, node, ub_snapshot, scratch, local, survivors);
 
+    bool improved = false;
+    std::vector<fsp::JobId> improved_perm;
+    fsp::Time tick_ub;
     {
       std::lock_guard<std::mutex> lock(sh.mu);
       if (best_leaf.makespan < sh.ub) {
         sh.ub = best_leaf.makespan;
+        if (sh.control) improved_perm = best_leaf.perm;  // for the event
         sh.best_perm = std::move(best_leaf.perm);
         ++local.ub_updates;
+        improved = true;
       }
       for (Subproblem& child : survivors) {
         // Re-check against the freshest incumbent before inserting.
@@ -83,7 +112,17 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
         }
       }
       --sh.in_flight;
+      tick_ub = sh.ub;
       sh.cv.notify_all();
+    }
+    if (sh.control) {
+      // Parallel engines stream the global branched count and incumbent;
+      // the per-operator counters only exist merged, in the final report.
+      if (improved) {
+        sh.control->emit_incumbent(best_leaf.makespan, improved_perm,
+                                   branched_total, 0, 0);
+      }
+      sh.control->maybe_emit_tick(tick_ub, branched_total, 0, 0);
     }
   }
 
@@ -109,6 +148,7 @@ core::SolveResult run(const fsp::Instance& inst,
   sh.ub = initial_ub;
   sh.best_perm = std::move(seed_perm);
   sh.node_budget = options.node_budget;
+  sh.control = options.control;
   sh.stats.initial_ub = initial_ub;
   for (Subproblem& sp : initial) {
     FSBB_CHECK_MSG(sp.lb != Subproblem::kUnevaluated,
@@ -134,6 +174,7 @@ core::SolveResult run(const fsp::Instance& inst,
   result.best_makespan = sh.ub;
   result.best_permutation = std::move(sh.best_perm);
   result.proven_optimal = !sh.stop;  // stopped only when pool drained
+  result.stop_reason = sh.stop_reason;
   result.stats = sh.stats;
   result.stats.wall_seconds = timer.seconds();
   // Bounding dominates worker time; report it as such for the profile bench.

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/search_control.h"
 #include "core/steal_stats.h"
 #include "fsp/instance.h"
 #include "fsp/lb_data.h"
@@ -34,6 +35,9 @@ struct MtOptions {
   core::VictimOrder victim_order = core::VictimOrder::kRoundRobin;
   /// Nodes moved per successful steal (steal engine only; >= 1).
   std::size_t steal_batch = 4;
+  /// Cooperative cancellation / deadline / progress block (not owned; may
+  /// be null). Every worker polls it once per node expansion.
+  core::SearchControl* control = nullptr;
 };
 
 /// Solves from the root with `options.threads` workers.

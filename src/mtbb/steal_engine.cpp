@@ -35,8 +35,12 @@ struct Shared {
   std::atomic<std::uint64_t> in_flight{0};
   std::atomic<fsp::Time> ub{std::numeric_limits<fsp::Time>::max()};
   std::atomic<std::uint64_t> branched{0};  // budget accounting only
-  std::atomic<bool> stop{false};           // budget exhausted
+  std::atomic<bool> stop{false};           // early-stop flag (see stop_latch)
+  /// First stop reason latched (as int; -1 = none). Written once via CAS
+  /// before `stop` is raised, so every worker reports the same reason.
+  std::atomic<int> stop_latch{-1};
   std::uint64_t node_budget = 0;
+  core::SearchControl* control = nullptr;  // may be null
   core::VictimOrder victim_order = core::VictimOrder::kRoundRobin;
   std::size_t steal_batch = 1;
 
@@ -53,6 +57,13 @@ struct Shared {
   /// not scheduled yet (on short solves that skew serializes the search).
   std::atomic<std::size_t> ready{0};
 };
+
+void request_stop(Shared& sh, core::StopReason reason) {
+  int expected = -1;
+  sh.stop_latch.compare_exchange_strong(expected, static_cast<int>(reason),
+                                        std::memory_order_acq_rel);
+  sh.stop.store(true, std::memory_order_release);
+}
 
 void await_gang(Shared& sh) {
   sh.ready.fetch_add(1, std::memory_order_acq_rel);
@@ -112,6 +123,14 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
 
   for (;;) {
     if (sh.stop.load(std::memory_order_acquire)) break;
+    // Cooperative stop: polled once per node, so cancellation and deadlines
+    // take effect within one expansion per worker.
+    if (sh.control) {
+      if (const auto reason = sh.control->should_stop()) {
+        request_stop(sh, *reason);
+        break;
+      }
+    }
     std::optional<Subproblem> node = sh.pool.shard(id).pop();
     if (!node) node = try_steal(sh, id, rr_cursor, rng, loot, local_steals);
     if (!node) {
@@ -142,7 +161,7 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
     const std::uint64_t branched_total =
         sh.branched.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (sh.node_budget != 0 && branched_total >= sh.node_budget) {
-      sh.stop.store(true, std::memory_order_release);
+      request_stop(sh, core::StopReason::kBudget);
     }
     ++local.branched;
 
@@ -158,12 +177,28 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
              !sh.ub.compare_exchange_weak(cur, best_leaf.makespan,
                                           std::memory_order_acq_rel)) {
       }
-      const std::lock_guard<std::mutex> lock(sh.best_mu);
-      if (best_leaf.makespan < sh.best_perm_makespan) {
-        sh.best_perm_makespan = best_leaf.makespan;
-        sh.best_perm = std::move(best_leaf.perm);
-        ++local.ub_updates;
+      bool improved = false;
+      std::vector<fsp::JobId> improved_perm;
+      {
+        const std::lock_guard<std::mutex> lock(sh.best_mu);
+        if (best_leaf.makespan < sh.best_perm_makespan) {
+          sh.best_perm_makespan = best_leaf.makespan;
+          if (sh.control) improved_perm = best_leaf.perm;  // for the event
+          sh.best_perm = std::move(best_leaf.perm);
+          ++local.ub_updates;
+          improved = true;
+        }
       }
+      if (improved && sh.control) {
+        // Global branched count + incumbent; per-operator counters only
+        // exist merged, in the final report.
+        sh.control->emit_incumbent(best_leaf.makespan, improved_perm,
+                                   branched_total, 0, 0);
+      }
+    }
+    if (sh.control) {
+      sh.control->maybe_emit_tick(sh.ub.load(std::memory_order_acquire),
+                                  branched_total, 0, 0);
     }
 
     // Children first, parent last: in_flight can only hit zero when the
@@ -206,6 +241,7 @@ core::SolveResult run(const fsp::Instance& inst,
   sh.best_perm_makespan = initial_ub;
   sh.best_perm = std::move(seed_perm);
   sh.node_budget = options.node_budget;
+  sh.control = options.control;
   sh.victim_order = options.victim_order;
   sh.steal_batch = options.steal_batch;
   sh.stats.initial_ub = initial_ub;
@@ -238,6 +274,9 @@ core::SolveResult run(const fsp::Instance& inst,
   result.best_makespan = sh.best_perm_makespan;
   result.best_permutation = std::move(sh.best_perm);
   result.proven_optimal = !sh.stop.load(std::memory_order_acquire);
+  const int latched = sh.stop_latch.load(std::memory_order_acquire);
+  result.stop_reason = latched >= 0 ? static_cast<core::StopReason>(latched)
+                                    : core::StopReason::kOptimal;
   result.stats = sh.stats;
   result.stats.wall_seconds = timer.seconds();
   // Bounding dominates worker time; report it as such for the profile bench.

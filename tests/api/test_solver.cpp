@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
 #include "api/solver.h"
@@ -226,7 +227,98 @@ TEST(Solver, HonorsNodeBudgetAcrossBackends) {
     const SolveReport report = Solver(config).solve(small_instance());
     EXPECT_FALSE(report.proven_optimal) << backend;
     EXPECT_LE(report.stats.branched, 6u) << backend;
+    EXPECT_EQ(report.stop_reason, core::StopReason::kBudget) << backend;
   }
+}
+
+// An instance only the GPU path rejects (it packs processing times as u8):
+// with backend gpu-sim, this fails while ordinary Taillard instances
+// succeed — a genuinely per-instance failure under one config.
+fsp::Instance gpu_poison_instance() {
+  Matrix<fsp::Time> pt(4, 3, 10);
+  pt(1, 1) = 300;  // > 255: DeviceLbData::build throws
+  return fsp::Instance("poison-4x3", std::move(pt));
+}
+
+TEST(Solver, SolveManyOutcomesKeepsPerInstanceResultsOnMixedFailure) {
+  SolverConfig config;
+  config.backend = "gpu-sim";
+  config.batch_workers = 2;
+  const Solver solver(config);
+
+  std::vector<fsp::Instance> instances;
+  instances.push_back(small_instance(3000));
+  instances.push_back(gpu_poison_instance());
+  instances.push_back(small_instance(3001));
+
+  const std::vector<SolveOutcome> outcomes =
+      solver.solve_many_outcomes(instances);
+  ASSERT_EQ(outcomes.size(), 3u);
+  // Completed work survives the failing sibling, in input order.
+  ASSERT_TRUE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[0].report->proven_optimal);
+  EXPECT_EQ(outcomes[0].report->instance_name, instances[0].name());
+  ASSERT_FALSE(outcomes[1].ok());
+  EXPECT_NE(outcomes[1].error.find("u8"), std::string::npos)
+      << outcomes[1].error;
+  ASSERT_TRUE(outcomes[2].ok());
+  EXPECT_TRUE(outcomes[2].report->proven_optimal);
+  EXPECT_EQ(outcomes[2].report->instance_name, instances[2].name());
+}
+
+TEST(Solver, SolveManyRethrowsTheFirstErrorOnlyAfterTheBatchDrains) {
+  SolverConfig config;
+  config.backend = "gpu-sim";
+  config.batch_workers = 2;
+  const Solver solver(config);
+
+  std::vector<fsp::Instance> instances;
+  instances.push_back(gpu_poison_instance());
+  instances.push_back(small_instance(3002));
+
+  // The compat shim still throws — with the original exception type — but
+  // only once every instance finished.
+  EXPECT_THROW(solver.solve_many(instances), CheckFailure);
+
+  // The same batch through the ThreadPool overload behaves identically.
+  ThreadPool pool(2);
+  EXPECT_THROW(solver.solve_many(instances, pool), CheckFailure);
+}
+
+TEST(Solver, DeadlineFlowsThroughTheSynchronousFacade) {
+  SolverConfig config;
+  config.backend = "cpu-steal";
+  config.threads = 2;
+  config.deadline_ms = 0;  // expired before the search starts
+  const fsp::Instance inst = small_instance();
+  const SolveReport report = Solver(config).solve(inst);
+  EXPECT_EQ(report.stop_reason, core::StopReason::kDeadline);
+  EXPECT_FALSE(report.proven_optimal);
+  EXPECT_EQ(report.stats.branched, 0u);
+  // JSON and text both surface the stop reason.
+  EXPECT_NE(report.to_json().find("\"stop_reason\":\"deadline\""),
+            std::string::npos);
+  std::ostringstream text;
+  text << report;
+  EXPECT_NE(text.str().find("stopped: deadline"), std::string::npos);
+}
+
+TEST(SolverConfig, DeadlineAndProgressFlagsRoundTripThroughCli) {
+  SolverConfig original;
+  original.deadline_ms = 1500;
+  original.progress_interval_ms = 50;
+  const SolverConfig reparsed =
+      SolverConfig::from_cli(parse_tokens(original.to_cli()));
+  EXPECT_EQ(reparsed, original);
+  ASSERT_TRUE(reparsed.deadline_ms.has_value());
+  EXPECT_EQ(*reparsed.deadline_ms, 1500u);
+
+  // Absent flag stays unset; --deadline-ms 0 parses as "already expired".
+  EXPECT_FALSE(SolverConfig().deadline_ms.has_value());
+  const SolverConfig zero = SolverConfig::from_cli(
+      parse_tokens({"--deadline-ms", "0"}));
+  ASSERT_TRUE(zero.deadline_ms.has_value());
+  EXPECT_EQ(*zero.deadline_ms, 0u);
 }
 
 }  // namespace

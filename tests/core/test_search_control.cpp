@@ -1,0 +1,122 @@
+// SearchControl: cancellation latches, deadlines (including already-expired
+// ones) latch, the first reason wins for every observer, incumbent events are
+// gated to strictly improving quality, and ticks are rate limited.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/search_control.h"
+
+namespace fsbb::core {
+namespace {
+
+TEST(StopReason, ToStringCoversEveryReason) {
+  EXPECT_STREQ(to_string(StopReason::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(StopReason::kCanceled), "canceled");
+  EXPECT_STREQ(to_string(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(StopReason::kBudget), "budget");
+  EXPECT_STREQ(to_string(StopReason::kFrozen), "frozen");
+}
+
+TEST(SearchControl, RunsFreelyWithoutCancelOrDeadline) {
+  SearchControl control;
+  EXPECT_FALSE(control.should_stop().has_value());
+  EXPECT_FALSE(control.cancel_requested());
+  EXPECT_FALSE(control.has_deadline());
+  EXPECT_FALSE(control.should_stop().has_value());
+}
+
+TEST(SearchControl, CancelLatchesForever) {
+  SearchControl control;
+  control.request_cancel();
+  EXPECT_TRUE(control.cancel_requested());
+  ASSERT_TRUE(control.should_stop().has_value());
+  EXPECT_EQ(*control.should_stop(), StopReason::kCanceled);
+  // Latched: still canceled on every later poll.
+  EXPECT_EQ(*control.should_stop(), StopReason::kCanceled);
+}
+
+TEST(SearchControl, ZeroDeadlineStopsTheVeryFirstPoll) {
+  SearchControl control;
+  control.set_deadline_after(0);
+  EXPECT_TRUE(control.has_deadline());
+  ASSERT_TRUE(control.should_stop().has_value());
+  EXPECT_EQ(*control.should_stop(), StopReason::kDeadline);
+}
+
+TEST(SearchControl, FutureDeadlineDoesNotStopYet) {
+  SearchControl control;
+  control.set_deadline_after(3600.0);  // one hour: never reached in-test
+  EXPECT_FALSE(control.should_stop().has_value());
+}
+
+TEST(SearchControl, FirstReasonWinsAcrossThreads) {
+  // A past deadline and a cancel race; whatever latches first must be
+  // reported identically to every poller afterwards.
+  SearchControl control;
+  control.set_deadline_after(0);
+  control.request_cancel();
+  const StopReason first = *control.should_stop();
+  std::vector<std::thread> pollers;
+  std::vector<StopReason> seen(8, StopReason::kOptimal);
+  for (int i = 0; i < 8; ++i) {
+    pollers.emplace_back([&control, &seen, i] {
+      seen[static_cast<std::size_t>(i)] = *control.should_stop();
+    });
+  }
+  for (std::thread& t : pollers) t.join();
+  for (const StopReason reason : seen) EXPECT_EQ(reason, first);
+}
+
+TEST(SearchControl, IncumbentEventsAreStrictlyImproving) {
+  SearchControl control;
+  std::vector<SearchEvent> events;
+  control.set_sink([&events](const SearchEvent& e) { events.push_back(e); });
+
+  const std::vector<fsp::JobId> perm{2, 0, 1};
+  control.emit_incumbent(100, perm, 1, 1, 0);
+  control.emit_incumbent(120, perm, 2, 2, 0);  // worse: dropped
+  control.emit_incumbent(100, perm, 3, 3, 0);  // equal: dropped
+  control.emit_incumbent(90, perm, 4, 4, 0);
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, SearchEvent::Kind::kIncumbent);
+  EXPECT_EQ(events[0].incumbent, 100);
+  EXPECT_EQ(events[0].permutation, perm);
+  EXPECT_EQ(events[1].incumbent, 90);
+  EXPECT_GE(events[1].elapsed_seconds, events[0].elapsed_seconds);
+}
+
+TEST(SearchControl, TicksAreRateLimited) {
+  SearchControl control;
+  int ticks = 0;
+  control.set_sink([&ticks](const SearchEvent& e) {
+                     if (e.kind == SearchEvent::Kind::kTick) ++ticks;
+                   },
+                   /*min_tick_seconds=*/3600.0);
+  for (int i = 0; i < 100; ++i) control.maybe_emit_tick(50, i, i, i);
+  EXPECT_EQ(ticks, 1);  // only the first one fits in the hour-long window
+}
+
+TEST(SearchControl, ZeroIntervalTicksAllPass) {
+  SearchControl control;
+  int ticks = 0;
+  control.set_sink([&ticks](const SearchEvent& e) {
+                     if (e.kind == SearchEvent::Kind::kTick) ++ticks;
+                   },
+                   /*min_tick_seconds=*/0);
+  for (int i = 0; i < 10; ++i) control.maybe_emit_tick(50, i, i, i);
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(SearchControl, EventsWithoutSinkAreNoOps) {
+  SearchControl control;
+  const std::vector<fsp::JobId> perm{0};
+  control.emit_incumbent(10, perm, 0, 0, 0);  // must not crash
+  control.maybe_emit_tick(10, 0, 0, 0);
+  EXPECT_FALSE(control.should_stop().has_value());
+}
+
+}  // namespace
+}  // namespace fsbb::core

@@ -1,0 +1,142 @@
+// Cancellation and deadline semantics across EVERY registered backend —
+// the acceptance guarantee of the asynchronous API: cancel mid-search
+// returns a consistent partial SolveReport (valid incumbent, not proven,
+// stop reason canceled), an already-expired deadline stops before any
+// branching, and both unwind promptly on serial and concurrent engines
+// alike. Runs under the integration label, which CI also executes under
+// ThreadSanitizer — covering the SearchControl path in both concurrent
+// engines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "api/solver.h"
+#include "fsp/makespan.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::api {
+namespace {
+
+/// Big enough (with the weak incumbent below) that no backend can finish
+/// before a cancel or a short deadline lands — this seed takes minutes to
+/// solve serially — while root setup stays cheap.
+fsp::Instance big_instance() {
+  return fsp::make_taillard_instance(14, 10, 777, "cancel-14x10");
+}
+
+SolverConfig config_for(const std::string& backend,
+                        const fsp::Instance& inst) {
+  SolverConfig config;
+  config.backend = backend;
+  config.threads = 2;
+  config.initial_ub = inst.total_work();  // weak: the search runs long
+  config.progress_interval_ms = 0;
+  return config;
+}
+
+/// A report from an early stop must still be internally consistent.
+void expect_consistent_partial(const SolveReport& report,
+                               const fsp::Instance& inst,
+                               core::StopReason reason,
+                               const std::string& backend) {
+  EXPECT_EQ(report.stop_reason, reason) << backend;
+  EXPECT_FALSE(report.proven_optimal) << backend;
+  // The incumbent never exceeds the starting bound...
+  EXPECT_LE(report.best_makespan, inst.total_work()) << backend;
+  // ...and when a schedule was found, its makespan must check out exactly.
+  if (!report.best_permutation.empty()) {
+    EXPECT_EQ(static_cast<int>(report.best_permutation.size()), inst.jobs())
+        << backend;
+    EXPECT_EQ(fsp::makespan(inst, report.best_permutation),
+              report.best_makespan)
+        << backend;
+  }
+}
+
+TEST(Cancellation, MidSearchCancelYieldsConsistentPartialReportAllBackends) {
+  const fsp::Instance inst = big_instance();
+  SolverService service(SolverService::Options{1});
+  for (const std::string& backend : BackendRegistry::global().keys()) {
+    const SolverConfig config = config_for(backend, inst);
+
+    // Cancel only after the search demonstrably made progress.
+    std::atomic<bool> progressed{false};
+    SolveHandle handle = service.submit(
+        inst, config, [&progressed](const ProgressEvent& event) {
+          if (event.kind != ProgressEvent::Kind::kFinished &&
+              event.branched > 0) {
+            progressed.store(true);
+          }
+        });
+    while (!progressed.load() && !handle.done()) {
+      std::this_thread::yield();
+    }
+    handle.cancel();
+    const SolveReport report = handle.wait_report();
+    expect_consistent_partial(report, inst, core::StopReason::kCanceled,
+                              backend);
+    EXPECT_EQ(handle.state(), JobState::kCanceled) << backend;
+  }
+}
+
+TEST(Cancellation, ZeroDeadlineStopsBeforeBranchingAllBackends) {
+  const fsp::Instance inst = big_instance();
+  SolverService service(SolverService::Options{1});
+  for (const std::string& backend : BackendRegistry::global().keys()) {
+    SolverConfig config = config_for(backend, inst);
+    config.deadline_ms = 0;  // expired at submission
+    const SolveReport report = service.submit(inst, config).wait_report();
+    expect_consistent_partial(report, inst, core::StopReason::kDeadline,
+                              backend);
+    EXPECT_EQ(report.stats.branched, 0u) << backend;
+  }
+}
+
+TEST(Cancellation, ShortDeadlineStopsMidSearchAllBackends) {
+  const fsp::Instance inst = big_instance();
+  SolverService service(SolverService::Options{1});
+  for (const std::string& backend : BackendRegistry::global().keys()) {
+    SolverConfig config = config_for(backend, inst);
+    config.deadline_ms = 40;
+    const SolveReport report = service.submit(inst, config).wait_report();
+    expect_consistent_partial(report, inst, core::StopReason::kDeadline,
+                              backend);
+    // Stopped within one bounding batch of the deadline — far below the
+    // (effectively unbounded) full solve time.
+    EXPECT_LT(report.stats.wall_seconds, 10.0) << backend;
+  }
+}
+
+TEST(Cancellation, CanceledConcurrentEnginesAgreeOnTheReason) {
+  // Both mtbb engines propagate one latched reason to every worker: run
+  // them with 4 workers, cancel mid-flight, and check the single reason.
+  const fsp::Instance inst = big_instance();
+  SolverService service(SolverService::Options{2});
+  for (const std::string& backend : {"multicore", "cpu-steal"}) {
+    SolverConfig config = config_for(backend, inst);
+    config.threads = 4;
+    std::atomic<bool> progressed{false};
+    SolveHandle handle = service.submit(
+        inst, config, [&progressed](const ProgressEvent& event) {
+          if (event.kind != ProgressEvent::Kind::kFinished) {
+            progressed.store(true);
+          }
+        });
+    while (!progressed.load() && !handle.done()) {
+      std::this_thread::yield();
+    }
+    handle.cancel();
+    const SolveReport report = handle.wait_report();
+    EXPECT_EQ(report.stop_reason, core::StopReason::kCanceled) << backend;
+    EXPECT_NE(report.to_json().find("\"stop_reason\":\"canceled\""),
+              std::string::npos)
+        << backend;
+  }
+}
+
+}  // namespace
+}  // namespace fsbb::api

@@ -1,0 +1,316 @@
+// fsbb_serve — the long-running NDJSON job daemon over api::SolverService.
+//
+// Reads one JSON request object per stdin line, multiplexes the submitted
+// jobs over the service's worker pool, and emits one JSON event object per
+// stdout line (NDJSON both ways). This is the process-level front door of
+// the library: a scheduler, queue or socket bridge talks to a pool of
+// fsbb_serve processes without linking anything.
+//
+// Flags:
+//   --workers N               concurrent jobs (default 8)
+//   --quiet-progress          suppress progress events (results still flow)
+//
+// Requests:
+//   {"op":"submit","id":"j1","cli":"--jobs 12 --machines 8 --backend cpu-steal"}
+//   {"op":"submit","id":"j2","cli":["--ta","1","--deadline-ms","500"]}
+//   {"op":"cancel","id":"j1"}
+//   {"op":"status"}              one status event per known job
+//   {"op":"status","id":"j2"}
+//   {"op":"shutdown"}            cancel everything, drain, exit
+//   (EOF waits for in-flight jobs, then exits.)
+//
+// The "cli" payload is the exact flag language of fsbb_solve /
+// SolverConfig::from_argv — one config surface for every front end.
+//
+// Job ids are forgotten once their result event streamed (the daemon does
+// not accumulate finished jobs), so an id may be reused afterwards; a
+// resubmit racing the eviction by a hair can be rejected with "job id
+// already in use" — retry after the result line.
+//
+// Events (all single-line JSON):
+//   {"event":"accepted","id":"j1","job":1}
+//   {"event":"rejected","id":"j1","error":"..."}
+//   {"event":"progress","id":"j1","data":{...ProgressEvent...}}
+//   {"event":"result","id":"j1","ok":true,"stop_reason":"optimal",
+//    "report":{...SolveReport...}}
+//   {"event":"result","id":"j1","ok":false,"error":"..."}
+//   {"event":"status","id":"j1","state":"running"}
+//   {"event":"error","error":"..."}        (malformed request)
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "api/solver_config.h"
+#include "common/cli.h"
+#include "common/json.h"
+
+namespace {
+
+using namespace fsbb;
+
+/// Serializes stdout so events from concurrent jobs never interleave.
+class EventWriter {
+ public:
+  void line(const std::string& json) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::cout << json << "\n" << std::flush;
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Envelope helper: {"event":<event>,"id":<id>, ...extras}.
+JsonWriter envelope(const std::string& event, const std::string& id) {
+  JsonWriter o;
+  o.str("event", event);
+  o.str("id", id);
+  return o;
+}
+
+/// Splits a "cli" payload (string or array of strings) into argv tokens.
+std::vector<std::string> cli_tokens(const JsonValue& cli) {
+  std::vector<std::string> tokens;
+  if (cli.is_array()) {
+    for (const JsonValue& item : cli.as_array()) {
+      tokens.push_back(item.as_string());
+    }
+    return tokens;
+  }
+  std::istringstream stream(cli.as_string());
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+api::SolverConfig config_from_cli_tokens(const std::vector<std::string>& tokens) {
+  std::vector<const char*> argv{"fsbb_serve"};
+  argv.reserve(tokens.size() + 1);
+  for (const std::string& t : tokens) argv.push_back(t.c_str());
+  return api::SolverConfig::from_argv(static_cast<int>(argv.size()),
+                                      argv.data());
+}
+
+class Daemon {
+ public:
+  Daemon(std::size_t workers, bool quiet_progress)
+      : quiet_progress_(quiet_progress),
+        service_(api::SolverService::Options{workers}) {}
+
+  /// Handles one request line. Returns false on shutdown.
+  bool handle_line(const std::string& line);
+
+  /// Blocks until every accepted job reached a terminal state.
+  void drain() {
+    std::vector<api::SolveHandle> handles;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [id, handle] : jobs_) handles.push_back(handle);
+    }
+    for (api::SolveHandle& handle : handles) handle.wait();
+  }
+
+  void cancel_all() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, handle] : jobs_) handle.cancel();
+  }
+
+ private:
+  void submit(const JsonValue& request);
+  void cancel(const JsonValue& request);
+  void status(const JsonValue& request);
+
+  void reject(const std::string& id, const std::string& error) {
+    JsonWriter o = envelope("rejected", id);
+    o.str("error", error);
+    out_.line(o.done());
+  }
+
+  EventWriter out_;
+  const bool quiet_progress_;
+  std::mutex mu_;                              // guards jobs_
+  std::map<std::string, api::SolveHandle> jobs_;
+  api::SolverService service_;  // last member: workers stop first
+};
+
+void Daemon::submit(const JsonValue& request) {
+  const std::string id = request.string_or("id", "");
+  if (id.empty()) {
+    reject(id, "submit needs a non-empty \"id\"");
+    return;
+  }
+  const JsonValue* cli = request.find("cli");
+  if (cli == nullptr) {
+    reject(id, "submit needs a \"cli\" string or array");
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (jobs_.count(id) != 0) {
+      reject(id, "job id already in use");
+      return;
+    }
+  }
+
+  // The job may start (and even finish) on a worker thread before this
+  // thread prints the accepted line; every callback takes this gate, which
+  // is held until the accepted line is out — so the event stream always
+  // reads accepted → progress* → result for each id.
+  auto gate = std::make_shared<std::mutex>();
+  std::unique_lock<std::mutex> announcing(*gate);
+
+  api::SolveHandle handle;
+  try {
+    const api::SolverConfig config = config_from_cli_tokens(cli_tokens(*cli));
+    const std::vector<fsp::Instance> instances =
+        api::make_instances(config.instance);
+    if (instances.size() != 1) {
+      reject(id, "submit solves exactly one instance per job (got --count " +
+                     std::to_string(instances.size()) + "); submit one job "
+                     "per instance instead");
+      return;
+    }
+    api::SolverService::EventCallback on_event;
+    if (!quiet_progress_) {
+      on_event = [this, id, gate](const api::ProgressEvent& event) {
+        if (event.kind == api::ProgressEvent::Kind::kFinished) return;
+        const std::lock_guard<std::mutex> announced(*gate);
+        JsonWriter o = envelope("progress", id);
+        o.field("data", event.to_json());
+        out_.line(o.done());
+      };
+    }
+    auto on_complete = [this, id, gate](const api::SolveOutcome& outcome) {
+      {
+        const std::lock_guard<std::mutex> announced(*gate);
+        JsonWriter o = envelope("result", id);
+        o.boolean("ok", outcome.ok());
+        if (outcome.ok()) {
+          o.str("stop_reason", core::to_string(outcome.report->stop_reason));
+          o.field("report", outcome.report->to_json());
+        } else {
+          o.str("error", outcome.error);
+        }
+        out_.line(o.done());
+      }
+      // The result streamed: forget the job so a long-running daemon does
+      // not accumulate every instance + report it ever solved. (status /
+      // cancel afterwards answer "unknown job id" — the job is done.)
+      const std::lock_guard<std::mutex> lock(mu_);
+      jobs_.erase(id);
+    };
+    handle = service_.submit(instances.front(), config, std::move(on_event),
+                             std::move(on_complete));
+  } catch (const std::exception& e) {
+    reject(id, e.what());
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    jobs_.emplace(id, handle);
+  }
+  JsonWriter o = envelope("accepted", id);
+  o.integer("job", handle.id());
+  out_.line(o.done());
+}
+
+void Daemon::cancel(const JsonValue& request) {
+  const std::string id = request.string_or("id", "");
+  api::SolveHandle handle;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      reject(id, "unknown job id");
+      return;
+    }
+    handle = it->second;
+  }
+  handle.cancel();
+  out_.line(envelope("canceling", id).done());
+}
+
+void Daemon::status(const JsonValue& request) {
+  const std::string id = request.string_or("id", "");
+  std::vector<std::pair<std::string, api::SolveHandle>> selected;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [job_id, handle] : jobs_) {
+      if (id.empty() || job_id == id) selected.emplace_back(job_id, handle);
+    }
+  }
+  if (!id.empty() && selected.empty()) {
+    reject(id, "unknown job id");
+    return;
+  }
+  for (auto& [job_id, handle] : selected) {
+    JsonWriter o = envelope("status", job_id);
+    o.str("state", api::to_string(handle.state()));
+    out_.line(o.done());
+  }
+}
+
+bool Daemon::handle_line(const std::string& line) {
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return true;
+  JsonValue request;
+  try {
+    request = JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    JsonWriter o;
+    o.str("event", "error");
+    o.str("error", e.what());
+    out_.line(o.done());
+    return true;
+  }
+  const std::string op = request.string_or("op", "");
+  if (op == "submit") {
+    submit(request);
+  } else if (op == "cancel") {
+    cancel(request);
+  } else if (op == "status") {
+    status(request);
+  } else if (op == "shutdown") {
+    return false;
+  } else {
+    JsonWriter o;
+    o.str("event", "error");
+    o.str("error", "unknown op '" + op + "'");
+    out_.line(o.done());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t workers = 8;
+  bool quiet_progress = false;
+  try {
+    const CliArgs args =
+        CliArgs::parse(argc, argv, {"workers"}, {"quiet-progress"});
+    const std::int64_t w = args.get_int_or("workers", 8);
+    if (w < 1) throw CheckFailure("--workers must be >= 1");
+    workers = static_cast<std::size_t>(w);
+    quiet_progress = args.has("quiet-progress");
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\nusage: fsbb_serve [--workers N] "
+                             "[--quiet-progress]  (NDJSON requests on stdin)\n";
+    return 1;
+  }
+
+  Daemon daemon(workers, quiet_progress);
+  std::string line;
+  bool keep_going = true;
+  while (keep_going && std::getline(std::cin, line)) {
+    keep_going = daemon.handle_line(line);
+  }
+  if (!keep_going) daemon.cancel_all();  // explicit shutdown: stop everything
+  daemon.drain();  // EOF: let in-flight jobs finish, results still stream
+  return 0;
+}

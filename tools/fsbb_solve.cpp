@@ -1,11 +1,15 @@
 // fsbb_solve — the configuration-driven solver CLI.
 //
 // Everything is selected by SolverConfig flags; no backend, bound or engine
-// is named in code. Extra switches on top of the config:
+// is named in code. Root solves run as jobs on api::SolverService — the
+// same asynchronous path fsbb_serve exposes — so --deadline-ms and
+// --progress work uniformly across every backend. Extra switches on top of
+// the config:
 //
 //   --list-backends     print the registry and exit
 //   --all               run every registered backend on the same instance(s)
 //   --json              emit one JSON report per line instead of text
+//   --progress          stream incumbent/tick progress lines on stderr
 //   --frozen N          freeze a pool of N nodes first, then explore it
 //                       (the paper's §IV protocol) instead of root solves
 //
@@ -13,13 +17,18 @@
 //   $ fsbb_solve --jobs 10 --machines 5 --seed 123456789 --all
 //   $ fsbb_solve --ta 1 --backend gpu-sim --placement shared-JM+PTM --json
 //   $ fsbb_solve --jobs 9 --count 8 --backend cpu-serial --batch-workers 4
+//   $ fsbb_solve --ta 4 --backend cpu-steal --deadline-ms 2000 --progress
+#include <algorithm>
+#include <iomanip>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/backend_registry.h"
 #include "api/scenario.h"
+#include "api/service.h"
 #include "api/solver.h"
 #include "common/table.h"
 
@@ -37,6 +46,32 @@ int list_backends() {
   return 0;
 }
 
+/// Progress lines on stderr, one per event, tagged with the job id.
+void print_progress(const fsbb::api::ProgressEvent& event) {
+  using Kind = fsbb::api::ProgressEvent::Kind;
+  std::ostringstream line;
+  line << "# job " << event.job << " t=" << std::fixed << std::setprecision(2)
+       << event.elapsed_seconds << "s ";
+  switch (event.kind) {
+    case Kind::kIncumbent:
+      line << "incumbent " << event.incumbent << " after " << event.branched
+           << " branched";
+      break;
+    case Kind::kTick:
+      line << "searching: " << event.branched << " branched, incumbent "
+           << event.incumbent;
+      break;
+    case Kind::kFinished:
+      if (event.error.empty()) {
+        line << "finished: " << fsbb::core::to_string(event.stop_reason);
+      } else {
+        line << "failed: " << event.error;
+      }
+      break;
+  }
+  std::cerr << line.str() << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,14 +82,15 @@ int main(int argc, char** argv) {
   try {
     std::vector<std::string> known = api::SolverConfig::cli_flags();
     known.push_back("frozen");
-    args = CliArgs::parse(argc, argv, known, {"list-backends", "all", "json"});
+    args = CliArgs::parse(argc, argv, known,
+                          {"list-backends", "all", "json", "progress"});
     config = api::SolverConfig::from_cli(args);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n\nflags: ";
     for (const std::string& f : api::SolverConfig::cli_flags()) {
       std::cerr << "--" << f << " ";
     }
-    std::cerr << "--list-backends --all --json --frozen\n";
+    std::cerr << "--list-backends --all --json --progress --frozen\n";
     return 1;
   }
 
@@ -64,6 +100,9 @@ int main(int argc, char** argv) {
   const auto freeze_target =
       static_cast<std::size_t>(args.get_int_or("frozen", 0));
 
+  api::SolverService::EventCallback progress;
+  if (args.has("progress")) progress = print_progress;
+
   std::vector<std::string> backends;
   if (args.has("all")) {
     backends = api::BackendRegistry::global().keys();
@@ -71,40 +110,54 @@ int main(int argc, char** argv) {
     backends.push_back(config.backend);
   }
 
-  try {
-    // §IV protocol: every backend explores the same frozen list, so it is
-    // built once, outside the backend loop. On instances NEH nearly
-    // solves, pass a weak --ub (e.g. the total work) so the pool can
-    // actually reach the target.
-    std::optional<api::Workload> workload;
-    if (freeze_target > 0) {
-      workload = api::make_workload(config.instance, freeze_target,
-                                    config.initial_ub);
+  const auto print = [&](const api::SolveReport& report) {
+    if (json) {
+      std::cout << report.to_json() << "\n";
+    } else {
+      std::cout << report << "\n";
     }
+  };
+
+  try {
+    if (freeze_target > 0) {
+      // §IV protocol: every backend explores the same frozen list, so it
+      // is built once, outside the backend loop. On instances NEH nearly
+      // solves, pass a weak --ub (e.g. the total work) so the pool can
+      // actually reach the target.
+      if (progress) {
+        std::cerr << "# --progress only streams root solves; frozen-pool "
+                     "runs execute directly\n";
+      }
+      const api::Workload workload =
+          api::make_workload(config.instance, freeze_target, config.initial_ub);
+      for (const std::string& backend : backends) {
+        config.backend = backend;
+        print(api::Solver(config).solve_frozen(workload.inst(),
+                                               workload.frozen));
+      }
+      return 0;
+    }
+
+    // Root solves run as service jobs: one shared worker pool multiplexes
+    // every (backend, instance) pair, exactly like fsbb_serve would.
+    const std::vector<fsp::Instance> instances =
+        api::make_instances(config.instance);
+    std::size_t workers = config.batch_workers;
+    if (workers == 0) {
+      workers = std::min<std::size_t>(
+          std::max<std::size_t>(instances.size() * backends.size(), 1),
+          config.threads);
+    }
+    api::SolverService service(api::SolverService::Options{workers});
+    std::vector<api::SolveHandle> handles;
     for (const std::string& backend : backends) {
       config.backend = backend;
-      const api::Solver solver(config);
-
-      std::vector<api::SolveReport> reports;
-      if (workload) {
-        reports.push_back(solver.solve_frozen(workload->inst(),
-                                              workload->frozen));
-      } else {
-        const std::vector<fsp::Instance> instances =
-            api::make_instances(config.instance);
-        reports = instances.size() == 1
-                      ? std::vector<api::SolveReport>{solver.solve(
-                            instances.front())}
-                      : solver.solve_many(instances);
+      for (const fsp::Instance& inst : instances) {
+        handles.push_back(service.submit(inst, config, progress));
       }
-
-      for (const api::SolveReport& report : reports) {
-        if (json) {
-          std::cout << report.to_json() << "\n";
-        } else {
-          std::cout << report << "\n";
-        }
-      }
+    }
+    for (api::SolveHandle& handle : handles) {
+      print(handle.wait_report());
     }
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
