@@ -1,0 +1,245 @@
+// Core node-pipeline throughput, emitted as BENCH_core.json — the start
+// of the recorded perf trajectory for the host-side hot path.
+//
+// Three measurements, all wall-clock real on THIS host:
+//
+//   engine.*          a budgeted depth-first BBEngine run on the 20x20
+//                     class representative: the seed path (per-child
+//                     prefix replay through a scratch-reusing callback —
+//                     exactly the old SerialCpuEvaluator) against the
+//                     sibling-batch seam (Lb1BoundContext + NodeArena).
+//                     The headline `node_bounding_speedup_20x20` compares
+//                     their end-to-end bounded-nodes/second.
+//   siblings.d*       one parent's children bounded at a fixed depth,
+//                     replay vs incremental — shows where the win comes
+//                     from (the deeper the node, the bigger the skip).
+//   branch.*          child creation only: Subproblem::child() heap
+//                     copies vs memcpy into arena slots.
+//
+// No google-benchmark dependency, so this builds everywhere and CI can
+// upload the JSON artifact from any runner.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/engine.h"
+#include "core/evaluator.h"
+#include "core/node_arena.h"
+#include "fsp/lb1.h"
+#include "fsp/makespan.h"
+#include "fsp/neh.h"
+#include "fsp/taillard.h"
+
+namespace {
+
+using namespace fsbb;
+
+struct Case {
+  std::string name;
+  double nodes_per_second = 0;
+  double seconds = 0;
+  std::uint64_t nodes = 0;
+};
+
+/// Repeats `run` (which returns nodes processed) until `min_seconds` of
+/// total measured time accumulate; reports the best single-rep rate.
+template <typename Fn>
+Case measure(std::string name, double min_seconds, Fn&& run) {
+  Case c;
+  c.name = std::move(name);
+  double total = 0;
+  while (total < min_seconds) {
+    const WallTimer timer;
+    const std::uint64_t nodes = run();
+    const double s = timer.seconds();
+    total += s;
+    const double rate = s > 0 ? static_cast<double>(nodes) / s : 0;
+    if (rate > c.nodes_per_second) {
+      c.nodes_per_second = rate;
+      c.seconds = s;
+      c.nodes = nodes;
+    }
+  }
+  return c;
+}
+
+core::EngineOptions dfs_budget_options(fsp::Time ub, std::uint64_t budget) {
+  core::EngineOptions o;
+  o.strategy = core::SelectionStrategy::kDepthFirst;
+  o.batch_size = 1;
+  o.initial_ub = ub;
+  o.node_budget = budget;
+  return o;
+}
+
+/// Parents at a fixed depth for the sibling micro cases: the identity
+/// permutation rotated so consecutive reps bind different prefixes.
+std::vector<core::Subproblem> parents_at_depth(int jobs, int depth,
+                                               int count) {
+  std::vector<core::Subproblem> out;
+  for (int r = 0; r < count; ++r) {
+    core::Subproblem sp = core::Subproblem::root(jobs);
+    std::rotate(sp.perm.begin(), sp.perm.begin() + 1 + (r % (jobs - 1)),
+                sp.perm.end());
+    sp.depth = depth;
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double min_seconds = 0.3;
+  std::string out_path = "BENCH_core.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--min-seconds") && i + 1 < argc) {
+      min_seconds = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--min-seconds S] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const fsp::Instance inst = fsp::taillard_class_representative(20, 20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const fsp::Time ub = fsp::neh(inst).makespan;
+  constexpr std::uint64_t kBudget = 1500;
+
+  std::vector<Case> cases;
+
+  // --- end-to-end engine runs (the acceptance measurement) ---------------
+  // Seed path: per-child prefix replay with reused scratch — what
+  // SerialCpuEvaluator::evaluate did before the sibling seam — behind the
+  // default flat-batch fallback.
+  cases.push_back(measure("engine.dfs.replay", min_seconds, [&] {
+    fsp::Lb1Scratch scratch(inst.jobs(), inst.machines());
+    core::CallbackEvaluator eval(
+        "lb1-replay", [&](const core::Subproblem& sp) {
+          return fsp::lb1_from_prefix(inst, data, sp.prefix(), scratch);
+        });
+    core::BBEngine engine(inst, data, eval, dfs_budget_options(ub, kBudget));
+    const core::SolveResult r = engine.solve();
+    return r.stats.evaluated;
+  }));
+  // New path: incremental sibling batches over the node arena.
+  cases.push_back(measure("engine.dfs.incremental", min_seconds, [&] {
+    core::SerialCpuEvaluator eval(inst, data);
+    core::BBEngine engine(inst, data, eval, dfs_budget_options(ub, kBudget));
+    const core::SolveResult r = engine.solve();
+    return r.stats.evaluated;
+  }));
+
+  // --- sibling bounding at fixed depths ----------------------------------
+  for (const int depth : {4, 10, 16}) {
+    auto parents = parents_at_depth(inst.jobs(), depth, 32);
+    cases.push_back(measure(
+        "siblings.d" + std::to_string(depth) + ".replay", min_seconds, [&] {
+          fsp::Lb1Scratch scratch(inst.jobs(), inst.machines());
+          std::uint64_t nodes = 0;
+          fsp::Time sink = 0;
+          for (const core::Subproblem& p : parents) {
+            for (int i = 0; i < p.remaining(); ++i) {
+              const core::Subproblem child = p.child(i);
+              sink ^= fsp::lb1_from_prefix(inst, data, child.prefix(),
+                                           scratch);
+              ++nodes;
+            }
+          }
+          if (sink == fsp::Time(-7)) std::puts("");  // keep `sink` alive
+          return nodes;
+        }));
+    cases.push_back(measure(
+        "siblings.d" + std::to_string(depth) + ".incremental", min_seconds,
+        [&] {
+          fsp::Lb1BoundContext ctx(inst, data);
+          std::uint64_t nodes = 0;
+          fsp::Time sink = 0;
+          for (const core::Subproblem& p : parents) {
+            ctx.set_parent(p.prefix());
+            for (const fsp::JobId job : p.free_jobs()) {
+              sink ^= ctx.bound_child(job);
+              ++nodes;
+            }
+          }
+          if (sink == fsp::Time(-7)) std::puts("");
+          return nodes;
+        }));
+  }
+
+  // --- child creation: heap-copy vs arena --------------------------------
+  {
+    const core::Subproblem root = core::Subproblem::root(inst.jobs());
+    cases.push_back(measure("branch.vector", min_seconds, [&] {
+      std::uint64_t nodes = 0;
+      for (int rep = 0; rep < 2000; ++rep) {
+        for (int i = 0; i < root.remaining(); ++i) {
+          const core::Subproblem child = root.child(i);
+          if (child.depth < 0) std::puts("");
+          ++nodes;
+        }
+      }
+      return nodes;
+    }));
+    cases.push_back(measure("branch.arena", min_seconds, [&] {
+      core::NodeArena arena(inst.jobs());
+      const core::NodeArena::Handle parent = arena.adopt(root);
+      const auto perm = arena.perm(parent);
+      std::uint64_t nodes = 0;
+      for (int rep = 0; rep < 2000; ++rep) {
+        for (int i = 0; i < root.remaining(); ++i) {
+          const core::NodeArena::Handle c = arena.allocate();
+          const auto cp = arena.perm(c);
+          std::copy(perm.begin(), perm.end(), cp.begin());
+          std::swap(cp[0], cp[static_cast<std::size_t>(i)]);
+          arena.release(c);
+          ++nodes;
+        }
+      }
+      return nodes;
+    }));
+  }
+
+  double replay_rate = 0, incremental_rate = 0;
+  for (const Case& c : cases) {
+    if (c.name == "engine.dfs.replay") replay_rate = c.nodes_per_second;
+    if (c.name == "engine.dfs.incremental") incremental_rate = c.nodes_per_second;
+  }
+  const double speedup = replay_rate > 0 ? incremental_rate / replay_rate : 0;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"core\",\n");
+  std::fprintf(out, "  \"instance\": \"%s\",\n", inst.name().c_str());
+  std::fprintf(out, "  \"node_budget\": %llu,\n",
+               static_cast<unsigned long long>(kBudget));
+  std::fprintf(out, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"nodes_per_second\": %.0f, "
+                 "\"seconds\": %.6f, \"nodes\": %llu}%s\n",
+                 c.name.c_str(), c.nodes_per_second, c.seconds,
+                 static_cast<unsigned long long>(c.nodes),
+                 i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"derived\": {\"node_bounding_speedup_20x20\": %.3f}\n",
+               speedup);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  for (const Case& c : cases) {
+    std::printf("%-28s %12.0f nodes/s\n", c.name.c_str(), c.nodes_per_second);
+  }
+  std::printf("%-28s %12.2fx\n", "speedup(engine.dfs)", speedup);
+  return 0;
+}

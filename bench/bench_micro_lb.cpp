@@ -5,10 +5,12 @@
 // to show the Θ(m² n) scaling of the bounding operator.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/node_arena.h"
 #include "core/subproblem.h"
 #include "fsp/johnson.h"
 #include "fsp/lb1.h"
@@ -122,6 +124,91 @@ void BM_JohnsonOrderWithLags(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JohnsonOrderWithLags)->Arg(20)->Arg(200);
+
+// --- replay vs incremental sibling bounding -------------------------------
+// Bounds every child of one 20x20 parent at the given depth (state.range):
+// the seed path replays each child's prefix; the incremental path binds the
+// parent once and extends by one job. The gap is the sibling-batch win.
+
+core::Subproblem parent_at_depth(const fsp::Instance& inst, int depth) {
+  SplitMix64 rng(17);
+  core::Subproblem sp = core::Subproblem::root(inst.jobs());
+  shuffle(sp.perm, rng);
+  sp.depth = depth;
+  return sp;
+}
+
+void BM_SiblingBoundsReplay(benchmark::State& state) {
+  const fsp::Instance& inst = instance_for(20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  fsp::Lb1Scratch scratch(inst.jobs(), inst.machines());
+  const core::Subproblem parent =
+      parent_at_depth(inst, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (int i = 0; i < parent.remaining(); ++i) {
+      const core::Subproblem child = parent.child(i);
+      benchmark::DoNotOptimize(
+          fsp::lb1_from_prefix(inst, data, child.prefix(), scratch));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          parent.remaining());
+}
+BENCHMARK(BM_SiblingBoundsReplay)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_SiblingBoundsIncremental(benchmark::State& state) {
+  const fsp::Instance& inst = instance_for(20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  fsp::Lb1BoundContext ctx(inst, data);
+  const core::Subproblem parent =
+      parent_at_depth(inst, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ctx.set_parent(parent.prefix());
+    for (const fsp::JobId job : parent.free_jobs()) {
+      benchmark::DoNotOptimize(ctx.bound_child(job));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          parent.remaining());
+}
+BENCHMARK(BM_SiblingBoundsIncremental)->Arg(4)->Arg(10)->Arg(16);
+
+// --- vector vs arena node expansion ---------------------------------------
+// Child creation alone: Subproblem::child() allocates and copies a fresh
+// permutation vector per child; the arena path memcpys into a recycled
+// fixed-stride slot and hands back a 12-byte NodeRef.
+
+void BM_ExpandVector(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const core::Subproblem root = core::Subproblem::root(jobs);
+  for (auto _ : state) {
+    for (int i = 0; i < root.remaining(); ++i) {
+      benchmark::DoNotOptimize(root.child(i));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * jobs);
+}
+BENCHMARK(BM_ExpandVector)->Arg(20)->Arg(200);
+
+void BM_ExpandArena(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  core::NodeArena arena(jobs);
+  const core::Subproblem root = core::Subproblem::root(jobs);
+  const core::NodeArena::Handle parent = arena.adopt(root);
+  const auto perm = arena.perm(parent);
+  for (auto _ : state) {
+    for (int i = 0; i < root.remaining(); ++i) {
+      const core::NodeArena::Handle c = arena.allocate();
+      const auto cp = arena.perm(c);
+      std::copy(perm.begin(), perm.end(), cp.begin());
+      std::swap(cp[0], cp[static_cast<std::size_t>(i)]);
+      benchmark::DoNotOptimize(cp.data());
+      arena.release(c);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * jobs);
+}
+BENCHMARK(BM_ExpandArena)->Arg(20)->Arg(200);
 
 void BM_Branching(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));

@@ -39,16 +39,26 @@ std::unique_ptr<core::BoundEvaluator> make_serial_evaluator(
   switch (ctx.config->bound) {
     case Bound::kLb1:
       return std::make_unique<core::SerialCpuEvaluator>(inst, data);
-    case Bound::kLb0:
+    case Bound::kLb0: {
+      // CallbackEvaluator evaluates serially, so one scratch per
+      // evaluator (captured by the closure) removes the per-node
+      // allocations of the convenience overload.
+      auto scratch = std::make_shared<fsp::Lb1Scratch>(inst.jobs(),
+                                                       inst.machines());
       return std::make_unique<core::CallbackEvaluator>(
-          "lb0-serial", [&inst, &data](const core::Subproblem& sp) {
-            return fsp::lb0_from_prefix(inst, data, sp.prefix());
+          "lb0-serial", [&inst, &data, scratch](const core::Subproblem& sp) {
+            return fsp::lb0_from_prefix(inst, data, sp.prefix(), *scratch);
           });
+    }
     case Bound::kLb2: {
       auto lb2 = std::make_shared<fsp::Lb2Data>(fsp::Lb2Data::build(inst));
+      auto scratch = std::make_shared<fsp::Lb2Scratch>(inst.jobs(),
+                                                       inst.machines());
       return std::make_unique<core::CallbackEvaluator>(
-          "lb2-serial", [&inst, &data, lb2](const core::Subproblem& sp) {
-            return fsp::lb2_from_prefix(inst, data, *lb2, sp.prefix());
+          "lb2-serial",
+          [&inst, &data, lb2, scratch](const core::Subproblem& sp) {
+            return fsp::lb2_from_prefix(inst, data, *lb2, sp.prefix(),
+                                        *scratch);
           });
     }
   }

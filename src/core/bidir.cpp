@@ -17,11 +17,12 @@ namespace {
 /// machine fronts of the suffix reversed in both job order and machine
 /// order, then re-indexed.
 void compute_backs(const fsp::Instance& inst, const BidirNode& node,
-                   std::span<fsp::Time> backs) {
+                   std::span<fsp::Time> backs, std::span<fsp::Time> rev) {
   const int m = inst.machines();
   const int n = node.jobs();
   FSBB_ASSERT(backs.size() == static_cast<std::size_t>(m));
-  std::vector<fsp::Time> rev(static_cast<std::size_t>(m), 0);
+  FSBB_ASSERT(rev.size() == static_cast<std::size_t>(m));
+  std::fill(rev.begin(), rev.end(), fsp::Time{0});
   // Suffix jobs from the last position backwards == prefix of the
   // reversed problem.
   for (int pos = n - 1; pos >= n - node.tail; --pos) {
@@ -93,8 +94,8 @@ BidirNode BidirNode::root(int jobs) {
 }
 
 Time bidir_lower_bound(const fsp::Instance& inst,
-                       const fsp::LowerBoundData& data,
-                       const BidirNode& node) {
+                       const fsp::LowerBoundData& data, const BidirNode& node,
+                       BidirScratch& scratch) {
   FSBB_CHECK(node.jobs() == inst.jobs());
   FSBB_CHECK(node.head >= 0 && node.tail >= 0 &&
              node.head + node.tail <= node.jobs());
@@ -102,17 +103,17 @@ Time bidir_lower_bound(const fsp::Instance& inst,
     return fsp::makespan(inst, node.perm);
   }
 
-  const auto m = static_cast<std::size_t>(inst.machines());
-  std::vector<fsp::Time> fronts(m);
-  std::vector<fsp::Time> backs(m);
+  const auto fronts = scratch.fronts();
+  const auto backs = scratch.backs();
   fsp::compute_fronts(
       inst,
       std::span<const fsp::JobId>(node.perm.data(),
                                   static_cast<std::size_t>(node.head)),
       fronts);
-  compute_backs(inst, node, backs);
+  compute_backs(inst, node, backs, scratch.rev());
 
-  std::vector<std::uint8_t> scheduled(static_cast<std::size_t>(node.jobs()), 0);
+  const auto scheduled = scratch.scheduled();
+  std::fill(scheduled.begin(), scheduled.end(), std::uint8_t{0});
   for (int i = 0; i < node.head; ++i) {
     scheduled[static_cast<std::size_t>(node.perm[static_cast<std::size_t>(i)])] = 1;
   }
@@ -121,6 +122,13 @@ Time bidir_lower_bound(const fsp::Instance& inst,
   }
 
   return fsp::lb1_evaluate(BidirProvider(data, backs), fronts, scheduled);
+}
+
+Time bidir_lower_bound(const fsp::Instance& inst,
+                       const fsp::LowerBoundData& data,
+                       const BidirNode& node) {
+  BidirScratch scratch(inst.jobs(), inst.machines());
+  return bidir_lower_bound(inst, data, node, scratch);
 }
 
 namespace {
@@ -138,12 +146,10 @@ fsp::Instance reverse_instance(const fsp::Instance& inst) {
   return fsp::Instance(inst.name() + "-rev", std::move(pt));
 }
 
-BidirNode reverse_node(const BidirNode& node) {
-  BidirNode rev;
+void reverse_node_into(const BidirNode& node, BidirNode& rev) {
   rev.perm.assign(node.perm.rbegin(), node.perm.rend());
   rev.head = node.tail;
   rev.tail = node.head;
-  return rev;
 }
 
 }  // namespace
@@ -151,13 +157,15 @@ BidirNode reverse_node(const BidirNode& node) {
 BidirBounder::BidirBounder(const fsp::Instance& inst,
                            const fsp::LowerBoundData& data)
     : inst_(&inst), data_(&data), rev_inst_(reverse_instance(inst)),
-      rev_data_(fsp::LowerBoundData::build(rev_inst_)) {}
+      rev_data_(fsp::LowerBoundData::build(rev_inst_)),
+      scratch_(inst.jobs(), inst.machines()) {}
 
 Time BidirBounder::bound(const BidirNode& node) const {
-  const Time forward = bidir_lower_bound(*inst_, *data_, node);
+  const Time forward = bidir_lower_bound(*inst_, *data_, node, scratch_);
   if (node.is_complete()) return forward;
+  reverse_node_into(node, scratch_.rev_node());
   const Time backward =
-      bidir_lower_bound(rev_inst_, rev_data_, reverse_node(node));
+      bidir_lower_bound(rev_inst_, rev_data_, scratch_.rev_node(), scratch_);
   return std::max(forward, backward);
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/engine.h"
@@ -39,6 +40,33 @@ struct BidirNode {
   static BidirNode root(int jobs);
 };
 
+/// Reusable buffers for the bidirectional bound (fronts, backs, the
+/// reversed-machine staging row and the scheduled mask), so per-node
+/// bounding does not allocate — mirroring the lb1_from_prefix scratch
+/// overload. One scratch serves both the forward and the reversed view
+/// (same dimensions); not safe for concurrent use.
+class BidirScratch {
+ public:
+  BidirScratch(int jobs, int machines)
+      : fronts_(static_cast<std::size_t>(machines)),
+        backs_(static_cast<std::size_t>(machines)),
+        rev_(static_cast<std::size_t>(machines)),
+        scheduled_(static_cast<std::size_t>(jobs)) {}
+
+  std::span<Time> fronts() { return fronts_; }
+  std::span<Time> backs() { return backs_; }
+  std::span<Time> rev() { return rev_; }
+  std::span<std::uint8_t> scheduled() { return scheduled_; }
+  BidirNode& rev_node() { return rev_node_; }
+
+ private:
+  std::vector<Time> fronts_;
+  std::vector<Time> backs_;
+  std::vector<Time> rev_;
+  std::vector<std::uint8_t> scheduled_;
+  BidirNode rev_node_;
+};
+
 /// One-directional bound of a bidirectional node (see header comment):
 /// LB1's machine-couple sweep bracketed by the prefix fronts and the
 /// suffix backs. Exact (the makespan) for complete nodes. The tail side
@@ -46,6 +74,11 @@ struct BidirNode {
 /// BidirBounder, which also evaluates the reversed problem.
 Time bidir_lower_bound(const fsp::Instance& inst,
                        const fsp::LowerBoundData& data, const BidirNode& node);
+
+/// Same but with caller-provided scratch (no allocation).
+Time bidir_lower_bound(const fsp::Instance& inst,
+                       const fsp::LowerBoundData& data, const BidirNode& node,
+                       BidirScratch& scratch);
 
 /// Symmetric bound: max of the forward bound and the same bound on the
 /// reversed instance (machines reversed, permutation reversed — makespans
@@ -66,6 +99,9 @@ class BidirBounder {
   const fsp::LowerBoundData* data_;
   fsp::Instance rev_inst_;
   fsp::LowerBoundData rev_data_;
+  /// Per-bounder buffers: bound() is logically const but reuses these, so
+  /// a BidirBounder must not be shared across threads.
+  mutable BidirScratch scratch_;
 };
 
 /// Options of the bidirectional solver.

@@ -4,10 +4,22 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "core/node_arena.h"
 #include "fsp/makespan.h"
 #include "fsp/neh.h"
 
 namespace fsbb::core {
+namespace {
+
+/// One parent's children inside the pending batch (sibling mode).
+struct GroupExtent {
+  NodeArena::Handle parent;
+  std::int32_t depth;       ///< parent depth
+  std::uint32_t first;      ///< index of the first child in the batch
+  std::uint32_t count;
+};
+
+}  // namespace
 
 BBEngine::BBEngine(const fsp::Instance& inst, const fsp::LowerBoundData& data,
                    BoundEvaluator& evaluator, EngineOptions options)
@@ -56,17 +68,32 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
   result.stats.initial_ub = ub;
   result.best_makespan = ub;
 
-  auto pool = make_pool(options_.strategy);
+  const int n = inst_->jobs();
+  // All live nodes sit in the arena; the pool moves 12-byte handles. The
+  // engine's control loop is serial, so one lane suffices (the evaluator's
+  // threads never touch the arena — they only read the parent spans).
+  NodeArena arena(n);
+  auto pool = make_pool<NodeRef>(options_.strategy);
   for (Subproblem& sp : initial) {
     if (sp.lb < ub) {
-      pool->push(std::move(sp));
+      pool->push(NodeRef{sp.lb, sp.depth, arena.adopt(sp)});
     } else {
       ++result.stats.pruned;
     }
   }
 
-  std::vector<Subproblem> pending;  // children awaiting the bounding operator
-  pending.reserve(options_.batch_size + static_cast<std::size_t>(inst_->jobs()));
+  // Sibling mode bounds children in place (no Subproblem materialization);
+  // the fallback keeps the evaluator-facing flat batch of value nodes so
+  // callback bounds and the GPU staging path see exactly what they used to.
+  const bool sibling_mode = evaluator_->supports_sibling_batches();
+
+  std::vector<Subproblem> pending_mat;   // fallback: materialized children
+  std::vector<NodeRef> pending_refs;     // sibling: arena-backed children
+  std::vector<GroupExtent> extents;
+  std::vector<SiblingBatch> groups;
+  std::vector<Time> bounds;
+  pending_mat.reserve(options_.batch_size + static_cast<std::size_t>(n));
+  pending_refs.reserve(options_.batch_size + static_cast<std::size_t>(n));
 
   std::optional<StopReason> stop;
   auto budget_exhausted = [&] {
@@ -93,58 +120,116 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
     if ((stop = stop_reason_now())) break;
 
     // --- selection + elimination (lazy) + branching ------------------
-    pending.clear();
-    while (pending.size() < options_.batch_size && !pool->empty()) {
-      Subproblem node = pool->pop();
+    pending_mat.clear();
+    pending_refs.clear();
+    extents.clear();
+    std::size_t pending_count = 0;
+    while (pending_count < options_.batch_size && !pool->empty()) {
+      const NodeRef node = pool->pop();
       if (node.lb >= result.best_makespan) {
         ++result.stats.pruned;  // UB improved since this node was inserted
+        arena.release(node.slot);
         continue;
       }
       ++result.stats.branched;
-      const int r = node.remaining();
-      for (int i = 0; i < r; ++i) {
-        Subproblem child = node.child(i);
+      const auto perm = arena.perm(node.slot);
+      const auto d = static_cast<std::size_t>(node.depth);
+      const int r = n - node.depth;
+      if (r == 1) {
+        // The single child is complete and its permutation is the
+        // parent's (the one free job is already in place); its makespan
+        // is exact, no bounding needed.
         ++result.stats.generated;
-        if (child.is_complete()) {
-          // Leaf: its makespan is exact; no bounding needed.
-          ++result.stats.leaves;
-          const Time ms = fsp::makespan(*inst_, child.perm);
-          if (ms < result.best_makespan) {
-            result.best_makespan = ms;
-            result.best_permutation = child.perm;
-            ++result.stats.ub_updates;
-            if (options_.control) {
-              options_.control->emit_incumbent(
-                  ms, child.perm, result.stats.branched,
-                  result.stats.evaluated, result.stats.pruned);
-            }
+        ++result.stats.leaves;
+        const Time ms = fsp::makespan(*inst_, perm);
+        if (ms < result.best_makespan) {
+          result.best_makespan = ms;
+          result.best_permutation.assign(perm.begin(), perm.end());
+          ++result.stats.ub_updates;
+          if (options_.control) {
+            options_.control->emit_incumbent(
+                ms, result.best_permutation, result.stats.branched,
+                result.stats.evaluated, result.stats.pruned);
           }
-        } else {
-          pending.push_back(std::move(child));
         }
+        arena.release(node.slot);
+      } else if (sibling_mode) {
+        const auto first = static_cast<std::uint32_t>(pending_refs.size());
+        for (int i = 0; i < r; ++i) {
+          ++result.stats.generated;
+          const NodeArena::Handle c = arena.allocate();
+          write_child_perm(perm, d, static_cast<std::size_t>(i),
+                           arena.perm(c));
+          pending_refs.push_back(
+              NodeRef{Subproblem::kUnevaluated, node.depth + 1, c});
+        }
+        // The parent stays allocated until after bounding: the sibling
+        // batch reads its prefix and free jobs straight from the arena.
+        extents.push_back(GroupExtent{node.slot, node.depth, first,
+                                      static_cast<std::uint32_t>(r)});
+        pending_count += static_cast<std::size_t>(r);
+      } else {
+        for (int i = 0; i < r; ++i) {
+          ++result.stats.generated;
+          Subproblem child;
+          child.perm.resize(perm.size());
+          write_child_perm(perm, d, static_cast<std::size_t>(i), child.perm);
+          child.depth = node.depth + 1;
+          pending_mat.push_back(std::move(child));
+        }
+        arena.release(node.slot);
+        pending_count = pending_mat.size();
       }
       if (budget_exhausted()) break;
     }
-    if (pending.empty()) continue;
+    if (pending_count == 0) continue;
 
     // --- bounding (possibly offloaded) --------------------------------
     {
       const WallTimer bound_timer;
-      evaluator_->evaluate(pending);
+      if (sibling_mode) {
+        bounds.resize(pending_refs.size());
+        groups.clear();
+        groups.reserve(extents.size());
+        for (const GroupExtent& e : extents) {
+          const auto parent_perm = arena.perm(e.parent);
+          const auto depth = static_cast<std::size_t>(e.depth);
+          groups.push_back(SiblingBatch{
+              parent_perm.first(depth), parent_perm.subspan(depth),
+              std::span<Time>(bounds).subspan(e.first, e.count)});
+        }
+        evaluator_->evaluate_siblings(groups);
+      } else {
+        evaluator_->evaluate(pending_mat);
+      }
       result.stats.bounding_seconds += bound_timer.seconds();
-      result.stats.evaluated += pending.size();
+      result.stats.evaluated += pending_count;
     }
 
     // --- elimination + insertion --------------------------------------
-    for (Subproblem& child : pending) {
-      FSBB_ASSERT(child.lb != Subproblem::kUnevaluated);
-      if (child.lb < result.best_makespan) {
-        pool->push(std::move(child));
-      } else {
-        ++result.stats.pruned;
+    if (sibling_mode) {
+      for (std::size_t i = 0; i < pending_refs.size(); ++i) {
+        NodeRef child = pending_refs[i];
+        child.lb = bounds[i];
+        FSBB_ASSERT(child.lb != Subproblem::kUnevaluated);
+        if (child.lb < result.best_makespan) {
+          pool->push(std::move(child));
+        } else {
+          ++result.stats.pruned;
+          arena.release(child.slot);
+        }
+      }
+      for (const GroupExtent& e : extents) arena.release(e.parent);
+    } else {
+      for (Subproblem& child : pending_mat) {
+        FSBB_ASSERT(child.lb != Subproblem::kUnevaluated);
+        if (child.lb < result.best_makespan) {
+          pool->push(NodeRef{child.lb, child.depth, arena.adopt(child)});
+        } else {
+          ++result.stats.pruned;
+        }
       }
     }
-    pending.clear();
 
     if (options_.control) {
       options_.control->maybe_emit_tick(result.best_makespan,
@@ -154,12 +239,18 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
     }
   }
 
-  // `pending` is always empty here: the stop conditions are only honoured at
-  // the top of the loop, after the previous batch was inserted.
+  // The pending buffers are always drained here: the stop conditions are
+  // only honoured at the top of the loop, after the previous batch was
+  // inserted.
   result.proven_optimal = !stop && pool->empty();
   result.stop_reason = stop.value_or(StopReason::kOptimal);
   if (stop && options_.collect_pool_on_stop) {
-    result.remaining_pool = pool->drain();
+    std::vector<NodeRef> refs = pool->drain();
+    result.remaining_pool.reserve(refs.size());
+    for (const NodeRef& ref : refs) {
+      result.remaining_pool.push_back(
+          arena.materialize(ref.slot, ref.depth, ref.lb));
+    }
   }
   result.stats.wall_seconds = total_timer.seconds();
   return result;

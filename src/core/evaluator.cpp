@@ -1,15 +1,50 @@
 #include "core/evaluator.h"
 
+#include <algorithm>
 #include <vector>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "fsp/makespan.h"
 
 namespace fsbb::core {
 
+void BoundEvaluator::evaluate_siblings(std::span<const SiblingBatch> groups) {
+  // Fallback: materialize every child exactly as Subproblem::child() would
+  // (prefix ++ free jobs, one swap) and route the flat batch through
+  // evaluate(), so evaluators unaware of sibling structure — callback
+  // bounds, the simulated GPU — behave byte-for-byte as before.
+  std::vector<JobId> parent_perm;
+  std::vector<Subproblem> children;
+  for (const SiblingBatch& g : groups) {
+    FSBB_CHECK(g.bounds.size() == g.next_jobs.size());
+    // prefix ++ free jobs IS the parent's full permutation (see the
+    // SiblingBatch contract), so child i follows the shared branch rule.
+    parent_perm.assign(g.parent_prefix.begin(), g.parent_prefix.end());
+    parent_perm.insert(parent_perm.end(), g.next_jobs.begin(),
+                       g.next_jobs.end());
+    children.clear();
+    children.reserve(g.next_jobs.size());
+    const auto depth = static_cast<std::int32_t>(g.parent_prefix.size());
+    for (std::size_t i = 0; i < g.next_jobs.size(); ++i) {
+      Subproblem child;
+      child.perm.resize(parent_perm.size());
+      write_child_perm(parent_perm, static_cast<std::size_t>(depth), i,
+                       child.perm);
+      child.depth = depth + 1;
+      children.push_back(std::move(child));
+    }
+    evaluate(children);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      g.bounds[i] = children[i].lb;
+    }
+  }
+}
+
 SerialCpuEvaluator::SerialCpuEvaluator(const fsp::Instance& inst,
                                        const fsp::LowerBoundData& data)
-    : inst_(&inst), data_(&data), scratch_(inst.jobs(), inst.machines()) {}
+    : inst_(&inst), data_(&data), scratch_(inst.jobs(), inst.machines()),
+      context_(inst, data) {}
 
 void SerialCpuEvaluator::evaluate(std::span<Subproblem> batch) {
   const WallTimer timer;
@@ -21,10 +56,36 @@ void SerialCpuEvaluator::evaluate(std::span<Subproblem> batch) {
   ledger_.wall_seconds += timer.seconds();
 }
 
+void SerialCpuEvaluator::evaluate_siblings(
+    std::span<const SiblingBatch> groups) {
+  const WallTimer timer;
+  std::size_t nodes = 0;
+  for (const SiblingBatch& g : groups) {
+    FSBB_CHECK(g.bounds.size() == g.next_jobs.size());
+    context_.set_parent(g.parent_prefix);
+    for (std::size_t i = 0; i < g.next_jobs.size(); ++i) {
+      g.bounds[i] = context_.bound_child(g.next_jobs[i]);
+    }
+    nodes += g.next_jobs.size();
+  }
+  ++ledger_.batches;
+  ledger_.nodes += nodes;
+  ledger_.wall_seconds += timer.seconds();
+}
+
 ThreadedCpuEvaluator::ThreadedCpuEvaluator(const fsp::Instance& inst,
                                            const fsp::LowerBoundData& data,
                                            std::size_t threads)
-    : inst_(&inst), data_(&data), pool_(threads) {}
+    : inst_(&inst), data_(&data), pool_(threads) {
+  // Per-worker scratch/context, built once: evaluate() used to reallocate
+  // these vectors on every batch, which showed up in the bounding profile.
+  scratch_.reserve(pool_.thread_count() + 1);
+  contexts_.reserve(pool_.thread_count() + 1);
+  for (std::size_t i = 0; i <= pool_.thread_count(); ++i) {
+    scratch_.emplace_back(inst.jobs(), inst.machines());
+    contexts_.emplace_back(inst, data);
+  }
+}
 
 std::string ThreadedCpuEvaluator::name() const {
   // Deliberately excludes the thread count: bounds are bit-identical for
@@ -35,22 +96,44 @@ std::string ThreadedCpuEvaluator::name() const {
 
 void ThreadedCpuEvaluator::evaluate(std::span<Subproblem> batch) {
   const WallTimer timer;
-  // Per-worker scratch: worker_index may also be thread_count() (caller).
-  std::vector<fsp::Lb1Scratch> scratch;
-  scratch.reserve(pool_.thread_count() + 1);
-  for (std::size_t i = 0; i <= pool_.thread_count(); ++i) {
-    scratch.emplace_back(inst_->jobs(), inst_->machines());
-  }
   pool_.parallel_for(
       0, batch.size(),
       [&](std::size_t lo, std::size_t hi, std::size_t worker) {
         for (std::size_t i = lo; i < hi; ++i) {
           batch[i].lb = fsp::lb1_from_prefix(*inst_, *data_, batch[i].prefix(),
-                                             scratch[worker]);
+                                             scratch_[worker]);
         }
       });
   ++ledger_.batches;
   ledger_.nodes += batch.size();
+  ledger_.wall_seconds += timer.seconds();
+}
+
+void ThreadedCpuEvaluator::evaluate_siblings(
+    std::span<const SiblingBatch> groups) {
+  const WallTimer timer;
+  std::size_t nodes = 0;
+  for (const SiblingBatch& g : groups) {
+    FSBB_CHECK(g.bounds.size() == g.next_jobs.size());
+    nodes += g.next_jobs.size();
+  }
+  pool_.parallel_for(
+      0, groups.size(),
+      [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+        fsp::Lb1BoundContext& ctx = contexts_[worker];
+        for (std::size_t gi = lo; gi < hi; ++gi) {
+          const SiblingBatch& g = groups[gi];
+          ctx.set_parent(g.parent_prefix);
+          for (std::size_t i = 0; i < g.next_jobs.size(); ++i) {
+            g.bounds[i] = ctx.bound_child(g.next_jobs[i]);
+          }
+        }
+      },
+      // One chunk per group: chunks are claimed dynamically, so uneven
+      // group sizes still balance across the pool.
+      groups.size());
+  ++ledger_.batches;
+  ledger_.nodes += nodes;
   ledger_.wall_seconds += timer.seconds();
 }
 

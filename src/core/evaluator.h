@@ -28,6 +28,17 @@ struct EvalLedger {
   double wall_seconds = 0;  ///< measured host time inside evaluate()
 };
 
+/// One parent's children, described without materializing them: the child
+/// scheduling next_jobs[i] is exactly parent.child(i), because an engine
+/// only bounds incomplete children and those exist precisely when ALL of
+/// the parent's free jobs spawn one child each. parent_prefix and
+/// next_jobs therefore concatenate to the parent's full permutation.
+struct SiblingBatch {
+  std::span<const JobId> parent_prefix;  ///< the parent's scheduled jobs
+  std::span<const JobId> next_jobs;      ///< the parent's free jobs, in order
+  std::span<Time> bounds;                ///< out: one LB per child
+};
+
 /// Batch lower-bound evaluator. Implementations must be deterministic:
 /// identical batches yield identical bounds regardless of thread count.
 class BoundEvaluator {
@@ -37,16 +48,31 @@ class BoundEvaluator {
   /// Fills sp.lb for every node in the batch.
   virtual void evaluate(std::span<Subproblem> batch) = 0;
 
+  /// True when evaluate_siblings exploits the shared parent state; the
+  /// engine then groups children by parent instead of materializing one
+  /// flat Subproblem batch.
+  virtual bool supports_sibling_batches() const { return false; }
+
+  /// Bounds every group's children given their common parent. The default
+  /// materializes the children and routes them through evaluate(), so
+  /// callback/GPU evaluators work unchanged; the CPU evaluators override
+  /// it with the O(m)-incremental Lb1BoundContext path. Bounds are
+  /// bit-identical between the two paths — a tested invariant.
+  virtual void evaluate_siblings(std::span<const SiblingBatch> groups);
+
   virtual std::string name() const = 0;
   virtual const EvalLedger& ledger() const = 0;
 };
 
-/// Serial CPU evaluator applying LB1 node by node.
+/// Serial CPU evaluator applying LB1 node by node. Sibling batches take
+/// the incremental context; flat batches replay each prefix.
 class SerialCpuEvaluator final : public BoundEvaluator {
  public:
   SerialCpuEvaluator(const fsp::Instance& inst, const fsp::LowerBoundData& data);
 
   void evaluate(std::span<Subproblem> batch) override;
+  bool supports_sibling_batches() const override { return true; }
+  void evaluate_siblings(std::span<const SiblingBatch> groups) override;
   std::string name() const override { return "cpu-serial"; }
   const EvalLedger& ledger() const override { return ledger_; }
 
@@ -54,6 +80,7 @@ class SerialCpuEvaluator final : public BoundEvaluator {
   const fsp::Instance* inst_;
   const fsp::LowerBoundData* data_;
   fsp::Lb1Scratch scratch_;
+  fsp::Lb1BoundContext context_;
   EvalLedger ledger_;
 };
 
@@ -96,6 +123,11 @@ class ThreadedCpuEvaluator final : public BoundEvaluator {
                        const fsp::LowerBoundData& data, std::size_t threads = 0);
 
   void evaluate(std::span<Subproblem> batch) override;
+  bool supports_sibling_batches() const override { return true; }
+  /// Whole sibling groups are the unit of parallelism: each worker binds
+  /// its incremental context to a group's parent once and bounds all of
+  /// that parent's children, so the per-parent setup is never repeated.
+  void evaluate_siblings(std::span<const SiblingBatch> groups) override;
   std::string name() const override;
   const EvalLedger& ledger() const override { return ledger_; }
   std::size_t threads() const { return pool_.thread_count(); }
@@ -104,6 +136,10 @@ class ThreadedCpuEvaluator final : public BoundEvaluator {
   const fsp::Instance* inst_;
   const fsp::LowerBoundData* data_;
   ThreadPool pool_;
+  // Per-worker state, hoisted out of evaluate(): worker_index may also be
+  // thread_count() (the calling thread participates), hence + 1.
+  std::vector<fsp::Lb1Scratch> scratch_;
+  std::vector<fsp::Lb1BoundContext> contexts_;
   EvalLedger ledger_;
 };
 

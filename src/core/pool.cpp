@@ -1,9 +1,5 @@
 #include "core/pool.h"
 
-#include <algorithm>
-
-#include "common/check.h"
-
 namespace fsbb::core {
 
 const char* to_string(SelectionStrategy s) {
@@ -14,90 +10,6 @@ const char* to_string(SelectionStrategy s) {
       return "best-first";
   }
   return "?";
-}
-
-namespace {
-
-class DfsPool final : public Pool {
- public:
-  void push(Subproblem&& sp) override { stack_.push_back(std::move(sp)); }
-
-  Subproblem pop() override {
-    FSBB_CHECK(!stack_.empty());
-    Subproblem sp = std::move(stack_.back());
-    stack_.pop_back();
-    return sp;
-  }
-
-  std::size_t size() const override { return stack_.size(); }
-
-  std::vector<Subproblem> drain() override {
-    std::vector<Subproblem> out;
-    out.swap(stack_);
-    return out;
-  }
-
- private:
-  std::vector<Subproblem> stack_;
-};
-
-// Entry with an insertion sequence number for deterministic tie-breaking.
-struct BestFirstEntry {
-  Subproblem sp;
-  std::uint64_t seq;
-};
-
-// Max-heap comparator that makes the *best* node the heap top: smaller lb
-// wins, then larger depth (dive toward leaves), then earlier insertion.
-struct WorseThan {
-  bool operator()(const BestFirstEntry& a, const BestFirstEntry& b) const {
-    if (a.sp.lb != b.sp.lb) return a.sp.lb > b.sp.lb;
-    if (a.sp.depth != b.sp.depth) return a.sp.depth < b.sp.depth;
-    return a.seq > b.seq;
-  }
-};
-
-class BestFirstPool final : public Pool {
- public:
-  void push(Subproblem&& sp) override {
-    heap_.push_back(BestFirstEntry{std::move(sp), next_seq_++});
-    std::push_heap(heap_.begin(), heap_.end(), WorseThan{});
-  }
-
-  Subproblem pop() override {
-    FSBB_CHECK(!heap_.empty());
-    std::pop_heap(heap_.begin(), heap_.end(), WorseThan{});
-    Subproblem sp = std::move(heap_.back().sp);
-    heap_.pop_back();
-    return sp;
-  }
-
-  std::size_t size() const override { return heap_.size(); }
-
-  std::vector<Subproblem> drain() override {
-    // Deterministic order: repeatedly pop the best.
-    std::vector<Subproblem> out;
-    out.reserve(heap_.size());
-    while (!heap_.empty()) out.push_back(pop());
-    return out;
-  }
-
- private:
-  std::vector<BestFirstEntry> heap_;
-  std::uint64_t next_seq_ = 0;
-};
-
-}  // namespace
-
-std::unique_ptr<Pool> make_pool(SelectionStrategy strategy) {
-  switch (strategy) {
-    case SelectionStrategy::kDepthFirst:
-      return std::make_unique<DfsPool>();
-    case SelectionStrategy::kBestFirst:
-      return std::make_unique<BestFirstPool>();
-  }
-  FSBB_CHECK_MSG(false, "unknown selection strategy");
-  return nullptr;
 }
 
 }  // namespace fsbb::core

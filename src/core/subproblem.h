@@ -6,8 +6,10 @@
 // decomposition of paper Fig. 1: child i schedules job i next).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -42,18 +44,23 @@ struct Subproblem {
   }
 
   /// Child that schedules free_jobs()[i] next. The free-job order of the
-  /// child is the parent's with one swap — deterministic.
-  Subproblem child(int i) const {
-    FSBB_ASSERT(i >= 0 && i < remaining());
-    Subproblem c;
-    c.perm = perm;
-    std::swap(c.perm[static_cast<std::size_t>(depth)],
-              c.perm[static_cast<std::size_t>(depth + i)]);
-    c.depth = depth + 1;
-    c.lb = kUnevaluated;
-    return c;
-  }
+  /// child is the parent's with one swap (write_child_perm) — deterministic.
+  Subproblem child(int i) const;
 };
+
+/// The branching rule, single-sourced: child i of a node at `depth` is the
+/// parent's permutation with positions depth and depth+i swapped. Every
+/// expansion site (the serial engine, the mtbb engines, the evaluator
+/// fallback) must write children with this exact rule — the cross-backend
+/// bit-identity the differential-fuzz suite pins depends on it.
+inline void write_child_perm(std::span<const JobId> parent_perm,
+                             std::size_t depth, std::size_t i,
+                             std::span<JobId> out) {
+  FSBB_ASSERT(out.size() == parent_perm.size());
+  FSBB_ASSERT(depth + i < parent_perm.size());
+  std::copy(parent_perm.begin(), parent_perm.end(), out.begin());
+  std::swap(out[depth], out[depth + i]);
+}
 
 inline Subproblem Subproblem::root(int jobs) {
   FSBB_CHECK(jobs >= 1);
@@ -62,6 +69,17 @@ inline Subproblem Subproblem::root(int jobs) {
   for (int j = 0; j < jobs; ++j) r.perm[static_cast<std::size_t>(j)] = static_cast<JobId>(j);
   r.depth = 0;
   return r;
+}
+
+inline Subproblem Subproblem::child(int i) const {
+  FSBB_ASSERT(i >= 0 && i < remaining());
+  Subproblem c;
+  c.perm.resize(perm.size());
+  write_child_perm(perm, static_cast<std::size_t>(depth),
+                   static_cast<std::size_t>(i), c.perm);
+  c.depth = depth + 1;
+  c.lb = kUnevaluated;
+  return c;
 }
 
 }  // namespace fsbb::core

@@ -1,7 +1,5 @@
 #include "core/work_steal.h"
 
-#include <utility>
-
 #include "common/check.h"
 
 namespace fsbb::core {
@@ -22,74 +20,6 @@ VictimOrder parse_victim_order(const std::string& text) {
   FSBB_CHECK_MSG(false,
                  "unknown victim order '" + text + "' (round-robin|random)");
   return VictimOrder::kRoundRobin;
-}
-
-void WorkStealingDeque::push(Subproblem&& sp) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  items_.push_back(std::move(sp));
-}
-
-std::optional<Subproblem> WorkStealingDeque::pop() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (items_.empty()) return std::nullopt;
-  Subproblem sp = std::move(items_.back());
-  items_.pop_back();
-  return sp;
-}
-
-std::size_t WorkStealingDeque::steal(std::vector<Subproblem>& out,
-                                     std::size_t max_nodes) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  std::size_t taken = 0;
-  while (taken < max_nodes && !items_.empty()) {
-    out.push_back(std::move(items_.front()));
-    items_.pop_front();
-    ++taken;
-  }
-  return taken;
-}
-
-std::size_t WorkStealingDeque::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return items_.size();
-}
-
-std::vector<Subproblem> WorkStealingDeque::drain() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  std::vector<Subproblem> out;
-  out.reserve(items_.size());
-  for (Subproblem& sp : items_) out.push_back(std::move(sp));
-  items_.clear();
-  return out;
-}
-
-ShardedPool::ShardedPool(std::size_t shards) {
-  FSBB_CHECK_MSG(shards >= 1, "sharded pool needs at least one shard");
-  shards_.reserve(shards);
-  for (std::size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<WorkStealingDeque>());
-  }
-}
-
-void ShardedPool::distribute(std::vector<Subproblem> nodes) {
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    shards_[i % shards_.size()]->push(std::move(nodes[i]));
-  }
-}
-
-std::size_t ShardedPool::size() const {
-  std::size_t total = 0;
-  for (const auto& shard : shards_) total += shard->size();
-  return total;
-}
-
-std::vector<Subproblem> ShardedPool::drain() {
-  std::vector<Subproblem> out;
-  for (const auto& shard : shards_) {
-    std::vector<Subproblem> part = shard->drain();
-    for (Subproblem& sp : part) out.push_back(std::move(sp));
-  }
-  return out;
 }
 
 }  // namespace fsbb::core

@@ -8,11 +8,16 @@
 // per-worker-pool design Gmys (2020) and Chakroun & Melab (2012) show is
 // what lets exact flow-shop B&B scale past the shared-pool ceiling.
 //
-// Subproblems own heap memory (the permutation vector), so the deques use
-// fine-grained per-shard locking rather than a Chase–Lev array: the owner's
-// lock is uncontended in the common case and a steal only touches one
-// victim. The architecture (local LIFO, steal-oldest, round-robin victims)
-// is what buys the scaling, not the lock elision.
+// The deque is generic over its node type. The steal engine instantiates
+// it over 12-byte NodeRef handles into a shared NodeArena, so a steal
+// moves a few words per node and never touches permutation bytes; the
+// value-typed Subproblem instantiation remains for the frozen-pool
+// protocol and the concurrency tests. Fine-grained per-shard locking is
+// retained (the owner's lock is uncontended in the common case, and the
+// architecture — local LIFO, steal-oldest, round-robin victims — is what
+// buys the scaling); with handle entries the critical sections are now a
+// few-word move, which is the precondition ROADMAP names for a Chase–Lev
+// array upgrade if profiles ever show the lock.
 //
 // drain() is deterministic given the deque contents (shard 0..W-1, each
 // front to back), so the frozen-pool protocol keeps working on top.
@@ -25,6 +30,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/check.h"
+#include "core/node_arena.h"
 #include "core/steal_stats.h"
 #include "core/subproblem.h"
 
@@ -33,53 +40,110 @@ namespace fsbb::core {
 /// One worker's local pool. Owner operations (push/pop) hit the back;
 /// steals take the oldest nodes from the front. All operations are
 /// thread-safe; the owner's lock is uncontended unless a thief is present.
-class WorkStealingDeque {
+template <typename Node>
+class WorkStealingDequeT {
  public:
   /// Owner: push a node on the back (LIFO hot end).
-  void push(Subproblem&& sp);
+  void push(Node&& sp) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(std::move(sp));
+  }
 
   /// Owner: pop the most recently pushed node; nullopt when empty.
-  std::optional<Subproblem> pop();
+  std::optional<Node> pop() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    Node sp = std::move(items_.back());
+    items_.pop_back();
+    return sp;
+  }
 
   /// Thief: move up to `max_nodes` of the *oldest* nodes into `out`.
   /// Returns how many were taken (0 when the deque is empty).
-  std::size_t steal(std::vector<Subproblem>& out, std::size_t max_nodes);
+  std::size_t steal(std::vector<Node>& out, std::size_t max_nodes) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t taken = 0;
+    while (taken < max_nodes && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
 
-  std::size_t size() const;
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
   bool empty() const { return size() == 0; }
 
   /// Removes every node front-to-back (deterministic given the contents).
-  std::vector<Subproblem> drain();
+  std::vector<Node> drain() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Node> out;
+    out.reserve(items_.size());
+    for (Node& sp : items_) out.push_back(std::move(sp));
+    items_.clear();
+    return out;
+  }
 
  private:
   mutable std::mutex mu_;
-  std::deque<Subproblem> items_;
+  std::deque<Node> items_;
 };
 
 /// A fixed set of per-worker deques plus the cross-shard operations the
 /// steal engine and the frozen-pool protocol need. Shard addresses are
 /// stable for the pool's lifetime.
-class ShardedPool {
+template <typename Node>
+class ShardedPoolT {
  public:
-  explicit ShardedPool(std::size_t shards);
+  explicit ShardedPoolT(std::size_t shards) {
+    FSBB_CHECK_MSG(shards >= 1, "sharded pool needs at least one shard");
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<WorkStealingDequeT<Node>>());
+    }
+  }
 
   std::size_t shards() const { return shards_.size(); }
-  WorkStealingDeque& shard(std::size_t i) { return *shards_[i]; }
-  const WorkStealingDeque& shard(std::size_t i) const { return *shards_[i]; }
+  WorkStealingDequeT<Node>& shard(std::size_t i) { return *shards_[i]; }
+  const WorkStealingDequeT<Node>& shard(std::size_t i) const {
+    return *shards_[i];
+  }
 
   /// Round-robin an initial node list across the shards (node i goes to
   /// shard i % W) so every worker starts with a slice of the frozen pool.
-  void distribute(std::vector<Subproblem> nodes);
+  void distribute(std::vector<Node> nodes) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      shards_[i % shards_.size()]->push(std::move(nodes[i]));
+    }
+  }
 
-  std::size_t size() const;  ///< sum over shards (racy under concurrency)
+  std::size_t size() const {  ///< sum over shards (racy under concurrency)
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->size();
+    return total;
+  }
   bool empty() const { return size() == 0; }
 
   /// Drains shard 0..W-1, each front-to-back — deterministic given the
   /// per-shard contents, like Pool::drain().
-  std::vector<Subproblem> drain();
+  std::vector<Node> drain() {
+    std::vector<Node> out;
+    for (const auto& shard : shards_) {
+      std::vector<Node> part = shard->drain();
+      for (Node& sp : part) out.push_back(std::move(sp));
+    }
+    return out;
+  }
 
  private:
-  std::vector<std::unique_ptr<WorkStealingDeque>> shards_;
+  std::vector<std::unique_ptr<WorkStealingDequeT<Node>>> shards_;
 };
+
+/// Value-typed instantiations: the protocol/test-facing form.
+using WorkStealingDeque = WorkStealingDequeT<Subproblem>;
+using ShardedPool = ShardedPoolT<Subproblem>;
 
 }  // namespace fsbb::core

@@ -26,6 +26,68 @@ Time lb1_from_prefix(const Instance& inst, const LowerBoundData& data,
   return lb1_from_prefix(inst, data, prefix, scratch);
 }
 
+Lb1BoundContext::Lb1BoundContext(const Instance& inst,
+                                 const LowerBoundData& data)
+    : inst_(&inst), data_(&data),
+      parent_fronts_(static_cast<std::size_t>(inst.machines())),
+      child_fronts_(static_cast<std::size_t>(inst.machines())),
+      scheduled_(static_cast<std::size_t>(inst.jobs())),
+      free_seq_(static_cast<std::size_t>(data.pairs()) *
+                static_cast<std::size_t>(inst.jobs())) {}
+
+void Lb1BoundContext::set_parent(std::span<const JobId> prefix) {
+  FSBB_CHECK(prefix.size() <= static_cast<std::size_t>(inst_->jobs()));
+  const int n = inst_->jobs();
+  const int n_pairs = data_->pairs();
+  compute_fronts(*inst_, prefix, parent_fronts_);
+  std::fill(scheduled_.begin(), scheduled_.end(), std::uint8_t{0});
+  for (const JobId job : prefix) {
+    scheduled_[static_cast<std::size_t>(job)] = 1;
+  }
+  free_count_ = n - static_cast<int>(prefix.size());
+  // Compact each couple's Johnson order down to the unscheduled jobs, so
+  // every sibling's sweep iterates free_count_ entries instead of n.
+  for (int s = 0; s < n_pairs; ++s) {
+    JobId* row = free_seq_.data() +
+                 static_cast<std::size_t>(s) * static_cast<std::size_t>(free_count_);
+    int out = 0;
+    for (int i = 0; i < n; ++i) {
+      const JobId job = data_->jm(s, i);
+      if (!scheduled_[static_cast<std::size_t>(job)]) row[out++] = job;
+    }
+    FSBB_ASSERT(out == free_count_);
+  }
+}
+
+Time Lb1BoundContext::bound_child(JobId job) {
+  FSBB_ASSERT(!scheduled_[static_cast<std::size_t>(job)]);
+  std::copy(parent_fronts_.begin(), parent_fronts_.end(),
+            child_fronts_.begin());
+  extend_fronts(*inst_, job, child_fronts_);
+
+  const LowerBoundData& d = *data_;
+  const int n_pairs = d.pairs();
+  const int fc = free_count_;
+  Time lb = 0;
+  for (int s = 0; s < n_pairs; ++s) {
+    const auto [k, l] = d.mm(s);
+    Time t1 = std::max(child_fronts_[static_cast<std::size_t>(k)], d.rm(k));
+    Time t2 = std::max(child_fronts_[static_cast<std::size_t>(l)], d.rm(l));
+    const JobId* row = free_seq_.data() +
+                       static_cast<std::size_t>(s) * static_cast<std::size_t>(fc);
+    for (int i = 0; i < fc; ++i) {
+      const JobId q = row[i];
+      if (q == job) continue;  // the one job the child scheduled
+      t1 += d.ptm(q, k);
+      const Time arrival = t1 + d.lm(q, s);
+      t2 = (t2 > arrival ? t2 : arrival) + d.ptm(q, l);
+    }
+    t2 += d.qm(l);
+    lb = std::max(lb, t2);
+  }
+  return lb;
+}
+
 Time lb1_from_state(const LowerBoundData& data, std::span<const Time> fronts,
                     std::span<const std::uint8_t> scheduled) {
   FSBB_CHECK(fronts.size() == static_cast<std::size_t>(data.machines()));

@@ -89,6 +89,53 @@ class Lb1Scratch {
   std::vector<std::uint8_t> scheduled_;
 };
 
+/// Incremental sibling-batch LB1 (the hot path of every CPU backend).
+///
+/// A branch-and-bound node's children share the parent's scheduled prefix,
+/// so everything the per-node replay recomputes — machine fronts, the
+/// scheduled mask, and the scheduled entries the Johnson sweep has to skip
+/// — can be computed once per parent and reused for every sibling:
+///
+///   set_parent(prefix)   replays the prefix once (O(depth m)) and compacts
+///                        each machine couple's Johnson order down to the
+///                        unscheduled jobs (O(pairs n));
+///   bound_child(job)     extends a copy of the parent fronts by one job
+///                        (O(m)) and sweeps only the remaining jobs
+///                        (O(pairs (n - depth)) instead of O(pairs n)).
+///
+/// The sweep visits the surviving jobs in the same Johnson order and does
+/// the same arithmetic as lb1_evaluate on the child's full state, so the
+/// bounds are bit-identical to lb1_from_prefix — a tested invariant.
+class Lb1BoundContext {
+ public:
+  Lb1BoundContext(const Instance& inst, const LowerBoundData& data);
+
+  /// Binds the parent whose children are about to be bounded.
+  void set_parent(std::span<const JobId> prefix);
+
+  /// LB1 of the child scheduling `job` next. `job` must be one of the
+  /// parent's free jobs. Valid until the next set_parent.
+  Time bound_child(JobId job);
+
+  /// Machine fronts of the bound parent (for the property tests).
+  std::span<const Time> parent_fronts() const { return parent_fronts_; }
+  /// Scheduled mask of the bound parent.
+  std::span<const std::uint8_t> scheduled() const { return scheduled_; }
+  /// Unscheduled jobs of the bound parent.
+  int free_count() const { return free_count_; }
+
+ private:
+  const Instance* inst_;
+  const LowerBoundData* data_;
+  std::vector<Time> parent_fronts_;
+  std::vector<Time> child_fronts_;
+  std::vector<std::uint8_t> scheduled_;
+  /// pairs x free_count (stride free_count_): each machine couple's Johnson
+  /// order restricted to the parent's unscheduled jobs.
+  std::vector<JobId> free_seq_;
+  int free_count_ = 0;
+};
+
 /// Convenience entry point: LB1 of the node whose scheduled prefix is
 /// `prefix` (replays the prefix to obtain fronts). O(|prefix| m + m^2 n).
 Time lb1_from_prefix(const Instance& inst, const LowerBoundData& data,

@@ -63,17 +63,18 @@ Lb2Data Lb2Data::build(const Instance& inst) {
 
 Time lb2_from_state(const LowerBoundData& lb1_data, const Lb2Data& lb2_data,
                     std::span<const Time> fronts,
-                    std::span<const std::uint8_t> scheduled) {
+                    std::span<const std::uint8_t> scheduled,
+                    Lb2Scratch& scratch) {
   const int n = lb1_data.jobs();
   const int m = lb1_data.machines();
   FSBB_CHECK(fronts.size() == static_cast<std::size_t>(m));
   FSBB_CHECK(scheduled.size() == static_cast<std::size_t>(n));
 
   // Node-local minima over the unscheduled set.
-  std::vector<Time> rm_u(static_cast<std::size_t>(m),
-                         std::numeric_limits<Time>::max());
-  std::vector<Time> qm_u(static_cast<std::size_t>(m),
-                         std::numeric_limits<Time>::max());
+  const auto rm_u = scratch.rm_u();
+  const auto qm_u = scratch.qm_u();
+  std::fill(rm_u.begin(), rm_u.end(), std::numeric_limits<Time>::max());
+  std::fill(qm_u.begin(), qm_u.end(), std::numeric_limits<Time>::max());
   bool any_remaining = false;
   for (int j = 0; j < n; ++j) {
     if (scheduled[static_cast<std::size_t>(j)]) continue;
@@ -91,15 +92,30 @@ Time lb2_from_state(const LowerBoundData& lb1_data, const Lb2Data& lb2_data,
   return lb1_evaluate(Lb2Provider(lb1_data, rm_u, qm_u), fronts, scheduled);
 }
 
+Time lb2_from_state(const LowerBoundData& lb1_data, const Lb2Data& lb2_data,
+                    std::span<const Time> fronts,
+                    std::span<const std::uint8_t> scheduled) {
+  Lb2Scratch scratch(lb1_data.jobs(), lb1_data.machines());
+  return lb2_from_state(lb1_data, lb2_data, fronts, scheduled, scratch);
+}
+
 Time lb2_from_prefix(const Instance& inst, const LowerBoundData& lb1_data,
-                     const Lb2Data& lb2_data, std::span<const JobId> prefix) {
-  std::vector<Time> fronts(static_cast<std::size_t>(inst.machines()));
-  std::vector<std::uint8_t> scheduled(static_cast<std::size_t>(inst.jobs()), 0);
+                     const Lb2Data& lb2_data, std::span<const JobId> prefix,
+                     Lb2Scratch& scratch) {
+  const auto fronts = scratch.base().fronts();
+  const auto scheduled = scratch.base().scheduled();
   compute_fronts(inst, prefix, fronts);
+  std::fill(scheduled.begin(), scheduled.end(), std::uint8_t{0});
   for (const JobId job : prefix) {
     scheduled[static_cast<std::size_t>(job)] = 1;
   }
-  return lb2_from_state(lb1_data, lb2_data, fronts, scheduled);
+  return lb2_from_state(lb1_data, lb2_data, fronts, scheduled, scratch);
+}
+
+Time lb2_from_prefix(const Instance& inst, const LowerBoundData& lb1_data,
+                     const Lb2Data& lb2_data, std::span<const JobId> prefix) {
+  Lb2Scratch scratch(inst.jobs(), inst.machines());
+  return lb2_from_prefix(inst, lb1_data, lb2_data, prefix, scratch);
 }
 
 }  // namespace fsbb::fsp

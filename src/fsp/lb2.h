@@ -44,6 +44,25 @@ class Lb2Data {
   Matrix<Time> tm_;
 };
 
+/// Reusable buffers for the LB2 sweep (fronts + mask + the node-local
+/// rm_U/qm_U minima), mirroring Lb1Scratch so hot loops do not allocate.
+class Lb2Scratch {
+ public:
+  Lb2Scratch(int jobs, int machines)
+      : base_(jobs, machines),
+        rm_u_(static_cast<std::size_t>(machines)),
+        qm_u_(static_cast<std::size_t>(machines)) {}
+
+  Lb1Scratch& base() { return base_; }
+  std::span<Time> rm_u() { return rm_u_; }
+  std::span<Time> qm_u() { return qm_u_; }
+
+ private:
+  Lb1Scratch base_;
+  std::vector<Time> rm_u_;
+  std::vector<Time> qm_u_;
+};
+
 /// LB2 of a node. Falls back to fronts.back() for complete schedules.
 /// Requires the LB1 data (Johnson orders, lags, machine pairs) plus the
 /// LB2 head/tail matrices.
@@ -51,8 +70,19 @@ Time lb2_from_state(const LowerBoundData& lb1_data, const Lb2Data& lb2_data,
                     std::span<const Time> fronts,
                     std::span<const std::uint8_t> scheduled);
 
+/// Same, with caller-provided rm_U/qm_U buffers (no allocation).
+Time lb2_from_state(const LowerBoundData& lb1_data, const Lb2Data& lb2_data,
+                    std::span<const Time> fronts,
+                    std::span<const std::uint8_t> scheduled,
+                    Lb2Scratch& scratch);
+
 /// Convenience wrapper replaying the prefix (mirrors lb1_from_prefix).
 Time lb2_from_prefix(const Instance& inst, const LowerBoundData& lb1_data,
                      const Lb2Data& lb2_data, std::span<const JobId> prefix);
+
+/// Same but with caller-provided scratch (no allocation).
+Time lb2_from_prefix(const Instance& inst, const LowerBoundData& lb1_data,
+                     const Lb2Data& lb2_data, std::span<const JobId> prefix,
+                     Lb2Scratch& scratch);
 
 }  // namespace fsbb::fsp

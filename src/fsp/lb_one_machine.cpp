@@ -29,14 +29,21 @@ Time lb0_from_state(const Instance& inst, const LowerBoundData& data,
 }
 
 Time lb0_from_prefix(const Instance& inst, const LowerBoundData& data,
-                     std::span<const JobId> prefix) {
-  std::vector<Time> fronts(static_cast<std::size_t>(inst.machines()));
-  std::vector<std::uint8_t> scheduled(static_cast<std::size_t>(inst.jobs()), 0);
+                     std::span<const JobId> prefix, Lb1Scratch& scratch) {
+  const auto fronts = scratch.fronts();
+  const auto scheduled = scratch.scheduled();
   compute_fronts(inst, prefix, fronts);
+  std::fill(scheduled.begin(), scheduled.end(), std::uint8_t{0});
   for (const JobId job : prefix) {
     scheduled[static_cast<std::size_t>(job)] = 1;
   }
   return lb0_from_state(inst, data, fronts, scheduled);
+}
+
+Time lb0_from_prefix(const Instance& inst, const LowerBoundData& data,
+                     std::span<const JobId> prefix) {
+  Lb1Scratch scratch(inst.jobs(), inst.machines());
+  return lb0_from_prefix(inst, data, prefix, scratch);
 }
 
 }  // namespace fsbb::fsp

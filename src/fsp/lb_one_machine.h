@@ -7,6 +7,7 @@
 #include <span>
 
 #include "fsp/instance.h"
+#include "fsp/lb1.h"
 #include "fsp/lb_data.h"
 
 namespace fsbb::fsp {
@@ -20,5 +21,10 @@ Time lb0_from_state(const Instance& inst, const LowerBoundData& data,
 /// Convenience: replays the prefix. O(|prefix| m + n m).
 Time lb0_from_prefix(const Instance& inst, const LowerBoundData& data,
                      std::span<const JobId> prefix);
+
+/// Same but with caller-provided scratch (no allocation), mirroring the
+/// lb1_from_prefix scratch overload.
+Time lb0_from_prefix(const Instance& inst, const LowerBoundData& data,
+                     std::span<const JobId> prefix, Lb1Scratch& scratch);
 
 }  // namespace fsbb::fsp

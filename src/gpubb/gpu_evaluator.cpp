@@ -34,11 +34,11 @@ void GpuBoundEvaluator::evaluate(std::span<core::Subproblem> batch) {
   if (batch.empty()) return;
   const WallTimer timer;
 
-  PackedPool packed = PackedPool::pack(batch, inst_->jobs());
+  staging_.repack(batch, inst_->jobs());
   transfer_model_.record(gpusim::TransferDir::kHostToDevice,
-                         packed.h2d_bytes(), gpu_ledger_.transfers);
+                         staging_.h2d_bytes(), gpu_ledger_.transfers);
 
-  DevicePool pool = DevicePool::upload(*device_, packed);
+  DevicePool pool = DevicePool::upload(*device_, staging_);
   const gpusim::KernelRun run =
       launch_lb1_kernel(*device_, device_data_, pool, block_threads_);
 
@@ -55,7 +55,7 @@ void GpuBoundEvaluator::evaluate(std::span<core::Subproblem> batch) {
   ++gpu_ledger_.launches;
 
   transfer_model_.record(gpusim::TransferDir::kDeviceToHost,
-                         packed.d2h_bytes(), gpu_ledger_.transfers);
+                         staging_.d2h_bytes(), gpu_ledger_.transfers);
 
   // Write the functional results back into the nodes.
   const auto lbs = pool.lbs.host_span();

@@ -63,6 +63,7 @@ class GpuBoundEvaluator final : public core::BoundEvaluator {
   DeviceLbData device_data_;
   gpusim::OccupancyResult occupancy_;
   gpusim::TransferModel transfer_model_;
+  PackedPool staging_;  ///< reused host-staging buffers (see repack)
   core::EvalLedger ledger_;
   GpuLedger gpu_ledger_;
 };

@@ -59,22 +59,26 @@ constexpr int kMaxMachines = 64;
 
 PackedPool PackedPool::pack(std::span<const core::Subproblem> batch,
                             int jobs) {
-  FSBB_CHECK_MSG(jobs <= 255, "GPU pool packs permutations as u8");
   PackedPool p;
-  p.jobs = jobs;
-  p.count = static_cast<int>(batch.size());
-  p.perms.resize(batch.size() * static_cast<std::size_t>(jobs));
-  p.depths.resize(batch.size());
+  p.repack(batch, jobs);
+  return p;
+}
+
+void PackedPool::repack(std::span<const core::Subproblem> batch, int jobs_in) {
+  FSBB_CHECK_MSG(jobs_in <= 255, "GPU pool packs permutations as u8");
+  jobs = jobs_in;
+  count = static_cast<int>(batch.size());
+  perms.resize(batch.size() * static_cast<std::size_t>(jobs_in));
+  depths.resize(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const core::Subproblem& sp = batch[i];
-    FSBB_CHECK(sp.jobs() == jobs);
-    for (int j = 0; j < jobs; ++j) {
-      p.perms[i * static_cast<std::size_t>(jobs) + static_cast<std::size_t>(j)] =
+    FSBB_CHECK(sp.jobs() == jobs_in);
+    for (int j = 0; j < jobs_in; ++j) {
+      perms[i * static_cast<std::size_t>(jobs_in) + static_cast<std::size_t>(j)] =
           static_cast<std::uint8_t>(sp.perm[static_cast<std::size_t>(j)]);
     }
-    p.depths[i] = static_cast<std::uint16_t>(sp.depth);
+    depths[i] = static_cast<std::uint16_t>(sp.depth);
   }
-  return p;
 }
 
 DevicePool DevicePool::upload(gpusim::SimDevice& device,

@@ -33,6 +33,12 @@ struct PackedPool {
   }
 
   static PackedPool pack(std::span<const core::Subproblem> batch, int jobs);
+
+  /// Same packing, but into this object's existing buffers: the
+  /// evaluator's per-offload host staging reuses one PackedPool so steady
+  /// state allocates nothing (resize only grows capacity on the first,
+  /// largest batch).
+  void repack(std::span<const core::Subproblem> batch, int jobs);
 };
 
 /// Simulated-device mirror of a packed pool plus the LB output buffer.

@@ -1,18 +1,26 @@
 // The branch + bound expansion step shared by the mtbb engines.
 //
 // Both the shared-pool baseline (mt_engine) and the work-stealing engine
-// (steal_engine) expand a popped node the same way: branch every free job,
-// route complete children through the makespan, bound the rest with the
-// scratch-reusing LB1 and keep the survivors under the incumbent snapshot.
+// (steal_engine) expand a popped node the same way: bind the incremental
+// LB1 context to the parent once, then for every free job bound the child
+// with an O(m) front extension and a remaining-jobs-only sweep — the same
+// sibling-batch discipline the serial engine gets through the
+// BoundEvaluator::evaluate_siblings seam, and bit-identical to the old
+// per-child prefix replay (the differential-fuzz suite checks it).
+// Children are written straight into the shared NodeArena; survivors
+// travel as 12-byte NodeRef handles.
+//
 // One definition here keeps the two engines bit-identical per node — the
 // cross-engine agreement the differential-fuzz suite checks depends on it.
 #pragma once
 
+#include <algorithm>
 #include <limits>
 #include <optional>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/node_arena.h"
 #include "core/subproblem.h"
 #include "fsp/instance.h"
 #include "fsp/lb1.h"
@@ -28,35 +36,45 @@ struct BestLeaf {
   std::vector<fsp::JobId> perm;
 };
 
-/// Branches `node`, bounds every incomplete child with LB1, appends the
-/// children below `ub_snapshot` to `survivors` (cleared first) and
-/// accumulates the generated/evaluated/pruned/leaves counters into
-/// `stats`. Returns the best complete child, if any.
-inline BestLeaf expand_node(const fsp::Instance& inst,
-                            const fsp::LowerBoundData& data,
-                            const core::Subproblem& node,
-                            fsp::Time ub_snapshot, fsp::Lb1Scratch& scratch,
+/// Branches the node behind `node.slot`, bounds every incomplete child
+/// with the incremental context, appends the children below `ub_snapshot`
+/// to `survivors` (cleared first) and accumulates the generated/evaluated/
+/// pruned/leaves counters into `stats`. Children are allocated on `lane`;
+/// the caller still owns (and must release) the parent slot. Returns the
+/// best complete child, if any.
+inline BestLeaf expand_node(const fsp::Instance& inst, core::NodeArena& arena,
+                            std::size_t lane, const core::NodeRef& node,
+                            fsp::Time ub_snapshot, fsp::Lb1BoundContext& ctx,
                             core::EngineStats& stats,
-                            std::vector<core::Subproblem>& survivors) {
+                            std::vector<core::NodeRef>& survivors) {
   survivors.clear();
   BestLeaf best;
-  const int r = node.remaining();
-  for (int i = 0; i < r; ++i) {
-    core::Subproblem child = node.child(i);
+  const auto perm = arena.perm(node.slot);
+  const auto d = static_cast<std::size_t>(node.depth);
+  const int r = inst.jobs() - node.depth;
+  if (r == 1) {
+    // The single child is complete and equals the parent's permutation
+    // (the one free job is already in place); its makespan is exact.
     ++stats.generated;
-    if (child.is_complete()) {
-      ++stats.leaves;
-      const fsp::Time ms = fsp::makespan(inst, child.perm);
-      if (ms < best.makespan) {
-        best.makespan = ms;
-        best.perm = child.perm;
-      }
-      continue;
+    ++stats.leaves;
+    const fsp::Time ms = fsp::makespan(inst, perm);
+    if (ms < best.makespan) {
+      best.makespan = ms;
+      best.perm.assign(perm.begin(), perm.end());
     }
-    child.lb = fsp::lb1_from_prefix(inst, data, child.prefix(), scratch);
+    return best;
+  }
+  ctx.set_parent(perm.first(d));
+  for (int i = 0; i < r; ++i) {
+    ++stats.generated;
+    const fsp::JobId job = perm[d + static_cast<std::size_t>(i)];
+    const fsp::Time lb = ctx.bound_child(job);
     ++stats.evaluated;
-    if (child.lb < ub_snapshot) {
-      survivors.push_back(std::move(child));
+    if (lb < ub_snapshot) {
+      const core::NodeArena::Handle c = arena.allocate(lane);
+      core::write_child_perm(perm, d, static_cast<std::size_t>(i),
+                             arena.perm(c));
+      survivors.push_back(core::NodeRef{lb, node.depth + 1, c});
     } else {
       ++stats.pruned;
     }

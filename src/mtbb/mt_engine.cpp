@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "core/node_arena.h"
 #include "core/pool.h"
 #include "fsp/lb1.h"
 #include "mtbb/branch_expand.h"
@@ -13,13 +14,15 @@
 namespace fsbb::mtbb {
 namespace {
 
+using core::NodeRef;
 using core::Subproblem;
 
 /// Everything the workers share.
 struct Shared {
   std::mutex mu;
   std::condition_variable cv;
-  std::unique_ptr<core::Pool> pool;   // guarded by mu
+  core::NodeArena* arena = nullptr;         // lanes: one per worker + main
+  std::unique_ptr<core::ArenaPool> pool;    // guarded by mu
   std::size_t in_flight = 0;          // nodes popped but not yet re-inserted
   bool stop = false;                  // budget exhausted
   fsp::Time ub;                       // guarded by mu (perm update must match)
@@ -43,10 +46,10 @@ void request_stop(Shared& sh, core::StopReason reason) {
 }
 
 void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
-            Shared& sh) {
-  fsp::Lb1Scratch scratch(inst.jobs(), inst.machines());
+            Shared& sh, std::size_t lane) {
+  fsp::Lb1BoundContext ctx(inst, data);
   core::EngineStats local;
-  std::vector<Subproblem> survivors;
+  std::vector<NodeRef> survivors;
 
   for (;;) {
     // Cooperative stop: polled before taking the lock, so a canceled or
@@ -57,7 +60,7 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
         break;
       }
     }
-    Subproblem node;
+    NodeRef node;
     std::uint64_t branched_total = 0;
     {
       std::unique_lock<std::mutex> lock(sh.mu);
@@ -69,6 +72,7 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
       node = sh.pool->pop();
       if (node.lb >= sh.ub) {
         ++local.pruned;
+        sh.arena->release(node.slot, lane);  // lane-local, lock-free
         if (sh.pool->empty() && sh.in_flight == 0) sh.cv.notify_all();
         continue;
       }
@@ -89,7 +93,8 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
       return sh.ub;
     }();
     detail::BestLeaf best_leaf = detail::expand_node(
-        inst, data, node, ub_snapshot, scratch, local, survivors);
+        inst, *sh.arena, lane, node, ub_snapshot, ctx, local, survivors);
+    sh.arena->release(node.slot, lane);
 
     bool improved = false;
     std::vector<fsp::JobId> improved_perm;
@@ -103,12 +108,13 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
         ++local.ub_updates;
         improved = true;
       }
-      for (Subproblem& child : survivors) {
+      for (NodeRef& child : survivors) {
         // Re-check against the freshest incumbent before inserting.
         if (child.lb < sh.ub) {
           sh.pool->push(std::move(child));
         } else {
           ++local.pruned;
+          sh.arena->release(child.slot, lane);
         }
       }
       --sh.in_flight;
@@ -143,8 +149,14 @@ core::SolveResult run(const fsp::Instance& inst,
   FSBB_CHECK_MSG(options.threads >= 1, "need at least one worker");
   const WallTimer timer;
 
+  // One allocation lane per worker plus one for this (the coordinating)
+  // thread, which adopts the initial nodes.
+  core::NodeArena arena(inst.jobs(), options.threads + 1);
+  const std::size_t main_lane = options.threads;
+
   Shared sh;
-  sh.pool = core::make_pool(core::SelectionStrategy::kBestFirst);
+  sh.arena = &arena;
+  sh.pool = core::make_pool<NodeRef>(core::SelectionStrategy::kBestFirst);
   sh.ub = initial_ub;
   sh.best_perm = std::move(seed_perm);
   sh.node_budget = options.node_budget;
@@ -154,7 +166,7 @@ core::SolveResult run(const fsp::Instance& inst,
     FSBB_CHECK_MSG(sp.lb != Subproblem::kUnevaluated,
                    "mt engine requires bounded initial nodes");
     if (sp.lb < sh.ub) {
-      sh.pool->push(std::move(sp));
+      sh.pool->push(NodeRef{sp.lb, sp.depth, arena.adopt(sp, main_lane)});
     } else {
       ++sh.stats.pruned;
     }
@@ -165,7 +177,7 @@ core::SolveResult run(const fsp::Instance& inst,
     workers.reserve(options.threads);
     for (std::size_t i = 0; i < options.threads; ++i) {
       workers.emplace_back(
-          [&inst, &data, &sh] { worker(inst, data, sh); });
+          [&inst, &data, &sh, i] { worker(inst, data, sh, i); });
     }
     for (auto& w : workers) w.join();
   }

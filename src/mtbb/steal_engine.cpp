@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/node_arena.h"
 #include "core/work_steal.h"
 #include "fsp/lb1.h"
 #include "mtbb/branch_expand.h"
@@ -17,6 +18,7 @@
 namespace fsbb::mtbb {
 namespace {
 
+using core::NodeRef;
 using core::StealStats;
 using core::Subproblem;
 
@@ -25,11 +27,14 @@ constexpr int kSpinRoundsBeforeNap = 16;
 constexpr auto kNap = std::chrono::microseconds(100);
 
 /// Everything the workers share. The hot path (pop/push/prune) only
-/// touches the worker's own shard and two atomics.
+/// touches the worker's own shard and two atomics; permutations live in
+/// the shared arena and never move — a steal copies 12-byte handles.
 struct Shared {
-  explicit Shared(std::size_t workers) : pool(workers) {}
+  explicit Shared(std::size_t workers, int jobs)
+      : pool(workers), arena(jobs, workers + 1) {}
 
-  core::ShardedPool pool;
+  core::ShardedPoolT<NodeRef> pool;
+  core::NodeArena arena;
   /// Nodes resident anywhere: in a deque or being branched. Children are
   /// counted before their parent is released, so 0 means the tree is done.
   std::atomic<std::uint64_t> in_flight{0};
@@ -74,10 +79,10 @@ void await_gang(Shared& sh) {
 
 /// One victim-scan round. Returns a node to process (stolen batch minus
 /// one lands in the thief's own deque) or nullopt if every victim was dry.
-std::optional<Subproblem> try_steal(Shared& sh, std::size_t id,
-                                    std::size_t& rr_cursor, SplitMix64& rng,
-                                    std::vector<Subproblem>& loot,
-                                    StealStats& local) {
+std::optional<NodeRef> try_steal(Shared& sh, std::size_t id,
+                                 std::size_t& rr_cursor, SplitMix64& rng,
+                                 std::vector<NodeRef>& loot,
+                                 StealStats& local) {
   const std::size_t workers = sh.pool.shards();
   if (workers <= 1) return std::nullopt;
   for (std::size_t probe = 0; probe + 1 < workers; ++probe) {
@@ -100,7 +105,7 @@ std::optional<Subproblem> try_steal(Shared& sh, std::size_t id,
     local.nodes_stolen += loot.size();
     // Keep the oldest node for immediate branching; the rest refill the
     // local deque (in_flight is unchanged — the nodes merely moved shard).
-    Subproblem next = std::move(loot.front());
+    NodeRef next = loot.front();
     for (std::size_t i = 1; i < loot.size(); ++i) {
       sh.pool.shard(id).push(std::move(loot[i]));
     }
@@ -111,11 +116,11 @@ std::optional<Subproblem> try_steal(Shared& sh, std::size_t id,
 
 void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
             Shared& sh, std::size_t id) {
-  fsp::Lb1Scratch scratch(inst.jobs(), inst.machines());
+  fsp::Lb1BoundContext ctx(inst, data);
   core::EngineStats local;
   StealStats local_steals;
-  std::vector<Subproblem> survivors;
-  std::vector<Subproblem> loot;
+  std::vector<NodeRef> survivors;
+  std::vector<NodeRef> loot;
   std::size_t rr_cursor = (id + 1) % sh.pool.shards();
   SplitMix64 rng(0x5163a1ULL + id);  // per-worker victim sequence
   int dry_rounds = 0;
@@ -131,7 +136,7 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
         break;
       }
     }
-    std::optional<Subproblem> node = sh.pool.shard(id).pop();
+    std::optional<NodeRef> node = sh.pool.shard(id).pop();
     if (!node) node = try_steal(sh, id, rr_cursor, rng, loot, local_steals);
     if (!node) {
       // Two-phase quiescence: observing zero once is not enough in
@@ -155,6 +160,7 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
     const fsp::Time ub_snapshot = sh.ub.load(std::memory_order_acquire);
     if (node->lb >= ub_snapshot) {
       ++local.pruned;
+      sh.arena.release(node->slot, id);
       sh.in_flight.fetch_sub(1, std::memory_order_acq_rel);
       continue;
     }
@@ -166,7 +172,8 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
     ++local.branched;
 
     detail::BestLeaf best_leaf = detail::expand_node(
-        inst, data, *node, ub_snapshot, scratch, local, survivors);
+        inst, sh.arena, id, *node, ub_snapshot, ctx, local, survivors);
+    sh.arena.release(node->slot, id);
 
     if (best_leaf.makespan < sh.ub.load(std::memory_order_acquire)) {
       // Lock-free incumbent: CAS-min the atomic every worker prunes
@@ -204,12 +211,13 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
     // Children first, parent last: in_flight can only hit zero when the
     // whole subtree below every popped node has been accounted.
     const fsp::Time ub_fresh = sh.ub.load(std::memory_order_acquire);
-    for (Subproblem& child : survivors) {
+    for (NodeRef& child : survivors) {
       if (child.lb < ub_fresh) {
         sh.in_flight.fetch_add(1, std::memory_order_acq_rel);
         sh.pool.shard(id).push(std::move(child));
       } else {
         ++local.pruned;
+        sh.arena.release(child.slot, id);
       }
     }
     sh.in_flight.fetch_sub(1, std::memory_order_acq_rel);
@@ -236,7 +244,8 @@ core::SolveResult run(const fsp::Instance& inst,
   FSBB_CHECK_MSG(options.steal_batch >= 1, "steal batch must be >= 1");
   const WallTimer timer;
 
-  Shared sh(options.threads);
+  Shared sh(options.threads, inst.jobs());
+  const std::size_t main_lane = options.threads;
   sh.ub.store(initial_ub, std::memory_order_relaxed);
   sh.best_perm_makespan = initial_ub;
   sh.best_perm = std::move(seed_perm);
@@ -246,13 +255,13 @@ core::SolveResult run(const fsp::Instance& inst,
   sh.steal_batch = options.steal_batch;
   sh.stats.initial_ub = initial_ub;
 
-  std::vector<Subproblem> live;
+  std::vector<NodeRef> live;
   live.reserve(initial.size());
   for (Subproblem& sp : initial) {
     FSBB_CHECK_MSG(sp.lb != Subproblem::kUnevaluated,
                    "steal engine requires bounded initial nodes");
     if (sp.lb < initial_ub) {
-      live.push_back(std::move(sp));
+      live.push_back(NodeRef{sp.lb, sp.depth, sh.arena.adopt(sp, main_lane)});
     } else {
       ++sh.stats.pruned;
     }

@@ -85,6 +85,129 @@ TEST(Evaluators, EmptyBatchIsHarmless) {
   EXPECT_NO_THROW(threaded.evaluate(empty));
 }
 
+// ---- the sibling-batch seam ---------------------------------------------
+
+/// Builds the SiblingBatch view of one parent plus the materialized
+/// children (via Subproblem::child) for the reference bounds.
+struct SiblingCase {
+  Subproblem parent;
+  std::vector<Subproblem> children;
+  std::vector<fsp::Time> bounds;
+
+  explicit SiblingCase(Subproblem p) : parent(std::move(p)) {
+    for (int i = 0; i < parent.remaining(); ++i) {
+      children.push_back(parent.child(i));
+    }
+    bounds.assign(children.size(), Subproblem::kUnevaluated);
+  }
+
+  SiblingBatch batch() {
+    return SiblingBatch{parent.prefix(), parent.free_jobs(), bounds};
+  }
+};
+
+std::vector<SiblingCase> random_sibling_cases(const fsp::Instance& inst,
+                                              int count, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<SiblingCase> cases;
+  for (int i = 0; i < count; ++i) {
+    Subproblem sp = Subproblem::root(inst.jobs());
+    shuffle(sp.perm, rng);
+    // remaining >= 2: engines never hand complete children to the seam.
+    sp.depth = static_cast<std::int32_t>(rng.next_below(
+        static_cast<std::uint64_t>(inst.jobs() - 1)));
+    cases.emplace_back(std::move(sp));
+  }
+  return cases;
+}
+
+TEST(SiblingSeam, SerialIncrementalMatchesFlatReplay) {
+  const fsp::Instance inst = fsp::taillard_instance(21);  // 20x20
+  const auto data = fsp::LowerBoundData::build(inst);
+  SerialCpuEvaluator eval(inst, data);
+  ASSERT_TRUE(eval.supports_sibling_batches());
+
+  auto cases = random_sibling_cases(inst, 16, 11);
+  std::vector<SiblingBatch> groups;
+  for (auto& c : cases) groups.push_back(c.batch());
+  eval.evaluate_siblings(groups);
+
+  for (auto& c : cases) {
+    eval.evaluate(c.children);  // the replay path
+    for (std::size_t i = 0; i < c.children.size(); ++i) {
+      ASSERT_EQ(c.bounds[i], c.children[i].lb)
+          << "parent depth " << c.parent.depth << " child " << i;
+    }
+  }
+}
+
+TEST(SiblingSeam, DefaultFallbackMatchesPerChildCallback) {
+  // CallbackEvaluator does not override the seam: the base-class default
+  // must materialize children exactly as Subproblem::child() would.
+  const fsp::Instance inst = fsp::taillard_instance(1);
+  const auto data = fsp::LowerBoundData::build(inst);
+  CallbackEvaluator eval("lb1-callback", [&](const Subproblem& sp) {
+    return fsp::lb1_from_prefix(inst, data, sp.prefix());
+  });
+  ASSERT_FALSE(eval.supports_sibling_batches());
+
+  auto cases = random_sibling_cases(inst, 8, 29);
+  std::vector<SiblingBatch> groups;
+  for (auto& c : cases) groups.push_back(c.batch());
+  eval.evaluate_siblings(groups);
+
+  for (auto& c : cases) {
+    for (std::size_t i = 0; i < c.children.size(); ++i) {
+      const fsp::Time expected =
+          fsp::lb1_from_prefix(inst, data, c.children[i].prefix());
+      ASSERT_EQ(c.bounds[i], expected);
+    }
+  }
+}
+
+class ThreadedSiblingsMatchSerial : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadedSiblingsMatchSerial, IdenticalBoundsForAnyThreadCount) {
+  const fsp::Instance inst = fsp::taillard_instance(21);
+  const auto data = fsp::LowerBoundData::build(inst);
+  SerialCpuEvaluator serial(inst, data);
+  ThreadedCpuEvaluator threaded(inst, data,
+                                static_cast<std::size_t>(GetParam()));
+  ASSERT_TRUE(threaded.supports_sibling_batches());
+
+  auto serial_cases = random_sibling_cases(inst, 24, 1234);
+  auto threaded_cases = random_sibling_cases(inst, 24, 1234);
+  std::vector<SiblingBatch> serial_groups, threaded_groups;
+  for (auto& c : serial_cases) serial_groups.push_back(c.batch());
+  for (auto& c : threaded_cases) threaded_groups.push_back(c.batch());
+  serial.evaluate_siblings(serial_groups);
+  threaded.evaluate_siblings(threaded_groups);
+
+  for (std::size_t g = 0; g < serial_cases.size(); ++g) {
+    ASSERT_EQ(serial_cases[g].bounds, threaded_cases[g].bounds)
+        << "group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadedSiblingsMatchSerial,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(SiblingSeam, LedgerCountsSiblingNodes) {
+  const fsp::Instance inst = fsp::taillard_instance(1);
+  const auto data = fsp::LowerBoundData::build(inst);
+  SerialCpuEvaluator eval(inst, data);
+  auto cases = random_sibling_cases(inst, 3, 5);
+  std::vector<SiblingBatch> groups;
+  std::size_t nodes = 0;
+  for (auto& c : cases) {
+    groups.push_back(c.batch());
+    nodes += c.children.size();
+  }
+  eval.evaluate_siblings(groups);
+  EXPECT_EQ(eval.ledger().batches, 1u);
+  EXPECT_EQ(eval.ledger().nodes, nodes);
+}
+
 TEST(Evaluators, RepeatedEvaluationIsIdempotent) {
   const fsp::Instance inst = fsp::taillard_instance(1);
   const auto data = fsp::LowerBoundData::build(inst);

@@ -1,0 +1,137 @@
+#include "core/node_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/subproblem.h"
+
+namespace fsbb::core {
+namespace {
+
+TEST(NodeArena, AllocateGivesDistinctStableSlots) {
+  NodeArena arena(6);
+  std::vector<NodeArena::Handle> handles;
+  std::set<NodeArena::Handle> seen;
+  for (int i = 0; i < 100; ++i) {
+    const NodeArena::Handle h = arena.allocate();
+    ASSERT_TRUE(seen.insert(h).second) << "duplicate handle " << h;
+    auto p = arena.perm(h);
+    ASSERT_EQ(p.size(), 6u);
+    std::fill(p.begin(), p.end(), static_cast<fsp::JobId>(i));
+    handles.push_back(h);
+  }
+  // Growth never moved earlier permutations.
+  for (int i = 0; i < 100; ++i) {
+    for (const fsp::JobId v : arena.perm(handles[static_cast<std::size_t>(i)])) {
+      ASSERT_EQ(v, static_cast<fsp::JobId>(i));
+    }
+  }
+  EXPECT_EQ(arena.live(), 100u);
+}
+
+TEST(NodeArena, ReleaseRecyclesSlots) {
+  NodeArena arena(4);
+  const NodeArena::Handle a = arena.allocate();
+  arena.release(a);
+  const NodeArena::Handle b = arena.allocate();
+  EXPECT_EQ(a, b);  // freelist reuse, no bump growth
+  EXPECT_EQ(arena.live(), 1u);
+}
+
+TEST(NodeArena, AdoptMaterializeRoundTrips) {
+  NodeArena arena(8);
+  SplitMix64 rng(3);
+  Subproblem sp = Subproblem::root(8);
+  shuffle(sp.perm, rng);
+  sp.depth = 3;
+  sp.lb = 412;
+
+  const NodeArena::Handle h = arena.adopt(sp);
+  const Subproblem back = arena.materialize(h, sp.depth, sp.lb);
+  EXPECT_EQ(back.perm, sp.perm);
+  EXPECT_EQ(back.depth, 3);
+  EXPECT_EQ(back.lb, 412);
+}
+
+TEST(NodeArena, GrowthCrossesChunkBoundaries) {
+  NodeArena arena(3);
+  const std::size_t count = NodeArena::kChunkNodes * 2 + 17;
+  std::vector<NodeArena::Handle> handles;
+  handles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeArena::Handle h = arena.allocate();
+    arena.perm(h)[0] = static_cast<fsp::JobId>(i % 1000);
+    handles.push_back(h);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(arena.perm(handles[i])[0], static_cast<fsp::JobId>(i % 1000));
+  }
+  EXPECT_EQ(arena.live(), count);
+}
+
+TEST(NodeArena, CrossLaneReleaseIsBalanced) {
+  // A handle allocated on one lane may be released on another (nodes
+  // migrate between shards in the steal engine); live() still balances.
+  NodeArena arena(5, /*lanes=*/3);
+  std::vector<NodeArena::Handle> handles;
+  for (int i = 0; i < 10; ++i) handles.push_back(arena.allocate(0));
+  for (const NodeArena::Handle h : handles) arena.release(h, 2);
+  EXPECT_EQ(arena.live(), 0u);
+  // Lane 2 recycles what it received.
+  const NodeArena::Handle h = arena.allocate(2);
+  EXPECT_NE(h, NodeArena::kNull);
+}
+
+TEST(NodeArena, ConcurrentLanesDoNotCollide) {
+  // Each thread hammers its own lane; every handle handed out must be
+  // unique and its bytes must stay private to the writer.
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPerThread = 5000;
+  NodeArena arena(4, kThreads);
+  std::vector<std::vector<NodeArena::Handle>> all(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        SplitMix64 rng(t);
+        auto& mine = all[t];
+        for (int i = 0; i < kPerThread; ++i) {
+          const NodeArena::Handle h = arena.allocate(t);
+          arena.perm(h)[0] = static_cast<fsp::JobId>(t);
+          mine.push_back(h);
+          if (rng.next_below(3) == 0 && !mine.empty()) {
+            // Churn the freelist like pruning does.
+            arena.release(mine.back(), t);
+            mine.pop_back();
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  std::set<NodeArena::Handle> seen;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (const NodeArena::Handle h : all[t]) {
+      ASSERT_TRUE(seen.insert(h).second) << "handle " << h << " double-issued";
+      ASSERT_EQ(arena.perm(h)[0], static_cast<fsp::JobId>(t));
+    }
+  }
+}
+
+TEST(NodeRef, IsSmallTriviallyCopyable) {
+  static_assert(std::is_trivially_copyable_v<NodeRef>);
+  static_assert(sizeof(NodeRef) <= 12);
+  const NodeRef def;
+  EXPECT_EQ(def.lb, Subproblem::kUnevaluated);
+  EXPECT_EQ(def.slot, NodeArena::kNull);
+}
+
+}  // namespace
+}  // namespace fsbb::core

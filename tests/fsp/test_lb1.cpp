@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.h"
@@ -116,6 +117,107 @@ TEST(Lb1, BoundGrowsAlongABranch) {
     ASSERT_GE(lb, prev) << "depth " << depth;
     prev = lb;
   }
+}
+
+// ---- the incremental sibling-batch context ------------------------------
+
+class Lb1ContextRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lb1ContextRandom, IncrementalFrontsMatchComputeFronts) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 101 + 7;
+  SplitMix64 rng(seed);
+  const Instance inst = random_instance(9, 2 + GetParam() % 6, seed);
+  const LowerBoundData data = LowerBoundData::build(inst);
+  Lb1BoundContext ctx(inst, data);
+
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  for (int depth = 0; depth <= inst.jobs(); ++depth) {
+    const std::span<const JobId> prefix(perm.data(),
+                                        static_cast<std::size_t>(depth));
+    ctx.set_parent(prefix);
+    std::vector<Time> expected(static_cast<std::size_t>(inst.machines()));
+    compute_fronts(inst, prefix, expected);
+    ASSERT_EQ(ctx.free_count(), inst.jobs() - depth) << "depth " << depth;
+    for (int k = 0; k < inst.machines(); ++k) {
+      ASSERT_EQ(ctx.parent_fronts()[static_cast<std::size_t>(k)],
+                expected[static_cast<std::size_t>(k)])
+          << "depth " << depth << " machine " << k;
+    }
+    for (int j = 0; j < inst.jobs(); ++j) {
+      const bool in_prefix =
+          std::find(prefix.begin(), prefix.end(), static_cast<JobId>(j)) !=
+          prefix.end();
+      ASSERT_EQ(ctx.scheduled()[static_cast<std::size_t>(j)] != 0, in_prefix)
+          << "depth " << depth << " job " << j;
+    }
+  }
+}
+
+TEST_P(Lb1ContextRandom, BoundChildIsBitIdenticalToPrefixReplay) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 53 + 1;
+  SplitMix64 rng(seed);
+  const Instance inst = random_instance(8, 2 + GetParam() % 7, seed);
+  const LowerBoundData data = LowerBoundData::build(inst);
+  Lb1BoundContext ctx(inst, data);
+
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  // Every depth, every sibling: the incremental bound must equal the
+  // full O(depth m + m^2 n) replay of the child's prefix.
+  std::vector<JobId> child_prefix;
+  for (int depth = 0; depth < inst.jobs(); ++depth) {
+    const std::span<const JobId> prefix(perm.data(),
+                                        static_cast<std::size_t>(depth));
+    ctx.set_parent(prefix);
+    for (int i = depth; i < inst.jobs(); ++i) {
+      const JobId job = perm[static_cast<std::size_t>(i)];
+      child_prefix.assign(prefix.begin(), prefix.end());
+      child_prefix.push_back(job);
+      ASSERT_EQ(ctx.bound_child(job),
+                lb1_from_prefix(inst, data, child_prefix))
+          << "depth " << depth << " job " << job;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lb1ContextRandom, ::testing::Range(0, 20));
+
+TEST(Lb1BoundContext, RebindingParentsIsClean) {
+  // One context across many parents (the evaluator usage pattern): no
+  // state may leak between set_parent calls.
+  const Instance inst = taillard_instance(1);
+  const LowerBoundData data = LowerBoundData::build(inst);
+  Lb1BoundContext ctx(inst, data);
+  SplitMix64 rng(77);
+  auto perm = identity_permutation(inst.jobs());
+
+  for (int round = 0; round < 10; ++round) {
+    shuffle(perm, rng);
+    const auto depth = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(inst.jobs())));
+    const std::span<const JobId> prefix(perm.data(), depth);
+    ctx.set_parent(prefix);
+    const JobId job = perm[depth];
+    std::vector<JobId> child_prefix(prefix.begin(), prefix.end());
+    child_prefix.push_back(job);
+    ASSERT_EQ(ctx.bound_child(job), lb1_from_prefix(inst, data, child_prefix))
+        << "round " << round;
+  }
+}
+
+TEST(Lb1BoundContext, CompleteChildBoundEqualsMakespan) {
+  // Binding the parent at depth n-1 and scheduling the last job must give
+  // the exact makespan, like lb1_evaluate on a full schedule.
+  const Instance inst = random_instance(8, 5, 123);
+  const LowerBoundData data = LowerBoundData::build(inst);
+  Lb1BoundContext ctx(inst, data);
+  SplitMix64 rng(5);
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  const std::span<const JobId> prefix(perm.data(), perm.size() - 1);
+  ctx.set_parent(prefix);
+  EXPECT_EQ(ctx.bound_child(perm.back()), makespan(inst, perm));
 }
 
 TEST(Lb1, ScratchReuseIsClean) {

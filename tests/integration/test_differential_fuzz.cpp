@@ -72,6 +72,57 @@ TEST_P(DifferentialFuzz, EveryBackendMatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzz,
                          ::testing::Range(0, kShards));
 
+// The incremental sibling-batch seam (Lb1BoundContext through
+// evaluate_siblings) against the prefix-replay path (CallbackEvaluator,
+// which takes the default flat-batch fallback): same engine, same batch
+// size, so not just the optimum but the *entire search* — every counter
+// of every operator — must be bit-identical. A single off-by-one bound
+// would branch a different tree and show up in `generated`/`pruned`.
+class SeamVsReplayFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeamVsReplayFuzz, SearchCountersAreBitIdentical) {
+  const int shard = GetParam();
+  SplitMix64 rng(0x5EA3u * 999983u + static_cast<std::uint64_t>(shard));
+  for (int i = 0; i < 8; ++i) {
+    const auto family = kFamilies[rng.next_below(std::size(kFamilies))];
+    const int jobs = static_cast<int>(rng.next_in(6, 10));
+    const int machines = static_cast<int>(rng.next_in(2, 10));
+    const std::uint64_t seed = rng.next();
+    const fsp::Instance inst =
+        fsp::make_instance(family, jobs, machines, seed);
+    const std::string label = std::string(fsp::to_string(family)) + " " +
+                              std::to_string(jobs) + "x" +
+                              std::to_string(machines) + " seed " +
+                              std::to_string(seed);
+
+    // cpu-serial and cpu-threads cover both sibling-capable evaluators;
+    // callback with the same batch size is the replay reference.
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+      api::SolverConfig seam;
+      seam.backend = batch == 1 ? "cpu-serial" : "cpu-threads";
+      seam.threads = 3;
+      seam.batch_size = batch;
+      api::SolverConfig replay;
+      replay.backend = "callback";
+      replay.batch_size = batch;
+
+      const api::SolveReport a = api::Solver(seam).solve(inst);
+      const api::SolveReport b = api::Solver(replay).solve(inst);
+      ASSERT_EQ(a.best_makespan, b.best_makespan) << label;
+      ASSERT_EQ(a.proven_optimal, b.proven_optimal) << label;
+      ASSERT_EQ(a.best_permutation, b.best_permutation) << label;
+      ASSERT_EQ(a.stats.branched, b.stats.branched) << label;
+      ASSERT_EQ(a.stats.generated, b.stats.generated) << label;
+      ASSERT_EQ(a.stats.evaluated, b.stats.evaluated) << label;
+      ASSERT_EQ(a.stats.pruned, b.stats.pruned) << label;
+      ASSERT_EQ(a.stats.leaves, b.stats.leaves) << label;
+      ASSERT_EQ(a.stats.ub_updates, b.stats.ub_updates) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SeamVsReplayFuzz, ::testing::Range(0, 4));
+
 // The steal engine's own knob matrix gets a dedicated sweep: victim order
 // and steal batch must never change the proven optimum.
 class StealKnobFuzz : public ::testing::TestWithParam<int> {};
