@@ -9,6 +9,7 @@
 #include "gpubb/device_lb_data.h"
 #include "gpubb/lb_kernel.h"
 #include "gpubb/placement.h"
+#include "gpubb/resident_pool.h"
 #include "gpusim/occupancy.h"
 #include "gpusim/timing.h"
 #include "gpusim/transfer.h"
@@ -52,6 +53,98 @@ void BM_SimKernelLb1(benchmark::State& state) {
                           pool_nodes);
 }
 BENCHMARK(BM_SimKernelLb1)->Arg(256)->Arg(1024)->Arg(4096);
+
+// --- resident-pool sweeps (paper §V pool-size sensitivity, new layout) ---
+// One offload iteration = refill a batch of parents, derive + bound all of
+// their children in the fused kernel, release the children. Sweeping the
+// shard count shows how per-SM partitioning costs/behaves (spills start
+// once a shard fills); sweeping the refill batch shows the iteration-size
+// sensitivity that made the paper tune its pool size at runtime.
+
+struct ResidentHarness {
+  fsp::Instance inst;
+  fsp::LowerBoundData data;
+  gpusim::SimDevice device;
+  gpubb::DeviceLbData dev_data;
+  gpubb::DeviceResidentPool pool;
+  std::vector<core::Subproblem> parents;
+
+  ResidentHarness(int shards, std::size_t slots_per_shard, int parent_count)
+      : inst(fsp::taillard_class_representative(20, 20)),
+        data(fsp::LowerBoundData::build(inst)),
+        device(gpusim::DeviceSpec::tesla_c2050()),
+        dev_data(device, data,
+                 gpubb::make_placement_plan(gpubb::PlacementPolicy::kSharedJmPtm,
+                                            data, device.spec())),
+        pool(device, dev_data,
+             gpubb::ResidentPoolConfig{shards, slots_per_shard, 256}),
+        parents(random_pool(inst, parent_count, 42)) {}
+
+  /// Refills `batch` parents, bounds their children, releases the tickets.
+  /// Returns the number of children bounded.
+  std::size_t iterate_once(std::size_t batch, std::vector<fsp::Time>& bounds,
+                           std::vector<std::uint32_t>& tickets,
+                           std::vector<core::ResidentGroup>& groups) {
+    std::size_t children = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      children += static_cast<std::size_t>(parents[i].remaining());
+    }
+    bounds.assign(children, 0);
+    tickets.assign(children, core::ResidentPool::kNullTicket);
+    groups.clear();
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto r = static_cast<std::size_t>(parents[i].remaining());
+      core::ResidentGroup g;
+      g.perm = parents[i].perm;
+      g.depth = parents[i].depth;
+      g.bounds = std::span<fsp::Time>(bounds).subspan(at, r);
+      g.child_tickets = std::span<std::uint32_t>(tickets).subspan(at, r);
+      groups.push_back(g);
+      at += r;
+    }
+    gpubb::ResidentIterationIo io;
+    pool.iterate(1 << 30, groups, io);
+    for (const std::uint32_t t : tickets) {
+      if (t != core::ResidentPool::kNullTicket) pool.release(t);
+    }
+    return children;
+  }
+};
+
+void BM_ResidentIterateShardSweep(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ResidentHarness h(shards, 4096, 64);
+  std::vector<fsp::Time> bounds;
+  std::vector<std::uint32_t> tickets;
+  std::vector<core::ResidentGroup> groups;
+  std::size_t children = 0;
+  for (auto _ : state) {
+    children += h.iterate_once(64, bounds, tickets, groups);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(children));
+  const auto stats = h.pool.stats();
+  state.counters["spills"] = static_cast<double>([&] {
+    std::uint64_t total = 0;
+    for (const auto& s : stats.shards) total += s.spills;
+    return total;
+  }());
+}
+BENCHMARK(BM_ResidentIterateShardSweep)->Arg(1)->Arg(4)->Arg(14)->Arg(28);
+
+void BM_ResidentRefillBatchSweep(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  ResidentHarness h(14, 4096, static_cast<int>(batch));
+  std::vector<fsp::Time> bounds;
+  std::vector<std::uint32_t> tickets;
+  std::vector<core::ResidentGroup> groups;
+  std::size_t children = 0;
+  for (auto _ : state) {
+    children += h.iterate_once(batch, bounds, tickets, groups);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(children));
+}
+BENCHMARK(BM_ResidentRefillBatchSweep)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_OccupancyCalculator(benchmark::State& state) {
   const auto spec = gpusim::DeviceSpec::tesla_c2050();

@@ -1,5 +1,6 @@
 #include "api/backend_registry.h"
 
+#include <initializer_list>
 #include <utility>
 
 #include "common/check.h"
@@ -24,10 +25,27 @@ std::size_t default_batch(const std::string& key) {
   return 1;
 }
 
-void require_lb1(const BackendContext& ctx, const std::string& key) {
-  FSBB_CHECK_MSG(ctx.config->bound == Bound::kLb1,
-                 "backend '" + key + "' only implements lb1; use cpu-serial "
-                 "or callback for " + std::string(to_string(ctx.config->bound)));
+// The explicit reject-or-run decision per (backend, bound) combination:
+// every parallel backend names exactly the bounds it implements, and a
+// rejected combo says what was asked, what the backend supports, and
+// which backends do support the requested bound — no silent fallbacks.
+void require_bound(const BackendContext& ctx, const std::string& key,
+                   std::initializer_list<Bound> supported) {
+  const Bound want = ctx.config->bound;
+  for (const Bound b : supported) {
+    if (b == want) return;
+  }
+  std::string have;
+  for (const Bound b : supported) {
+    if (!have.empty()) have += "|";
+    have += to_string(b);
+  }
+  std::string alternatives = "cpu-serial or callback";
+  if (want == Bound::kLb2) alternatives += " or cpu-steal";
+  FSBB_CHECK_MSG(false, "backend '" + key + "' supports --bound " + have +
+                            " but got " + std::string(to_string(want)) +
+                            "; use " + alternatives + " for " +
+                            std::string(to_string(want)));
 }
 
 // Serial evaluator for the configured bound. LB1 gets the scratch-reusing
@@ -117,6 +135,8 @@ class EngineBackend final : public Backend {
 mtbb::MtOptions mt_options(const BackendContext& ctx) {
   mtbb::MtOptions o;
   o.threads = ctx.config->threads;
+  o.bound = ctx.config->bound == Bound::kLb2 ? mtbb::MtBound::kLb2
+                                             : mtbb::MtBound::kLb1;
   o.initial_ub = ctx.config->initial_ub;
   o.node_budget = ctx.config->node_budget;
   o.victim_order = ctx.config->victim_order;
@@ -201,7 +221,7 @@ void register_builtins(BackendRegistry& r) {
   r.add("cpu-threads",
         "lb1 fanned over a host thread pool (--threads); Type-1 parallelism",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
-          require_lb1(ctx, "cpu-threads");
+          require_bound(ctx, "cpu-threads", {Bound::kLb1});
           auto eval = std::make_unique<core::ThreadedCpuEvaluator>(
               *ctx.instance, *ctx.data, ctx.config->threads);
           return std::make_unique<EngineBackend>("cpu-threads", ctx, nullptr,
@@ -209,27 +229,29 @@ void register_builtins(BackendRegistry& r) {
         });
   r.add("gpu-sim",
         "hybrid CPU + simulated-GPU B&B (the paper's contribution); "
-        "--device, --placement, --block-threads apply",
+        "--device, --placement, --block-threads, --gpu-pool apply",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
-          require_lb1(ctx, "gpu-sim");
+          require_bound(ctx, "gpu-sim", {Bound::kLb1});
           auto device =
               std::make_unique<gpusim::SimDevice>(device_spec_for(*ctx.config));
           auto eval = std::make_unique<gpubb::GpuBoundEvaluator>(
               *device, *ctx.instance, *ctx.data, ctx.config->placement,
-              ctx.config->block_threads);
+              ctx.config->block_threads,
+              gpusim::GpuCalibration::fermi_defaults(),
+              ctx.config->gpu_pool);
           return std::make_unique<EngineBackend>(
               "gpu-sim", ctx, std::move(device), std::move(eval));
         });
   r.add("adaptive",
         "routes each batch to host threads or the simulated GPU at the "
-        "modeled break-even pool size (§VI outlook)",
+        "modeled break-even pool size (§VI outlook); --gpu-pool applies",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
-          require_lb1(ctx, "adaptive");
+          require_bound(ctx, "adaptive", {Bound::kLb1});
           auto device =
               std::make_unique<gpusim::SimDevice>(device_spec_for(*ctx.config));
           auto eval = std::make_unique<gpubb::AdaptiveEvaluator>(
               *device, *ctx.instance, *ctx.data, ctx.config->placement,
-              ctx.config->threads);
+              ctx.config->threads, /*threshold=*/0, ctx.config->gpu_pool);
           return std::make_unique<EngineBackend>(
               "adaptive", ctx, std::move(device), std::move(eval));
         });
@@ -237,15 +259,15 @@ void register_builtins(BackendRegistry& r) {
         "shared-pool Pthread-style B&B over --threads workers (§V "
         "baseline); strategy/batch/time-limit do not apply",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
-          require_lb1(ctx, "multicore");
+          require_bound(ctx, "multicore", {Bound::kLb1});
           return std::make_unique<MulticoreBackend>(ctx);
         });
   r.add("cpu-steal",
         "work-stealing sharded-pool B&B over --threads workers "
-        "(--victim-order, --steal-batch); strategy/batch/time-limit do "
-        "not apply",
+        "(--victim-order, --steal-batch; lb1 or lb2 per --bound); "
+        "strategy/batch/time-limit do not apply",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
-          require_lb1(ctx, "cpu-steal");
+          require_bound(ctx, "cpu-steal", {Bound::kLb1, Bound::kLb2});
           return std::make_unique<StealBackend>(ctx);
         });
 }

@@ -33,6 +33,7 @@ std::string config_json(const SolverConfig& c) {
   o.integer("steal_batch", c.steal_batch);
   o.integer("block_threads", c.block_threads);
   o.str("placement", gpubb::to_string(c.placement));
+  o.str("gpu_pool", gpubb::to_string(c.gpu_pool));
   o.str("device", c.device);
   o.field("initial_ub",
           c.initial_ub ? std::to_string(*c.initial_ub) : "null");
@@ -76,6 +77,33 @@ std::string steal_json(const core::StealStats& s) {
   return o.done();
 }
 
+std::string pool_json(const core::ResidentPoolStats& p) {
+  std::string shards = "[";
+  for (std::size_t i = 0; i < p.shards.size(); ++i) {
+    const core::ShardOccupancy& s = p.shards[i];
+    JsonWriter o;
+    o.integer("live", s.live);
+    o.integer("peak_live", s.peak_live);
+    o.integer("allocated", s.allocated);
+    o.integer("released", s.released);
+    o.integer("spills", s.spills);
+    o.integer("steals", s.steals);
+    o.integer("refills", s.refills);
+    if (i) shards += ",";
+    shards += o.done();
+  }
+  shards += "]";
+
+  JsonWriter o;
+  o.integer("capacity", p.capacity);
+  o.integer("slot_bytes", p.slot_bytes);
+  o.integer("overflow", p.overflow);
+  o.integer("refills", p.refills);
+  o.integer("peak_live", p.peak_live());
+  o.field("shards", shards);
+  return o.done();
+}
+
 }  // namespace
 
 std::string SolveReport::to_json() const {
@@ -106,6 +134,7 @@ std::string SolveReport::to_json() const {
   o.field("stats", stats_json(stats));
   o.field("eval", eval ? ledger_json(*eval) : "null");
   o.field("steal", steal ? steal_json(*steal) : "null");
+  o.field("pool", pool ? pool_json(*pool) : "null");
   return o.done();
 }
 
@@ -135,6 +164,13 @@ void SolveReport::print_text(std::ostream& os) const {
     os << "  " << steal->nodes_stolen << " nodes stolen in "
        << steal->steal_successes << "/" << steal->steal_attempts
        << " successful steals\n";
+  }
+  if (pool) {
+    os << "  resident pool: " << pool->shards.size() << " shards x "
+       << (pool->shards.empty() ? 0
+                                : pool->capacity / pool->shards.size())
+       << " slots, peak " << pool->peak_live() << " live, " << pool->refills
+       << " refills, " << pool->overflow << " overflow\n";
   }
 }
 

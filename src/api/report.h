@@ -46,6 +46,9 @@ struct SolveReport {
   std::optional<core::EvalLedger> eval;
   /// Work-stealing traffic; set only by sharded-pool backends (cpu-steal).
   std::optional<core::StealStats> steal;
+  /// Per-shard occupancy of a device-resident pool; set only by backends
+  /// that ran resident offload iterations (gpu-sim/adaptive).
+  std::optional<core::ResidentPoolStats> pool;
 
   /// Single-line-per-field JSON object, deterministic key order.
   std::string to_json() const;

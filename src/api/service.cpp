@@ -65,6 +65,7 @@ SolveReport execute_solve(const fsp::Instance& inst,
   report.stop_reason = result.stop_reason;
   report.stats = result.stats;
   report.steal = result.steal;
+  report.pool = result.pool;
   if (const core::EvalLedger* ledger = backend->eval_ledger()) {
     report.eval = *ledger;
   }

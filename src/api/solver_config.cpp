@@ -90,7 +90,7 @@ const std::vector<std::string>& SolverConfig::cli_flags() {
       "device",     "ub",            "node-budget",   "time-limit",
       "ta",         "jobs",          "machines",      "seed",
       "count",      "victim-order",  "steal-batch",   "deadline-ms",
-      "progress-interval-ms",
+      "progress-interval-ms",        "gpu-pool",
   };
   return kFlags;
 }
@@ -110,6 +110,9 @@ SolverConfig SolverConfig::from_cli(const CliArgs& args) {
   c.block_threads =
       static_cast<int>(args.get_int_or("block-threads", c.block_threads));
   if (const auto v = args.get("placement")) c.placement = parse_placement(*v);
+  if (const auto v = args.get("gpu-pool")) {
+    c.gpu_pool = gpubb::parse_gpu_pool_mode(*v);
+  }
   c.device = args.get_or("device", c.device);
   if (args.has("ub")) {
     c.initial_ub = static_cast<fsp::Time>(args.get_int_or("ub", 0));
@@ -158,6 +161,7 @@ std::vector<std::string> SolverConfig::to_cli() const {
   flag("steal-batch", std::to_string(steal_batch));
   flag("block-threads", std::to_string(block_threads));
   flag("placement", gpubb::to_string(placement));
+  flag("gpu-pool", gpubb::to_string(gpu_pool));
   flag("device", device);
   if (initial_ub) flag("ub", std::to_string(*initial_ub));
   flag("node-budget", std::to_string(node_budget));

@@ -18,6 +18,7 @@
 #include "core/pool.h"
 #include "core/steal_stats.h"
 #include "fsp/instance.h"
+#include "gpubb/gpu_evaluator.h"
 #include "gpubb/placement.h"
 #include "gpusim/device_spec.h"
 
@@ -77,6 +78,9 @@ struct SolverConfig {
   /// GPU kernel block size; 0 = the placement's recommended size.
   int block_threads = 0;
   gpubb::PlacementPolicy placement = gpubb::PlacementPolicy::kAuto;
+  /// Device pool organization for gpu-sim/adaptive: per-SM resident shards
+  /// (the default) or the paper's per-offload full-pool repack.
+  gpubb::GpuPoolMode gpu_pool = gpubb::GpuPoolMode::kResident;
   /// Simulated device: "c2050" (the paper's) or "c1060".
   std::string device = "c2050";
   /// Starting incumbent; NEH if unset.

@@ -11,12 +11,13 @@
 namespace fsbb::core {
 namespace {
 
-/// One parent's children inside the pending batch (sibling mode).
+/// One parent's children inside the pending batch (sibling/resident mode).
 struct GroupExtent {
   NodeArena::Handle parent;
   std::int32_t depth;       ///< parent depth
   std::uint32_t first;      ///< index of the first child in the batch
   std::uint32_t count;
+  std::uint32_t ticket = ResidentPool::kNullTicket;  ///< resident mode only
 };
 
 }  // namespace
@@ -82,16 +83,44 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
     }
   }
 
+  // Resident mode drives offload iterations against an evaluator-owned
+  // device pool: node payloads stay resident, the engine moves tickets.
+  // The select/branch/insert logic below is byte-for-byte the sibling
+  // path's, so every EngineStats counter matches the host backends.
   // Sibling mode bounds children in place (no Subproblem materialization);
   // the fallback keeps the evaluator-facing flat batch of value nodes so
   // callback bounds and the GPU staging path see exactly what they used to.
-  const bool sibling_mode = evaluator_->supports_sibling_batches();
+  ResidentPool* resident = evaluator_->resident_pool();
+  const bool sibling_mode =
+      resident != nullptr || evaluator_->supports_sibling_batches();
+
+  // Ticket of each arena slot's resident payload (resident mode only).
+  // Slots are reused after release, so entries are reset to kNullTicket.
+  std::vector<std::uint32_t> ticket_of;
+  auto ticket_ref = [&](NodeArena::Handle h) -> std::uint32_t& {
+    if (ticket_of.size() <= h) {
+      ticket_of.resize(static_cast<std::size_t>(h) + 1,
+                       ResidentPool::kNullTicket);
+    }
+    return ticket_of[h];
+  };
+  // Frees a node's resident payload (if any) and its arena slot.
+  auto release_node = [&](NodeArena::Handle h) {
+    if (resident && h < ticket_of.size() &&
+        ticket_of[h] != ResidentPool::kNullTicket) {
+      resident->release(ticket_of[h]);
+      ticket_of[h] = ResidentPool::kNullTicket;
+    }
+    arena.release(h);
+  };
 
   std::vector<Subproblem> pending_mat;   // fallback: materialized children
   std::vector<NodeRef> pending_refs;     // sibling: arena-backed children
   std::vector<GroupExtent> extents;
   std::vector<SiblingBatch> groups;
+  std::vector<ResidentGroup> rgroups;
   std::vector<Time> bounds;
+  std::vector<std::uint32_t> child_tickets;
   pending_mat.reserve(options_.batch_size + static_cast<std::size_t>(n));
   pending_refs.reserve(options_.batch_size + static_cast<std::size_t>(n));
 
@@ -128,7 +157,7 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
       const NodeRef node = pool->pop();
       if (node.lb >= result.best_makespan) {
         ++result.stats.pruned;  // UB improved since this node was inserted
-        arena.release(node.slot);
+        release_node(node.slot);
         continue;
       }
       ++result.stats.branched;
@@ -152,7 +181,7 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
                 result.stats.evaluated, result.stats.pruned);
           }
         }
-        arena.release(node.slot);
+        release_node(node.slot);
       } else if (sibling_mode) {
         const auto first = static_cast<std::uint32_t>(pending_refs.size());
         for (int i = 0; i < r; ++i) {
@@ -164,9 +193,12 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
               NodeRef{Subproblem::kUnevaluated, node.depth + 1, c});
         }
         // The parent stays allocated until after bounding: the sibling
-        // batch reads its prefix and free jobs straight from the arena.
+        // batch reads its prefix and free jobs straight from the arena,
+        // and the resident pool derives the children from its payload.
+        const std::uint32_t ticket =
+            resident ? ticket_ref(node.slot) : ResidentPool::kNullTicket;
         extents.push_back(GroupExtent{node.slot, node.depth, first,
-                                      static_cast<std::uint32_t>(r)});
+                                      static_cast<std::uint32_t>(r), ticket});
         pending_count += static_cast<std::size_t>(r);
       } else {
         for (int i = 0; i < r; ++i) {
@@ -187,7 +219,26 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
     // --- bounding (possibly offloaded) --------------------------------
     {
       const WallTimer bound_timer;
-      if (sibling_mode) {
+      if (resident) {
+        // One offload iteration: parents travel as tickets (plus refill
+        // permutations for non-resident ones), children are derived and
+        // bounded inside the pool, bounds and child tickets come back.
+        bounds.resize(pending_refs.size());
+        child_tickets.assign(pending_refs.size(), ResidentPool::kNullTicket);
+        rgroups.clear();
+        rgroups.reserve(extents.size());
+        for (const GroupExtent& e : extents) {
+          ResidentGroup g;
+          g.ticket = e.ticket;
+          g.perm = arena.perm(e.parent);
+          g.depth = e.depth;
+          g.bounds = std::span<Time>(bounds).subspan(e.first, e.count);
+          g.child_tickets =
+              std::span<std::uint32_t>(child_tickets).subspan(e.first, e.count);
+          rgroups.push_back(g);
+        }
+        resident->iterate(result.best_makespan, rgroups);
+      } else if (sibling_mode) {
         bounds.resize(pending_refs.size());
         groups.clear();
         groups.reserve(extents.size());
@@ -212,14 +263,15 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
         NodeRef child = pending_refs[i];
         child.lb = bounds[i];
         FSBB_ASSERT(child.lb != Subproblem::kUnevaluated);
+        if (resident) ticket_ref(child.slot) = child_tickets[i];
         if (child.lb < result.best_makespan) {
           pool->push(std::move(child));
         } else {
           ++result.stats.pruned;
-          arena.release(child.slot);
+          release_node(child.slot);
         }
       }
-      for (const GroupExtent& e : extents) arena.release(e.parent);
+      for (const GroupExtent& e : extents) release_node(e.parent);
     } else {
       for (Subproblem& child : pending_mat) {
         FSBB_ASSERT(child.lb != Subproblem::kUnevaluated);
@@ -244,6 +296,7 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
   // inserted.
   result.proven_optimal = !stop && pool->empty();
   result.stop_reason = stop.value_or(StopReason::kOptimal);
+  if (resident) result.pool = resident->shard_stats();
   if (stop && options_.collect_pool_on_stop) {
     std::vector<NodeRef> refs = pool->drain();
     result.remaining_pool.reserve(refs.size());

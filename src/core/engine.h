@@ -80,6 +80,8 @@ struct SolveResult {
   EngineStats stats;
   /// Work-stealing traffic, for engines that shard their pool (else unset).
   std::optional<StealStats> steal;
+  /// Per-shard occupancy of a resident pool (gpu-sim/adaptive; else unset).
+  std::optional<ResidentPoolStats> pool;
   std::vector<Subproblem> remaining_pool;  ///< see collect_pool_on_stop
 };
 

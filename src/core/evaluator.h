@@ -14,6 +14,7 @@
 
 #include "common/threadpool.h"
 #include "common/timer.h"
+#include "core/steal_stats.h"
 #include "core/subproblem.h"
 #include "fsp/instance.h"
 #include "fsp/lb1.h"
@@ -39,6 +40,48 @@ struct SiblingBatch {
   std::span<Time> bounds;                ///< out: one LB per child
 };
 
+/// One parent in a resident-pool offload iteration. `perm` is the parent's
+/// FULL permutation ([0, depth) scheduled, the rest the free jobs in
+/// order); children are the free jobs expanded in order, exactly like
+/// SiblingBatch. `ticket` identifies the parent's resident payload inside
+/// the evaluator's pool — kNullTicket means the parent is not resident and
+/// the evaluator must refill it from `perm` (priced as a full node upload).
+struct ResidentGroup {
+  static constexpr std::uint32_t kNullTicket = 0xFFFFFFFFu;
+
+  std::uint32_t ticket = kNullTicket;    ///< resident parent, or refill
+  std::span<const JobId> perm;           ///< parent's full permutation
+  std::int32_t depth = 0;                ///< parent depth
+  std::span<Time> bounds;                ///< out: one LB per child
+  std::span<std::uint32_t> child_tickets;  ///< out: resident child payloads
+                                           ///< (kNullTicket when not kept)
+};
+
+/// Evaluator-owned resident node store (Chakroun & Melab's device-resident
+/// per-SM pools). The engine drives offload iterations against it: node
+/// payloads stay inside the pool, only tickets, incumbents and bounds cross
+/// the seam. Tickets are owned by the engine once iterate() returns them:
+/// every non-null parent and child ticket must eventually be release()d.
+class ResidentPool {
+ public:
+  static constexpr std::uint32_t kNullTicket = ResidentGroup::kNullTicket;
+
+  virtual ~ResidentPool() = default;
+
+  /// One select→branch→bound offload iteration: derives every group's
+  /// children from its resident parent payload (or the refill `perm`),
+  /// bounds them, fills bounds/child_tickets. `ub` is the host incumbent,
+  /// shipped down so the device side is never stale. Parent tickets are
+  /// still valid afterwards (the engine releases them).
+  virtual void iterate(Time ub, std::span<ResidentGroup> groups) = 0;
+
+  /// Frees a resident payload (host-side bookkeeping; no device traffic).
+  virtual void release(std::uint32_t ticket) = 0;
+
+  /// Per-shard occupancy/steal/refill counters, for SolveReport.
+  virtual ResidentPoolStats shard_stats() const = 0;
+};
+
 /// Batch lower-bound evaluator. Implementations must be deterministic:
 /// identical batches yield identical bounds regardless of thread count.
 class BoundEvaluator {
@@ -59,6 +102,13 @@ class BoundEvaluator {
   /// it with the O(m)-incremental Lb1BoundContext path. Bounds are
   /// bit-identical between the two paths — a tested invariant.
   virtual void evaluate_siblings(std::span<const SiblingBatch> groups);
+
+  /// Non-null when this evaluator keeps node payloads resident in its own
+  /// memory; the engine then drives ResidentPool::iterate() offload
+  /// iterations instead of flat evaluate() batches. Takes precedence over
+  /// the sibling seam. The pool's bounds are bit-identical to evaluate()'s
+  /// — the engine's search (and so every EngineStats counter) is unchanged.
+  virtual ResidentPool* resident_pool() { return nullptr; }
 
   virtual std::string name() const = 0;
   virtual const EvalLedger& ledger() const = 0;

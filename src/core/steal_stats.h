@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace fsbb::core {
 
@@ -27,6 +28,41 @@ struct StealStats {
     return steal_attempts > 0
                ? static_cast<double>(steal_successes) / steal_attempts
                : 0.0;
+  }
+};
+
+/// Occupancy and traffic counters of one shard of a resident pool (one
+/// simulated SM's slice of device memory, or one worker's slab).
+struct ShardOccupancy {
+  std::uint64_t live = 0;       ///< slots currently allocated
+  std::uint64_t peak_live = 0;  ///< high-water mark of `live`
+  std::uint64_t allocated = 0;  ///< slots ever handed out from this shard
+  std::uint64_t released = 0;   ///< slots returned to this shard
+  std::uint64_t spills = 0;     ///< allocs that wanted this shard but had to
+                                ///< borrow a slot elsewhere (shard full)
+  std::uint64_t steals = 0;     ///< slots this shard lent to a full sibling
+  std::uint64_t refills = 0;    ///< non-resident parents uploaded here
+};
+
+/// Shard-level view of a resident pool, surfaced in SolveReport next to
+/// StealStats. Shard i is simulated SM i on the device backends.
+struct ResidentPoolStats {
+  std::uint64_t capacity = 0;    ///< total node slots across all shards
+  std::uint64_t slot_bytes = 0;  ///< resident bytes per node slot
+  std::uint64_t overflow = 0;    ///< children bounded in scratch because
+                                 ///< every shard was full (never resident)
+  std::uint64_t refills = 0;     ///< total non-resident parents uploaded
+  std::vector<ShardOccupancy> shards;
+
+  std::uint64_t live() const {
+    std::uint64_t total = 0;
+    for (const ShardOccupancy& s : shards) total += s.live;
+    return total;
+  }
+  std::uint64_t peak_live() const {
+    std::uint64_t total = 0;
+    for (const ShardOccupancy& s : shards) total += s.peak_live;
+    return total;
   }
 };
 

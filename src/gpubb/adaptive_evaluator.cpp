@@ -1,6 +1,7 @@
 #include "gpubb/adaptive_evaluator.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/timer.h"
 #include "core/cost_model.h"
@@ -57,9 +58,10 @@ AdaptiveEvaluator::AdaptiveEvaluator(gpusim::SimDevice& device,
                                      const fsp::LowerBoundData& data,
                                      PlacementPolicy policy,
                                      std::size_t cpu_threads,
-                                     std::size_t threshold)
+                                     std::size_t threshold, GpuPoolMode mode)
     : cpu_(inst, data, cpu_threads),
-      gpu_(device, inst, data, policy),
+      gpu_(device, inst, data, policy, /*block_threads=*/0,
+           gpusim::GpuCalibration::fermi_defaults(), mode),
       threshold_(threshold != 0
                      ? threshold
                      : derive_threshold(device, data, gpu_, cpu_.threads())) {}
@@ -81,6 +83,39 @@ void AdaptiveEvaluator::evaluate(std::span<core::Subproblem> batch) {
   ++ledger_.batches;
   ledger_.nodes += batch.size();
   ledger_.wall_seconds += timer.seconds();
+}
+
+void AdaptiveEvaluator::iterate(fsp::Time ub,
+                                std::span<core::ResidentGroup> groups) {
+  const WallTimer timer;
+  std::size_t children = 0;
+  for (const core::ResidentGroup& g : groups) children += g.bounds.size();
+  if (children >= threshold_) {
+    gpu_.iterate(ub, groups);
+    ++gpu_batches_;
+  } else {
+    // Below break-even: bound on host threads through the sibling seam.
+    // Children stay non-resident (tickets already kNullTicket) and re-join
+    // the device pool as refills if a later iteration pops them.
+    std::vector<core::SiblingBatch> host;
+    host.reserve(groups.size());
+    for (core::ResidentGroup& g : groups) {
+      const auto depth = static_cast<std::size_t>(g.depth);
+      host.push_back(core::SiblingBatch{g.perm.first(depth),
+                                        g.perm.subspan(depth), g.bounds});
+    }
+    cpu_.evaluate_siblings(host);
+    ++cpu_batches_;
+  }
+  ++ledger_.batches;
+  ledger_.nodes += children;
+  ledger_.wall_seconds += timer.seconds();
+}
+
+void AdaptiveEvaluator::release(std::uint32_t ticket) { gpu_.release(ticket); }
+
+core::ResidentPoolStats AdaptiveEvaluator::shard_stats() const {
+  return gpu_.shard_stats();
 }
 
 }  // namespace fsbb::gpubb

@@ -4,6 +4,12 @@
 // large enough to amortize the offload overheads, otherwise bound it on
 // host threads. The threshold defaults to the modeled break-even pool size
 // (where the GPU's modeled per-node cost undercuts the threaded CPU's).
+//
+// With the resident pool mode (the default) the routing happens per
+// offload iteration through the core::ResidentPool seam: big iterations
+// run against the device-resident shards, small ones take the host
+// sibling-batch path (their children simply stay non-resident and re-enter
+// the device later as refills — the seam's graceful degradation).
 #pragma once
 
 #include <cstddef>
@@ -15,7 +21,8 @@
 namespace fsbb::gpubb {
 
 /// Routes batches between a threaded CPU evaluator and the GPU evaluator.
-class AdaptiveEvaluator final : public core::BoundEvaluator {
+class AdaptiveEvaluator final : public core::BoundEvaluator,
+                                public core::ResidentPool {
  public:
   /// threshold == 0 derives the break-even batch size from the offload
   /// model at construction time (one sampled kernel run on synthetic
@@ -23,11 +30,20 @@ class AdaptiveEvaluator final : public core::BoundEvaluator {
   /// work estimate, which is exact for the root and conservative below).
   AdaptiveEvaluator(gpusim::SimDevice& device, const fsp::Instance& inst,
                     const fsp::LowerBoundData& data, PlacementPolicy policy,
-                    std::size_t cpu_threads = 0, std::size_t threshold = 0);
+                    std::size_t cpu_threads = 0, std::size_t threshold = 0,
+                    GpuPoolMode mode = GpuPoolMode::kResident);
 
   void evaluate(std::span<core::Subproblem> batch) override;
+  core::ResidentPool* resident_pool() override {
+    return gpu_.resident_pool() != nullptr ? this : nullptr;
+  }
   std::string name() const override;
   const core::EvalLedger& ledger() const override { return ledger_; }
+
+  // --- core::ResidentPool (delegates the device side to the GPU pool) ----
+  void iterate(fsp::Time ub, std::span<core::ResidentGroup> groups) override;
+  void release(std::uint32_t ticket) override;
+  core::ResidentPoolStats shard_stats() const override;
 
   std::size_t threshold() const { return threshold_; }
   std::uint64_t cpu_batches() const { return cpu_batches_; }

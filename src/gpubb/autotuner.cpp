@@ -24,16 +24,15 @@ OffloadScenario measure_scenario(gpusim::SimDevice& device,
   }
   FSBB_CHECK_MSG(sample.size() >= static_cast<std::size_t>(block_threads),
                  "scenario sample must fill at least one thread block");
-  // Whole blocks only, so idle tail threads cannot dilute the averages.
-  const std::size_t usable =
-      sample.size() / static_cast<std::size_t>(block_threads) *
-      static_cast<std::size_t>(block_threads);
-  sample = sample.subspan(0, usable);
+  // Whole blocks only, so idle tail threads cannot dilute the averages —
+  // the same rounding block_aligned pools use everywhere else.
+  sample = sample.subspan(
+      0, block_aligned_pool_size(sample.size(), block_threads));
 
   const PlacementPlan& plan = pre_plan;
   DeviceLbData device_data(device, data, plan);
 
-  PackedPool packed = PackedPool::pack(sample, inst.jobs());
+  PackedPool packed = PackedPool::pack(sample, inst.jobs(), block_threads);
   DevicePool pool = DevicePool::upload(device, packed);
   const gpusim::KernelRun run =
       launch_lb1_kernel(device, device_data, pool, block_threads);
@@ -64,11 +63,11 @@ OffloadScenario measure_scenario(gpusim::SimDevice& device,
 AutotuneResult autotune_pool_size(const OffloadScenario& scenario,
                                   std::size_t min_pool, std::size_t max_pool) {
   FSBB_CHECK(min_pool >= 1 && min_pool <= max_pool);
-  const auto block = static_cast<std::size_t>(scenario.block_threads);
 
   AutotuneResult result;
   for (std::size_t p = min_pool; p <= max_pool; p *= 2) {
-    const std::size_t pool = std::max(block, p / block * block);
+    const std::size_t pool =
+        block_aligned_pool_size(p, scenario.block_threads);
     const OffloadCycleCost cost = model_offload_cycle(scenario, pool);
     AutotunePoint point;
     point.pool_size = pool;

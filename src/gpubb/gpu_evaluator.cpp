@@ -5,13 +5,33 @@
 
 namespace fsbb::gpubb {
 
+const char* to_string(GpuPoolMode mode) {
+  switch (mode) {
+    case GpuPoolMode::kResident:
+      return "resident";
+    case GpuPoolMode::kRepack:
+      return "repack";
+  }
+  return "?";
+}
+
+GpuPoolMode parse_gpu_pool_mode(const std::string& text) {
+  if (text == "resident") return GpuPoolMode::kResident;
+  if (text == "repack") return GpuPoolMode::kRepack;
+  FSBB_CHECK_MSG(false,
+                 "unknown gpu pool mode '" + text + "' (resident|repack)");
+  return GpuPoolMode::kResident;
+}
+
 GpuBoundEvaluator::GpuBoundEvaluator(gpusim::SimDevice& device,
                                      const fsp::Instance& inst,
                                      const fsp::LowerBoundData& data,
                                      PlacementPolicy policy, int block_threads,
-                                     gpusim::GpuCalibration calibration)
+                                     gpusim::GpuCalibration calibration,
+                                     GpuPoolMode mode,
+                                     ResidentPoolConfig pool_config)
     : device_(&device), inst_(&inst), policy_(policy),
-      block_threads_(block_threads), calibration_(calibration),
+      block_threads_(block_threads), calibration_(calibration), mode_(mode),
       device_data_(device, data, make_placement_plan(policy, data, device.spec())),
       transfer_model_(device.spec()) {
   if (block_threads_ == 0) {
@@ -24,17 +44,23 @@ GpuBoundEvaluator::GpuBoundEvaluator(gpusim::SimDevice& device,
   // Account the one-time upload of the six tables.
   transfer_model_.record(gpusim::TransferDir::kHostToDevice,
                          device_data_.upload_bytes(), gpu_ledger_.transfers);
+  if (mode_ == GpuPoolMode::kResident) {
+    pool_config.block_threads = block_threads_;
+    resident_ = std::make_unique<DeviceResidentPool>(device, device_data_,
+                                                     pool_config);
+  }
 }
 
 std::string GpuBoundEvaluator::name() const {
-  return std::string("gpusim[") + to_string(policy_) + "]";
+  return std::string("gpusim[") + to_string(policy_) + "|" +
+         to_string(mode_) + "]";
 }
 
 void GpuBoundEvaluator::evaluate(std::span<core::Subproblem> batch) {
   if (batch.empty()) return;
   const WallTimer timer;
 
-  staging_.repack(batch, inst_->jobs());
+  staging_.repack(batch, inst_->jobs(), block_threads_);
   transfer_model_.record(gpusim::TransferDir::kHostToDevice,
                          staging_.h2d_bytes(), gpu_ledger_.transfers);
 
@@ -43,7 +69,7 @@ void GpuBoundEvaluator::evaluate(std::span<core::Subproblem> batch) {
       launch_lb1_kernel(*device_, device_data_, pool, block_threads_);
 
   const gpusim::LaunchConfig config{
-      static_cast<int>((pool.count + block_threads_ - 1) / block_threads_),
+      blocks_for(static_cast<std::size_t>(pool.count), block_threads_),
       block_threads_};
   const auto estimate = gpusim::estimate_kernel_time(
       device_->spec(), calibration_, config, occupancy_,
@@ -66,6 +92,53 @@ void GpuBoundEvaluator::evaluate(std::span<core::Subproblem> batch) {
   ++ledger_.batches;
   ledger_.nodes += batch.size();
   ledger_.wall_seconds += timer.seconds();
+}
+
+void GpuBoundEvaluator::iterate(fsp::Time ub,
+                                std::span<core::ResidentGroup> groups) {
+  FSBB_CHECK_MSG(resident_, "iterate() requires the resident pool mode");
+  const WallTimer timer;
+
+  ResidentIterationIo io;
+  resident_->iterate(ub, groups, io);
+  if (io.children == 0) return;
+
+  transfer_model_.record(gpusim::TransferDir::kHostToDevice, io.h2d_bytes,
+                         gpu_ledger_.transfers);
+  const gpusim::LaunchConfig config{
+      blocks_for(io.children, block_threads_), block_threads_};
+  const auto estimate = gpusim::estimate_kernel_time(
+      device_->spec(), calibration_, config, occupancy_,
+      gpusim::ThreadWork::from_run(io.run));
+  gpu_ledger_.kernel_seconds += estimate.seconds;
+  // Per-offload host overhead: the base (driver/stream-sync) component
+  // always applies; the per-job component prices bulk pool (re)assembly
+  // and result scatter (see GpuCalibration), which the resident layout
+  // performs only for the nodes it actually stages — the refill batch.
+  const double staged_fraction =
+      static_cast<double>(io.refills) / static_cast<double>(io.children);
+  gpu_ledger_.iteration_seconds +=
+      calibration_.iteration_overhead_base_s +
+      calibration_.iteration_overhead_per_job_s * inst_->jobs() *
+          staged_fraction;
+  gpu_ledger_.counters += io.run.counters;
+  ++gpu_ledger_.launches;
+  transfer_model_.record(gpusim::TransferDir::kDeviceToHost, io.d2h_bytes,
+                         gpu_ledger_.transfers);
+
+  ++ledger_.batches;
+  ledger_.nodes += io.children;
+  ledger_.wall_seconds += timer.seconds();
+}
+
+void GpuBoundEvaluator::release(std::uint32_t ticket) {
+  FSBB_CHECK_MSG(resident_, "release() requires the resident pool mode");
+  resident_->release(ticket);
+}
+
+core::ResidentPoolStats GpuBoundEvaluator::shard_stats() const {
+  FSBB_CHECK_MSG(resident_, "shard_stats() requires the resident pool mode");
+  return resident_->stats();
 }
 
 }  // namespace fsbb::gpubb

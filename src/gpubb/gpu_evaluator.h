@@ -1,17 +1,29 @@
 // BoundEvaluator backed by the simulated GPU (paper Fig. 3).
 //
-// evaluate(batch): pack the pool, model the H2D transfer, run the bounding
-// kernel functionally (every LB value is real), model the kernel time and
-// the D2H transfer, write the bounds back into the nodes. The engine that
-// owns this evaluator is therefore the paper's hybrid CPU-GPU B&B.
+// Two pool modes:
+//
+//   kResident (default) — per-SM device-resident sharded pools
+//     (gpubb/resident_pool.h): the engine drives offload iterations
+//     through the core::ResidentPool seam; node payloads stay on the
+//     card, host↔device traffic shrinks to incumbents, tickets, refill
+//     batches and bounds.
+//   kRepack — the paper's original shape: every offload packs the pending
+//     pool host-side, ships it whole, and the kernel replays each prefix.
+//     Kept as the A/B baseline (BENCH_core.json gpu.resident_vs_repack).
+//
+// evaluate(batch) always takes the repack path (it is the flat-batch
+// fallback used for root bounding and by harnesses that bound ad-hoc node
+// lists); the resident machinery engages through resident_pool().
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/evaluator.h"
 #include "gpubb/device_lb_data.h"
 #include "gpubb/lb_kernel.h"
 #include "gpubb/placement.h"
+#include "gpubb/resident_pool.h"
 #include "gpusim/calibration.h"
 #include "gpusim/kernel.h"
 #include "gpusim/occupancy.h"
@@ -19,6 +31,15 @@
 #include "gpusim/transfer.h"
 
 namespace fsbb::gpubb {
+
+/// How the device pool is organized across offload iterations.
+enum class GpuPoolMode {
+  kResident,  ///< per-SM resident shards; only incumbent/refill/bounds move
+  kRepack,    ///< per-offload full-pool repack (the paper's original design)
+};
+
+const char* to_string(GpuPoolMode mode);
+GpuPoolMode parse_gpu_pool_mode(const std::string& text);
 
 /// Modeled-time ledger of every offload the evaluator performed.
 struct GpuLedger {
@@ -35,7 +56,8 @@ struct GpuLedger {
 };
 
 /// Simulated-GPU bounding backend.
-class GpuBoundEvaluator final : public core::BoundEvaluator {
+class GpuBoundEvaluator final : public core::BoundEvaluator,
+                                public core::ResidentPool {
  public:
   /// block_threads == 0 picks the recommended size for the placement
   /// (256, bumped while a lone resident block has < 16 warps).
@@ -43,16 +65,29 @@ class GpuBoundEvaluator final : public core::BoundEvaluator {
                     const fsp::LowerBoundData& data, PlacementPolicy policy,
                     int block_threads = 0,
                     gpusim::GpuCalibration calibration =
-                        gpusim::GpuCalibration::fermi_defaults());
+                        gpusim::GpuCalibration::fermi_defaults(),
+                    GpuPoolMode mode = GpuPoolMode::kResident,
+                    ResidentPoolConfig pool_config = {});
 
   void evaluate(std::span<core::Subproblem> batch) override;
+  core::ResidentPool* resident_pool() override {
+    return mode_ == GpuPoolMode::kResident ? this : nullptr;
+  }
   std::string name() const override;
   const core::EvalLedger& ledger() const override { return ledger_; }
 
+  // --- core::ResidentPool ------------------------------------------------
+  void iterate(fsp::Time ub, std::span<core::ResidentGroup> groups) override;
+  void release(std::uint32_t ticket) override;
+  core::ResidentPoolStats shard_stats() const override;
+
+  GpuPoolMode mode() const { return mode_; }
   const GpuLedger& gpu_ledger() const { return gpu_ledger_; }
   const DeviceLbData& device_data() const { return device_data_; }
   const gpusim::OccupancyResult& occupancy() const { return occupancy_; }
   int block_threads() const { return block_threads_; }
+  /// The resident pool (null in repack mode) — for tests and benches.
+  const DeviceResidentPool* resident() const { return resident_.get(); }
 
  private:
   gpusim::SimDevice* device_;
@@ -60,10 +95,12 @@ class GpuBoundEvaluator final : public core::BoundEvaluator {
   PlacementPolicy policy_;
   int block_threads_;
   gpusim::GpuCalibration calibration_;
+  GpuPoolMode mode_;
   DeviceLbData device_data_;
   gpusim::OccupancyResult occupancy_;
   gpusim::TransferModel transfer_model_;
   PackedPool staging_;  ///< reused host-staging buffers (see repack)
+  std::unique_ptr<DeviceResidentPool> resident_;  ///< kResident only
   core::EvalLedger ledger_;
   GpuLedger gpu_ledger_;
 };

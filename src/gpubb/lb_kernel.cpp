@@ -5,71 +5,26 @@
 #include "common/check.h"
 
 namespace fsbb::gpubb {
-namespace {
 
-/// lb1_evaluate provider that reads the packed device tables through the
-/// counting ThreadCtx. Widening casts reproduce exactly the host values.
-class DeviceLb1Provider {
- public:
-  DeviceLb1Provider(gpusim::ThreadCtx& ctx, const DeviceLbData& d)
-      : ctx_(&ctx), d_(&d) {}
-
-  int jobs() const { return d_->jobs(); }
-  int machines() const { return d_->machines(); }
-  int pairs() const { return d_->pairs(); }
-
-  fsp::JobId jm(int pair, int pos) const {
-    return static_cast<fsp::JobId>(ctx_->ld(
-        d_->jm(), static_cast<std::size_t>(pair) * jobs() +
-                      static_cast<std::size_t>(pos)));
-  }
-  fsp::Time lm(int job, int pair) const {
-    return static_cast<fsp::Time>(ctx_->ld(
-        d_->lm(), static_cast<std::size_t>(job) * pairs() +
-                      static_cast<std::size_t>(pair)));
-  }
-  fsp::Time ptm(int job, int machine) const {
-    return static_cast<fsp::Time>(ctx_->ld(
-        d_->ptm(), static_cast<std::size_t>(job) * machines() +
-                       static_cast<std::size_t>(machine)));
-  }
-  fsp::Time rm(int machine) const {
-    return ctx_->ld(d_->rm(), static_cast<std::size_t>(machine));
-  }
-  fsp::Time qm(int machine) const {
-    return ctx_->ld(d_->qm(), static_cast<std::size_t>(machine));
-  }
-  int mm_k(int pair) const {
-    return ctx_->ld(d_->mm(), 2 * static_cast<std::size_t>(pair));
-  }
-  int mm_l(int pair) const {
-    return ctx_->ld(d_->mm(), 2 * static_cast<std::size_t>(pair) + 1);
-  }
-
- private:
-  gpusim::ThreadCtx* ctx_;
-  const DeviceLbData* d_;
-};
-
-// Hard caps of the packed kernel's per-thread scratch (local memory).
-constexpr int kMaxJobs = 256;
-constexpr int kMaxMachines = 64;
-
-}  // namespace
-
-PackedPool PackedPool::pack(std::span<const core::Subproblem> batch,
-                            int jobs) {
+PackedPool PackedPool::pack(std::span<const core::Subproblem> batch, int jobs,
+                            int block_threads) {
   PackedPool p;
-  p.repack(batch, jobs);
+  p.repack(batch, jobs, block_threads);
   return p;
 }
 
-void PackedPool::repack(std::span<const core::Subproblem> batch, int jobs_in) {
+void PackedPool::repack(std::span<const core::Subproblem> batch, int jobs_in,
+                        int block_threads) {
   FSBB_CHECK_MSG(jobs_in <= 255, "GPU pool packs permutations as u8");
   jobs = jobs_in;
   count = static_cast<int>(batch.size());
-  perms.resize(batch.size() * static_cast<std::size_t>(jobs_in));
-  depths.resize(batch.size());
+  capacity = block_threads > 0
+                 ? static_cast<int>(
+                       block_aligned_capacity(batch.size(), block_threads))
+                 : count;
+  perms.resize(static_cast<std::size_t>(capacity) *
+               static_cast<std::size_t>(jobs_in));
+  depths.resize(static_cast<std::size_t>(capacity));
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const core::Subproblem& sp = batch[i];
     FSBB_CHECK(sp.jobs() == jobs_in);
@@ -79,6 +34,15 @@ void PackedPool::repack(std::span<const core::Subproblem> batch, int jobs_in) {
     }
     depths[i] = static_cast<std::uint16_t>(sp.depth);
   }
+  // Only the block-alignment padding tail is zeroed (the kernel's idx
+  // guard never reads it; zeroing keeps the shipped bytes deterministic)
+  // — live rows are overwritten above, so steady state stays rewrite-only.
+  std::fill(perms.begin() + static_cast<std::ptrdiff_t>(
+                                batch.size() *
+                                static_cast<std::size_t>(jobs_in)),
+            perms.end(), std::uint8_t{0});
+  std::fill(depths.begin() + static_cast<std::ptrdiff_t>(batch.size()),
+            depths.end(), std::uint16_t{0});
 }
 
 DevicePool DevicePool::upload(gpusim::SimDevice& device,
@@ -90,7 +54,7 @@ DevicePool DevicePool::upload(gpusim::SimDevice& device,
                                        gpusim::MemSpace::kGlobal);
   d.depths = device.alloc<std::uint16_t>(pool.depths.size(),
                                          gpusim::MemSpace::kGlobal);
-  d.lbs = device.alloc<std::int32_t>(static_cast<std::size_t>(pool.count),
+  d.lbs = device.alloc<std::int32_t>(static_cast<std::size_t>(pool.capacity),
                                      gpusim::MemSpace::kGlobal);
   std::copy(pool.perms.begin(), pool.perms.end(), d.perms.host_span().begin());
   std::copy(pool.depths.begin(), pool.depths.end(),
@@ -133,12 +97,12 @@ gpusim::KernelRun launch_lb1_kernel(gpusim::SimDevice& device,
                                     int block_threads,
                                     std::int64_t sample_max_threads) {
   FSBB_CHECK(pool.jobs == data.jobs());
-  FSBB_CHECK_MSG(data.jobs() <= kMaxJobs && data.machines() <= kMaxMachines,
-                 "instance exceeds kernel scratch caps");
+  FSBB_CHECK_MSG(
+      data.jobs() <= kKernelMaxJobs && data.machines() <= kKernelMaxMachines,
+      "instance exceeds kernel scratch caps");
 
   const int grid_blocks =
-      static_cast<int>((static_cast<std::int64_t>(pool.count) + block_threads - 1) /
-                       block_threads);
+      blocks_for(static_cast<std::size_t>(pool.count), block_threads);
   const gpusim::LaunchConfig config{grid_blocks, block_threads};
 
   const auto perms = pool.perms.view();
@@ -156,8 +120,8 @@ gpusim::KernelRun launch_lb1_kernel(gpusim::SimDevice& device,
     // --- unpack the node: replay the prefix to rebuild machine fronts ---
     const int depth =
         ctx.ld(depths, static_cast<std::size_t>(idx));
-    fsp::Time fronts[kMaxMachines] = {};
-    std::uint8_t scheduled[kMaxJobs] = {};
+    fsp::Time fronts[kKernelMaxMachines] = {};
+    std::uint8_t scheduled[kKernelMaxJobs] = {};
 
     // Per-thread scratch lives in local memory; account its traffic.
     ctx.add_stores(gpusim::MemSpace::kLocal,

@@ -16,29 +16,68 @@
 
 namespace fsbb::gpubb {
 
+// --- whole-block pool geometry -------------------------------------------
+//
+// The paper's pool is always a whole number of thread blocks; the
+// autotuner sweeps and the real packs/launches must agree on that rounding
+// or the tuned pool size prices a different launch than the engine runs.
+// These three helpers are the single source of truth for it.
+
+/// Blocks needed to cover `nodes` (the launch grid; >= 1).
+inline int blocks_for(std::size_t nodes, int block_threads) {
+  const auto bt = static_cast<std::size_t>(block_threads);
+  const std::size_t blocks = (nodes + bt - 1) / bt;
+  return static_cast<int>(blocks == 0 ? 1 : blocks);
+}
+
+/// Whole-block slot capacity covering `nodes`: blocks_for * block_threads.
+inline std::size_t block_aligned_capacity(std::size_t nodes,
+                                          int block_threads) {
+  return static_cast<std::size_t>(blocks_for(nodes, block_threads)) *
+         static_cast<std::size_t>(block_threads);
+}
+
+/// Largest whole-block pool not exceeding `nodes` (at least one block) —
+/// the autotuner's sweep points and sample truncation.
+inline std::size_t block_aligned_pool_size(std::size_t nodes,
+                                           int block_threads) {
+  const auto bt = static_cast<std::size_t>(block_threads);
+  const std::size_t floored = nodes / bt * bt;
+  return floored == 0 ? bt : floored;
+}
+
 /// Host-side packed pool: the bytes an offload iteration ships to the card.
 /// Permutations are u8 (n <= 255 on the GPU path), depths u16.
 struct PackedPool {
   int jobs = 0;
-  int count = 0;
-  std::vector<std::uint8_t> perms;   ///< count x jobs, row-major
-  std::vector<std::uint16_t> depths; ///< count
+  int count = 0;     ///< real nodes
+  int capacity = 0;  ///< allocated slots (== count, or the next whole block)
+  std::vector<std::uint8_t> perms;   ///< capacity x jobs, row-major
+  std::vector<std::uint16_t> depths; ///< capacity
 
+  /// Bytes shipped down: the whole aligned pool, exactly what the
+  /// autotuner's sweep prices for the same capacity.
   std::size_t h2d_bytes() const {
     return perms.size() * sizeof(std::uint8_t) +
            depths.size() * sizeof(std::uint16_t);
   }
   std::size_t d2h_bytes() const {
-    return static_cast<std::size_t>(count) * sizeof(std::int32_t);
+    return static_cast<std::size_t>(capacity) * sizeof(std::int32_t);
   }
 
-  static PackedPool pack(std::span<const core::Subproblem> batch, int jobs);
+  /// Packs `batch`. block_threads > 0 rounds the slot capacity up to whole
+  /// blocks via block_aligned_capacity (padding slots are zeroed), so a
+  /// real pack and a pool-size sweep of the same batch agree byte-for-byte;
+  /// 0 packs exactly batch.size() slots.
+  static PackedPool pack(std::span<const core::Subproblem> batch, int jobs,
+                         int block_threads = 0);
 
   /// Same packing, but into this object's existing buffers: the
   /// evaluator's per-offload host staging reuses one PackedPool so steady
   /// state allocates nothing (resize only grows capacity on the first,
   /// largest batch).
-  void repack(std::span<const core::Subproblem> batch, int jobs);
+  void repack(std::span<const core::Subproblem> batch, int jobs,
+              int block_threads = 0);
 };
 
 /// Simulated-device mirror of a packed pool plus the LB output buffer.
@@ -51,6 +90,56 @@ struct DevicePool {
 
   static DevicePool upload(gpusim::SimDevice& device, const PackedPool& pool);
 };
+
+/// lb1_evaluate provider that reads the packed device tables through the
+/// counting ThreadCtx — shared by the flat repack kernel and the resident
+/// branch+bound kernel (gpubb/resident_pool.h). Widening casts reproduce
+/// exactly the host values.
+class DeviceLb1Provider {
+ public:
+  DeviceLb1Provider(gpusim::ThreadCtx& ctx, const DeviceLbData& d)
+      : ctx_(&ctx), d_(&d) {}
+
+  int jobs() const { return d_->jobs(); }
+  int machines() const { return d_->machines(); }
+  int pairs() const { return d_->pairs(); }
+
+  fsp::JobId jm(int pair, int pos) const {
+    return static_cast<fsp::JobId>(ctx_->ld(
+        d_->jm(), static_cast<std::size_t>(pair) * jobs() +
+                      static_cast<std::size_t>(pos)));
+  }
+  fsp::Time lm(int job, int pair) const {
+    return static_cast<fsp::Time>(ctx_->ld(
+        d_->lm(), static_cast<std::size_t>(job) * pairs() +
+                      static_cast<std::size_t>(pair)));
+  }
+  fsp::Time ptm(int job, int machine) const {
+    return static_cast<fsp::Time>(ctx_->ld(
+        d_->ptm(), static_cast<std::size_t>(job) * machines() +
+                       static_cast<std::size_t>(machine)));
+  }
+  fsp::Time rm(int machine) const {
+    return ctx_->ld(d_->rm(), static_cast<std::size_t>(machine));
+  }
+  fsp::Time qm(int machine) const {
+    return ctx_->ld(d_->qm(), static_cast<std::size_t>(machine));
+  }
+  int mm_k(int pair) const {
+    return ctx_->ld(d_->mm(), 2 * static_cast<std::size_t>(pair));
+  }
+  int mm_l(int pair) const {
+    return ctx_->ld(d_->mm(), 2 * static_cast<std::size_t>(pair) + 1);
+  }
+
+ private:
+  gpusim::ThreadCtx* ctx_;
+  const DeviceLbData* d_;
+};
+
+/// Hard caps of the packed kernels' per-thread scratch (local memory).
+inline constexpr int kKernelMaxJobs = 256;
+inline constexpr int kKernelMaxMachines = 64;
 
 /// Launches the bounding kernel over `pool` on `device` and returns the run
 /// counters. If `sample_max_threads` > 0, only a prefix of the blocks is

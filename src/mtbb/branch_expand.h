@@ -24,11 +24,46 @@
 #include "core/subproblem.h"
 #include "fsp/instance.h"
 #include "fsp/lb1.h"
+#include "fsp/lb2.h"
 #include "fsp/lb_data.h"
 #include "fsp/makespan.h"
 #include "fsp/neh.h"
 
 namespace fsbb::mtbb::detail {
+
+/// LB2 bound context with the same set_parent/bound_child surface as
+/// fsp::Lb1BoundContext, so expand_node is generic over the bound. LB2's
+/// node-local head/tail minima have no incremental sibling form (rm_U/qm_U
+/// change per child), so each child replays prefix+job through the
+/// caller-scratch lb2_from_prefix overload — per-worker scratch, zero
+/// allocations on the hot path.
+class Lb2BoundContext {
+ public:
+  Lb2BoundContext(const fsp::Instance& inst, const fsp::LowerBoundData& data,
+                  const fsp::Lb2Data& lb2)
+      : inst_(&inst), data_(&data), lb2_(&lb2),
+        scratch_(inst.jobs(), inst.machines()) {
+    child_prefix_.reserve(static_cast<std::size_t>(inst.jobs()));
+  }
+
+  void set_parent(std::span<const fsp::JobId> prefix) {
+    child_prefix_.assign(prefix.begin(), prefix.end());
+    child_prefix_.push_back(0);  // placeholder for the child's job
+  }
+
+  fsp::Time bound_child(fsp::JobId job) {
+    child_prefix_.back() = job;
+    return fsp::lb2_from_prefix(*inst_, *data_, *lb2_, child_prefix_,
+                                scratch_);
+  }
+
+ private:
+  const fsp::Instance* inst_;
+  const fsp::LowerBoundData* data_;
+  const fsp::Lb2Data* lb2_;
+  fsp::Lb2Scratch scratch_;
+  std::vector<fsp::JobId> child_prefix_;
+};
 
 /// Best complete schedule seen while expanding one node.
 struct BestLeaf {
@@ -37,14 +72,16 @@ struct BestLeaf {
 };
 
 /// Branches the node behind `node.slot`, bounds every incomplete child
-/// with the incremental context, appends the children below `ub_snapshot`
-/// to `survivors` (cleared first) and accumulates the generated/evaluated/
-/// pruned/leaves counters into `stats`. Children are allocated on `lane`;
-/// the caller still owns (and must release) the parent slot. Returns the
-/// best complete child, if any.
+/// with the bound context (fsp::Lb1BoundContext or Lb2BoundContext — any
+/// type with set_parent/bound_child), appends the children below
+/// `ub_snapshot` to `survivors` (cleared first) and accumulates the
+/// generated/evaluated/pruned/leaves counters into `stats`. Children are
+/// allocated on `lane`; the caller still owns (and must release) the
+/// parent slot. Returns the best complete child, if any.
+template <typename BoundContext>
 inline BestLeaf expand_node(const fsp::Instance& inst, core::NodeArena& arena,
                             std::size_t lane, const core::NodeRef& node,
-                            fsp::Time ub_snapshot, fsp::Lb1BoundContext& ctx,
+                            fsp::Time ub_snapshot, BoundContext& ctx,
                             core::EngineStats& stats,
                             std::vector<core::NodeRef>& survivors) {
   survivors.clear();
@@ -90,9 +127,12 @@ struct RootStart {
   core::Subproblem root;
 };
 
+/// `lb2` non-null bounds the root with LB2, so the root's bound matches
+/// what the workers will compute for its descendants.
 inline RootStart make_root_start(const fsp::Instance& inst,
                                  const fsp::LowerBoundData& data,
-                                 const std::optional<fsp::Time>& initial_ub) {
+                                 const std::optional<fsp::Time>& initial_ub,
+                                 const fsp::Lb2Data* lb2 = nullptr) {
   RootStart start;
   if (initial_ub.has_value()) {
     start.ub = *initial_ub;
@@ -102,7 +142,9 @@ inline RootStart make_root_start(const fsp::Instance& inst,
     start.seed_perm = std::move(neh.permutation);
   }
   start.root = core::Subproblem::root(inst.jobs());
-  start.root.lb = fsp::lb1_from_prefix(inst, data, start.root.prefix());
+  start.root.lb =
+      lb2 ? fsp::lb2_from_prefix(inst, data, *lb2, start.root.prefix())
+          : fsp::lb1_from_prefix(inst, data, start.root.prefix());
   return start;
 }
 

@@ -147,6 +147,8 @@ core::SolveResult run(const fsp::Instance& inst,
                       const MtOptions& options,
                       std::vector<fsp::JobId> seed_perm) {
   FSBB_CHECK_MSG(options.threads >= 1, "need at least one worker");
+  FSBB_CHECK_MSG(options.bound == MtBound::kLb1,
+                 "the shared-pool baseline is lb1-only; use cpu-steal for lb2");
   const WallTimer timer;
 
   // One allocation lane per worker plus one for this (the coordinating)

@@ -23,10 +23,21 @@
 
 namespace fsbb::mtbb {
 
+/// Which lower bound the workers compute per child. The shared-pool
+/// baseline (mt_solve) is LB1-only; the steal engine supports both: LB1
+/// through the incremental sibling context, LB2 through per-worker
+/// Lb2Scratch replays (the caller-scratch overloads landed with PR 4).
+enum class MtBound {
+  kLb1,
+  kLb2,
+};
+
 /// Multi-threaded solve configuration (shared by the shared-pool baseline
 /// and the work-stealing engine; the steal knobs only affect the latter).
 struct MtOptions {
   std::size_t threads = 4;
+  /// Lower bound (steal engine only; mt_solve requires kLb1).
+  MtBound bound = MtBound::kLb1;
   /// Starting incumbent; NEH if unset.
   std::optional<fsp::Time> initial_ub;
   /// Stop after this many branched nodes across all workers (0 = solve).

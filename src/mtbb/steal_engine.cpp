@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -48,6 +49,8 @@ struct Shared {
   core::SearchControl* control = nullptr;  // may be null
   core::VictimOrder victim_order = core::VictimOrder::kRoundRobin;
   std::size_t steal_batch = 1;
+  /// LB2 tables, shared read-only by every worker (kLb2 runs only).
+  const fsp::Lb2Data* lb2 = nullptr;
 
   std::mutex best_mu;                 // guards the two fields below
   fsp::Time best_perm_makespan = std::numeric_limits<fsp::Time>::max();
@@ -114,9 +117,12 @@ std::optional<NodeRef> try_steal(Shared& sh, std::size_t id,
   return std::nullopt;
 }
 
+/// BoundContext is fsp::Lb1BoundContext or detail::Lb2BoundContext — the
+/// search loop is byte-for-byte the same either way; only bound_child's
+/// arithmetic differs.
+template <typename BoundContext>
 void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
-            Shared& sh, std::size_t id) {
-  fsp::Lb1BoundContext ctx(inst, data);
+            Shared& sh, std::size_t id, BoundContext ctx) {
   core::EngineStats local;
   StealStats local_steals;
   std::vector<NodeRef> survivors;
@@ -239,12 +245,16 @@ core::SolveResult run(const fsp::Instance& inst,
                       const fsp::LowerBoundData& data,
                       std::vector<Subproblem> initial, fsp::Time initial_ub,
                       const MtOptions& options,
-                      std::vector<fsp::JobId> seed_perm) {
+                      std::vector<fsp::JobId> seed_perm,
+                      const fsp::Lb2Data* lb2) {
   FSBB_CHECK_MSG(options.threads >= 1, "need at least one worker");
   FSBB_CHECK_MSG(options.steal_batch >= 1, "steal batch must be >= 1");
+  FSBB_CHECK_MSG(options.bound != MtBound::kLb2 || lb2 != nullptr,
+                 "lb2 runs need the Lb2Data tables");
   const WallTimer timer;
 
   Shared sh(options.threads, inst.jobs());
+  sh.lb2 = lb2;
   const std::size_t main_lane = options.threads;
   sh.ub.store(initial_ub, std::memory_order_relaxed);
   sh.best_perm_makespan = initial_ub;
@@ -273,8 +283,18 @@ core::SolveResult run(const fsp::Instance& inst,
     std::vector<std::thread> workers;
     workers.reserve(options.threads);
     for (std::size_t i = 0; i < options.threads; ++i) {
-      workers.emplace_back(
-          [&inst, &data, &sh, i] { worker(inst, data, sh, i); });
+      if (options.bound == MtBound::kLb2) {
+        // Per-worker Lb2Scratch lives inside the context: no allocation
+        // and no sharing on the hot path.
+        workers.emplace_back([&inst, &data, &sh, i, lb2 = sh.lb2] {
+          worker(inst, data, sh, i,
+                 detail::Lb2BoundContext(inst, data, *lb2));
+        });
+      } else {
+        workers.emplace_back([&inst, &data, &sh, i] {
+          worker(inst, data, sh, i, fsp::Lb1BoundContext(inst, data));
+        });
+      }
     }
     for (auto& w : workers) w.join();
   }
@@ -299,12 +319,16 @@ core::SolveResult run(const fsp::Instance& inst,
 core::SolveResult steal_solve(const fsp::Instance& inst,
                               const fsp::LowerBoundData& data,
                               const MtOptions& options) {
+  std::unique_ptr<fsp::Lb2Data> lb2;
+  if (options.bound == MtBound::kLb2) {
+    lb2 = std::make_unique<fsp::Lb2Data>(fsp::Lb2Data::build(inst));
+  }
   detail::RootStart start =
-      detail::make_root_start(inst, data, options.initial_ub);
+      detail::make_root_start(inst, data, options.initial_ub, lb2.get());
   std::vector<Subproblem> initial;
   initial.push_back(std::move(start.root));
   return run(inst, data, std::move(initial), start.ub, options,
-             std::move(start.seed_perm));
+             std::move(start.seed_perm), lb2.get());
 }
 
 core::SolveResult steal_solve_from(const fsp::Instance& inst,
@@ -312,7 +336,12 @@ core::SolveResult steal_solve_from(const fsp::Instance& inst,
                                    std::vector<core::Subproblem> initial,
                                    fsp::Time initial_ub,
                                    const MtOptions& options) {
-  return run(inst, data, std::move(initial), initial_ub, options, {});
+  std::unique_ptr<fsp::Lb2Data> lb2;
+  if (options.bound == MtBound::kLb2) {
+    lb2 = std::make_unique<fsp::Lb2Data>(fsp::Lb2Data::build(inst));
+  }
+  return run(inst, data, std::move(initial), initial_ub, options, {},
+             lb2.get());
 }
 
 }  // namespace fsbb::mtbb

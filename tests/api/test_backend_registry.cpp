@@ -176,5 +176,41 @@ TEST(BackendAgreement, Lb1OnlyBackendsRejectOtherBounds) {
   }
 }
 
+TEST(BackendAgreement, StealRunsLb2AndMatchesTheSerialLb2Optimum) {
+  const fsp::Instance inst =
+      fsp::make_taillard_instance(9, 5, 424242, "steal-lb2-9x5");
+  SolverConfig serial;
+  serial.backend = "cpu-serial";
+  serial.bound = Bound::kLb2;
+  const SolveReport reference = Solver(serial).solve(inst);
+  ASSERT_TRUE(reference.proven_optimal);
+
+  SolverConfig steal;
+  steal.backend = "cpu-steal";
+  steal.bound = Bound::kLb2;
+  steal.threads = 4;
+  const SolveReport report = Solver(steal).solve(inst);
+  EXPECT_TRUE(report.proven_optimal);
+  EXPECT_EQ(report.best_makespan, reference.best_makespan);
+}
+
+TEST(BackendAgreement, UnsupportedBoundErrorNamesTheSupportedSet) {
+  const fsp::Instance inst = fsp::make_taillard_instance(6, 3, 7, "rej-6x3");
+  SolverConfig config;
+  config.backend = "gpu-sim";
+  config.bound = Bound::kLb2;
+  try {
+    Solver(config).solve(inst);
+    FAIL() << "lb2 on gpu-sim should be rejected";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    // The reject-or-run decision is explicit: the message names the
+    // backend, its supported bounds, and where the requested bound runs.
+    EXPECT_NE(what.find("gpu-sim"), std::string::npos) << what;
+    EXPECT_NE(what.find("lb1"), std::string::npos) << what;
+    EXPECT_NE(what.find("cpu-steal"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace fsbb::api

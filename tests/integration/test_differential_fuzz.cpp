@@ -123,6 +123,101 @@ TEST_P(SeamVsReplayFuzz, SearchCountersAreBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, SeamVsReplayFuzz, ::testing::Range(0, 4));
 
+// The device-resident pool path against the host reference: gpu-sim (and
+// adaptive) drive ResidentPool::iterate offload iterations, cpu-serial
+// drives the sibling seam — same engine, same batch size, so not just the
+// optimum but every search counter must be bit-identical. A single wrong
+// device-side bound, a lost child slot or a mis-derived permutation would
+// branch a different tree and show up in `generated`/`pruned`.
+class GpuResidentVsSerialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuResidentVsSerialFuzz, SearchCountersAreBitIdentical) {
+  const int shard = GetParam();
+  SplitMix64 rng(0x6F0A1u * 1000003u + static_cast<std::uint64_t>(shard));
+  for (int i = 0; i < 6; ++i) {
+    const auto family = kFamilies[rng.next_below(std::size(kFamilies))];
+    const int jobs = static_cast<int>(rng.next_in(6, 10));
+    const int machines = static_cast<int>(rng.next_in(2, 10));
+    const std::uint64_t seed = rng.next();
+    const fsp::Instance inst =
+        fsp::make_instance(family, jobs, machines, seed);
+    const std::string label = std::string(fsp::to_string(family)) + " " +
+                              std::to_string(jobs) + "x" +
+                              std::to_string(machines) + " seed " +
+                              std::to_string(seed);
+
+    api::SolverConfig serial;
+    serial.backend = "cpu-serial";
+    serial.batch_size = 64;  // same offload shape on both sides
+    const api::SolveReport reference = api::Solver(serial).solve(inst);
+
+    for (const std::string backend : {"gpu-sim", "adaptive"}) {
+      api::SolverConfig gpu;
+      gpu.backend = backend;
+      gpu.batch_size = 64;
+      gpu.threads = 3;
+      const api::SolveReport report = api::Solver(gpu).solve(inst);
+      ASSERT_EQ(report.best_makespan, reference.best_makespan)
+          << backend << " " << label;
+      ASSERT_EQ(report.best_permutation, reference.best_permutation)
+          << backend << " " << label;
+      ASSERT_EQ(report.stats.branched, reference.stats.branched)
+          << backend << " " << label;
+      ASSERT_EQ(report.stats.generated, reference.stats.generated)
+          << backend << " " << label;
+      ASSERT_EQ(report.stats.evaluated, reference.stats.evaluated)
+          << backend << " " << label;
+      ASSERT_EQ(report.stats.pruned, reference.stats.pruned)
+          << backend << " " << label;
+      ASSERT_EQ(report.stats.leaves, reference.stats.leaves)
+          << backend << " " << label;
+      ASSERT_EQ(report.stats.ub_updates, reference.stats.ub_updates)
+          << backend << " " << label;
+      if (backend == "gpu-sim") {
+        // The resident pool actually carried the search: shard stats are
+        // present and account every bounded child.
+        ASSERT_TRUE(report.pool.has_value()) << label;
+        std::uint64_t allocated = 0;
+        for (const auto& s : report.pool->shards) allocated += s.allocated;
+        EXPECT_EQ(allocated + report.pool->overflow, report.stats.evaluated)
+            << label;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, GpuResidentVsSerialFuzz,
+                         ::testing::Range(0, 4));
+
+// cpu-steal's LB2 plumbing (per-worker Lb2Scratch): the work-stealing
+// engine under --bound lb2 must prove the same optimum as the serial LB2
+// reference on every generator family.
+class StealLb2Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(StealLb2Fuzz, Lb2StealMatchesSerialLb2) {
+  const int shard = GetParam();
+  SplitMix64 rng(0x1B2A7u * 999979u + static_cast<std::uint64_t>(shard));
+  for (int i = 0; i < 5; ++i) {
+    const auto family = kFamilies[rng.next_below(std::size(kFamilies))];
+    const int jobs = static_cast<int>(rng.next_in(6, 9));
+    const int machines = static_cast<int>(rng.next_in(3, 8));
+    const std::uint64_t seed = rng.next();
+    const fsp::Instance inst =
+        fsp::make_instance(family, jobs, machines, seed);
+    const fsp::Time expected = fsp::brute_force(inst).makespan;
+
+    api::SolverConfig steal;
+    steal.backend = "cpu-steal";
+    steal.bound = api::Bound::kLb2;
+    steal.threads = 4;
+    const api::SolveReport report = api::Solver(steal).solve(inst);
+    EXPECT_TRUE(report.proven_optimal) << "seed " << seed;
+    EXPECT_EQ(report.best_makespan, expected) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, StealLb2Fuzz, ::testing::Range(0, 4));
+
 // The steal engine's own knob matrix gets a dedicated sweep: victim order
 // and steal batch must never change the proven optimum.
 class StealKnobFuzz : public ::testing::TestWithParam<int> {};

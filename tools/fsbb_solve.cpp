@@ -16,8 +16,10 @@
 // Examples:
 //   $ fsbb_solve --jobs 10 --machines 5 --seed 123456789 --all
 //   $ fsbb_solve --ta 1 --backend gpu-sim --placement shared-JM+PTM --json
+//   $ fsbb_solve --ta 1 --backend gpu-sim --gpu-pool repack      # paper shape
 //   $ fsbb_solve --jobs 9 --count 8 --backend cpu-serial --batch-workers 4
 //   $ fsbb_solve --ta 4 --backend cpu-steal --deadline-ms 2000 --progress
+//   $ fsbb_solve --ta 4 --backend cpu-steal --bound lb2 --threads 4
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
