@@ -287,7 +287,7 @@ void BackendRegistry::add(std::string key, std::string description,
                           Factory factory) {
   FSBB_CHECK_MSG(!key.empty(), "backend key must not be empty");
   FSBB_CHECK_MSG(factory != nullptr, "backend factory must not be null");
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   const bool inserted =
       entries_
           .emplace(std::move(key),
@@ -297,12 +297,12 @@ void BackendRegistry::add(std::string key, std::string description,
 }
 
 bool BackendRegistry::contains(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return entries_.count(key) != 0;
 }
 
 std::vector<std::string> BackendRegistry::keys() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) out.push_back(key);
@@ -310,14 +310,14 @@ std::vector<std::string> BackendRegistry::keys() const {
 }
 
 std::string BackendRegistry::description(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   const auto it = entries_.find(key);
   FSBB_CHECK_MSG(it != entries_.end(), "unknown backend '" + key + "'");
   return it->second.description;
 }
 
 void BackendRegistry::require(const std::string& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   if (entries_.count(key) != 0) return;
   std::string known;
   for (const auto& [k, entry] : entries_) {
@@ -334,7 +334,7 @@ std::unique_ptr<Backend> BackendRegistry::create(
   require(key);
   Factory factory;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     factory = entries_.at(key).factory;
   }
   std::unique_ptr<Backend> backend = factory(ctx);

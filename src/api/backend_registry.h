@@ -26,11 +26,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/solver_config.h"
+#include "common/mutex.h"
 #include "core/engine.h"
 #include "core/evaluator.h"
 #include "fsp/instance.h"
@@ -98,8 +98,8 @@ class BackendRegistry {
     Factory factory;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ FSBB_GUARDED_BY(mu_);
 };
 
 }  // namespace fsbb::api

@@ -24,10 +24,10 @@ struct JobBlock {
   SolverService::EventCallback on_event;
   SolverService::CompletionCallback on_complete;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  JobState state = JobState::kQueued;  // guarded by mu
-  SolveOutcome outcome;                // guarded by mu; set once, terminal
+  Mutex mu;
+  CondVar cv;
+  JobState state FSBB_GUARDED_BY(mu) = JobState::kQueued;
+  SolveOutcome outcome FSBB_GUARDED_BY(mu);  // set once, terminal
 };
 
 namespace {
@@ -83,7 +83,7 @@ std::uint64_t SolveHandle::id() const {
 
 JobState SolveHandle::state() const {
   FSBB_CHECK_MSG(valid(), "empty SolveHandle");
-  const std::lock_guard<std::mutex> lock(block_->mu);
+  const LockGuard lock(block_->mu);
   return block_->state;
 }
 
@@ -96,8 +96,8 @@ void SolveHandle::cancel() {
 
 const SolveOutcome& SolveHandle::wait() {
   FSBB_CHECK_MSG(valid(), "empty SolveHandle");
-  std::unique_lock<std::mutex> lock(block_->mu);
-  block_->cv.wait(lock, [&] { return detail::is_terminal(block_->state); });
+  UniqueLock lock(block_->mu);
+  while (!detail::is_terminal(block_->state)) block_->cv.wait(lock);
   return block_->outcome;
 }
 
@@ -109,7 +109,7 @@ SolveReport SolveHandle::wait_report() {
 
 std::optional<SolveOutcome> SolveHandle::try_get() const {
   FSBB_CHECK_MSG(valid(), "empty SolveHandle");
-  const std::lock_guard<std::mutex> lock(block_->mu);
+  const LockGuard lock(block_->mu);
   if (!detail::is_terminal(block_->state)) return std::nullopt;
   return block_->outcome;
 }
@@ -126,7 +126,7 @@ SolverService::SolverService(Options options) {
 
 SolverService::~SolverService() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stop_ = true;
     // Every held handle still reaches a terminal state: queued jobs run
     // with cancel pre-set (stopping before they branch), running jobs
@@ -146,7 +146,7 @@ SolveHandle SolverService::submit(fsp::Instance instance, SolverConfig config,
 
   std::shared_ptr<detail::JobBlock> job;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     FSBB_CHECK_MSG(!stop_, "SolverService is shutting down");
     job = std::make_shared<detail::JobBlock>(next_id_++, std::move(instance),
                                              std::move(config));
@@ -170,7 +170,7 @@ SolveHandle SolverService::submit(fsp::Instance instance, SolverConfig config,
         static_cast<double>(job->config.progress_interval_ms) / 1e3);
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     queue_.push_back(job);
   }
   cv_.notify_one();
@@ -178,12 +178,12 @@ SolveHandle SolverService::submit(fsp::Instance instance, SolverConfig config,
 }
 
 std::uint64_t SolverService::jobs_submitted() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return submitted_;
 }
 
 std::size_t SolverService::jobs_active() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const LockGuard lock(mu_);
   return queue_.size() + live_.size();
 }
 
@@ -191,8 +191,8 @@ void SolverService::worker_loop() {
   for (;;) {
     std::shared_ptr<detail::JobBlock> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       // Drain the queue even when stopping: every accepted job must reach
       // a terminal state (they were all canceled, so they unwind fast).
       if (queue_.empty()) {
@@ -209,7 +209,7 @@ void SolverService::worker_loop() {
 
 void SolverService::run_job(const std::shared_ptr<detail::JobBlock>& job) {
   {
-    const std::lock_guard<std::mutex> lock(job->mu);
+    const LockGuard lock(job->mu);
     job->state = JobState::kRunning;
   }
 
@@ -262,11 +262,11 @@ void SolverService::run_job(const std::shared_ptr<detail::JobBlock>& job) {
   // Drop the job from the live set before waking waiters, so a returned
   // wait() (almost always) observes jobs_active() without this job.
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     live_.erase(std::find(live_.begin(), live_.end(), job));
   }
   {
-    const std::lock_guard<std::mutex> lock(job->mu);
+    const LockGuard lock(job->mu);
     job->outcome = std::move(outcome);
     job->state = terminal;
   }

@@ -22,19 +22,18 @@
 // so both paths run the exact same code.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/events.h"
+#include "common/mutex.h"
 #include "api/report.h"
 #include "api/solver_config.h"
 #include "core/protocol.h"
@@ -145,13 +144,13 @@ class SolverService {
   void worker_loop();
   void run_job(const std::shared_ptr<detail::JobBlock>& job);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<detail::JobBlock>> queue_;  // guarded by mu_
-  std::vector<std::shared_ptr<detail::JobBlock>> live_;  // guarded by mu_
-  std::uint64_t next_id_ = 1;                            // guarded by mu_
-  std::uint64_t submitted_ = 0;                          // guarded by mu_
-  bool stop_ = false;                                    // guarded by mu_
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<detail::JobBlock>> queue_ FSBB_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<detail::JobBlock>> live_ FSBB_GUARDED_BY(mu_);
+  std::uint64_t next_id_ FSBB_GUARDED_BY(mu_) = 1;
+  std::uint64_t submitted_ FSBB_GUARDED_BY(mu_) = 0;
+  bool stop_ FSBB_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> workers_;
 };

@@ -31,7 +31,7 @@ Solver::Solver(SolverConfig config) : config_(std::move(config)) {
 }
 
 SolverService& Solver::service() const {
-  const std::lock_guard<std::mutex> lock(service_mu_);
+  const LockGuard lock(service_mu_);
   if (!service_) {
     SolverService::Options options;
     options.workers = config_.batch_workers != 0

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -72,8 +71,8 @@ class Solver {
   void arm(core::SearchControl& control) const;
 
   SolverConfig config_;
-  mutable std::mutex service_mu_;
-  mutable std::unique_ptr<SolverService> service_;  // guarded by service_mu_
+  mutable Mutex service_mu_;
+  mutable std::unique_ptr<SolverService> service_ FSBB_GUARDED_BY(service_mu_);
 };
 
 }  // namespace fsbb::api

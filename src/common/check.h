@@ -40,9 +40,16 @@ namespace detail {
       ::fsbb::detail::check_failed(#cond, __FILE__, __LINE__, (msg));      \
   } while (false)
 
+// In NDEBUG builds the condition is *not evaluated*, but it stays inside
+// the expansion under sizeof: typos in asserted expressions still fail to
+// compile, and locals referenced only by asserts still count as used (no
+// -Wunused-variable / -Wunused-but-set-variable under -Wall -Wextra
+// -Werror). sizeof never evaluates its operand, and `!` forces the
+// condition into a valid boolean expression context.
 #ifdef NDEBUG
-#define FSBB_ASSERT(cond) \
-  do {                    \
+#define FSBB_ASSERT(cond)        \
+  do {                           \
+    (void)sizeof(!(cond));       \
   } while (false)
 #else
 #define FSBB_ASSERT(cond) FSBB_CHECK(cond)

@@ -53,11 +53,20 @@ std::string json_escape(const std::string& s) {
 
 void JsonWriter::field(const std::string& key, const std::string& raw_value) {
   if (!body_.empty()) body_ += ",";
-  body_ += "\"" + json_escape(key) + "\":" + raw_value;
+  // Appends rather than operator+ chains: `const char* + std::string&&`
+  // trips GCC 12's -Wrestrict false positive (GCC PR105329) under -Werror.
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+  body_ += raw_value;
 }
 
 void JsonWriter::str(const std::string& key, const std::string& value) {
-  field(key, "\"" + json_escape(value) + "\"");
+  std::string quoted;
+  quoted += '"';
+  quoted += json_escape(value);
+  quoted += '"';
+  field(key, quoted);
 }
 
 void JsonWriter::real(const std::string& key, double value) {

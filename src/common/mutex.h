@@ -1,0 +1,93 @@
+// Annotated mutex / lock-guard / condition-variable shims.
+//
+// Thin zero-overhead wrappers over the std synchronization primitives that
+// carry the Clang capability annotations (common/thread_annotations.h), so
+// `clang -Wthread-safety -Werror` can prove at compile time that every
+// FSBB_GUARDED_BY field in the tree is only touched with its mutex held.
+// Under GCC they compile to exactly the std types they wrap.
+//
+// Condition-variable discipline: CondVar has no predicate overload on
+// purpose. `cv.wait(lock, pred)` hides the guarded reads of `pred` inside
+// a lambda the analysis treats as a separate (lock-free) function; call
+// sites instead spell the standard loop
+//
+//   while (!predicate) cv.wait(lock);
+//
+// which keeps every guarded read visibly under the lock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace fsbb {
+
+class CondVar;
+
+/// std::mutex with the Clang `capability` attribute.
+class FSBB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FSBB_ACQUIRE() { mu_.lock(); }
+  void unlock() FSBB_RELEASE() { mu_.unlock(); }
+  bool try_lock() FSBB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over fsbb::Mutex, annotated as a scoped capability.
+class FSBB_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) FSBB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() FSBB_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over fsbb::Mutex — the form CondVar::wait needs.
+/// Stays locked for its whole scope (no early unlock surface; the wait
+/// releases and reacquires internally, which the analysis models as the
+/// capability being held throughout — the standard scoped-wait contract).
+class FSBB_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) FSBB_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() FSBB_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable working on fsbb::UniqueLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the lock, blocks, reacquires before returning.
+  /// The caller loops on its predicate (see the file comment).
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fsbb

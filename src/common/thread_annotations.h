@@ -1,0 +1,78 @@
+// Portable Clang thread-safety-analysis annotations.
+//
+// Wraps the Clang `capability` attribute family (GUARDED_BY, REQUIRES,
+// ACQUIRE/RELEASE, ...) so every lock-bearing type in the tree can state
+// its locking discipline in a form the compiler *proves* under
+// `clang -Wthread-safety -Werror` (the static-analysis CI job), while
+// compiling to nothing under GCC and other compilers. The macros mirror
+// the naming of the Clang documentation and Abseil's thread_annotations.h,
+// prefixed FSBB_ to keep the global namespace clean.
+//
+// Usage pattern (see common/mutex.h for the annotated mutex shim):
+//
+//   class FSBB_CAPABILITY("mutex") Mutex { ... };
+//
+//   fsbb::Mutex mu_;
+//   std::deque<Job> queue_ FSBB_GUARDED_BY(mu_);
+//   void dispatch(...) FSBB_REQUIRES(mu_);
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define FSBB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FSBB_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (lockable). The string names the kind of
+/// capability in diagnostics ("mutex").
+#define FSBB_CAPABILITY(x) FSBB_THREAD_ANNOTATION(capability(x))
+
+/// Marks a class as an RAII capability wrapper (lock guard).
+#define FSBB_SCOPED_CAPABILITY FSBB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that the data member is protected by the given capability.
+#define FSBB_GUARDED_BY(x) FSBB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointed-to data is protected by the given capability.
+#define FSBB_PT_GUARDED_BY(x) FSBB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares a required acquisition order between capabilities.
+#define FSBB_ACQUIRED_BEFORE(...) \
+  FSBB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FSBB_ACQUIRED_AFTER(...) \
+  FSBB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The calling thread must hold the given capabilities (exclusively).
+#define FSBB_REQUIRES(...) \
+  FSBB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FSBB_REQUIRES_SHARED(...) \
+  FSBB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the given capabilities.
+#define FSBB_ACQUIRE(...) \
+  FSBB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FSBB_ACQUIRE_SHARED(...) \
+  FSBB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define FSBB_RELEASE(...) \
+  FSBB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FSBB_RELEASE_SHARED(...) \
+  FSBB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `val`.
+#define FSBB_TRY_ACQUIRE(val, ...) \
+  FSBB_THREAD_ANNOTATION(try_acquire_capability(val, __VA_ARGS__))
+
+/// The calling thread must NOT hold the given capabilities.
+#define FSBB_EXCLUDES(...) FSBB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function asserts (at runtime) that the capability is held.
+#define FSBB_ASSERT_CAPABILITY(x) \
+  FSBB_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define FSBB_RETURN_CAPABILITY(x) FSBB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: suppresses the analysis inside one function. Every use in
+/// this tree must carry a one-line justification comment.
+#define FSBB_NO_THREAD_SAFETY_ANALYSIS \
+  FSBB_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -18,8 +18,15 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> done_chunks{0};
   const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
       nullptr;
-  std::exception_ptr error;  // first error wins; guarded by error_mu
-  std::mutex error_mu;
+  Mutex error_mu;
+  std::exception_ptr error FSBB_GUARDED_BY(error_mu);  // first error wins
+
+  // Coordinating-thread read after every chunk finished (the acq_rel on
+  // done_chunks orders the error write before the finished() observation).
+  std::exception_ptr take_error() {
+    const LockGuard lock(error_mu);
+    return error;
+  }
 
   // Claims and runs one chunk; returns false when none remain.
   bool run_one(std::size_t worker_index) {
@@ -30,7 +37,7 @@ struct ThreadPool::Batch {
     try {
       (*body)(lo, hi, worker_index);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu);
+      const LockGuard lock(error_mu);
       if (!error) error = std::current_exception();
     }
     done_chunks.fetch_add(1, std::memory_order_acq_rel);
@@ -54,7 +61,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -67,8 +74,8 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     // even after the caller has returned from parallel_for.
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [this] { return stop_ || current_ != nullptr; });
+      UniqueLock lock(mu_);
+      while (!stop_ && current_ == nullptr) cv_work_.wait(lock);
       if (stop_) return;
       batch = current_;
     }
@@ -77,7 +84,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     if (batch->finished()) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        const LockGuard lock(mu_);
         if (current_ == batch) current_ = nullptr;
       }
       cv_done_.notify_all();
@@ -104,7 +111,7 @@ void ThreadPool::parallel_for(
   batch->body = &body;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     FSBB_CHECK_MSG(current_ == nullptr,
                    "nested / concurrent parallel_for is not supported");
     current_ = batch;
@@ -117,11 +124,11 @@ void ThreadPool::parallel_for(
   }
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] { return batch->finished(); });
+    UniqueLock lock(mu_);
+    while (!batch->finished()) cv_done_.wait(lock);
     if (current_ == batch) current_ = nullptr;
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (std::exception_ptr err = batch->take_error()) std::rethrow_exception(err);
 }
 
 }  // namespace fsbb

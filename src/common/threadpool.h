@@ -6,13 +6,13 @@
 // are written to caller-owned slots, so no queue allocation per item.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace fsbb {
 
@@ -44,11 +44,11 @@ class ThreadPool {
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::shared_ptr<Batch> current_;  // guarded by mu_
-  bool stop_ = false;               // guarded by mu_
+  Mutex mu_;
+  CondVar cv_work_;
+  CondVar cv_done_;
+  std::shared_ptr<Batch> current_ FSBB_GUARDED_BY(mu_);
+  bool stop_ FSBB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace fsbb

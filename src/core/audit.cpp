@@ -1,0 +1,233 @@
+#include "core/audit.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "core/steal_stats.h"
+
+namespace fsbb::core::audit {
+namespace {
+
+bool initial_enabled() {
+  // Environment beats the compile-time default, so one binary can run
+  // both audited and unaudited (FSBB_AUDIT=1 ctest ... in CI).
+  if (const char* env = std::getenv("FSBB_AUDIT")) {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+#ifdef FSBB_AUDIT
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> enabled{initial_enabled()};
+  return enabled;
+}
+
+[[noreturn]] void fail(const std::string& what) { throw CheckFailure(what); }
+
+}  // namespace
+
+bool enabled() { return flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { flag().store(on, std::memory_order_relaxed); }
+
+ScopedEnable::ScopedEnable(bool on) : prev_(enabled()) { set_enabled(on); }
+
+ScopedEnable::~ScopedEnable() { set_enabled(prev_); }
+
+// ------------------------------------------------------------ ArenaAudit --
+
+ArenaAudit::ArenaAudit(std::string engine) : engine_(std::move(engine)) {}
+
+void ArenaAudit::on_allocate(std::uint32_t slot, std::size_t lane) {
+  const LockGuard lock(mu_);
+  if (state_.size() <= slot) state_.resize(slot + 1, kFree);
+  if (state_[slot] != kFree) {
+    fail("arena audit (" + engine_ + "): slot " + std::to_string(slot) +
+         " allocated twice — handed to lane " + std::to_string(lane) +
+         " while still live on lane " + std::to_string(state_[slot]) +
+         " (freelist corruption: two NodeRefs share one slot)");
+  }
+  state_[slot] = static_cast<std::uint32_t>(lane);
+  ++allocated_;
+}
+
+void ArenaAudit::on_release(std::uint32_t slot, std::size_t lane) {
+  const LockGuard lock(mu_);
+  if (state_.size() <= slot || state_[slot] == kFree) {
+    fail("arena audit (" + engine_ + "): slot " + std::to_string(slot) +
+         " released on lane " + std::to_string(lane) +
+         " but is not live (double release, or release of a handle the "
+         "arena never allocated)");
+  }
+  state_[slot] = kFree;
+  ++released_;
+}
+
+void ArenaAudit::check_drained() const {
+  const LockGuard lock(mu_);
+  if (allocated_ == released_) return;
+  // Name a concrete leaked slot and its allocating lane, so the message
+  // points at the code path that lost the handle.
+  std::uint32_t sample = 0;
+  std::uint32_t sample_lane = 0;
+  for (std::uint32_t s = 0; s < state_.size(); ++s) {
+    if (state_[s] != kFree) {
+      sample = s;
+      sample_lane = state_[s];
+      break;
+    }
+  }
+  fail("arena audit (" + engine_ + "): " +
+       std::to_string(allocated_ - released_) +
+       " slot(s) still live after drain (allocated " +
+       std::to_string(allocated_) + ", released " + std::to_string(released_) +
+       ") — e.g. slot " + std::to_string(sample) + " allocated on lane " +
+       std::to_string(sample_lane) +
+       " was never released (a NodeRef leaked out of a pool, or a "
+       "cross-lane release went missing)");
+}
+
+std::uint64_t ArenaAudit::allocations() const {
+  const LockGuard lock(mu_);
+  return allocated_;
+}
+
+std::uint64_t ArenaAudit::releases() const {
+  const LockGuard lock(mu_);
+  return released_;
+}
+
+// ----------------------------------------------------------- TicketAudit --
+
+TicketAudit::TicketAudit(std::string pool) : pool_(std::move(pool)) {}
+
+void TicketAudit::on_issue(std::uint32_t ticket) {
+  const LockGuard lock(mu_);
+  if (outstanding_.size() <= ticket) outstanding_.resize(ticket + 1, 0);
+  if (outstanding_[ticket]) {
+    fail("ticket audit (" + pool_ + "): ticket " + std::to_string(ticket) +
+         " issued twice without a release (the pool handed one resident "
+         "slot to two children)");
+  }
+  outstanding_[ticket] = 1;
+  ++issued_;
+  ++outstanding_count_;
+}
+
+void TicketAudit::on_release(std::uint32_t ticket) {
+  const LockGuard lock(mu_);
+  if (outstanding_.size() <= ticket || !outstanding_[ticket]) {
+    fail("ticket audit (" + pool_ + "): ticket " + std::to_string(ticket) +
+         " released but not outstanding (double release, or release of a "
+         "ticket the pool never issued)");
+  }
+  outstanding_[ticket] = 0;
+  ++released_;
+  --outstanding_count_;
+}
+
+void TicketAudit::finish(const ResidentPoolStats& stats) const {
+  const LockGuard lock(mu_);
+  if (outstanding_count_ != 0) {
+    std::uint32_t sample = 0;
+    for (std::uint32_t t = 0; t < outstanding_.size(); ++t) {
+      if (outstanding_[t]) {
+        sample = t;
+        break;
+      }
+    }
+    fail("ticket audit (" + pool_ + "): " +
+         std::to_string(outstanding_count_) +
+         " ticket(s) still outstanding after drain (issued " +
+         std::to_string(issued_) + ", released " + std::to_string(released_) +
+         ") — e.g. ticket " + std::to_string(sample) +
+         " was never released (a resident payload leaked)");
+  }
+  if (issued_ != released_) {
+    fail("ticket audit (" + pool_ + "): issued " + std::to_string(issued_) +
+         " != released " + std::to_string(released_));
+  }
+  if (stats.live() != 0) {
+    fail("ticket audit (" + pool_ + "): pool reports " +
+         std::to_string(stats.live()) +
+         " live slot(s) after the engine released every ticket "
+         "(pool-internal accounting lost a release)");
+  }
+  std::uint64_t allocated = 0;
+  std::uint64_t released = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t shard_refills = 0;
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    const ShardOccupancy& shard = stats.shards[s];
+    if (shard.allocated != shard.released) {
+      fail("ticket audit (" + pool_ + "): shard " + std::to_string(s) +
+           " allocated " + std::to_string(shard.allocated) +
+           " slots but released " + std::to_string(shard.released) +
+           " — per-shard slot conservation broken");
+    }
+    allocated += shard.allocated;
+    released += shard.released;
+    spills += shard.spills;
+    steals += shard.steals;
+    shard_refills += shard.refills;
+  }
+  if (issued_ != allocated) {
+    fail("ticket audit (" + pool_ + "): engine saw " +
+         std::to_string(issued_) + " ticket(s) but the shards allocated " +
+         std::to_string(allocated) +
+         " slot(s) — a slot was allocated without reaching the engine");
+  }
+  if (spills != steals) {
+    fail("ticket audit (" + pool_ + "): total spills " +
+         std::to_string(spills) + " != total steals " +
+         std::to_string(steals) +
+         " — every borrowed slot must be counted once on the full home "
+         "shard (spill) and once on the lending sibling (steal)");
+  }
+  if (stats.refills != shard_refills) {
+    fail("ticket audit (" + pool_ + "): pool-level refill total " +
+         std::to_string(stats.refills) + " != per-shard refill sum " +
+         std::to_string(shard_refills));
+  }
+}
+
+std::uint64_t TicketAudit::issued() const {
+  const LockGuard lock(mu_);
+  return issued_;
+}
+
+std::uint64_t TicketAudit::released() const {
+  const LockGuard lock(mu_);
+  return released_;
+}
+
+// -------------------------------------------------------- IncumbentAudit --
+
+IncumbentAudit::IncumbentAudit(std::string stream)
+    : stream_(std::move(stream)) {}
+
+void IncumbentAudit::observe(fsp::Time makespan) {
+  const LockGuard lock(mu_);
+  if (has_best_ && makespan >= best_) {
+    fail("incumbent audit (" + stream_ + "): observed incumbent " +
+         std::to_string(makespan) + " after " + std::to_string(best_) +
+         " — the stream must be strictly improving (a stale or racing "
+         "incumbent update slipped past its gate)");
+  }
+  has_best_ = true;
+  best_ = makespan;
+  ++observed_;
+}
+
+std::uint64_t IncumbentAudit::observed() const {
+  const LockGuard lock(mu_);
+  return observed_;
+}
+
+}  // namespace fsbb::core::audit

@@ -1,0 +1,159 @@
+// Debug-mode structural invariant auditors for the concurrent engines.
+//
+// Parallel B&B fails *silently*: a leaked arena slot, a double-released
+// resident-pool ticket or a non-monotone incumbent stream does not change
+// the reported optimum on small instances — it corrupts memory accounting
+// or the event contract in ways that only surface at scale (Chakroun &
+// Melab 2012, Gmys 2020 both call incumbent propagation and pool
+// rebalancing out as the places parallel implementations diverge). The
+// auditors here turn those structural invariants into loud CheckFailure
+// throws with actionable messages:
+//
+//   * ArenaAudit      — every NodeArena slot is released exactly once
+//                       (double frees throw at the releasing call site;
+//                       leaks throw at end-of-solve drain), with the
+//                       allocating lane in every message.
+//   * TicketAudit     — resident-pool tickets issued == released, and the
+//                       pool's own ShardOccupancy counters conserve
+//                       (allocated == released per shard, spills == steals
+//                       in total, zero live slots after drain).
+//   * IncumbentAudit  — an observed incumbent stream is strictly
+//                       improving (the SearchControl event contract and
+//                       every engine's internal acceptance order).
+//
+// Auditing is compiled in unconditionally (the classes are unit-tested in
+// every build) and *enabled* per process: the FSBB_AUDIT CMake option sets
+// the compile-time default (ON in Debug builds), the FSBB_AUDIT
+// environment variable ("0" disables, anything else enables) overrides it
+// at load, and set_enabled()/ScopedEnable override it at runtime — which
+// is how the differential-fuzz suites run audited in any build type.
+// Engines snapshot enabled() once per solve; a disabled process pays one
+// relaxed atomic load per solve and nothing on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "fsp/instance.h"
+
+namespace fsbb::core {
+
+struct ResidentPoolStats;
+
+namespace audit {
+
+/// Whether engines should attach auditors to this solve.
+bool enabled();
+/// Flips auditing process-wide (thread-safe; engines snapshot at solve
+/// start, so a running solve keeps the mode it started with).
+void set_enabled(bool on);
+
+/// RAII enable/disable for tests: restores the previous mode on scope exit.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true);
+  ~ScopedEnable();
+
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Audits the allocate/release lifecycle of NodeArena slots. Attach with
+/// NodeArena::set_audit(); hooks are invoked from every lane (worker
+/// thread), so the audit serializes behind its own mutex — a debug-mode
+/// cost by design. Violations throw fsbb::CheckFailure immediately
+/// (double release) or at check_drained() (leaks).
+class ArenaAudit {
+ public:
+  /// `engine` labels every diagnostic ("cpu-steal", "bb-engine", ...).
+  explicit ArenaAudit(std::string engine);
+
+  /// Records slot `slot` as live. Throws if the slot is already live
+  /// (the arena handed one slot out twice — a freelist corruption).
+  void on_allocate(std::uint32_t slot, std::size_t lane);
+
+  /// Records slot `slot` as released. Throws if the slot is not live
+  /// (double release, or release of a never-allocated handle).
+  void on_release(std::uint32_t slot, std::size_t lane);
+
+  /// End-of-solve drain check: throws unless every allocated slot was
+  /// released exactly once, naming the leak count, a sample slot and the
+  /// lane that allocated it.
+  void check_drained() const;
+
+  std::uint64_t allocations() const;
+  std::uint64_t releases() const;
+
+ private:
+  static constexpr std::uint32_t kFree = 0xFFFFFFFFu;
+
+  const std::string engine_;
+  mutable Mutex mu_;
+  /// state_[slot]: kFree, or the lane that allocated it (live).
+  std::vector<std::uint32_t> state_ FSBB_GUARDED_BY(mu_);
+  std::uint64_t allocated_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t released_ FSBB_GUARDED_BY(mu_) = 0;
+};
+
+/// Audits resident-pool ticket conservation: every ticket the engine is
+/// handed (non-null child tickets out of ResidentPool::iterate) must be
+/// released exactly once, and at finish() the pool's own per-shard
+/// counters must conserve.
+class TicketAudit {
+ public:
+  explicit TicketAudit(std::string pool);
+
+  /// Records a ticket handed to the engine. Throws if it is already
+  /// outstanding (the pool issued one slot to two children).
+  void on_issue(std::uint32_t ticket);
+
+  /// Records a ticket released by the engine. Throws if it is not
+  /// outstanding (double release, or release of a never-issued ticket).
+  void on_release(std::uint32_t ticket);
+
+  /// End-of-solve conservation check against the pool's ShardOccupancy
+  /// counters (taken AFTER the engine released everything): zero
+  /// outstanding tickets, zero live slots, allocated == released per
+  /// shard, total spills == total steals, refill totals consistent.
+  void finish(const ResidentPoolStats& stats) const;
+
+  std::uint64_t issued() const;
+  std::uint64_t released() const;
+
+ private:
+  const std::string pool_;
+  mutable Mutex mu_;
+  std::vector<std::uint8_t> outstanding_ FSBB_GUARDED_BY(mu_);
+  std::uint64_t issued_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t released_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t outstanding_count_ FSBB_GUARDED_BY(mu_) = 0;
+};
+
+/// Audits that a stream of accepted incumbents is strictly improving.
+/// SearchControl attaches one to its (already gated) event stream; every
+/// engine observes its own acceptance order — both must be strictly
+/// decreasing or the incumbent propagation protocol is broken.
+class IncumbentAudit {
+ public:
+  explicit IncumbentAudit(std::string stream);
+
+  /// Throws unless `makespan` strictly improves on every value observed.
+  void observe(fsp::Time makespan);
+
+  std::uint64_t observed() const;
+
+ private:
+  const std::string stream_;
+  mutable Mutex mu_;
+  bool has_best_ FSBB_GUARDED_BY(mu_) = false;
+  fsp::Time best_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t observed_ FSBB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace audit
+}  // namespace fsbb::core

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "core/audit.h"
 #include "core/node_arena.h"
 #include "fsp/makespan.h"
 #include "fsp/neh.h"
@@ -74,6 +75,15 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
   // engine's control loop is serial, so one lane suffices (the evaluator's
   // threads never touch the arena — they only read the parent spans).
   NodeArena arena(n);
+  // Auditors (core/audit.h): snapshot the mode once per solve.
+  std::unique_ptr<audit::ArenaAudit> arena_audit;
+  std::unique_ptr<audit::TicketAudit> ticket_audit;
+  std::unique_ptr<audit::IncumbentAudit> incumbent_audit;
+  if (audit::enabled()) {
+    arena_audit = std::make_unique<audit::ArenaAudit>("bb-engine");
+    incumbent_audit = std::make_unique<audit::IncumbentAudit>("bb-engine");
+    arena.set_audit(arena_audit.get());
+  }
   auto pool = make_pool<NodeRef>(options_.strategy);
   for (Subproblem& sp : initial) {
     if (sp.lb < ub) {
@@ -91,6 +101,9 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
   // the fallback keeps the evaluator-facing flat batch of value nodes so
   // callback bounds and the GPU staging path see exactly what they used to.
   ResidentPool* resident = evaluator_->resident_pool();
+  if (resident != nullptr && audit::enabled()) {
+    ticket_audit = std::make_unique<audit::TicketAudit>("resident-pool");
+  }
   const bool sibling_mode =
       resident != nullptr || evaluator_->supports_sibling_batches();
 
@@ -108,6 +121,7 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
   auto release_node = [&](NodeArena::Handle h) {
     if (resident && h < ticket_of.size() &&
         ticket_of[h] != ResidentPool::kNullTicket) {
+      if (ticket_audit != nullptr) ticket_audit->on_release(ticket_of[h]);
       resident->release(ticket_of[h]);
       ticket_of[h] = ResidentPool::kNullTicket;
     }
@@ -173,6 +187,7 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
         const Time ms = fsp::makespan(*inst_, perm);
         if (ms < result.best_makespan) {
           result.best_makespan = ms;
+          if (incumbent_audit != nullptr) incumbent_audit->observe(ms);
           result.best_permutation.assign(perm.begin(), perm.end());
           ++result.stats.ub_updates;
           if (options_.control) {
@@ -263,7 +278,13 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
         NodeRef child = pending_refs[i];
         child.lb = bounds[i];
         FSBB_ASSERT(child.lb != Subproblem::kUnevaluated);
-        if (resident) ticket_ref(child.slot) = child_tickets[i];
+        if (resident) {
+          ticket_ref(child.slot) = child_tickets[i];
+          if (ticket_audit != nullptr &&
+              child_tickets[i] != ResidentPool::kNullTicket) {
+            ticket_audit->on_issue(child_tickets[i]);
+          }
+        }
         if (child.lb < result.best_makespan) {
           pool->push(std::move(child));
         } else {
@@ -296,15 +317,24 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
   // inserted.
   result.proven_optimal = !stop && pool->empty();
   result.stop_reason = stop.value_or(StopReason::kOptimal);
+  // The reported occupancy is the pool as the search left it (an early
+  // stop reports its live nodes) — snapshot before any audit drain below.
   if (resident) result.pool = resident->shard_stats();
-  if (stop && options_.collect_pool_on_stop) {
+  if (stop && (options_.collect_pool_on_stop || arena_audit != nullptr)) {
     std::vector<NodeRef> refs = pool->drain();
-    result.remaining_pool.reserve(refs.size());
-    for (const NodeRef& ref : refs) {
-      result.remaining_pool.push_back(
-          arena.materialize(ref.slot, ref.depth, ref.lb));
+    if (options_.collect_pool_on_stop) {
+      result.remaining_pool.reserve(refs.size());
+      for (const NodeRef& ref : refs) {
+        result.remaining_pool.push_back(
+            arena.materialize(ref.slot, ref.depth, ref.lb));
+      }
     }
+    // Release what the stop left behind, so the audits below can insist
+    // on full conservation (anything still live is a genuine leak).
+    for (const NodeRef& ref : refs) release_node(ref.slot);
   }
+  if (arena_audit != nullptr) arena_audit->check_drained();
+  if (ticket_audit != nullptr) ticket_audit->finish(resident->shard_stats());
   result.stats.wall_seconds = total_timer.seconds();
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/audit.h"
+
 namespace fsbb::core {
 
 NodeArena::NodeArena(int jobs, std::size_t lanes)
@@ -11,7 +13,7 @@ NodeArena::NodeArena(int jobs, std::size_t lanes)
 }
 
 void NodeArena::refill_bump_range(Lane& lane) {
-  const std::lock_guard<std::mutex> lock(grow_mu_);
+  const LockGuard lock(grow_mu_);
   FSBB_CHECK_MSG(chunks_used_ < kMaxChunks, "node arena exhausted");
   const std::size_t chunk = chunks_used_++;
   std::unique_ptr<Leaf>& leaf = top_[chunk / kLeafChunks];
@@ -32,10 +34,13 @@ NodeArena::Handle NodeArena::allocate(std::size_t lane_idx) {
   if (!lane.free.empty()) {
     const Handle h = lane.free.back();
     lane.free.pop_back();
+    if (audit_ != nullptr) audit_->on_allocate(h, lane_idx);
     return h;
   }
   if (lane.bump_next == lane.bump_end) refill_bump_range(lane);
-  return lane.bump_next++;
+  const Handle h = lane.bump_next++;
+  if (audit_ != nullptr) audit_->on_allocate(h, lane_idx);
+  return h;
 }
 
 void NodeArena::release(Handle h, std::size_t lane_idx) {
@@ -43,6 +48,7 @@ void NodeArena::release(Handle h, std::size_t lane_idx) {
   FSBB_ASSERT(lane_idx < lanes_.size());
   Lane& lane = lanes_[lane_idx];
   ++lane.released;
+  if (audit_ != nullptr) audit_->on_release(h, lane_idx);
   lane.free.push_back(h);
 }
 

@@ -25,15 +25,19 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "core/subproblem.h"
 #include "fsp/instance.h"
 
 namespace fsbb::core {
+
+namespace audit {
+class ArenaAudit;
+}  // namespace audit
 
 class NodeArena {
  public:
@@ -76,6 +80,11 @@ class NodeArena {
   /// workers run); the leak tests call it after the gang joined.
   std::size_t live() const;
 
+  /// Attaches a lifecycle auditor (core/audit.h): every allocate/release
+  /// is mirrored into it. nullptr detaches. Set before workers start;
+  /// the pointer itself is not synchronized.
+  void set_audit(audit::ArenaAudit* audit) { audit_ = audit; }
+
  private:
   struct Lane {
     std::vector<Handle> free;
@@ -115,8 +124,9 @@ class NodeArena {
   int jobs_;
   std::vector<std::unique_ptr<Leaf>> top_;
   std::vector<Lane> lanes_;
-  std::mutex grow_mu_;
-  std::size_t chunks_used_ = 0;  // guarded by grow_mu_
+  Mutex grow_mu_;
+  std::size_t chunks_used_ FSBB_GUARDED_BY(grow_mu_) = 0;
+  audit::ArenaAudit* audit_ = nullptr;
 };
 
 /// A pooled node: the lower bound and depth ride along so selection

@@ -1,6 +1,12 @@
 #include "core/search_control.h"
 
+#include "core/audit.h"
+
 namespace fsbb::core {
+
+SearchControl::SearchControl() : start_(Clock::now()) {}
+
+SearchControl::~SearchControl() = default;
 
 const char* to_string(StopReason reason) {
   switch (reason) {
@@ -19,9 +25,13 @@ const char* to_string(StopReason reason) {
 }
 
 void SearchControl::set_sink(EventSink sink, double min_tick_seconds) {
-  const std::lock_guard<std::mutex> lock(sink_mu_);
+  const LockGuard lock(sink_mu_);
   sink_ = std::move(sink);
-  min_tick_ns_ = static_cast<std::int64_t>(min_tick_seconds * 1e9);
+  min_tick_ns_.store(static_cast<std::int64_t>(min_tick_seconds * 1e9),
+                     std::memory_order_relaxed);
+  if (sink_ != nullptr && audit::enabled() && stream_audit_ == nullptr) {
+    stream_audit_ = std::make_unique<audit::IncumbentAudit>("event stream");
+  }
   has_sink_.store(sink_ != nullptr, std::memory_order_release);
 }
 
@@ -58,9 +68,10 @@ void SearchControl::emit_incumbent(fsp::Time makespan,
                                    std::uint64_t evaluated,
                                    std::uint64_t pruned) {
   if (!has_sink_.load(std::memory_order_acquire)) return;
-  const std::lock_guard<std::mutex> lock(sink_mu_);
+  const LockGuard lock(sink_mu_);
   if (makespan >= best_emitted_) return;  // a better schedule already streamed
   best_emitted_ = makespan;
+  if (stream_audit_ != nullptr) stream_audit_->observe(makespan);
   SearchEvent event;
   event.kind = SearchEvent::Kind::kIncumbent;
   event.incumbent = makespan;
@@ -79,7 +90,10 @@ void SearchControl::maybe_emit_tick(fsp::Time incumbent,
   if (!has_sink_.load(std::memory_order_acquire)) return;
   const std::int64_t now = Clock::now().time_since_epoch().count();
   std::int64_t last = last_tick_ns_.load(std::memory_order_relaxed);
-  if (last != kNoDeadline && now - last < min_tick_ns_) return;
+  if (last != kNoDeadline &&
+      now - last < min_tick_ns_.load(std::memory_order_relaxed)) {
+    return;
+  }
   // Claim the slot; losing the race means another worker just ticked.
   if (!last_tick_ns_.compare_exchange_strong(last, now,
                                              std::memory_order_relaxed)) {
@@ -92,7 +106,7 @@ void SearchControl::maybe_emit_tick(fsp::Time incumbent,
   event.evaluated = evaluated;
   event.pruned = pruned;
   event.elapsed_seconds = elapsed_seconds();
-  const std::lock_guard<std::mutex> lock(sink_mu_);
+  const LockGuard lock(sink_mu_);
   dispatch(event);
 }
 

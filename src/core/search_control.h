@@ -28,15 +28,20 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "fsp/instance.h"
 
 namespace fsbb::core {
+
+namespace audit {
+class IncumbentAudit;
+}  // namespace audit
 
 /// Why a solve returned. kOptimal means the search space was exhausted;
 /// everything else is an early stop with a valid partial incumbent.
@@ -76,7 +81,8 @@ class SearchControl {
   using Clock = std::chrono::steady_clock;
   using EventSink = std::function<void(const SearchEvent&)>;
 
-  SearchControl() : start_(Clock::now()) {}
+  SearchControl();
+  ~SearchControl();
   SearchControl(const SearchControl&) = delete;
   SearchControl& operator=(const SearchControl&) = delete;
 
@@ -133,7 +139,7 @@ class SearchControl {
 
   /// First writer wins; everyone afterwards sees the same reason.
   StopReason latch(StopReason reason);
-  void dispatch(const SearchEvent& event);
+  void dispatch(const SearchEvent& event) FSBB_REQUIRES(sink_mu_);
 
   const Clock::time_point start_;
   std::atomic<bool> cancel_{false};
@@ -142,11 +148,18 @@ class SearchControl {
 
   std::atomic<bool> has_sink_{false};
   std::atomic<std::int64_t> last_tick_ns_{kNoDeadline};
-  std::int64_t min_tick_ns_ = 0;
+  /// Atomic: written by set_sink under sink_mu_, but read by the throttle
+  /// fast path in maybe_emit_tick without taking the lock.
+  std::atomic<std::int64_t> min_tick_ns_{0};
 
-  std::mutex sink_mu_;  // serializes sink calls + guards the fields below
-  EventSink sink_;
-  fsp::Time best_emitted_ = std::numeric_limits<fsp::Time>::max();
+  Mutex sink_mu_;  // serializes sink calls + guards the fields below
+  EventSink sink_ FSBB_GUARDED_BY(sink_mu_);
+  fsp::Time best_emitted_ FSBB_GUARDED_BY(sink_mu_) =
+      std::numeric_limits<fsp::Time>::max();
+  /// Monotonicity auditor over the emitted stream (core/audit.h); attached
+  /// by set_sink when auditing is enabled at that moment.
+  std::unique_ptr<audit::IncumbentAudit> stream_audit_
+      FSBB_GUARDED_BY(sink_mu_);
 };
 
 }  // namespace fsbb::core

@@ -28,13 +28,13 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "core/node_arena.h"
 #include "core/steal_stats.h"
 #include "core/subproblem.h"
@@ -140,13 +140,13 @@ class WorkStealingDequeT {
   /// Owner: push a node on the back (LIFO hot end). Returns false when a
   /// bounded storage is full (unbounded storages always succeed).
   bool push(Node&& sp) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     return items_.push_back(std::move(sp));
   }
 
   /// Owner: pop the most recently pushed node; nullopt when empty.
   std::optional<Node> pop() {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     if (items_.empty()) return std::nullopt;
     return items_.pop_back();
   }
@@ -154,7 +154,7 @@ class WorkStealingDequeT {
   /// Thief: move up to `max_nodes` of the *oldest* nodes into `out`.
   /// Returns how many were taken (0 when the deque is empty).
   std::size_t steal(std::vector<Node>& out, std::size_t max_nodes) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     std::size_t taken = 0;
     while (taken < max_nodes && !items_.empty()) {
       out.push_back(items_.pop_front());
@@ -164,19 +164,19 @@ class WorkStealingDequeT {
   }
 
   std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     return items_.size();
   }
   bool empty() const { return size() == 0; }
   /// Slots this shard can hold (bounded storages; "infinite" otherwise).
   std::size_t capacity() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     return items_.capacity();
   }
 
   /// Removes every node front-to-back (deterministic given the contents).
   std::vector<Node> drain() {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     std::vector<Node> out;
     out.reserve(items_.size());
     for (std::size_t i = 0; i < items_.size(); ++i) {
@@ -187,8 +187,8 @@ class WorkStealingDequeT {
   }
 
  private:
-  mutable std::mutex mu_;
-  Storage items_;
+  mutable Mutex mu_;
+  Storage items_ FSBB_GUARDED_BY(mu_);
 };
 
 /// A fixed set of per-worker deques plus the cross-shard operations the

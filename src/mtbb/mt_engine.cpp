@@ -1,11 +1,11 @@
 #include "mtbb/mt_engine.h"
 
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/timer.h"
+#include "core/audit.h"
 #include "core/node_arena.h"
 #include "core/pool.h"
 #include "fsp/lb1.h"
@@ -19,25 +19,29 @@ using core::Subproblem;
 
 /// Everything the workers share.
 struct Shared {
-  std::mutex mu;
-  std::condition_variable cv;
-  core::NodeArena* arena = nullptr;         // lanes: one per worker + main
-  std::unique_ptr<core::ArenaPool> pool;    // guarded by mu
-  std::size_t in_flight = 0;          // nodes popped but not yet re-inserted
-  bool stop = false;                  // budget exhausted
-  fsp::Time ub;                       // guarded by mu (perm update must match)
-  std::vector<fsp::JobId> best_perm;  // guarded by mu
-  std::uint64_t branched = 0;         // guarded by mu
-  std::uint64_t node_budget = 0;
-  core::EngineStats stats;            // merged under mu
-  core::StopReason stop_reason = core::StopReason::kOptimal;  // guarded by mu
+  Mutex mu;
+  CondVar cv;
+  core::NodeArena* arena = nullptr;  // lanes: one per worker + main
+  std::unique_ptr<core::ArenaPool> pool FSBB_GUARDED_BY(mu);
+  /// Nodes popped but not yet re-inserted.
+  std::size_t in_flight FSBB_GUARDED_BY(mu) = 0;
+  bool stop FSBB_GUARDED_BY(mu) = false;  // budget exhausted
+  /// Incumbent; a best_perm update must ride the same critical section.
+  fsp::Time ub FSBB_GUARDED_BY(mu);
+  std::vector<fsp::JobId> best_perm FSBB_GUARDED_BY(mu);
+  std::uint64_t branched FSBB_GUARDED_BY(mu) = 0;
+  std::uint64_t node_budget = 0;  // set before the gang starts
+  core::EngineStats stats FSBB_GUARDED_BY(mu);  // merged at worker exit
+  core::StopReason stop_reason FSBB_GUARDED_BY(mu) = core::StopReason::kOptimal;
   core::SearchControl* control = nullptr;  // may be null
+  /// Acceptance-order auditor (core/audit.h); null when auditing is off.
+  core::audit::IncumbentAudit* incumbent_audit = nullptr;
 };
 
 /// Latches the first stop reason and wakes every worker. Caller must NOT
 /// hold sh.mu.
 void request_stop(Shared& sh, core::StopReason reason) {
-  const std::lock_guard<std::mutex> lock(sh.mu);
+  const LockGuard lock(sh.mu);
   if (!sh.stop) {
     sh.stop = true;
     sh.stop_reason = reason;
@@ -63,10 +67,10 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
     NodeRef node;
     std::uint64_t branched_total = 0;
     {
-      std::unique_lock<std::mutex> lock(sh.mu);
-      sh.cv.wait(lock, [&] {
-        return sh.stop || !sh.pool->empty() || sh.in_flight == 0;
-      });
+      UniqueLock lock(sh.mu);
+      while (!sh.stop && sh.pool->empty() && sh.in_flight != 0) {
+        sh.cv.wait(lock);
+      }
       if (sh.stop || (sh.pool->empty() && sh.in_flight == 0)) break;
       if (sh.pool->empty()) continue;  // spurious: others still in flight
       node = sh.pool->pop();
@@ -89,7 +93,7 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
 
     // Branch + bound the children without holding the lock.
     const fsp::Time ub_snapshot = [&] {
-      std::lock_guard<std::mutex> lock(sh.mu);
+      const LockGuard lock(sh.mu);
       return sh.ub;
     }();
     detail::BestLeaf best_leaf = detail::expand_node(
@@ -100,9 +104,12 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
     std::vector<fsp::JobId> improved_perm;
     fsp::Time tick_ub;
     {
-      std::lock_guard<std::mutex> lock(sh.mu);
+      const LockGuard lock(sh.mu);
       if (best_leaf.makespan < sh.ub) {
         sh.ub = best_leaf.makespan;
+        // The audit observes inside the acceptance critical section, so it
+        // sees exactly the order the engine committed incumbents in.
+        if (sh.incumbent_audit) sh.incumbent_audit->observe(best_leaf.makespan);
         if (sh.control) improved_perm = best_leaf.perm;  // for the event
         sh.best_perm = std::move(best_leaf.perm);
         ++local.ub_updates;
@@ -132,7 +139,7 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
     }
   }
 
-  std::lock_guard<std::mutex> lock(sh.mu);
+  const LockGuard lock(sh.mu);
   sh.stats.branched += local.branched;
   sh.stats.generated += local.generated;
   sh.stats.evaluated += local.evaluated;
@@ -156,21 +163,37 @@ core::SolveResult run(const fsp::Instance& inst,
   core::NodeArena arena(inst.jobs(), options.threads + 1);
   const std::size_t main_lane = options.threads;
 
+  // Auditors (core/audit.h): snapshot the mode once per solve.
+  std::unique_ptr<core::audit::ArenaAudit> arena_audit;
+  std::unique_ptr<core::audit::IncumbentAudit> incumbent_audit;
+  if (core::audit::enabled()) {
+    arena_audit = std::make_unique<core::audit::ArenaAudit>("multicore");
+    incumbent_audit =
+        std::make_unique<core::audit::IncumbentAudit>("multicore");
+    arena.set_audit(arena_audit.get());
+  }
+
   Shared sh;
   sh.arena = &arena;
-  sh.pool = core::make_pool<NodeRef>(core::SelectionStrategy::kBestFirst);
-  sh.ub = initial_ub;
-  sh.best_perm = std::move(seed_perm);
   sh.node_budget = options.node_budget;
   sh.control = options.control;
-  sh.stats.initial_ub = initial_ub;
-  for (Subproblem& sp : initial) {
-    FSBB_CHECK_MSG(sp.lb != Subproblem::kUnevaluated,
-                   "mt engine requires bounded initial nodes");
-    if (sp.lb < sh.ub) {
-      sh.pool->push(NodeRef{sp.lb, sp.depth, arena.adopt(sp, main_lane)});
-    } else {
-      ++sh.stats.pruned;
+  sh.incumbent_audit = incumbent_audit.get();
+  {
+    // Workers have not started; the lock is uncontended and keeps every
+    // access to the guarded fields inside a critical section.
+    const LockGuard lock(sh.mu);
+    sh.pool = core::make_pool<NodeRef>(core::SelectionStrategy::kBestFirst);
+    sh.ub = initial_ub;
+    sh.best_perm = std::move(seed_perm);
+    sh.stats.initial_ub = initial_ub;
+    for (Subproblem& sp : initial) {
+      FSBB_CHECK_MSG(sp.lb != Subproblem::kUnevaluated,
+                     "mt engine requires bounded initial nodes");
+      if (sp.lb < sh.ub) {
+        sh.pool->push(NodeRef{sp.lb, sp.depth, arena.adopt(sp, main_lane)});
+      } else {
+        ++sh.stats.pruned;
+      }
     }
   }
 
@@ -185,11 +208,22 @@ core::SolveResult run(const fsp::Instance& inst,
   }
 
   core::SolveResult result;
-  result.best_makespan = sh.ub;
-  result.best_permutation = std::move(sh.best_perm);
-  result.proven_optimal = !sh.stop;  // stopped only when pool drained
-  result.stop_reason = sh.stop_reason;
-  result.stats = sh.stats;
+  {
+    const LockGuard lock(sh.mu);
+    result.best_makespan = sh.ub;
+    result.best_permutation = std::move(sh.best_perm);
+    result.proven_optimal = !sh.stop;  // stopped only when pool drained
+    result.stop_reason = sh.stop_reason;
+    result.stats = sh.stats;
+    if (arena_audit != nullptr) {
+      // Early stops leave unexplored nodes in the pool; release them so
+      // the drain check distinguishes "still pooled" from "leaked".
+      while (!sh.pool->empty()) {
+        arena.release(sh.pool->pop().slot, main_lane);
+      }
+    }
+  }
+  if (arena_audit != nullptr) arena_audit->check_drained();
   result.stats.wall_seconds = timer.seconds();
   // Bounding dominates worker time; report it as such for the profile bench.
   result.stats.bounding_seconds = result.stats.wall_seconds;

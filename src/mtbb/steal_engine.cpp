@@ -4,13 +4,14 @@
 #include <chrono>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/audit.h"
 #include "core/node_arena.h"
 #include "core/work_steal.h"
 #include "fsp/lb1.h"
@@ -52,13 +53,17 @@ struct Shared {
   /// LB2 tables, shared read-only by every worker (kLb2 runs only).
   const fsp::Lb2Data* lb2 = nullptr;
 
-  std::mutex best_mu;                 // guards the two fields below
-  fsp::Time best_perm_makespan = std::numeric_limits<fsp::Time>::max();
-  std::vector<fsp::JobId> best_perm;
+  Mutex best_mu;
+  fsp::Time best_perm_makespan FSBB_GUARDED_BY(best_mu) =
+      std::numeric_limits<fsp::Time>::max();
+  std::vector<fsp::JobId> best_perm FSBB_GUARDED_BY(best_mu);
+  /// Acceptance-order auditor (core/audit.h); null when auditing is off.
+  /// Observes inside the best_mu critical section, in acceptance order.
+  core::audit::IncumbentAudit* incumbent_audit = nullptr;
 
-  std::mutex stats_mu;  // merge point at worker exit
-  core::EngineStats stats;
-  StealStats steal_stats;
+  Mutex stats_mu;  // merge point at worker exit
+  core::EngineStats stats FSBB_GUARDED_BY(stats_mu);
+  StealStats steal_stats FSBB_GUARDED_BY(stats_mu);
 
   /// Start barrier: workers spin here until the whole gang exists, so the
   /// shard holding the root cannot race ahead of thieves that the OS has
@@ -121,7 +126,7 @@ std::optional<NodeRef> try_steal(Shared& sh, std::size_t id,
 /// search loop is byte-for-byte the same either way; only bound_child's
 /// arithmetic differs.
 template <typename BoundContext>
-void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
+void worker(const fsp::Instance& inst, const fsp::LowerBoundData& /*data*/,
             Shared& sh, std::size_t id, BoundContext ctx) {
   core::EngineStats local;
   StealStats local_steals;
@@ -193,9 +198,12 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
       bool improved = false;
       std::vector<fsp::JobId> improved_perm;
       {
-        const std::lock_guard<std::mutex> lock(sh.best_mu);
+        const LockGuard lock(sh.best_mu);
         if (best_leaf.makespan < sh.best_perm_makespan) {
           sh.best_perm_makespan = best_leaf.makespan;
+          if (sh.incumbent_audit) {
+            sh.incumbent_audit->observe(best_leaf.makespan);
+          }
           if (sh.control) improved_perm = best_leaf.perm;  // for the event
           sh.best_perm = std::move(best_leaf.perm);
           ++local.ub_updates;
@@ -229,7 +237,7 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
     sh.in_flight.fetch_sub(1, std::memory_order_acq_rel);
   }
 
-  const std::lock_guard<std::mutex> lock(sh.stats_mu);
+  const LockGuard lock(sh.stats_mu);
   sh.stats.branched += local.branched;
   sh.stats.generated += local.generated;
   sh.stats.evaluated += local.evaluated;
@@ -253,17 +261,36 @@ core::SolveResult run(const fsp::Instance& inst,
                  "lb2 runs need the Lb2Data tables");
   const WallTimer timer;
 
+  // Auditors (core/audit.h): snapshot the mode once per solve.
+  std::unique_ptr<core::audit::ArenaAudit> arena_audit;
+  std::unique_ptr<core::audit::IncumbentAudit> incumbent_audit;
+  if (core::audit::enabled()) {
+    arena_audit = std::make_unique<core::audit::ArenaAudit>("cpu-steal");
+    incumbent_audit =
+        std::make_unique<core::audit::IncumbentAudit>("cpu-steal");
+  }
+
   Shared sh(options.threads, inst.jobs());
+  if (arena_audit != nullptr) sh.arena.set_audit(arena_audit.get());
+  sh.incumbent_audit = incumbent_audit.get();
   sh.lb2 = lb2;
   const std::size_t main_lane = options.threads;
   sh.ub.store(initial_ub, std::memory_order_relaxed);
-  sh.best_perm_makespan = initial_ub;
-  sh.best_perm = std::move(seed_perm);
   sh.node_budget = options.node_budget;
   sh.control = options.control;
   sh.victim_order = options.victim_order;
   sh.steal_batch = options.steal_batch;
-  sh.stats.initial_ub = initial_ub;
+  {
+    // Workers have not started; the locks are uncontended and keep every
+    // guarded-field access inside a critical section.
+    const LockGuard lock(sh.best_mu);
+    sh.best_perm_makespan = initial_ub;
+    sh.best_perm = std::move(seed_perm);
+  }
+  {
+    const LockGuard lock(sh.stats_mu);
+    sh.stats.initial_ub = initial_ub;
+  }
 
   std::vector<NodeRef> live;
   live.reserve(initial.size());
@@ -273,6 +300,7 @@ core::SolveResult run(const fsp::Instance& inst,
     if (sp.lb < initial_ub) {
       live.push_back(NodeRef{sp.lb, sp.depth, sh.arena.adopt(sp, main_lane)});
     } else {
+      const LockGuard lock(sh.stats_mu);
       ++sh.stats.pruned;
     }
   }
@@ -300,17 +328,31 @@ core::SolveResult run(const fsp::Instance& inst,
   }
 
   core::SolveResult result;
-  result.best_makespan = sh.best_perm_makespan;
-  result.best_permutation = std::move(sh.best_perm);
+  {
+    const LockGuard lock(sh.best_mu);
+    result.best_makespan = sh.best_perm_makespan;
+    result.best_permutation = std::move(sh.best_perm);
+  }
   result.proven_optimal = !sh.stop.load(std::memory_order_acquire);
   const int latched = sh.stop_latch.load(std::memory_order_acquire);
   result.stop_reason = latched >= 0 ? static_cast<core::StopReason>(latched)
                                     : core::StopReason::kOptimal;
-  result.stats = sh.stats;
+  {
+    const LockGuard lock(sh.stats_mu);
+    result.stats = sh.stats;
+    result.steal = sh.steal_stats;
+  }
+  if (arena_audit != nullptr) {
+    // Early stops leave unexplored nodes in the shards; release them so
+    // the drain check distinguishes "still pooled" from "leaked".
+    for (NodeRef& ref : sh.pool.drain()) {
+      sh.arena.release(ref.slot, main_lane);
+    }
+    arena_audit->check_drained();
+  }
   result.stats.wall_seconds = timer.seconds();
   // Bounding dominates worker time; report it as such for the profile bench.
   result.stats.bounding_seconds = result.stats.wall_seconds;
-  result.steal = sh.steal_stats;
   return result;
 }
 

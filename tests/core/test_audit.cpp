@@ -1,0 +1,300 @@
+// core/audit.h: the debug-mode invariant auditors. Two halves:
+//
+//   1. Deliberate violations — a leaked arena slot, a double-released
+//      ticket, a non-monotone incumbent — must throw CheckFailure with a
+//      message that names the offender (slot/ticket/lane/value), so a
+//      failure in a fuzz run points at the bug, not just at "audit failed".
+//   2. Clean solves on every registered backend must pass with auditing
+//      enabled — including early-stopped (deadline) solves, whose drained
+//      pools exercise the end-of-run release path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "api/backend_registry.h"
+#include "api/solver.h"
+#include "common/check.h"
+#include "core/audit.h"
+#include "core/search_control.h"
+#include "core/steal_stats.h"
+#include "fsp/generators.h"
+#include "fsp/lb_data.h"
+
+namespace fsbb::core {
+namespace {
+
+using audit::ArenaAudit;
+using audit::IncumbentAudit;
+using audit::ScopedEnable;
+using audit::TicketAudit;
+
+std::string message_of(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const CheckFailure& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(AuditToggle, ScopedEnableRestoresThePreviousMode) {
+  const bool before = audit::enabled();
+  {
+    const ScopedEnable on(true);
+    EXPECT_TRUE(audit::enabled());
+    {
+      const ScopedEnable off(false);
+      EXPECT_FALSE(audit::enabled());
+    }
+    EXPECT_TRUE(audit::enabled());
+  }
+  EXPECT_EQ(audit::enabled(), before);
+}
+
+// ------------------------------------------------------------ ArenaAudit --
+
+TEST(ArenaAudit, CleanLifecyclePasses) {
+  ArenaAudit audit("test");
+  audit.on_allocate(0, 0);
+  audit.on_allocate(1, 1);
+  audit.on_release(1, 0);  // cross-lane release is legal
+  audit.on_release(0, 0);
+  audit.on_allocate(0, 2);  // slot reuse after release is legal
+  audit.on_release(0, 2);
+  EXPECT_NO_THROW(audit.check_drained());
+  EXPECT_EQ(audit.allocations(), 3u);
+  EXPECT_EQ(audit.releases(), 3u);
+}
+
+TEST(ArenaAudit, LeakedSlotThrowsNamingSlotAndLane) {
+  ArenaAudit audit("leaky-engine");
+  audit.on_allocate(7, 2);
+  const std::string what = message_of([&] { audit.check_drained(); });
+  EXPECT_NE(what.find("leaky-engine"), std::string::npos) << what;
+  EXPECT_NE(what.find("slot 7"), std::string::npos) << what;
+  EXPECT_NE(what.find("lane 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("never released"), std::string::npos) << what;
+}
+
+TEST(ArenaAudit, DoubleReleaseThrowsAtTheReleasingCall) {
+  ArenaAudit audit("test");
+  audit.on_allocate(3, 0);
+  audit.on_release(3, 1);
+  const std::string what = message_of([&] { audit.on_release(3, 1); });
+  EXPECT_NE(what.find("slot 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("double release"), std::string::npos) << what;
+}
+
+TEST(ArenaAudit, ReleaseOfNeverAllocatedSlotThrows) {
+  ArenaAudit audit("test");
+  EXPECT_THROW(audit.on_release(42, 0), CheckFailure);
+}
+
+TEST(ArenaAudit, DoubleAllocationOfALiveSlotThrows) {
+  ArenaAudit audit("test");
+  audit.on_allocate(5, 0);
+  const std::string what = message_of([&] { audit.on_allocate(5, 1); });
+  EXPECT_NE(what.find("slot 5"), std::string::npos) << what;
+  EXPECT_NE(what.find("allocated twice"), std::string::npos) << what;
+}
+
+// ----------------------------------------------------------- TicketAudit --
+
+ResidentPoolStats clean_stats(std::uint64_t per_shard, std::size_t shards) {
+  ResidentPoolStats stats;
+  stats.shards.resize(shards);
+  for (ShardOccupancy& s : stats.shards) {
+    s.allocated = per_shard;
+    s.released = per_shard;
+  }
+  return stats;
+}
+
+TEST(TicketAudit, CleanConservationPasses) {
+  TicketAudit audit("test-pool");
+  audit.on_issue(0);
+  audit.on_issue(1);
+  audit.on_release(0);
+  audit.on_release(1);
+  audit.on_issue(0);  // ticket reuse after release is legal
+  audit.on_release(0);
+  EXPECT_NO_THROW(audit.finish(clean_stats(3, 1)));
+  EXPECT_EQ(audit.issued(), 3u);
+  EXPECT_EQ(audit.released(), 3u);
+}
+
+TEST(TicketAudit, DoubleReleaseThrowsNamingTheTicket) {
+  TicketAudit audit("test-pool");
+  audit.on_issue(9);
+  audit.on_release(9);
+  const std::string what = message_of([&] { audit.on_release(9); });
+  EXPECT_NE(what.find("test-pool"), std::string::npos) << what;
+  EXPECT_NE(what.find("ticket 9"), std::string::npos) << what;
+  EXPECT_NE(what.find("double release"), std::string::npos) << what;
+}
+
+TEST(TicketAudit, DoubleIssueWithoutReleaseThrows) {
+  TicketAudit audit("test-pool");
+  audit.on_issue(4);
+  const std::string what = message_of([&] { audit.on_issue(4); });
+  EXPECT_NE(what.find("ticket 4"), std::string::npos) << what;
+  EXPECT_NE(what.find("issued twice"), std::string::npos) << what;
+}
+
+TEST(TicketAudit, OutstandingTicketAtFinishThrows) {
+  TicketAudit audit("test-pool");
+  audit.on_issue(2);
+  const std::string what =
+      message_of([&] { audit.finish(clean_stats(1, 1)); });
+  EXPECT_NE(what.find("ticket 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("never released"), std::string::npos) << what;
+}
+
+TEST(TicketAudit, PerShardConservationMismatchThrows) {
+  const TicketAudit audit("test-pool");
+  ResidentPoolStats stats = clean_stats(5, 2);
+  stats.shards[1].released = 4;  // one release lost inside the pool
+  const std::string what = message_of([&] { audit.finish(stats); });
+  EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+}
+
+TEST(TicketAudit, LiveSlotsAfterDrainThrow) {
+  const TicketAudit audit("test-pool");
+  ResidentPoolStats stats = clean_stats(0, 1);
+  stats.shards[0].live = 3;
+  EXPECT_THROW(audit.finish(stats), CheckFailure);
+}
+
+TEST(TicketAudit, SpillStealImbalanceThrows) {
+  const TicketAudit audit("test-pool");
+  ResidentPoolStats stats = clean_stats(0, 2);
+  stats.shards[0].spills = 2;
+  stats.shards[1].steals = 1;  // one borrowed slot not counted on the lender
+  const std::string what = message_of([&] { audit.finish(stats); });
+  EXPECT_NE(what.find("spills 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("steals 1"), std::string::npos) << what;
+}
+
+TEST(TicketAudit, RefillTotalMismatchThrows) {
+  const TicketAudit audit("test-pool");
+  ResidentPoolStats stats = clean_stats(0, 1);
+  stats.refills = 2;
+  stats.shards[0].refills = 1;
+  EXPECT_THROW(audit.finish(stats), CheckFailure);
+}
+
+// -------------------------------------------------------- IncumbentAudit --
+
+TEST(IncumbentAudit, StrictlyImprovingStreamPasses) {
+  IncumbentAudit audit("test-stream");
+  audit.observe(100);
+  audit.observe(90);
+  audit.observe(89);
+  EXPECT_EQ(audit.observed(), 3u);
+}
+
+TEST(IncumbentAudit, NonImprovingIncumbentThrowsNamingBothValues) {
+  IncumbentAudit audit("test-stream");
+  audit.observe(90);
+  const std::string what = message_of([&] { audit.observe(90); });
+  EXPECT_NE(what.find("test-stream"), std::string::npos) << what;
+  EXPECT_NE(what.find("90"), std::string::npos) << what;
+  EXPECT_NE(what.find("strictly improving"), std::string::npos) << what;
+}
+
+TEST(IncumbentAudit, RegressionThrows) {
+  IncumbentAudit audit("test-stream");
+  audit.observe(80);
+  EXPECT_THROW(audit.observe(95), CheckFailure);
+}
+
+// ----------------------------------------------- audited solves, all backends
+
+// Every registered backend solves cleanly with the auditors live: the
+// engines attach arena/ticket/incumbent auditors per solve, and a clean
+// search must drain every slot and ticket and stream improving incumbents.
+TEST(AuditedSolve, EveryBackendPassesCleanlyWithAuditingOn) {
+  const ScopedEnable audited;
+  const fsp::Instance inst = fsp::make_instance(
+      fsp::InstanceFamily::kUniform, 8, 5, /*seed=*/0xA0D17u);
+  for (const std::string& backend : api::BackendRegistry::global().keys()) {
+    api::SolverConfig config;
+    config.backend = backend;
+    config.threads = 3;
+    config.batch_size = 16;
+    const api::SolveReport report = api::Solver(config).solve(inst);
+    EXPECT_TRUE(report.proven_optimal) << backend;
+  }
+}
+
+// Early-stopped solves exercise the other half of the drain logic: the
+// stop leaves live nodes in the pool, and the engine must release every
+// one of them (and every resident ticket) before the drain check runs.
+TEST(AuditedSolve, EarlyStoppedSolvesStayConserved) {
+  const ScopedEnable audited;
+  const fsp::Instance inst = fsp::make_instance(
+      fsp::InstanceFamily::kUniform, 12, 8, /*seed=*/0xDEAD1u);
+  for (const std::string& backend : api::BackendRegistry::global().keys()) {
+    api::SolverConfig config;
+    config.backend = backend;
+    config.threads = 3;
+    config.batch_size = 16;
+    // A poor seed incumbent + a tiny node budget: the search stops after
+    // a few batches with a pool full of live nodes to drain.
+    config.initial_ub = 1000000;
+    config.node_budget = 32;
+    const api::SolveReport report = api::Solver(config).solve(inst);
+    EXPECT_FALSE(report.proven_optimal) << backend;
+  }
+}
+
+// An already-expired deadline stops the search before it branches
+// anything — the seeded root must still be released, not leaked.
+TEST(AuditedSolve, ExpiredDeadlineSolvesStayConserved) {
+  const ScopedEnable audited;
+  const fsp::Instance inst = fsp::make_instance(
+      fsp::InstanceFamily::kUniform, 10, 6, /*seed=*/0xF00Du);
+  for (const std::string& backend : api::BackendRegistry::global().keys()) {
+    api::SolverConfig config;
+    config.backend = backend;
+    config.threads = 3;
+    config.deadline_ms = 0;
+    const api::SolveReport report = api::Solver(config).solve(inst);
+    EXPECT_FALSE(report.proven_optimal) << backend;
+  }
+}
+
+// The event-stream auditor rides SearchControl: a sink installed while
+// auditing is on gets the monotonicity auditor attached, and a full
+// audited solve with progress streaming stays clean end to end.
+TEST(AuditedSolve, ProgressStreamingSolvePassesUnderAudit) {
+  const ScopedEnable audited;
+  const fsp::Instance inst = fsp::make_instance(
+      fsp::InstanceFamily::kTrend, 9, 6, /*seed=*/0xBEEFu);
+  api::SolverConfig config;
+  config.backend = "cpu-steal";
+  config.threads = 4;
+  config.initial_ub = 1000000;  // force a stream of improvements
+  core::SearchControl control;
+  fsp::Time last = std::numeric_limits<fsp::Time>::max();
+  int incumbents = 0;
+  control.set_sink([&](const SearchEvent& event) {
+    if (event.kind != SearchEvent::Kind::kIncumbent) return;
+    EXPECT_LT(event.incumbent, last);
+    last = event.incumbent;
+    ++incumbents;
+  });
+  const fsp::LowerBoundData data = fsp::LowerBoundData::build(inst);
+  const api::BackendContext ctx{&inst, &data, &config, &control};
+  const auto backend =
+      api::BackendRegistry::global().create(config.backend, ctx);
+  const SolveResult result = backend->solve();
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_GE(incumbents, 1);
+}
+
+}  // namespace
+}  // namespace fsbb::core

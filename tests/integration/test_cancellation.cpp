@@ -116,7 +116,7 @@ TEST(Cancellation, CanceledConcurrentEnginesAgreeOnTheReason) {
   // them with 4 workers, cancel mid-flight, and check the single reason.
   const fsp::Instance inst = big_instance();
   SolverService service(SolverService::Options{2});
-  for (const std::string& backend : {"multicore", "cpu-steal"}) {
+  for (const std::string backend : {"multicore", "cpu-steal"}) {
     SolverConfig config = config_for(backend, inst);
     config.threads = 4;
     std::atomic<bool> progressed{false};

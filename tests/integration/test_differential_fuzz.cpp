@@ -13,6 +13,7 @@
 #include "api/backend_registry.h"
 #include "api/solver.h"
 #include "common/rng.h"
+#include "core/audit.h"
 #include "fsp/brute_force.h"
 #include "fsp/generators.h"
 #include "fsp/makespan.h"
@@ -32,6 +33,10 @@ constexpr fsp::InstanceFamily kFamilies[] = {
 class DifferentialFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(DifferentialFuzz, EveryBackendMatchesBruteForce) {
+  // Every solve in this body runs with the invariant auditors live
+  // (core/audit.h): arena slot lifecycle, resident-pool tickets and
+  // incumbent monotonicity all fail the test loudly if violated.
+  const core::audit::ScopedEnable audited;
   const int shard = GetParam();
   SplitMix64 rng(0xD1FFu * 1000003u + static_cast<std::uint64_t>(shard));
   const std::vector<std::string> backends = api::BackendRegistry::global().keys();
@@ -81,6 +86,10 @@ INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzz,
 class SeamVsReplayFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SeamVsReplayFuzz, SearchCountersAreBitIdentical) {
+  // Every solve in this body runs with the invariant auditors live
+  // (core/audit.h): arena slot lifecycle, resident-pool tickets and
+  // incumbent monotonicity all fail the test loudly if violated.
+  const core::audit::ScopedEnable audited;
   const int shard = GetParam();
   SplitMix64 rng(0x5EA3u * 999983u + static_cast<std::uint64_t>(shard));
   for (int i = 0; i < 8; ++i) {
@@ -132,6 +141,10 @@ INSTANTIATE_TEST_SUITE_P(Shards, SeamVsReplayFuzz, ::testing::Range(0, 4));
 class GpuResidentVsSerialFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(GpuResidentVsSerialFuzz, SearchCountersAreBitIdentical) {
+  // Every solve in this body runs with the invariant auditors live
+  // (core/audit.h): arena slot lifecycle, resident-pool tickets and
+  // incumbent monotonicity all fail the test loudly if violated.
+  const core::audit::ScopedEnable audited;
   const int shard = GetParam();
   SplitMix64 rng(0x6F0A1u * 1000003u + static_cast<std::uint64_t>(shard));
   for (int i = 0; i < 6; ++i) {
@@ -195,6 +208,10 @@ INSTANTIATE_TEST_SUITE_P(Shards, GpuResidentVsSerialFuzz,
 class StealLb2Fuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(StealLb2Fuzz, Lb2StealMatchesSerialLb2) {
+  // Every solve in this body runs with the invariant auditors live
+  // (core/audit.h): arena slot lifecycle, resident-pool tickets and
+  // incumbent monotonicity all fail the test loudly if violated.
+  const core::audit::ScopedEnable audited;
   const int shard = GetParam();
   SplitMix64 rng(0x1B2A7u * 999979u + static_cast<std::uint64_t>(shard));
   for (int i = 0; i < 5; ++i) {
@@ -223,6 +240,10 @@ INSTANTIATE_TEST_SUITE_P(Shards, StealLb2Fuzz, ::testing::Range(0, 4));
 class StealKnobFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(StealKnobFuzz, KnobsNeverChangeTheOptimum) {
+  // Every solve in this body runs with the invariant auditors live
+  // (core/audit.h): arena slot lifecycle, resident-pool tickets and
+  // incumbent monotonicity all fail the test loudly if violated.
+  const core::audit::ScopedEnable audited;
   const int shard = GetParam();
   SplitMix64 rng(0x57EA1u * 1000033u + static_cast<std::uint64_t>(shard));
   for (int i = 0; i < 5; ++i) {

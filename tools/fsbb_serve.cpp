@@ -39,7 +39,6 @@
 #include <iostream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,6 +47,7 @@
 #include "api/solver_config.h"
 #include "common/cli.h"
 #include "common/json.h"
+#include "common/mutex.h"
 
 namespace {
 
@@ -57,12 +57,12 @@ using namespace fsbb;
 class EventWriter {
  public:
   void line(const std::string& json) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     std::cout << json << "\n" << std::flush;
   }
 
  private:
-  std::mutex mu_;
+  Mutex mu_;
 };
 
 /// Envelope helper: {"event":<event>,"id":<id>, ...extras}.
@@ -109,14 +109,14 @@ class Daemon {
   void drain() {
     std::vector<api::SolveHandle> handles;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       for (auto& [id, handle] : jobs_) handles.push_back(handle);
     }
     for (api::SolveHandle& handle : handles) handle.wait();
   }
 
   void cancel_all() {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     for (auto& [id, handle] : jobs_) handle.cancel();
   }
 
@@ -133,8 +133,8 @@ class Daemon {
 
   EventWriter out_;
   const bool quiet_progress_;
-  std::mutex mu_;                              // guards jobs_
-  std::map<std::string, api::SolveHandle> jobs_;
+  Mutex mu_;
+  std::map<std::string, api::SolveHandle> jobs_ FSBB_GUARDED_BY(mu_);
   api::SolverService service_;  // last member: workers stop first
 };
 
@@ -150,7 +150,7 @@ void Daemon::submit(const JsonValue& request) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     if (jobs_.count(id) != 0) {
       reject(id, "job id already in use");
       return;
@@ -161,8 +161,8 @@ void Daemon::submit(const JsonValue& request) {
   // thread prints the accepted line; every callback takes this gate, which
   // is held until the accepted line is out — so the event stream always
   // reads accepted → progress* → result for each id.
-  auto gate = std::make_shared<std::mutex>();
-  std::unique_lock<std::mutex> announcing(*gate);
+  auto gate = std::make_shared<Mutex>();
+  const LockGuard announcing(*gate);
 
   api::SolveHandle handle;
   try {
@@ -179,7 +179,7 @@ void Daemon::submit(const JsonValue& request) {
     if (!quiet_progress_) {
       on_event = [this, id, gate](const api::ProgressEvent& event) {
         if (event.kind == api::ProgressEvent::Kind::kFinished) return;
-        const std::lock_guard<std::mutex> announced(*gate);
+        const LockGuard announced(*gate);
         JsonWriter o = envelope("progress", id);
         o.field("data", event.to_json());
         out_.line(o.done());
@@ -187,7 +187,7 @@ void Daemon::submit(const JsonValue& request) {
     }
     auto on_complete = [this, id, gate](const api::SolveOutcome& outcome) {
       {
-        const std::lock_guard<std::mutex> announced(*gate);
+        const LockGuard announced(*gate);
         JsonWriter o = envelope("result", id);
         o.boolean("ok", outcome.ok());
         if (outcome.ok()) {
@@ -201,7 +201,7 @@ void Daemon::submit(const JsonValue& request) {
       // The result streamed: forget the job so a long-running daemon does
       // not accumulate every instance + report it ever solved. (status /
       // cancel afterwards answer "unknown job id" — the job is done.)
-      const std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       jobs_.erase(id);
     };
     handle = service_.submit(instances.front(), config, std::move(on_event),
@@ -212,7 +212,7 @@ void Daemon::submit(const JsonValue& request) {
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     jobs_.emplace(id, handle);
   }
   JsonWriter o = envelope("accepted", id);
@@ -224,7 +224,7 @@ void Daemon::cancel(const JsonValue& request) {
   const std::string id = request.string_or("id", "");
   api::SolveHandle handle;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) {
       reject(id, "unknown job id");
@@ -240,7 +240,7 @@ void Daemon::status(const JsonValue& request) {
   const std::string id = request.string_or("id", "");
   std::vector<std::pair<std::string, api::SolveHandle>> selected;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     for (auto& [job_id, handle] : jobs_) {
       if (id.empty() || job_id == id) selected.emplace_back(job_id, handle);
     }
