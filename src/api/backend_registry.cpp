@@ -113,6 +113,8 @@ class EngineBackend final : public Backend {
     return &evaluator_->ledger();
   }
 
+  bool collects_remaining_pool() const override { return true; }
+
  private:
   core::EngineOptions options() const {
     const SolverConfig& c = *ctx_.config;
@@ -122,6 +124,7 @@ class EngineBackend final : public Backend {
     o.initial_ub = c.initial_ub;
     o.node_budget = c.node_budget;
     o.time_limit_seconds = c.time_limit_seconds;
+    o.collect_pool_on_stop = ctx_.collect_pool_on_stop;
     o.control = ctx_.control;
     return o;
   }

@@ -46,6 +46,11 @@ struct BackendContext {
   /// Cooperative cancellation / deadline / progress block for this solve
   /// (may be null — solves are then uninterruptible but fully valid).
   core::SearchControl* control = nullptr;
+  /// Ask engine-driven backends to keep the unexplored pool in the result
+  /// when stopping early (SolveResult::remaining_pool) — the distributed
+  /// worker checkpoints from it. Backends without a serial pool
+  /// (multicore, cpu-steal) ignore this; probe collects_remaining_pool().
+  bool collect_pool_on_stop = false;
 };
 
 /// One ready-to-run execution mode bound to a specific instance + config.
@@ -66,6 +71,12 @@ class Backend {
 
   /// The evaluator's ledger, if this backend drives one (else nullptr).
   virtual const core::EvalLedger* eval_ledger() const { return nullptr; }
+
+  /// True when an early stop can hand back the unexplored pool
+  /// (BackendContext::collect_pool_on_stop → SolveResult::remaining_pool).
+  /// The distributed worker requires this to checkpoint; the mtbb engines
+  /// (multicore, cpu-steal) scatter their pool across threads and cannot.
+  virtual bool collects_remaining_pool() const { return false; }
 };
 
 /// Process-wide key → factory map. Thread-safe; keys list deterministically.

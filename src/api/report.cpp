@@ -47,17 +47,7 @@ std::string config_json(const SolverConfig& c) {
 }
 
 std::string stats_json(const core::EngineStats& s) {
-  JsonWriter o;
-  o.integer("branched", s.branched);
-  o.integer("generated", s.generated);
-  o.integer("evaluated", s.evaluated);
-  o.integer("pruned", s.pruned);
-  o.integer("leaves", s.leaves);
-  o.integer("ub_updates", s.ub_updates);
-  o.real("wall_seconds", s.wall_seconds);
-  o.real("bounding_seconds", s.bounding_seconds);
-  o.integer("initial_ub", s.initial_ub);
-  return o.done();
+  return engine_stats_to_json(s);
 }
 
 std::string ledger_json(const core::EvalLedger& l) {
@@ -177,6 +167,72 @@ void SolveReport::print_text(std::ostream& os) const {
 std::ostream& operator<<(std::ostream& os, const SolveReport& report) {
   report.print_text(os);
   return os;
+}
+
+std::string engine_stats_to_json(const core::EngineStats& s) {
+  JsonWriter o;
+  o.integer("branched", s.branched);
+  o.integer("generated", s.generated);
+  o.integer("evaluated", s.evaluated);
+  o.integer("pruned", s.pruned);
+  o.integer("leaves", s.leaves);
+  o.integer("ub_updates", s.ub_updates);
+  o.real("wall_seconds", s.wall_seconds);
+  o.real("bounding_seconds", s.bounding_seconds);
+  o.integer("initial_ub", s.initial_ub);
+  return o.done();
+}
+
+core::EngineStats engine_stats_from_json(const JsonValue& v) {
+  core::EngineStats s;
+  s.branched = static_cast<std::uint64_t>(v.int_or("branched", 0));
+  s.generated = static_cast<std::uint64_t>(v.int_or("generated", 0));
+  s.evaluated = static_cast<std::uint64_t>(v.int_or("evaluated", 0));
+  s.pruned = static_cast<std::uint64_t>(v.int_or("pruned", 0));
+  s.leaves = static_cast<std::uint64_t>(v.int_or("leaves", 0));
+  s.ub_updates = static_cast<std::uint64_t>(v.int_or("ub_updates", 0));
+  if (const JsonValue* w = v.find("wall_seconds")) s.wall_seconds = w->as_number();
+  if (const JsonValue* b = v.find("bounding_seconds")) {
+    s.bounding_seconds = b->as_number();
+  }
+  s.initial_ub = static_cast<fsp::Time>(v.int_or("initial_ub", 0));
+  return s;
+}
+
+void accumulate_engine_stats(core::EngineStats& into,
+                             const core::EngineStats& more) {
+  into.branched += more.branched;
+  into.generated += more.generated;
+  into.evaluated += more.evaluated;
+  into.pruned += more.pruned;
+  into.leaves += more.leaves;
+  into.ub_updates += more.ub_updates;
+  into.bounding_seconds += more.bounding_seconds;
+  if (more.wall_seconds > into.wall_seconds) {
+    into.wall_seconds = more.wall_seconds;
+  }
+  if (into.initial_ub == 0) into.initial_ub = more.initial_ub;
+}
+
+core::StopReason combine_stop_reasons(core::StopReason a, core::StopReason b) {
+  // Severity for aggregation; a shard that was canceled or deadlined taints
+  // the merged report even if every other shard finished optimal.
+  const auto rank = [](core::StopReason r) {
+    switch (r) {
+      case core::StopReason::kCanceled:
+        return 4;
+      case core::StopReason::kDeadline:
+        return 3;
+      case core::StopReason::kBudget:
+        return 2;
+      case core::StopReason::kFrozen:
+        return 1;
+      case core::StopReason::kOptimal:
+        return 0;
+    }
+    return 0;
+  };
+  return rank(a) >= rank(b) ? a : b;
 }
 
 }  // namespace fsbb::api

@@ -59,4 +59,21 @@ struct SolveReport {
 
 std::ostream& operator<<(std::ostream& os, const SolveReport& report);
 
+/// EngineStats ⇄ JSON (the exact "stats" object SolveReport::to_json
+/// emits). The distributed transport ships per-worker stats through
+/// NDJSON and the coordinator parses them back to aggregate.
+std::string engine_stats_to_json(const core::EngineStats& stats);
+core::EngineStats engine_stats_from_json(const JsonValue& value);
+
+/// Folds one worker's stats into an aggregate: operator counters and
+/// bounding time sum; wall time takes the max (the workers ran
+/// concurrently); initial_ub keeps `into`'s value unless it is unset (0).
+void accumulate_engine_stats(core::EngineStats& into,
+                             const core::EngineStats& more);
+
+/// Merges stop reasons for an aggregate report: optimal only when both
+/// sides finished optimal, otherwise the more severe early-stop wins
+/// (canceled > deadline > budget > frozen > optimal).
+core::StopReason combine_stop_reasons(core::StopReason a, core::StopReason b);
+
 }  // namespace fsbb::api

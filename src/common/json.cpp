@@ -1,5 +1,6 @@
 #include "common/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -290,6 +291,26 @@ JsonValue Parser::number_value() {
   if (token.empty() || end != token.c_str() + token.size()) {
     pos_ = start;
     fail("invalid number");
+  }
+  // Integer-form tokens (no '.', 'e', 'E') must survive the double
+  // round-trip exactly: values beyond 2^53 would silently lose low bits —
+  // fatal for 64-bit job ids riding the NDJSON transport — so reject them
+  // rather than hand back a corrupted id.
+  if (token.find_first_of(".eE") == std::string::npos) {
+    errno = 0;
+    const long long exact = std::strtoll(token.c_str(), &end, 10);
+    // The double→long long cast is only defined inside [-2^63, 2^63); the
+    // range guard doubles as the round-trip check at the extremes (a value
+    // that rounded up to 2^63 cannot equal any long long).
+    constexpr double kTwo63 = 9223372036854775808.0;
+    const bool round_trips =
+        errno != ERANGE && end == token.c_str() + token.size() &&
+        static_cast<double>(exact) == value && value >= -kTwo63 &&
+        value < kTwo63 && static_cast<long long>(value) == exact;
+    if (!round_trips) {
+      pos_ = start;
+      fail("integer too large to represent exactly");
+    }
   }
   return JsonValue::number(value);
 }

@@ -161,6 +161,14 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
 
   while (!pool->empty()) {
     if ((stop = stop_reason_now())) break;
+    // Externally offered incumbents (another process's schedule, broadcast
+    // through the control block) tighten the pruning bound without a
+    // permutation: best_permutation stays whatever was found locally, and
+    // the final makespan is a valid global bound either way.
+    if (options_.control) {
+      const Time external = options_.control->external_incumbent();
+      if (external < result.best_makespan) result.best_makespan = external;
+    }
 
     // --- selection + elimination (lazy) + branching ------------------
     pending_mat.clear();

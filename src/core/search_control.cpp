@@ -1,5 +1,6 @@
 #include "core/search_control.h"
 
+#include "common/check.h"
 #include "core/audit.h"
 
 namespace fsbb::core {
@@ -22,6 +23,24 @@ const char* to_string(StopReason reason) {
       return "frozen";
   }
   return "?";
+}
+
+StopReason parse_stop_reason(const std::string& text) {
+  for (const StopReason r :
+       {StopReason::kOptimal, StopReason::kCanceled, StopReason::kDeadline,
+        StopReason::kBudget, StopReason::kFrozen}) {
+    if (text == to_string(r)) return r;
+  }
+  FSBB_CHECK_MSG(false, "unknown stop reason '" + text + "'");
+  return StopReason::kOptimal;  // unreachable
+}
+
+void SearchControl::offer_incumbent(fsp::Time upper_bound) {
+  fsp::Time cur = external_ub_.load(std::memory_order_relaxed);
+  while (upper_bound < cur &&
+         !external_ub_.compare_exchange_weak(cur, upper_bound,
+                                             std::memory_order_acq_rel)) {
+  }
 }
 
 void SearchControl::set_sink(EventSink sink, double min_tick_seconds) {

@@ -55,6 +55,10 @@ enum class StopReason {
 
 const char* to_string(StopReason reason);
 
+/// Inverse of to_string; throws CheckFailure on unknown spellings. The
+/// distributed transport (dist/) round-trips stop reasons through NDJSON.
+StopReason parse_stop_reason(const std::string& text);
+
 /// One observation of a running search, pushed through the event sink.
 struct SearchEvent {
   enum class Kind {
@@ -116,6 +120,23 @@ class SearchControl {
   /// searching. Latches the first reason observed.
   std::optional<StopReason> should_stop();
 
+  /// Offers an upper bound discovered OUTSIDE this search — another
+  /// process's incumbent, broadcast by a distributed coordinator. Atomic
+  /// min, any thread, idempotent. Engines fold the offered bound into
+  /// their incumbent at the next batch/expansion boundary, so a shard
+  /// starts pruning against a sibling's schedule without ever seeing the
+  /// permutation (the bound is valid globally; the schedule lives
+  /// elsewhere). Does NOT stop the search and does NOT touch the event
+  /// stream: only locally-discovered schedules are emitted.
+  void offer_incumbent(fsp::Time upper_bound);
+
+  /// The tightest externally offered bound, or Time max when none was
+  /// offered. Cheap (one relaxed-ish atomic load) — engines may poll it
+  /// every batch.
+  fsp::Time external_incumbent() const {
+    return external_ub_.load(std::memory_order_acquire);
+  }
+
   /// Emits a kIncumbent event if `makespan` improves on every incumbent
   /// already streamed — the gate that keeps the event stream strictly
   /// improving even when parallel workers discover schedules out of order.
@@ -145,6 +166,7 @@ class SearchControl {
   std::atomic<bool> cancel_{false};
   std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
   std::atomic<int> latched_{-1};
+  std::atomic<fsp::Time> external_ub_{std::numeric_limits<fsp::Time>::max()};
 
   std::atomic<bool> has_sink_{false};
   std::atomic<std::int64_t> last_tick_ns_{kNoDeadline};

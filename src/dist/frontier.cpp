@@ -1,0 +1,71 @@
+#include "dist/frontier.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "core/engine.h"
+#include "core/evaluator.h"
+
+namespace fsbb::dist {
+
+FrontierResult build_root_frontier(const fsp::Instance& inst,
+                                   const fsp::LowerBoundData& data,
+                                   std::size_t target_nodes,
+                                   std::optional<fsp::Time> initial_ub) {
+  FSBB_CHECK_MSG(target_nodes >= 1, "frontier target must be >= 1");
+  core::SerialCpuEvaluator evaluator(inst, data);
+  core::EngineOptions options;
+  options.strategy = core::SelectionStrategy::kBestFirst;
+  options.batch_size = 1;
+  options.initial_ub = initial_ub;
+  options.freeze_pool_size = target_nodes;
+  options.collect_pool_on_stop = true;
+  core::BBEngine engine(inst, data, evaluator, options);
+  core::SolveResult result = engine.solve();
+
+  FrontierResult out;
+  out.best = result.best_makespan;
+  out.best_permutation = std::move(result.best_permutation);
+  out.stats = result.stats;
+  if (result.stop_reason == core::StopReason::kFrozen &&
+      !result.remaining_pool.empty()) {
+    out.frontier.nodes = std::move(result.remaining_pool);
+    out.frontier.incumbent = result.best_makespan;
+    out.frontier.generation_stats = result.stats;
+    return out;
+  }
+  // Any other stop here means the pool drained first: the serial
+  // generation run proved the optimum on its own.
+  FSBB_CHECK_MSG(result.stop_reason == core::StopReason::kOptimal,
+                 "frontier generation stopped unexpectedly: " +
+                     std::string(core::to_string(result.stop_reason)));
+  out.solved = true;
+  return out;
+}
+
+std::vector<core::FrozenPool> split_frontier(const core::FrozenPool& pool,
+                                             std::size_t parts) {
+  FSBB_CHECK_MSG(parts >= 1, "split_frontier needs parts >= 1");
+  FSBB_CHECK_MSG(!pool.nodes.empty(), "split_frontier on an empty pool");
+
+  // Stable sort by lb keeps the deal deterministic across runs: equal
+  // bounds preserve the generation order.
+  std::vector<std::size_t> order(pool.nodes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&pool](std::size_t a, std::size_t b) {
+                     return pool.nodes[a].lb < pool.nodes[b].lb;
+                   });
+
+  const std::size_t shards = std::min(parts, pool.nodes.size());
+  std::vector<core::FrozenPool> out(shards);
+  for (std::size_t i = 0; i < shards; ++i) out[i].incumbent = pool.incumbent;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    out[i % shards].nodes.push_back(pool.nodes[order[i]]);
+  }
+  return out;
+}
+
+}  // namespace fsbb::dist

@@ -1,0 +1,52 @@
+// Root-frontier construction and sharding for multi-process solving.
+//
+// The coordinator's opening move mirrors the paper's frozen-pool protocol
+// (core/protocol.h): run a serial best-first B&B from the root until the
+// live pool holds enough nodes, snapshot it, and carve the snapshot into
+// one frozen sub-pool per worker. Unlike core::freeze_pool, which throws
+// when the instance solves before the pool reaches the target (a protocol
+// violation for benchmarks), the distributed splitter treats an early
+// solve as a success: there is simply nothing left to distribute.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.h"
+#include "fsp/instance.h"
+#include "fsp/lb_data.h"
+
+namespace fsbb::dist {
+
+/// Outcome of growing the root frontier.
+struct FrontierResult {
+  /// True when the generation run exhausted the search space before the
+  /// pool reached the target — `frontier` is empty and `best` is the
+  /// proven optimum; there is nothing to dispatch.
+  bool solved = false;
+  core::FrozenPool frontier;  ///< valid (non-empty) when !solved
+  fsp::Time best = std::numeric_limits<fsp::Time>::max();
+  /// The generation incumbent's schedule; may be empty when nothing beat
+  /// the seed bound (the NEH value is still a valid `best`).
+  std::vector<fsp::JobId> best_permutation;
+  core::EngineStats stats;  ///< work spent growing the frontier
+};
+
+/// Serial best-first generation run (LB1 bounding — its bounds are valid
+/// lower bounds for every backend a worker may run) until the pool holds
+/// `target_nodes` nodes. `initial_ub` seeds the incumbent (NEH if unset).
+FrontierResult build_root_frontier(const fsp::Instance& inst,
+                                   const fsp::LowerBoundData& data,
+                                   std::size_t target_nodes,
+                                   std::optional<fsp::Time> initial_ub);
+
+/// Deals the pool's nodes into at most `parts` sub-pools, round-robin in
+/// ascending lower-bound order so every shard gets a balanced mix of
+/// promising and hopeless nodes. Returns only non-empty shards (fewer
+/// than `parts` when the pool is small); each inherits the incumbent.
+std::vector<core::FrozenPool> split_frontier(const core::FrozenPool& pool,
+                                             std::size_t parts);
+
+}  // namespace fsbb::dist

@@ -1,0 +1,29 @@
+#include "dist/incumbent_bus.h"
+
+namespace fsbb::dist {
+
+bool IncumbentBus::offer(fsp::Time value,
+                         const std::vector<fsp::JobId>& permutation) {
+  const LockGuard lock(mu_);
+  if (value > best_) return false;
+  if (value == best_) {
+    // Same bound: keep it, but adopt a schedule if we only had the value.
+    if (perm_.empty() && !permutation.empty()) perm_ = permutation;
+    return false;
+  }
+  best_ = value;
+  if (!permutation.empty()) perm_ = permutation;
+  return true;
+}
+
+fsp::Time IncumbentBus::best() const {
+  const LockGuard lock(mu_);
+  return best_;
+}
+
+std::vector<fsp::JobId> IncumbentBus::best_permutation() const {
+  const LockGuard lock(mu_);
+  return perm_;
+}
+
+}  // namespace fsbb::dist

@@ -1,0 +1,39 @@
+// IncumbentBus — the coordinator's monotone view of the best schedule
+// found anywhere in the fleet.
+//
+// Every incumbent event a worker streams is offered here; the bus accepts
+// only strict improvements, so broadcast decisions ("did this offer beat
+// everything we've seen?") and the final aggregate report read one source
+// of truth. Thread-safe, though the single-threaded coordinator loop only
+// needs that for its tests.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/mutex.h"
+#include "fsp/instance.h"
+
+namespace fsbb::dist {
+
+class IncumbentBus {
+ public:
+  /// Offers a schedule bound. Returns true iff it strictly improved the
+  /// best known value (the caller then broadcasts it). The permutation
+  /// may be empty — external bounds travel without their schedule — and
+  /// an empty permutation never overwrites a stored one at equal value.
+  bool offer(fsp::Time value, const std::vector<fsp::JobId>& permutation);
+
+  fsp::Time best() const;
+  /// The best schedule ever attached to an offer. Its makespan can trail
+  /// best() only while the tightest bound traveled without its schedule;
+  /// worker done events always re-attach theirs, closing the gap.
+  std::vector<fsp::JobId> best_permutation() const;
+
+ private:
+  mutable Mutex mu_;
+  fsp::Time best_ FSBB_GUARDED_BY(mu_) = std::numeric_limits<fsp::Time>::max();
+  std::vector<fsp::JobId> perm_ FSBB_GUARDED_BY(mu_);
+};
+
+}  // namespace fsbb::dist

@@ -1,0 +1,188 @@
+#include "dist/process.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace fsbb::dist {
+
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Subprocess::~Subprocess() { reset(); }
+
+Subprocess::Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    reset();
+    pid_ = std::exchange(other.pid_, -1);
+    stdin_fd_ = std::exchange(other.stdin_fd_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    exit_code_ = std::exchange(other.exit_code_, -1);
+  }
+  return *this;
+}
+
+void Subprocess::reset() noexcept {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    reaped_ = true;
+  }
+  close_fd(stdin_fd_);
+  close_fd(stdout_fd_);
+  pid_ = -1;
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  FSBB_CHECK_MSG(!argv.empty(), "Subprocess::spawn needs a command");
+  int to_child[2];    // parent writes → child stdin
+  int from_child[2];  // child stdout → parent reads
+  FSBB_CHECK_MSG(::pipe(to_child) == 0, "pipe() failed");
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    FSBB_CHECK_MSG(false, "pipe() failed");
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      ::close(fd);
+    }
+    FSBB_CHECK_MSG(false, "fork() failed");
+  }
+
+  if (pid == 0) {
+    // Child: wire the pipe ends onto stdio, drop everything else, exec.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      ::close(fd);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed; the parent sees EOF + exit code 127
+  }
+
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  // Nonblocking stdout so the coordinator's poll loop never stalls on a
+  // worker that wrote half a line.
+  const int flags = ::fcntl(from_child[0], F_GETFL, 0);
+  ::fcntl(from_child[0], F_SETFL, flags | O_NONBLOCK);
+
+  Subprocess proc;
+  proc.pid_ = pid;
+  proc.stdin_fd_ = to_child[1];
+  proc.stdout_fd_ = from_child[0];
+  return proc;
+}
+
+bool Subprocess::write_line(const std::string& line) {
+  if (stdin_fd_ < 0) return false;
+
+  // A worker can die between our poll rounds; writing to its closed pipe
+  // then raises SIGPIPE, whose default disposition kills the whole
+  // coordinator. Block it on this thread for the duration of the write
+  // (and swallow any instance it raised) so the failure surfaces as the
+  // EPIPE return below instead — process-global handlers stay untouched.
+  sigset_t pipe_set, old_set;
+  sigemptyset(&pipe_set);
+  sigaddset(&pipe_set, SIGPIPE);
+  ::pthread_sigmask(SIG_BLOCK, &pipe_set, &old_set);
+
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t written = 0;
+  bool ok = true;
+  while (written < framed.size()) {
+    const ssize_t n =
+        ::write(stdin_fd_, framed.data() + written, framed.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // EPIPE: the worker died; the poll loop will see the stdout EOF.
+      close_fd(stdin_fd_);
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+
+  struct timespec no_wait = {0, 0};
+  while (::sigtimedwait(&pipe_set, nullptr, &no_wait) > 0) {
+  }
+  ::pthread_sigmask(SIG_SETMASK, &old_set, nullptr);
+  return ok;
+}
+
+void Subprocess::close_stdin() { close_fd(stdin_fd_); }
+
+void Subprocess::kill(int signal) {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, signal);
+}
+
+bool Subprocess::try_wait(int* exit_code) {
+  if (pid_ <= 0) return false;
+  if (!reaped_) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r != pid_) return false;
+    reaped_ = true;
+    exit_code_ = WIFEXITED(status)    ? WEXITSTATUS(status)
+                 : WIFSIGNALED(status) ? 128 + WTERMSIG(status)
+                                       : -1;
+  }
+  if (exit_code != nullptr) *exit_code = exit_code_;
+  return true;
+}
+
+void Subprocess::wait() {
+  if (pid_ <= 0 || reaped_) return;
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  reaped_ = true;
+  exit_code_ = WIFEXITED(status)    ? WEXITSTATUS(status)
+               : WIFSIGNALED(status) ? 128 + WTERMSIG(status)
+                                     : -1;
+}
+
+std::string executable_directory() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  const std::string path(buf);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return {};
+  return path.substr(0, slash + 1);
+}
+
+std::vector<std::string> default_worker_command() {
+  const std::string dir = executable_directory();
+  const std::string binary = dir.empty() ? "fsbb_serve" : dir + "fsbb_serve";
+  return {binary, "--worker"};
+}
+
+}  // namespace fsbb::dist

@@ -1,0 +1,71 @@
+// Child-process plumbing for the distributed coordinator (POSIX only):
+// spawn a worker with piped stdin/stdout, write request lines, poll its
+// stdout fd, reap or kill it. Stderr is inherited so worker diagnostics
+// reach the operator's terminal unmixed with the NDJSON event stream.
+#pragma once
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace fsbb::dist {
+
+/// One spawned worker process. Movable, not copyable; the destructor
+/// closes the pipes and, if the child is still alive, SIGKILLs and reaps
+/// it — a dying coordinator never strands workers.
+class Subprocess {
+ public:
+  Subprocess() = default;
+  ~Subprocess();
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// fork/execs `argv` (argv[0] is the binary path). Throws CheckFailure
+  /// when the pipes or the fork fail; an exec failure surfaces as the
+  /// child exiting 127 (observed through wait / stream EOF).
+  static Subprocess spawn(const std::vector<std::string>& argv);
+
+  bool valid() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+  /// Child stdout, read end; nonblocking, for poll(2) loops. -1 if closed.
+  int stdout_fd() const { return stdout_fd_; }
+
+  /// Writes `line` + '\n' to the child's stdin, retrying short writes.
+  /// Returns false when the child is gone (EPIPE / closed stdin).
+  bool write_line(const std::string& line);
+
+  /// Closes the child's stdin — EOF is the transport's soft shutdown.
+  void close_stdin();
+
+  void kill(int signal);
+
+  /// Nonblocking reap. Returns true once the child has exited (and on
+  /// every later call); fills `exit_code` with the exit status, or
+  /// 128 + signal when it died on one.
+  bool try_wait(int* exit_code = nullptr);
+
+  /// Blocking reap (no-op when already reaped).
+  void wait();
+
+ private:
+  void reset() noexcept;
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  int exit_code_ = -1;
+};
+
+/// Directory of the running executable (via /proc/self/exe), with a
+/// trailing '/'; empty when the link cannot be read. The coordinator uses
+/// it to find fsbb_serve next to itself without relying on PATH or cwd.
+std::string executable_directory();
+
+/// The default worker command: `<dir-of-this-binary>/fsbb_serve --worker`
+/// (falling back to a bare "fsbb_serve" on PATH when /proc is unreadable).
+std::vector<std::string> default_worker_command();
+
+}  // namespace fsbb::dist

@@ -1,0 +1,25 @@
+#include "dist/transport.h"
+
+namespace fsbb::dist {
+
+bool normalize_transport_line(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line.find_first_not_of(" \t") != std::string::npos;
+}
+
+std::vector<std::string> LineReader::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = buffer_.substr(start, nl - start);
+    start = nl + 1;
+    if (normalize_transport_line(line)) lines.push_back(std::move(line));
+  }
+  buffer_.erase(0, start);
+  return lines;
+}
+
+}  // namespace fsbb::dist

@@ -1,0 +1,40 @@
+// NDJSON transport line handling shared by every process-level front end:
+// fsbb_serve's request loop, the distributed worker and the coordinator's
+// per-worker stream readers all speak "one JSON object per line".
+//
+// Two realities of line-oriented pipes live here so each end handles them
+// identically: CRLF clients (Windows netcat, telnet, printf "...\r\n")
+// leave a trailing '\r' on every getline'd line, and interactive clients
+// send blank keep-alive lines — both must be invisible to the JSON parser
+// instead of surfacing as "invalid JSON at byte N" errors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fsbb::dist {
+
+/// Normalizes one just-getline'd transport line in place: strips one
+/// trailing '\r' (CRLF framing). Returns false when the remaining line is
+/// empty or whitespace-only — the caller must silently skip it, not parse
+/// it.
+bool normalize_transport_line(std::string& line);
+
+/// Incremental splitter for a nonblocking byte stream: feed read() chunks
+/// in, take completed lines out (already normalized; blank lines are
+/// dropped). The coordinator runs one per worker stdout so a poll() wakeup
+/// that delivers half a line just buffers until the '\n' arrives.
+class LineReader {
+ public:
+  /// Appends `size` bytes and returns every line completed by them.
+  std::vector<std::string> feed(const char* data, std::size_t size);
+
+  /// Bytes of the unterminated trailing line still buffered.
+  std::size_t pending() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace fsbb::dist

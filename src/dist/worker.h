@@ -1,0 +1,50 @@
+// The distributed worker loop behind `fsbb_serve --worker`.
+//
+// One worker owns one shard of the root frontier at a time. It solves the
+// shard as a sequence of node-budget slices; at every slice boundary it
+// emits a checkpoint event carrying the full remaining sub-pool (the
+// core/pool_io text format as one escaped JSON string) so the coordinator
+// can respawn the shard elsewhere if this process dies. Between slices it
+// folds externally injected incumbents into its pruning bound.
+//
+// Requests (one JSON object per stdin line; CRLF tolerated, blank lines
+// skipped):
+//   {"op":"solve","id":"s0","cli":[...],"pool":"<pool text>",
+//    "slice_nodes":2000}
+//   {"op":"inject_incumbent","value":1234}     any time, monotone min
+//   {"op":"checkpoint"}                        re-emit the latest checkpoint
+//   {"op":"recall"}                            stop, hand the sub-pool back
+//   {"op":"shutdown"}                          (EOF behaves the same)
+//
+// Events (one JSON object per stdout line):
+//   {"event":"ready"}
+//   {"event":"accepted","id":...}
+//   {"event":"rejected","id":...,"error":...}
+//   {"event":"incumbent","id":...,"value":V,"permutation":[...]}
+//   {"event":"checkpoint","id":...,"seq":N,"nodes":K,"incumbent":V,
+//    "pool":"..."}
+//   {"event":"recalled","id":...,"incumbent":V,"nodes":K,"pool":"...",
+//    "permutation":[...],"stats":{...}}
+//   {"event":"done","id":...,"best":V,"permutation":[...],
+//    "proven_optimal":B,"stop_reason":"...","stats":{...}}
+//   {"event":"error","error":...}
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace fsbb::dist {
+
+struct WorkerOptions {
+  /// Nodes branched per slice when a solve request omits "slice_nodes" —
+  /// the checkpoint (and incumbent-fold) granularity.
+  std::uint64_t default_slice_nodes = 2000;
+};
+
+/// Runs the worker protocol over the given streams until shutdown or EOF.
+/// Returns the process exit code. Stream-parameterized so tests drive it
+/// in-process with stringstreams.
+int run_worker(std::istream& in, std::ostream& out,
+               const WorkerOptions& options = {});
+
+}  // namespace fsbb::dist

@@ -1,5 +1,6 @@
 #include "mtbb/mt_engine.h"
 
+#include <limits>
 #include <thread>
 
 #include "common/check.h"
@@ -62,6 +63,13 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
       if (const auto reason = sh.control->should_stop()) {
         request_stop(sh, *reason);
         break;
+      }
+      // Fold externally offered incumbents (dist/ broadcasts) into the
+      // shared bound; best_perm stays the best locally found schedule.
+      const fsp::Time external = sh.control->external_incumbent();
+      if (external < std::numeric_limits<fsp::Time>::max()) {
+        const LockGuard lock(sh.mu);
+        if (external < sh.ub) sh.ub = external;
       }
     }
     NodeRef node;

@@ -146,6 +146,15 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& /*data*/,
         request_stop(sh, *reason);
         break;
       }
+      // Fold externally offered incumbents (dist/ broadcasts) into the
+      // shared bound: CAS-min on the ub atomic only — best_perm stays the
+      // best *locally discovered* schedule.
+      const fsp::Time external = sh.control->external_incumbent();
+      fsp::Time cur = sh.ub.load(std::memory_order_relaxed);
+      while (external < cur &&
+             !sh.ub.compare_exchange_weak(cur, external,
+                                          std::memory_order_acq_rel)) {
+      }
     }
     std::optional<NodeRef> node = sh.pool.shard(id).pop();
     if (!node) node = try_steal(sh, id, rr_cursor, rng, loot, local_steals);

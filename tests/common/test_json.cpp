@@ -89,6 +89,39 @@ TEST(Json, ErrorsNameTheOffset) {
   }
 }
 
+TEST(Json, RejectsIntegersThatRoundTripInexactly) {
+  // Doubles hold 53 bits of mantissa; a 19-digit scheduler job id would
+  // silently come back off by a few units. The parser must refuse instead.
+  EXPECT_THROW(JsonValue::parse("{\"id\":9223372036854775807}"), CheckFailure);
+  EXPECT_THROW(JsonValue::parse("1234567890123456789"), CheckFailure);
+  EXPECT_THROW(JsonValue::parse("9007199254740993"), CheckFailure);  // 2^53+1
+  EXPECT_THROW(JsonValue::parse("-9007199254740993"), CheckFailure);
+}
+
+TEST(Json, AcceptsIntegersUpToTheExactDoubleRange) {
+  // 2^53 and every smaller magnitude round-trip exactly.
+  EXPECT_EQ(JsonValue::parse("9007199254740992").as_int(), 9007199254740992LL);
+  EXPECT_EQ(JsonValue::parse("-9007199254740992").as_int(),
+            -9007199254740992LL);
+  EXPECT_EQ(JsonValue::parse("{\"id\":123456789012}").int_or("id", 0),
+            123456789012LL);
+  // Large values written as doubles are still doubles, not integers —
+  // only the integer token syntax claims exactness.
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1.2345678901234568e18").as_number(),
+                   1.2345678901234568e18);
+}
+
+TEST(Json, BigIntegerErrorsPointAtTheToken) {
+  try {
+    JsonValue::parse("{\"job\":1234567890123456789}");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("exactly"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset 7"), std::string::npos) << what;
+  }
+}
+
 TEST(Json, TypedAccessorsRejectMismatches) {
   const JsonValue v = JsonValue::parse("{\"n\":1.5,\"s\":\"x\"}");
   EXPECT_THROW(v.as_array(), CheckFailure);

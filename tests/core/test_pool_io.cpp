@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "common/check.h"
@@ -92,6 +93,70 @@ TEST(PoolIo, RefusesEmptyPools) {
   FrozenPool empty;
   std::stringstream ss;
   EXPECT_THROW(write_frozen_pool(ss, empty), CheckFailure);
+  try {
+    write_frozen_pool(ss, empty);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("empty pool"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PoolIo, StringRoundTrip) {
+  const FrozenPool pool = sample_pool();
+  const std::string text = write_frozen_pool_string(pool);
+  const FrozenPool loaded = read_frozen_pool_string(text, "test");
+  EXPECT_EQ(loaded.incumbent, pool.incumbent);
+  ASSERT_EQ(loaded.nodes.size(), pool.nodes.size());
+  for (std::size_t i = 0; i < pool.nodes.size(); ++i) {
+    EXPECT_EQ(loaded.nodes[i].perm, pool.nodes[i].perm);
+  }
+}
+
+TEST(PoolIo, ErrorsNameTheSourceAndLineNumber) {
+  // Node 2 lives on line 4 (magic, header, node, node) and carries a
+  // duplicate job — the message must say where, in which source.
+  const std::string text =
+      "fsbb-frozen-pool 1\n3 2 100\n0 0 1 2 50\n0 0 0 2 50\n";
+  try {
+    read_frozen_pool_string(text, "shard-7.pool");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard-7.pool"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  }
+}
+
+TEST(PoolIo, FileErrorsNameThePath) {
+  const std::string path = ::testing::TempDir() + "/fsbb_pool_io_bad.pool";
+  {
+    std::ofstream out(path);
+    out << "fsbb-frozen-pool 1\ngarbage\n";
+  }
+  try {
+    read_frozen_pool_file(path);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+}
+
+TEST(PoolIo, ReadsCrlfTerminatedPools) {
+  // A pool file that traveled through a Windows pipe: every line ends
+  // \r\n. The reader must strip the '\r' instead of failing the parse.
+  const FrozenPool pool = sample_pool();
+  std::string text = write_frozen_pool_string(pool);
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const FrozenPool loaded = read_frozen_pool_string(crlf, "crlf");
+  EXPECT_EQ(loaded.incumbent, pool.incumbent);
+  EXPECT_EQ(loaded.nodes.size(), pool.nodes.size());
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 // gated to strictly improving quality, and ticks are rate limited.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "core/search_control.h"
 
 namespace fsbb::core {
@@ -108,6 +110,50 @@ TEST(SearchControl, ZeroIntervalTicksAllPass) {
                    /*min_tick_seconds=*/0);
   for (int i = 0; i < 10; ++i) control.maybe_emit_tick(50, i, i, i);
   EXPECT_EQ(ticks, 10);
+}
+
+TEST(StopReason, ParseRoundTripsEveryReason) {
+  for (const StopReason r :
+       {StopReason::kOptimal, StopReason::kCanceled, StopReason::kDeadline,
+        StopReason::kBudget, StopReason::kFrozen}) {
+    EXPECT_EQ(parse_stop_reason(to_string(r)), r);
+  }
+}
+
+TEST(StopReason, ParseRejectsUnknownText) {
+  EXPECT_THROW(parse_stop_reason("bogus"), CheckFailure);
+  EXPECT_THROW(parse_stop_reason(""), CheckFailure);
+  EXPECT_THROW(parse_stop_reason("Optimal"), CheckFailure);  // case-sensitive
+}
+
+TEST(SearchControl, ExternalIncumbentDefaultsToNoBound) {
+  SearchControl control;
+  EXPECT_EQ(control.external_incumbent(),
+            std::numeric_limits<fsp::Time>::max());
+}
+
+TEST(SearchControl, OfferIncumbentKeepsTheTightestBound) {
+  SearchControl control;
+  control.offer_incumbent(200);
+  EXPECT_EQ(control.external_incumbent(), 200);
+  control.offer_incumbent(300);  // looser: ignored
+  EXPECT_EQ(control.external_incumbent(), 200);
+  control.offer_incumbent(150);
+  EXPECT_EQ(control.external_incumbent(), 150);
+}
+
+TEST(SearchControl, ConcurrentOffersConvergeToTheMinimum) {
+  SearchControl control;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&control, t] {
+      for (fsp::Time v = 1000 - t; v >= 100; v -= 4) {
+        control.offer_incumbent(v);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(control.external_incumbent(), 100);
 }
 
 TEST(SearchControl, EventsWithoutSinkAreNoOps) {

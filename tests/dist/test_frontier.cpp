@@ -1,0 +1,98 @@
+// Root-frontier construction and sharding: target sizes, the early-solve
+// path, and that split_frontier is a partition (no node lost or duplicated,
+// balanced shard sizes, incumbent inherited).
+#include "dist/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "fsp/brute_force.h"
+#include "fsp/generators.h"
+#include "fsp/lb_data.h"
+
+namespace fsbb::dist {
+namespace {
+
+using NodeKey = std::tuple<int, std::vector<fsp::JobId>, fsp::Time>;
+
+std::vector<NodeKey> keys(const std::vector<core::Subproblem>& nodes) {
+  std::vector<NodeKey> out;
+  out.reserve(nodes.size());
+  for (const core::Subproblem& sp : nodes) {
+    out.emplace_back(sp.depth, sp.perm, sp.lb);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DistFrontier, GrowsToTheTargetSize) {
+  const fsp::Instance inst =
+      fsp::make_instance(fsp::InstanceFamily::kUniform, 10, 5, 7);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const FrontierResult r = build_root_frontier(inst, data, 30, std::nullopt);
+  ASSERT_FALSE(r.solved);
+  EXPECT_GE(r.frontier.nodes.size(), 30u);
+  EXPECT_GT(r.best, 0);  // the NEH seed (or better) is a real bound
+  EXPECT_GT(r.stats.branched, 0u);
+}
+
+TEST(DistFrontier, EarlySolveIsASuccessNotAProtocolViolation) {
+  // A 6-job instance exhausts long before a million-node pool exists;
+  // unlike core::freeze_pool this must return the proven optimum.
+  const fsp::Instance inst =
+      fsp::make_instance(fsp::InstanceFamily::kUniform, 6, 4, 11);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const FrontierResult r =
+      build_root_frontier(inst, data, 1000000, std::nullopt);
+  ASSERT_TRUE(r.solved);
+  EXPECT_TRUE(r.frontier.nodes.empty());
+  EXPECT_EQ(r.best, fsp::brute_force(inst).makespan);
+}
+
+TEST(DistFrontier, SplitIsABalancedPartition) {
+  const fsp::Instance inst =
+      fsp::make_instance(fsp::InstanceFamily::kUniform, 10, 5, 7);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const FrontierResult r = build_root_frontier(inst, data, 32, std::nullopt);
+  ASSERT_FALSE(r.solved);
+
+  const std::vector<core::FrozenPool> shards = split_frontier(r.frontier, 3);
+  ASSERT_EQ(shards.size(), 3u);
+
+  std::vector<core::Subproblem> reunited;
+  std::size_t largest = 0, smallest = r.frontier.nodes.size();
+  for (const core::FrozenPool& shard : shards) {
+    EXPECT_EQ(shard.incumbent, r.frontier.incumbent);
+    EXPECT_FALSE(shard.nodes.empty());
+    largest = std::max(largest, shard.nodes.size());
+    smallest = std::min(smallest, shard.nodes.size());
+    reunited.insert(reunited.end(), shard.nodes.begin(), shard.nodes.end());
+  }
+  EXPECT_LE(largest - smallest, 1u);  // round-robin deal
+  EXPECT_EQ(keys(reunited), keys(r.frontier.nodes));  // nothing lost or duped
+}
+
+TEST(DistFrontier, SplitNeverReturnsEmptyShards) {
+  const fsp::Instance inst =
+      fsp::make_instance(fsp::InstanceFamily::kUniform, 10, 5, 7);
+  const auto data = fsp::LowerBoundData::build(inst);
+  core::FrozenPool tiny;
+  tiny.incumbent = 999;
+  const FrontierResult r = build_root_frontier(inst, data, 10, std::nullopt);
+  ASSERT_FALSE(r.solved);
+  tiny.nodes.assign(r.frontier.nodes.begin(), r.frontier.nodes.begin() + 2);
+
+  // More parts than nodes: every node gets its own shard, none are empty.
+  const std::vector<core::FrozenPool> shards = split_frontier(tiny, 8);
+  ASSERT_EQ(shards.size(), 2u);
+  for (const core::FrozenPool& shard : shards) {
+    EXPECT_EQ(shard.nodes.size(), 1u);
+    EXPECT_EQ(shard.incumbent, 999);
+  }
+}
+
+}  // namespace
+}  // namespace fsbb::dist

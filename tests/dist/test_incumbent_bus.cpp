@@ -1,0 +1,64 @@
+// IncumbentBus: strict-improvement gating, permutation adoption rules and
+// thread safety of the fleet-wide monotone bound.
+#include "dist/incumbent_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace fsbb::dist {
+namespace {
+
+TEST(DistIncumbentBus, StartsUnbounded) {
+  IncumbentBus bus;
+  EXPECT_EQ(bus.best(), std::numeric_limits<fsp::Time>::max());
+  EXPECT_TRUE(bus.best_permutation().empty());
+}
+
+TEST(DistIncumbentBus, AcceptsOnlyStrictImprovements) {
+  IncumbentBus bus;
+  EXPECT_TRUE(bus.offer(100, {0, 1, 2}));
+  EXPECT_EQ(bus.best(), 100);
+  EXPECT_FALSE(bus.offer(100, {2, 1, 0}));  // ties do not broadcast
+  EXPECT_FALSE(bus.offer(150, {1, 0, 2}));  // worse: ignored entirely
+  EXPECT_EQ(bus.best(), 100);
+  EXPECT_EQ(bus.best_permutation(), (std::vector<fsp::JobId>{0, 1, 2}));
+  EXPECT_TRUE(bus.offer(90, {1, 2, 0}));
+  EXPECT_EQ(bus.best(), 90);
+  EXPECT_EQ(bus.best_permutation(), (std::vector<fsp::JobId>{1, 2, 0}));
+}
+
+TEST(DistIncumbentBus, BoundsTravelWithoutSchedules) {
+  IncumbentBus bus;
+  // An external bound (no schedule) still tightens the bus...
+  EXPECT_TRUE(bus.offer(80, {}));
+  EXPECT_EQ(bus.best(), 80);
+  EXPECT_TRUE(bus.best_permutation().empty());
+  // ...and an equal-value offer that does carry one closes the gap
+  // (returns false — the bound itself is not news).
+  EXPECT_FALSE(bus.offer(80, {2, 0, 1}));
+  EXPECT_EQ(bus.best_permutation(), (std::vector<fsp::JobId>{2, 0, 1}));
+  // A later bare bound never erases a stored schedule.
+  EXPECT_TRUE(bus.offer(70, {}));
+  EXPECT_EQ(bus.best_permutation(), (std::vector<fsp::JobId>{2, 0, 1}));
+}
+
+TEST(DistIncumbentBus, ConcurrentOffersConvergeToTheMinimum) {
+  IncumbentBus bus;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&bus, t] {
+      for (fsp::Time v = 400 + t; v >= 10; v -= 4) {
+        bus.offer(v, {static_cast<fsp::JobId>(t)});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(bus.best(), 13);  // one of the four lanes' minimum
+  EXPECT_EQ(bus.best_permutation().size(), 1u);
+}
+
+}  // namespace
+}  // namespace fsbb::dist

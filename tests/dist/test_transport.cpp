@@ -1,0 +1,82 @@
+// NDJSON transport line handling: CRLF stripping, blank-line skipping and
+// the incremental LineReader the coordinator runs per worker stdout.
+#include "dist/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fsbb::dist {
+namespace {
+
+TEST(DistTransport, NormalizeStripsOneTrailingCarriageReturn) {
+  std::string line = "{\"op\":\"status\"}\r";
+  EXPECT_TRUE(normalize_transport_line(line));
+  EXPECT_EQ(line, "{\"op\":\"status\"}");
+
+  // Only the CRLF framing '\r' goes; an embedded one is payload.
+  line = "a\rb\r";
+  EXPECT_TRUE(normalize_transport_line(line));
+  EXPECT_EQ(line, "a\rb");
+}
+
+TEST(DistTransport, NormalizeRejectsBlankLines) {
+  for (const char* blank : {"", "\r", " ", "   ", "\t", " \t ", " \t\r"}) {
+    std::string line = blank;
+    EXPECT_FALSE(normalize_transport_line(line)) << '"' << blank << '"';
+  }
+}
+
+TEST(DistTransport, NormalizeKeepsPayloadLinesIntact) {
+  std::string line = "{}";
+  EXPECT_TRUE(normalize_transport_line(line));
+  EXPECT_EQ(line, "{}");
+
+  // Leading/inner whitespace is the JSON parser's business, not ours.
+  line = "  {\"a\": 1}";
+  EXPECT_TRUE(normalize_transport_line(line));
+  EXPECT_EQ(line, "  {\"a\": 1}");
+}
+
+TEST(DistTransport, LineReaderReassemblesSplitChunks) {
+  LineReader reader;
+  const std::string stream = "{\"event\":\"ready\"}\n{\"event\":\"done\"}\n";
+  std::vector<std::string> lines;
+  // Feed one byte at a time — the worst poll(2) can do.
+  for (const char c : stream) {
+    for (std::string& line : reader.feed(&c, 1)) {
+      lines.push_back(std::move(line));
+    }
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"event\":\"ready\"}");
+  EXPECT_EQ(lines[1], "{\"event\":\"done\"}");
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST(DistTransport, LineReaderDropsBlankAndNormalizesCrlf) {
+  LineReader reader;
+  const std::string stream = "a\r\n\r\n\n  \nb\n";
+  const std::vector<std::string> lines =
+      reader.feed(stream.data(), stream.size());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(DistTransport, LineReaderBuffersUnterminatedTail) {
+  LineReader reader;
+  const std::string head = "{\"half\":";
+  EXPECT_TRUE(reader.feed(head.data(), head.size()).empty());
+  EXPECT_EQ(reader.pending(), head.size());
+
+  const std::string tail = "1}\n";
+  const std::vector<std::string> lines = reader.feed(tail.data(), tail.size());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"half\":1}");
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace fsbb::dist

@@ -9,6 +9,10 @@
 // Flags:
 //   --workers N               concurrent jobs (default 8)
 //   --quiet-progress          suppress progress events (results still flow)
+//   --worker                  distributed worker mode: speak the dist/
+//                             shard protocol (solve/inject_incumbent/
+//                             checkpoint/recall) instead of the job-daemon
+//                             protocol below; see src/dist/worker.h
 //
 // Requests:
 //   {"op":"submit","id":"j1","cli":"--jobs 12 --machines 8 --backend cpu-steal"}
@@ -48,6 +52,8 @@
 #include "common/cli.h"
 #include "common/json.h"
 #include "common/mutex.h"
+#include "dist/transport.h"
+#include "dist/worker.h"
 
 namespace {
 
@@ -257,7 +263,6 @@ void Daemon::status(const JsonValue& request) {
 }
 
 bool Daemon::handle_line(const std::string& line) {
-  if (line.find_first_not_of(" \t\r") == std::string::npos) return true;
   JsonValue request;
   try {
     request = JsonValue::parse(line);
@@ -293,14 +298,18 @@ int main(int argc, char** argv) {
   bool quiet_progress = false;
   try {
     const CliArgs args =
-        CliArgs::parse(argc, argv, {"workers"}, {"quiet-progress"});
+        CliArgs::parse(argc, argv, {"workers"}, {"quiet-progress", "worker"});
+    if (args.has("worker")) {
+      return dist::run_worker(std::cin, std::cout);
+    }
     const std::int64_t w = args.get_int_or("workers", 8);
     if (w < 1) throw CheckFailure("--workers must be >= 1");
     workers = static_cast<std::size_t>(w);
     quiet_progress = args.has("quiet-progress");
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\nusage: fsbb_serve [--workers N] "
-                             "[--quiet-progress]  (NDJSON requests on stdin)\n";
+                             "[--quiet-progress] [--worker]  "
+                             "(NDJSON requests on stdin)\n";
     return 1;
   }
 
@@ -308,6 +317,10 @@ int main(int argc, char** argv) {
   std::string line;
   bool keep_going = true;
   while (keep_going && std::getline(std::cin, line)) {
+    // CRLF clients (netcat -C, telnet, Windows pipes) terminate every
+    // line with \r\n, and interactive sessions send blank keep-alive
+    // lines; neither must reach the JSON parser.
+    if (!dist::normalize_transport_line(line)) continue;
     keep_going = daemon.handle_line(line);
   }
   if (!keep_going) daemon.cancel_all();  // explicit shutdown: stop everything
