@@ -42,6 +42,8 @@ std::string config_json(const SolverConfig& c) {
   o.field("deadline_ms",
           c.deadline_ms ? std::to_string(*c.deadline_ms) : "null");
   o.integer("progress_interval_ms", c.progress_interval_ms);
+  o.str("tenant", c.tenant);
+  o.str("priority", c.priority);
   o.field("instance", inst.done());
   return o.done();
 }

@@ -114,6 +114,11 @@ std::optional<SolveOutcome> SolveHandle::try_get() const {
   return block_->outcome;
 }
 
+void SolveHandle::offer_incumbent(fsp::Time upper_bound) {
+  FSBB_CHECK_MSG(valid(), "empty SolveHandle");
+  block_->control.offer_incumbent(upper_bound);
+}
+
 // -------------------------------------------------------- SolverService --
 
 SolverService::SolverService(Options options) {
@@ -185,6 +190,37 @@ std::uint64_t SolverService::jobs_submitted() const {
 std::size_t SolverService::jobs_active() const {
   const LockGuard lock(mu_);
   return queue_.size() + live_.size();
+}
+
+QueueSnapshot SolverService::snapshot() const {
+  QueueSnapshot snap;
+  const LockGuard lock(mu_);
+  snap.queued = queue_.size();
+  snap.running = live_.size();
+  snap.submitted = submitted_;
+  snap.completed = submitted_ - snap.queued - snap.running;
+  // Each job's SearchControl is armed at submission, so its elapsed clock
+  // IS the job's age — queue wait included. The oldest queued job is the
+  // queue front, but a long-running live job can be older still.
+  double oldest = 0;
+  if (!queue_.empty()) {
+    oldest = queue_.front()->control.elapsed_seconds();
+  }
+  for (const auto& job : live_) {
+    oldest = std::max(oldest, job->control.elapsed_seconds());
+  }
+  snap.oldest_age_seconds = oldest;
+  return snap;
+}
+
+std::string QueueSnapshot::to_json() const {
+  JsonWriter o;
+  o.integer("queued", queued);
+  o.integer("running", running);
+  o.integer("submitted", submitted);
+  o.integer("completed", completed);
+  o.real("oldest_age_seconds", oldest_age_seconds);
+  return o.done();
 }
 
 void SolverService::worker_loop() {

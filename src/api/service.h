@@ -93,12 +93,35 @@ class SolveHandle {
   /// Non-blocking: the outcome if terminal, nullopt while queued/running.
   std::optional<SolveOutcome> try_get() const;
 
+  /// Offers an externally known upper bound to this job's search (see
+  /// core::SearchControl::offer_incumbent): the engine folds it in at its
+  /// next batch boundary and prunes against it from then on. Safe before
+  /// the job starts (the bound is read at engine start) and while it
+  /// runs; a no-op once the job is terminal. The serving layer's result
+  /// cache uses this to warm-start repeated instances from cached
+  /// incumbents.
+  void offer_incumbent(fsp::Time upper_bound);
+
  private:
   friend class SolverService;
   explicit SolveHandle(std::shared_ptr<detail::JobBlock> block)
       : block_(std::move(block)) {}
 
   std::shared_ptr<detail::JobBlock> block_;
+};
+
+/// Point-in-time view of the service queue — what admission control and
+/// the metrics exporter need without reaching into the job table.
+struct QueueSnapshot {
+  std::size_t queued = 0;    ///< accepted, waiting for a worker
+  std::size_t running = 0;   ///< currently on a worker
+  std::uint64_t submitted = 0;  ///< accepted over the service's lifetime
+  std::uint64_t completed = 0;  ///< reached a terminal state
+  /// Seconds since the oldest non-terminal job was submitted (queue wait
+  /// included); 0 when the service is idle.
+  double oldest_age_seconds = 0;
+
+  std::string to_json() const;
 };
 
 /// Fixed worker pool multiplexing asynchronous solve jobs.
@@ -139,6 +162,8 @@ class SolverService {
   std::uint64_t jobs_submitted() const;
   /// Jobs not yet terminal (queued + running).
   std::size_t jobs_active() const;
+  /// Consistent point-in-time queue counts + oldest-job age.
+  QueueSnapshot snapshot() const;
 
  private:
   void worker_loop();

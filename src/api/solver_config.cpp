@@ -90,7 +90,8 @@ const std::vector<std::string>& SolverConfig::cli_flags() {
       "device",     "ub",            "node-budget",   "time-limit",
       "ta",         "jobs",          "machines",      "seed",
       "count",      "victim-order",  "steal-batch",   "deadline-ms",
-      "progress-interval-ms",        "gpu-pool",
+      "progress-interval-ms",        "gpu-pool",      "tenant",
+      "priority",
   };
   return kFlags;
 }
@@ -126,6 +127,8 @@ SolverConfig SolverConfig::from_cli(const CliArgs& args) {
   }
   c.progress_interval_ms =
       get_count_flag(args, "progress-interval-ms", c.progress_interval_ms);
+  c.tenant = args.get_or("tenant", c.tenant);
+  c.priority = args.get_or("priority", c.priority);
   c.instance.ta_id = static_cast<int>(args.get_int_or("ta", c.instance.ta_id));
   c.instance.jobs = static_cast<int>(args.get_int_or("jobs", c.instance.jobs));
   c.instance.machines =
@@ -174,6 +177,8 @@ std::vector<std::string> SolverConfig::to_cli() const {
   }
   if (deadline_ms) flag("deadline-ms", std::to_string(*deadline_ms));
   flag("progress-interval-ms", std::to_string(progress_interval_ms));
+  flag("tenant", tenant);
+  flag("priority", priority);
   flag("ta", std::to_string(instance.ta_id));
   flag("jobs", std::to_string(instance.jobs));
   flag("machines", std::to_string(instance.machines));
@@ -187,6 +192,10 @@ void SolverConfig::validate() const {
   FSBB_CHECK_MSG(threads >= 1, "threads must be >= 1");
   FSBB_CHECK_MSG(steal_batch >= 1, "steal batch must be >= 1");
   FSBB_CHECK_MSG(time_limit_seconds >= 0, "time limit must be >= 0");
+  FSBB_CHECK_MSG(!tenant.empty(), "tenant must not be empty");
+  FSBB_CHECK_MSG(
+      priority == "high" || priority == "normal" || priority == "low",
+      "unknown priority '" + priority + "' (high|normal|low)");
   device_spec_for(*this);  // throws on unknown device keys
   if (instance.ta_id == 0) {
     FSBB_CHECK_MSG(instance.jobs >= 1 && instance.machines >= 1,

@@ -96,6 +96,14 @@ struct SolverConfig {
   /// Minimum interval between streamed periodic progress events (ticks)
   /// when a subscriber is attached; incumbent events always pass.
   std::uint64_t progress_interval_ms = 200;
+  /// Multi-tenant serving (serve::): the API-key-like tenant the request
+  /// is accounted against. Admission quotas key on it; plain config data
+  /// so every report echo records who asked.
+  std::string tenant = "anonymous";
+  /// Priority class for admission-control load shedding: "high" |
+  /// "normal" | "low". Lower classes are shed first as the service queue
+  /// fills (serve::AdmissionController documents the thresholds).
+  std::string priority = "normal";
   InstanceSpec instance;
 
   bool operator==(const SolverConfig&) const = default;

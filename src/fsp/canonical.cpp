@@ -1,0 +1,136 @@
+#include "fsp/canonical.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fsbb::fsp {
+
+namespace {
+
+/// One machine orientation of the instance: the job rows (reversed or
+/// not), plus the lexicographic row order that sorts them.
+struct Orientation {
+  std::vector<std::vector<Time>> rows;  // rows[j] = pt(j, machines in order)
+  std::vector<JobId> order;             // canonical row i = job order[i]
+};
+
+Orientation orient(const Instance& inst, bool reversed) {
+  const int n = inst.jobs();
+  const int m = inst.machines();
+  Orientation o;
+  o.rows.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    std::vector<Time>& row = o.rows[static_cast<std::size_t>(j)];
+    row.resize(static_cast<std::size_t>(m));
+    for (int k = 0; k < m; ++k) {
+      row[static_cast<std::size_t>(k)] = inst.pt(j, reversed ? m - 1 - k : k);
+    }
+  }
+  o.order.resize(static_cast<std::size_t>(n));
+  std::iota(o.order.begin(), o.order.end(), JobId{0});
+  // Ties broken by job id for determinism; jobs with identical rows are
+  // genuinely interchangeable, so which one sorts first never matters.
+  std::sort(o.order.begin(), o.order.end(), [&o](JobId a, JobId b) {
+    const auto& ra = o.rows[static_cast<std::size_t>(a)];
+    const auto& rb = o.rows[static_cast<std::size_t>(b)];
+    if (ra != rb) return ra < rb;
+    return a < b;
+  });
+  return o;
+}
+
+/// Lexicographic comparison of the two sorted matrices, row by row.
+bool sorted_less(const Orientation& a, const Orientation& b) {
+  for (std::size_t i = 0; i < a.order.size(); ++i) {
+    const auto& ra = a.rows[static_cast<std::size_t>(a.order[i])];
+    const auto& rb = b.rows[static_cast<std::size_t>(b.order[i])];
+    if (ra != rb) return ra < rb;
+  }
+  return false;
+}
+
+/// FNV-1a over the canonical matrix bytes, parameterized by the offset
+/// basis so two independent 64-bit hashes make up the 128-bit digest.
+std::uint64_t fnv1a(const Orientation& o, int machines, std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 0x00000100000001b3ULL;
+  std::uint64_t h = seed;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffU;
+      h *= kPrime;
+    }
+  };
+  mix(o.order.size());
+  mix(static_cast<std::uint64_t>(machines));
+  for (const JobId row : o.order) {
+    for (const Time t : o.rows[static_cast<std::size_t>(row)]) {
+      mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(t)));
+    }
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xfU];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+CanonicalForm CanonicalForm::of(const Instance& inst) {
+  const Orientation fwd = orient(inst, /*reversed=*/false);
+  const Orientation rev = orient(inst, /*reversed=*/true);
+  const bool use_rev = sorted_less(rev, fwd);
+  const Orientation& chosen = use_rev ? rev : fwd;
+
+  CanonicalForm form;
+  form.jobs_ = inst.jobs();
+  form.machines_ = inst.machines();
+  form.reversed_ = use_rev;
+  form.job_of_row_ = chosen.order;
+  form.row_of_job_.resize(chosen.order.size());
+  for (std::size_t i = 0; i < chosen.order.size(); ++i) {
+    form.row_of_job_[static_cast<std::size_t>(chosen.order[i])] =
+        static_cast<JobId>(i);
+  }
+  form.hash_ = fnv1a(chosen, form.machines_, 0xcbf29ce484222325ULL);
+  const std::uint64_t hash2 = fnv1a(chosen, form.machines_,
+                                    0x9e3779b97f4a7c15ULL);
+  form.digest_ = hex64(form.hash_) + hex64(hash2);
+  return form;
+}
+
+std::vector<JobId> CanonicalForm::to_canonical(
+    std::span<const JobId> perm) const {
+  FSBB_CHECK_MSG(perm.size() == job_of_row_.size(),
+                 "permutation length does not match the instance");
+  std::vector<JobId> out(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    // Machine reversal maps a schedule to its reverse problem by
+    // reversing the processing order (the classical PFSP symmetry).
+    const std::size_t at = reversed_ ? perm.size() - 1 - i : i;
+    out[at] = row_of_job_[static_cast<std::size_t>(perm[i])];
+  }
+  return out;
+}
+
+std::vector<JobId> CanonicalForm::from_canonical(
+    std::span<const JobId> perm) const {
+  FSBB_CHECK_MSG(perm.size() == job_of_row_.size(),
+                 "permutation length does not match the instance");
+  std::vector<JobId> out(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const std::size_t at = reversed_ ? perm.size() - 1 - i : i;
+    out[at] = job_of_row_[static_cast<std::size_t>(perm[i])];
+  }
+  return out;
+}
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,82 @@
+// Canonical instance form — the cache key of the serving layer.
+//
+// Two submitted instances can be "the same problem" without being equal
+// byte-for-byte. The permutation flow shop has exactly two cheap
+// symmetries the result cache may quotient by without ever returning a
+// wrong answer:
+//
+//   * job relabeling: permuting the rows of the processing-time matrix
+//     renames the jobs; every schedule of one instance maps to a schedule
+//     of the other with the same makespan by applying the same renaming.
+//   * machine reversal: reversing the machine axis (pt'(j, k) =
+//     pt(j, m-1-k)) yields the classical "reverse problem"; a schedule of
+//     one maps to the other by reversing the processing order, again with
+//     the same makespan.
+//
+// Arbitrary machine *permutations* are NOT an equivalence — jobs traverse
+// machines in order, so swapping two inner machines changes the optimum —
+// and the canonical form deliberately stays sensitive to them (pinned by
+// test). CanonicalForm computes the quotient representative: for both
+// machine orientations, sort the job rows lexicographically, then keep the
+// lexicographically smaller of the two matrices. The digest hashes that
+// representative, so any two instances equal up to the symmetries above
+// collide on purpose, and the stored job/orientation maps translate
+// schedules in and out of canonical space.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fsp/instance.h"
+
+namespace fsbb::fsp {
+
+/// The canonical representative of one instance, with the maps needed to
+/// translate schedules between the instance's labels and canonical space.
+/// Construction is O(n m log n); the object is immutable afterwards.
+class CanonicalForm {
+ public:
+  static CanonicalForm of(const Instance& inst);
+
+  int jobs() const { return jobs_; }
+  int machines() const { return machines_; }
+
+  /// True when the canonical representative uses the reversed machine
+  /// axis of the instance this form was computed from.
+  bool reversed() const { return reversed_; }
+
+  /// 128-bit content digest of the canonical matrix as 32 hex chars.
+  /// Equal for instances that differ only by job relabeling, machine
+  /// reversal, or instance name; two independent 64-bit hashes keep the
+  /// accidental-collision probability negligible (and the result cache
+  /// re-verifies every hit against the actual matrix anyway).
+  const std::string& digest() const { return digest_; }
+
+  /// The first 64 bits of the digest, for hash tables and logs.
+  std::uint64_t hash64() const { return hash_; }
+
+  /// Translates a schedule of the source instance into canonical space:
+  /// the returned permutation has the same makespan on the canonical
+  /// matrix as `perm` has on the source instance.
+  std::vector<JobId> to_canonical(std::span<const JobId> perm) const;
+
+  /// Inverse of to_canonical: lifts a canonical-space schedule back onto
+  /// the instance this form was computed from, preserving the makespan.
+  std::vector<JobId> from_canonical(std::span<const JobId> perm) const;
+
+ private:
+  CanonicalForm() = default;
+
+  int jobs_ = 0;
+  int machines_ = 0;
+  bool reversed_ = false;
+  /// canonical row index -> source job id (and its inverse).
+  std::vector<JobId> job_of_row_;
+  std::vector<JobId> row_of_job_;
+  std::uint64_t hash_ = 0;
+  std::string digest_;
+};
+
+}  // namespace fsbb::fsp

@@ -1,0 +1,113 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fsbb::serve {
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kLow:
+      return "low";
+  }
+  return "?";
+}
+
+Priority parse_priority(const std::string& text) {
+  if (text == "high") return Priority::kHigh;
+  if (text == "normal") return Priority::kNormal;
+  if (text == "low") return Priority::kLow;
+  FSBB_CHECK_MSG(false, "unknown priority '" + text + "' (high|normal|low)");
+  return Priority::kNormal;
+}
+
+namespace {
+
+/// Queue-depth ceiling for one priority class: the shedding thresholds
+/// documented in the header. Integer math rounds down, so e.g. a
+/// max_queue_depth of 4 sheds low-priority work from depth 2 on.
+std::size_t depth_ceiling(std::size_t max_depth, Priority priority) {
+  switch (priority) {
+    case Priority::kHigh:
+      return max_depth;
+    case Priority::kNormal:
+      return (max_depth * 85) / 100;
+    case Priority::kLow:
+      return max_depth / 2;
+  }
+  return max_depth;
+}
+
+/// Back-off hint: at least 100ms, at least one observed median job — a
+/// slot opens when a job finishes, so "one job from now" is the earliest
+/// a retry can plausibly succeed.
+std::uint64_t retry_hint_ms(double observed_job_ms, std::size_t backlog) {
+  const double one_job = std::max(100.0, observed_job_ms);
+  const double wait = one_job * static_cast<double>(std::max<std::size_t>(
+                                    1, backlog));
+  return static_cast<std::uint64_t>(std::min(wait, 60e3));
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options) {}
+
+AdmissionDecision AdmissionController::try_admit(const std::string& tenant,
+                                                 Priority priority,
+                                                 std::size_t queue_depth,
+                                                 double observed_job_ms) {
+  AdmissionDecision decision;
+  const LockGuard lock(mu_);
+  if (options_.max_queue_depth != 0) {
+    const std::size_t ceiling =
+        depth_ceiling(options_.max_queue_depth, priority);
+    if (queue_depth >= ceiling) {
+      decision.admitted = false;
+      decision.reason = "queue-full";
+      decision.detail = "service queue at depth " +
+                        std::to_string(queue_depth) + " >= " +
+                        std::to_string(ceiling) + " (the " +
+                        std::string(to_string(priority)) +
+                        "-priority ceiling of max-queue-depth " +
+                        std::to_string(options_.max_queue_depth) + ")";
+      decision.retry_after_ms = retry_hint_ms(observed_job_ms, queue_depth);
+      return decision;
+    }
+  }
+  std::size_t& active = active_[tenant];
+  if (options_.max_tenant_jobs != 0 && active >= options_.max_tenant_jobs) {
+    decision.admitted = false;
+    decision.reason = "tenant-quota";
+    decision.detail = "tenant '" + tenant + "' already has " +
+                      std::to_string(active) +
+                      " active jobs (quota " +
+                      std::to_string(options_.max_tenant_jobs) + ")";
+    decision.retry_after_ms = retry_hint_ms(observed_job_ms, 1);
+    return decision;
+  }
+  ++active;
+  return decision;
+}
+
+void AdmissionController::release(const std::string& tenant) {
+  const LockGuard lock(mu_);
+  const auto it = active_.find(tenant);
+  FSBB_CHECK_MSG(it != active_.end() && it->second > 0,
+                 "admission release without a matching admit for tenant '" +
+                     tenant + "'");
+  if (--it->second == 0) active_.erase(it);
+}
+
+std::size_t AdmissionController::active_jobs(const std::string& tenant) const {
+  const LockGuard lock(mu_);
+  const auto it = active_.find(tenant);
+  return it == active_.end() ? 0 : it->second;
+}
+
+}  // namespace fsbb::serve

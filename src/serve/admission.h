@@ -1,0 +1,84 @@
+// Admission control — the gate between the transport and the service
+// queue.
+//
+// A shared solver serving many tenants dies two ways: one tenant floods
+// the queue (starving everyone), or the queue itself grows without bound
+// (every job admitted, none finishing in useful time). The controller
+// enforces both limits *before* SolverService::submit, so rejected work
+// costs one map lookup instead of a queued job:
+//
+//   * per-tenant concurrency quota: at most max_tenant_jobs jobs of one
+//     tenant may be active (queued + running) at once.
+//   * global queue-depth quota, scaled by priority class: "high" requests
+//     may fill the queue completely, "normal" is shed at 85% and "low" at
+//     50% — so when the service saturates, background traffic drops first
+//     and interactive traffic keeps landing (criticality-based load
+//     shedding).
+//
+// Rejections are structured: a machine-readable reason plus a
+// retry-after hint derived from observed job latency, so a well-behaved
+// client backs off instead of hammering.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/mutex.h"
+
+namespace fsbb::serve {
+
+/// Priority classes, best first. Parsed from SolverConfig::priority.
+enum class Priority { kHigh, kNormal, kLow };
+
+const char* to_string(Priority p);
+Priority parse_priority(const std::string& text);  ///< high|normal|low
+
+/// Outcome of one admission check. When !admitted, `reason` is one of
+/// "tenant-quota" | "queue-full" and retry_after_ms is the back-off hint.
+struct AdmissionDecision {
+  bool admitted = true;
+  std::string reason;
+  std::string detail;
+  std::uint64_t retry_after_ms = 0;
+};
+
+/// Thread-safe per-tenant admission state. The caller owns the pairing:
+/// every admitted job must be release()d exactly once when it reaches a
+/// terminal state (the serving layer does this from the completion
+/// callback), or the tenant's quota leaks.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Max active (queued + running) jobs per tenant; 0 = unlimited.
+    std::size_t max_tenant_jobs = 4;
+    /// Max service queue depth (queued, not running); 0 = unlimited.
+    /// Priority classes shed below this: low at 50%, normal at 85%.
+    std::size_t max_queue_depth = 256;
+  };
+
+  explicit AdmissionController(Options options);
+
+  /// Checks the quotas against the current service queue depth and, on
+  /// success, charges the tenant one active job. `observed_job_ms` (the
+  /// metrics registry's p50 job latency; 0 when nothing completed yet)
+  /// sizes the retry-after hint on rejection.
+  AdmissionDecision try_admit(const std::string& tenant, Priority priority,
+                              std::size_t queue_depth,
+                              double observed_job_ms);
+
+  /// Returns one active job of `tenant` to its quota.
+  void release(const std::string& tenant);
+
+  /// Currently charged jobs of one tenant (0 for unknown tenants).
+  std::size_t active_jobs(const std::string& tenant) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const Options options_;
+  mutable Mutex mu_;
+  std::map<std::string, std::size_t> active_ FSBB_GUARDED_BY(mu_);
+};
+
+}  // namespace fsbb::serve

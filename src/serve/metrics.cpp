@@ -1,0 +1,222 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace fsbb::serve {
+
+void Metrics::record_submit_accepted() {
+  const LockGuard lock(mu_);
+  ++accepted_;
+}
+
+void Metrics::record_admission_reject(const std::string& reason) {
+  const LockGuard lock(mu_);
+  ++rejects_[reason];
+}
+
+void Metrics::record_protocol_error() {
+  const LockGuard lock(mu_);
+  ++protocol_errors_;
+}
+
+void Metrics::record_oversized_line() {
+  const LockGuard lock(mu_);
+  ++oversized_lines_;
+}
+
+void Metrics::record_cache_exact_hit() {
+  const LockGuard lock(mu_);
+  ++cache_exact_;
+}
+
+void Metrics::record_cache_warm_start() {
+  const LockGuard lock(mu_);
+  ++cache_warm_;
+}
+
+void Metrics::record_cache_miss() {
+  const LockGuard lock(mu_);
+  ++cache_miss_;
+}
+
+void Metrics::record_cache_insert() {
+  const LockGuard lock(mu_);
+  ++cache_insert_;
+}
+
+void Metrics::record_connection_opened() {
+  const LockGuard lock(mu_);
+  ++conns_opened_;
+}
+
+void Metrics::record_connection_closed() {
+  const LockGuard lock(mu_);
+  ++conns_closed_;
+}
+
+void Metrics::record_connection_rejected() {
+  const LockGuard lock(mu_);
+  ++conns_rejected_;
+}
+
+void Metrics::record_idle_timeout() {
+  const LockGuard lock(mu_);
+  ++idle_timeouts_;
+}
+
+double Metrics::bucket_upper_ms(std::size_t index) {
+  // 1ms * 1.5^index: bucket 0 covers (0, 1ms], bucket 63 tops out around
+  // 10 days — everything a solve job can plausibly take.
+  return std::pow(1.5, static_cast<double>(index));
+}
+
+void Metrics::record_completion(const std::string& backend, bool ok,
+                                core::StopReason stop_reason,
+                                double latency_ms, std::uint64_t branched) {
+  const LockGuard lock(mu_);
+  BackendStats& b = backends_[backend];
+  ++b.jobs;
+  if (!ok) ++b.failed;
+  b.solve_ms += latency_ms;
+  b.branched += branched;
+  if (ok) ++stop_reasons_[core::to_string(stop_reason)];
+  ++completions_;
+  max_latency_ms_ = std::max(max_latency_ms_, latency_ms);
+  std::size_t bucket = 0;
+  while (bucket + 1 < kBuckets && latency_ms > bucket_upper_ms(bucket)) {
+    ++bucket;
+  }
+  ++latency_buckets_[bucket];
+}
+
+double Metrics::latency_quantile_ms(double q) const {
+  const LockGuard lock(mu_);
+  if (completions_ == 0) return 0;
+  const double rank = q * static_cast<double>(completions_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += latency_buckets_[i];
+    if (static_cast<double>(seen) >= rank) {
+      // Report the geometric bucket midpoint, clamped to the observed
+      // maximum so a lone slow job does not inflate the tail estimate.
+      const double lower = i == 0 ? 0 : bucket_upper_ms(i - 1);
+      const double mid = (lower + bucket_upper_ms(i)) / 2;
+      return std::min(mid, max_latency_ms_);
+    }
+  }
+  return max_latency_ms_;
+}
+
+std::uint64_t Metrics::completions() const {
+  const LockGuard lock(mu_);
+  return completions_;
+}
+
+std::uint64_t Metrics::cache_exact_hits() const {
+  const LockGuard lock(mu_);
+  return cache_exact_;
+}
+
+std::uint64_t Metrics::cache_warm_starts() const {
+  const LockGuard lock(mu_);
+  return cache_warm_;
+}
+
+std::uint64_t Metrics::admission_rejects() const {
+  const LockGuard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [reason, count] : rejects_) total += count;
+  return total;
+}
+
+std::string Metrics::to_json(const api::QueueSnapshot& queue,
+                             std::size_t cache_entries) const {
+  // Quantiles re-lock internally, so compute them before taking mu_.
+  const double p50 = latency_quantile_ms(0.5);
+  const double p99 = latency_quantile_ms(0.99);
+
+  const LockGuard lock(mu_);
+  JsonWriter rejects;
+  for (const auto& [reason, count] : rejects_) {
+    rejects.integer(reason, count);
+  }
+  JsonWriter admission;
+  admission.integer("accepted", accepted_);
+  admission.field("rejected", rejects.done());
+
+  JsonWriter cache;
+  cache.integer("exact_hits", cache_exact_);
+  cache.integer("warm_starts", cache_warm_);
+  cache.integer("misses", cache_miss_);
+  cache.integer("insertions", cache_insert_);
+  cache.integer("entries", cache_entries);
+
+  JsonWriter latency;
+  latency.integer("count", completions_);
+  latency.real("p50", p50);
+  latency.real("p99", p99);
+  latency.real("max", max_latency_ms_);
+
+  JsonWriter backends;
+  for (const auto& [name, b] : backends_) {
+    JsonWriter one;
+    one.integer("jobs", b.jobs);
+    one.integer("failed", b.failed);
+    one.real("solve_ms", b.solve_ms);
+    one.integer("nodes", b.branched);
+    one.real("nodes_per_second",
+             b.solve_ms > 0 ? static_cast<double>(b.branched) /
+                                  (b.solve_ms / 1e3)
+                            : 0);
+    backends.field(name, one.done());
+  }
+
+  JsonWriter stop_reasons;
+  for (const auto& [reason, count] : stop_reasons_) {
+    stop_reasons.integer(reason, count);
+  }
+
+  JsonWriter connections;
+  connections.integer("opened", conns_opened_);
+  connections.integer("closed", conns_closed_);
+  connections.integer("rejected", conns_rejected_);
+  connections.integer("idle_timeouts", idle_timeouts_);
+
+  JsonWriter errors;
+  errors.integer("malformed_requests", protocol_errors_);
+  errors.integer("oversized_lines", oversized_lines_);
+
+  JsonWriter o;
+  o.field("queue", queue.to_json());
+  o.field("admission", admission.done());
+  o.field("cache", cache.done());
+  o.field("latency_ms", latency.done());
+  o.field("backends", backends.done());
+  o.field("stop_reasons", stop_reasons.done());
+  o.field("connections", connections.done());
+  o.field("errors", errors.done());
+  return o.done();
+}
+
+std::string Metrics::log_line(const api::QueueSnapshot& queue,
+                              std::size_t cache_entries) const {
+  const double p50 = latency_quantile_ms(0.5);
+  const double p99 = latency_quantile_ms(0.99);
+  const LockGuard lock(mu_);
+  std::uint64_t rejected = 0;
+  for (const auto& [reason, count] : rejects_) rejected += count;
+  std::ostringstream os;
+  os << "[serve] queued=" << queue.queued << " running=" << queue.running
+     << " completed=" << queue.completed << " accepted=" << accepted_
+     << " rejected=" << rejected << " cache=" << cache_exact_ << "x/"
+     << cache_warm_ << "w/" << cache_miss_ << "m (" << cache_entries
+     << " entries)"
+     << " p50=" << p50 << "ms p99=" << p99 << "ms";
+  return os.str();
+}
+
+}  // namespace fsbb::serve

@@ -1,0 +1,113 @@
+// serve::Metrics — the serving layer's observable surface.
+//
+// One registry aggregates everything an operator (or the CI smoke test)
+// asks the daemon about: admission accepts/rejects by reason, result-cache
+// traffic (exact hits / warm starts / misses), per-backend job counts and
+// node throughput, connection churn, protocol errors, and an approximate
+// job-latency distribution. Exported two ways: the `metrics` request
+// returns the full JSON object (next to a live QueueSnapshot), and the
+// daemon can log a compact one-line summary periodically.
+//
+// Latency quantiles come from a fixed geometric histogram (1ms buckets
+// growing by 1.5x, ~64 buckets to cover a week): recording is O(1) and
+// lock-cheap, and p50/p99 are exact to within one bucket's width — the
+// right trade for a serving path that must never stall on bookkeeping.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "api/service.h"
+#include "common/mutex.h"
+#include "core/search_control.h"
+
+namespace fsbb::serve {
+
+class Metrics {
+ public:
+  Metrics() = default;
+
+  // ---- admission + protocol -------------------------------------------
+  void record_submit_accepted();
+  void record_admission_reject(const std::string& reason);
+  void record_protocol_error();   ///< malformed request line
+  void record_oversized_line();   ///< request line over the cap
+
+  // ---- result cache ----------------------------------------------------
+  void record_cache_exact_hit();
+  void record_cache_warm_start();
+  void record_cache_miss();
+  void record_cache_insert();
+
+  // ---- connections -----------------------------------------------------
+  void record_connection_opened();
+  void record_connection_closed();
+  void record_connection_rejected();
+  void record_idle_timeout();
+
+  // ---- job completions -------------------------------------------------
+  /// One terminal job: which backend ran it, whether it produced a
+  /// report, why it stopped, wall latency (submission to terminal) and
+  /// nodes branched (0 for failures).
+  void record_completion(const std::string& backend, bool ok,
+                         core::StopReason stop_reason, double latency_ms,
+                         std::uint64_t branched);
+
+  /// Approximate latency quantile in ms over all completions (q in
+  /// [0, 1]); 0 when nothing completed yet.
+  double latency_quantile_ms(double q) const;
+
+  /// Median job latency for admission retry-after hints.
+  double p50_latency_ms() const { return latency_quantile_ms(0.5); }
+
+  std::uint64_t completions() const;
+  std::uint64_t cache_exact_hits() const;
+  std::uint64_t cache_warm_starts() const;
+  std::uint64_t admission_rejects() const;
+
+  /// The full registry as a JSON object: {"queue":…,"admission":…,
+  /// "cache":…,"latency_ms":…,"backends":…,"connections":…,"errors":…}.
+  /// The queue snapshot and cache entry count are passed in so the
+  /// registry stays decoupled from the service and the cache.
+  std::string to_json(const api::QueueSnapshot& queue,
+                      std::size_t cache_entries) const;
+
+  /// Compact single-line summary for periodic operator logs.
+  std::string log_line(const api::QueueSnapshot& queue,
+                       std::size_t cache_entries) const;
+
+ private:
+  struct BackendStats {
+    std::uint64_t jobs = 0;
+    std::uint64_t failed = 0;
+    double solve_ms = 0;
+    std::uint64_t branched = 0;
+  };
+
+  static constexpr std::size_t kBuckets = 64;
+  static double bucket_upper_ms(std::size_t index);
+
+  mutable Mutex mu_;
+  std::uint64_t accepted_ FSBB_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::uint64_t> rejects_ FSBB_GUARDED_BY(mu_);
+  std::uint64_t protocol_errors_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t oversized_lines_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t cache_exact_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t cache_warm_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t cache_miss_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t cache_insert_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t conns_opened_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t conns_closed_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t conns_rejected_ FSBB_GUARDED_BY(mu_) = 0;
+  std::uint64_t idle_timeouts_ FSBB_GUARDED_BY(mu_) = 0;
+  std::map<std::string, BackendStats> backends_ FSBB_GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t> stop_reasons_ FSBB_GUARDED_BY(mu_);
+  std::uint64_t completions_ FSBB_GUARDED_BY(mu_) = 0;
+  double max_latency_ms_ FSBB_GUARDED_BY(mu_) = 0;
+  std::array<std::uint64_t, kBuckets> latency_buckets_ FSBB_GUARDED_BY(mu_) =
+      {};
+};
+
+}  // namespace fsbb::serve

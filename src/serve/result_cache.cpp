@@ -1,0 +1,93 @@
+#include "serve/result_cache.h"
+
+#include "common/check.h"
+#include "fsp/makespan.h"
+
+namespace fsbb::serve {
+
+ResultCache::ResultCache(Options options) : options_(options) {
+  FSBB_CHECK_MSG(options_.capacity >= 1, "cache capacity must be >= 1");
+}
+
+std::optional<CacheHit> ResultCache::lookup(
+    const fsp::Instance& inst, const fsp::CanonicalForm& form) const {
+  Entry entry;
+  {
+    const LockGuard lock(mu_);
+    const auto it = by_digest_.find(form.digest());
+    if (it == by_digest_.end()) return std::nullopt;
+    // Dimensions are part of the digest, but they are also the cheap
+    // first line of collision defense — check before touching the perm.
+    if (it->second->jobs != inst.jobs() ||
+        it->second->machines != inst.machines()) {
+      return std::nullopt;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);  // LRU refresh
+    entry = *it->second;
+  }
+
+  CacheHit hit;
+  hit.makespan = entry.makespan;
+  hit.permutation = form.from_canonical(entry.canonical_perm);
+  hit.proven_optimal = entry.proven_optimal;
+  hit.source_instance = entry.source_instance;
+  // Re-verify against the actual matrix: a digest collision (or any bug
+  // upstream) must degrade to a miss, never to a wrong answer.
+  if (!fsp::is_valid_permutation(inst, hit.permutation) ||
+      fsp::makespan(inst, hit.permutation) != hit.makespan) {
+    return std::nullopt;
+  }
+  return hit;
+}
+
+bool ResultCache::insert(const fsp::Instance& inst,
+                         const fsp::CanonicalForm& form, fsp::Time makespan,
+                         std::span<const fsp::JobId> perm,
+                         bool proven_optimal) {
+  if (perm.empty()) return false;
+  FSBB_CHECK_MSG(static_cast<int>(perm.size()) == inst.jobs(),
+                 "cached schedule length must match the instance");
+  std::vector<fsp::JobId> canonical = form.to_canonical(perm);
+
+  const LockGuard lock(mu_);
+  const auto it = by_digest_.find(form.digest());
+  if (it != by_digest_.end()) {
+    Entry& existing = *it->second;
+    // Lower makespan wins; at equal makespan a proven-optimal solve
+    // upgrades an unproven entry (same bound, stronger claim).
+    const bool better =
+        makespan < existing.makespan ||
+        (makespan == existing.makespan && proven_optimal &&
+         !existing.proven_optimal);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    if (!better) return false;
+    existing.makespan = makespan;
+    existing.canonical_perm = std::move(canonical);
+    existing.proven_optimal = proven_optimal;
+    existing.source_instance = inst.name();
+    return true;
+  }
+
+  Entry entry;
+  entry.digest = form.digest();
+  entry.makespan = makespan;
+  entry.canonical_perm = std::move(canonical);
+  entry.proven_optimal = proven_optimal;
+  entry.source_instance = inst.name();
+  entry.jobs = inst.jobs();
+  entry.machines = inst.machines();
+  entries_.push_front(std::move(entry));
+  by_digest_[entries_.front().digest] = entries_.begin();
+  while (entries_.size() > options_.capacity) {
+    by_digest_.erase(entries_.back().digest);
+    entries_.pop_back();
+  }
+  return true;
+}
+
+std::size_t ResultCache::size() const {
+  const LockGuard lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace fsbb::serve

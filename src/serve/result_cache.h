@@ -1,0 +1,97 @@
+// Incumbent-warm-start result cache keyed by canonical instance form.
+//
+// The big lever for serving heavy repeated traffic: two tenants (or the
+// same one, twice) submitting the same instance — possibly with relabeled
+// jobs or the reversed machine axis — should not pay for two searches.
+// The cache stores, per canonical digest (fsp::CanonicalForm), the best
+// schedule any job ever produced for that problem, in *canonical space*:
+//
+//   * exact hit: the cached schedule is proven optimal → the serving
+//     layer answers immediately, translating the schedule back into the
+//     requester's job labels. No solve runs.
+//   * warm start: a schedule is cached but not proven optimal (an earlier
+//     budget- or deadline-stopped run) → the serving layer injects its
+//     makespan as the new job's root bound (SolverConfig::initial_ub +
+//     SolveHandle::offer_incumbent), so the search resumes below the
+//     cached incumbent instead of rediscovering it from NEH. Safe by
+//     construction: cached bounds come from real schedules, and the
+//     monotone-incumbent event stream already admits externally injected
+//     bounds.
+//
+// Every lookup re-verifies the translated schedule against the actual
+// instance (one O(n m) makespan evaluation), so even a 128-bit digest
+// collision degrades to a cache miss, never to a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "fsp/canonical.h"
+#include "fsp/instance.h"
+
+namespace fsbb::serve {
+
+/// What a lookup found, already translated into the queried instance's
+/// job labels (and verified against its matrix).
+struct CacheHit {
+  fsp::Time makespan = 0;
+  std::vector<fsp::JobId> permutation;  ///< valid schedule of the query
+  bool proven_optimal = false;
+  std::string source_instance;  ///< name of the instance that filled the entry
+};
+
+/// Thread-safe LRU cache over canonical instance forms.
+class ResultCache {
+ public:
+  struct Options {
+    /// Max canonical entries kept; least-recently-used evicts first.
+    std::size_t capacity = 1024;
+  };
+
+  explicit ResultCache(Options options);
+
+  /// Looks the instance's canonical form up; a hit refreshes LRU order.
+  /// The caller passes the form it already computed (submission needs it
+  /// for insert() later anyway; computing it once keeps the hot path to
+  /// one O(n m log n) canonicalization per request).
+  std::optional<CacheHit> lookup(const fsp::Instance& inst,
+                                 const fsp::CanonicalForm& form) const;
+
+  /// Records a finished solve: `perm` is a valid schedule of `inst` with
+  /// the given makespan. Keeps the better of the existing entry and this
+  /// one (lower makespan wins; at equal makespan, proven-optimal wins).
+  /// Empty permutations are ignored — a bound without a schedule cannot
+  /// seed future warm starts. Returns true when the entry was created or
+  /// improved.
+  bool insert(const fsp::Instance& inst, const fsp::CanonicalForm& form,
+              fsp::Time makespan, std::span<const fsp::JobId> perm,
+              bool proven_optimal);
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string digest;
+    fsp::Time makespan = 0;
+    std::vector<fsp::JobId> canonical_perm;
+    bool proven_optimal = false;
+    std::string source_instance;
+    int jobs = 0;
+    int machines = 0;
+  };
+
+  const Options options_;
+  mutable Mutex mu_;
+  /// LRU list, most recent at the front; the map indexes into it.
+  mutable std::list<Entry> entries_ FSBB_GUARDED_BY(mu_);
+  mutable std::map<std::string, std::list<Entry>::iterator> by_digest_
+      FSBB_GUARDED_BY(mu_);
+};
+
+}  // namespace fsbb::serve

@@ -245,6 +245,67 @@ TEST(SolverService, EightConcurrentJobsMultiplexAndAllAgree) {
   EXPECT_EQ(service.jobs_active(), 0u);
 }
 
+TEST(SolverService, SnapshotTracksQueuedRunningAndCompleted) {
+  SolverService service(SolverService::Options{1});
+  const QueueSnapshot idle = service.snapshot();
+  EXPECT_EQ(idle.queued, 0u);
+  EXPECT_EQ(idle.running, 0u);
+  EXPECT_EQ(idle.submitted, 0u);
+  EXPECT_EQ(idle.completed, 0u);
+  EXPECT_EQ(idle.oldest_age_seconds, 0.0);
+
+  // One worker: the blocker runs, the second job is observably queued.
+  SolveHandle blocker =
+      service.submit(big_instance(),
+                     weak_ub_config("cpu-serial", big_instance()));
+  SolveHandle queued = service.submit(small_instance(), SolverConfig{});
+  while (service.snapshot().running == 0) std::this_thread::yield();
+  const QueueSnapshot busy = service.snapshot();
+  EXPECT_EQ(busy.running, 1u);
+  EXPECT_EQ(busy.queued, 1u);
+  EXPECT_EQ(busy.submitted, 2u);
+  EXPECT_EQ(busy.completed, 0u);
+  EXPECT_GE(busy.oldest_age_seconds, 0.0);
+
+  blocker.cancel();
+  blocker.wait();
+  queued.wait();
+  while (service.jobs_active() != 0) std::this_thread::yield();
+  const QueueSnapshot done = service.snapshot();
+  EXPECT_EQ(done.queued, 0u);
+  EXPECT_EQ(done.running, 0u);
+  EXPECT_EQ(done.submitted, 2u);
+  EXPECT_EQ(done.completed, 2u);
+  EXPECT_EQ(done.oldest_age_seconds, 0.0);
+}
+
+TEST(SolverService, SnapshotAgeGrowsWhileAJobWaits) {
+  SolverService service(SolverService::Options{1});
+  SolveHandle blocker =
+      service.submit(big_instance(),
+                     weak_ub_config("cpu-serial", big_instance()));
+  while (service.snapshot().running == 0) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_GT(service.snapshot().oldest_age_seconds, 0.0);
+  blocker.cancel();
+  blocker.wait();
+}
+
+TEST(SolverService, SnapshotSerializesToJson) {
+  QueueSnapshot snap;
+  snap.queued = 3;
+  snap.running = 2;
+  snap.submitted = 9;
+  snap.completed = 4;
+  snap.oldest_age_seconds = 1.5;
+  const JsonValue parsed = JsonValue::parse(snap.to_json());
+  EXPECT_EQ(parsed.int_or("queued", -1), 3);
+  EXPECT_EQ(parsed.int_or("running", -1), 2);
+  EXPECT_EQ(parsed.int_or("submitted", -1), 9);
+  EXPECT_EQ(parsed.int_or("completed", -1), 4);
+  EXPECT_EQ(parsed.find("oldest_age_seconds")->as_number(), 1.5);
+}
+
 TEST(SolverService, DestructorCancelsOutstandingJobs) {
   SolveHandle held;
   {

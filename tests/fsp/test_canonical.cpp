@@ -1,0 +1,151 @@
+// Canonical instance form: the digest must collide exactly on the safe
+// symmetries (job relabeling, machine reversal, instance name) and on
+// nothing else, and schedule translation through canonical space must
+// preserve makespans — the properties the serving-layer result cache
+// leans on for correctness.
+#include "fsp/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "fsp/generators.h"
+#include "fsp/makespan.h"
+#include "fsp/taillard.h"
+
+namespace fsbb::fsp {
+namespace {
+
+Instance base_instance(int jobs, int machines, std::int32_t seed) {
+  return make_taillard_instance(jobs, machines, seed,
+                                "canon-base");
+}
+
+/// Rebuilds `inst` with its job rows permuted by `perm` and, optionally,
+/// its machine axis reversed — the two symmetries the digest quotients by.
+Instance transformed(const Instance& inst, const std::vector<JobId>& perm,
+                     bool reverse_machines, const std::string& name) {
+  const int n = inst.jobs();
+  const int m = inst.machines();
+  Matrix<Time> pt(static_cast<std::size_t>(n), static_cast<std::size_t>(m));
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < m; ++k) {
+      pt(static_cast<std::size_t>(j), static_cast<std::size_t>(k)) =
+          inst.pt(perm[static_cast<std::size_t>(j)],
+                  reverse_machines ? m - 1 - k : k);
+    }
+  }
+  return Instance(name, std::move(pt));
+}
+
+std::vector<JobId> random_permutation(int n, SplitMix64& rng) {
+  std::vector<JobId> perm = identity_permutation(n);
+  shuffle(perm, rng);
+  return perm;
+}
+
+TEST(CanonicalForm, DigestIgnoresInstanceName) {
+  const Instance a = base_instance(9, 5, 42);
+  const Instance b = transformed(a, identity_permutation(9), false, "other");
+  EXPECT_EQ(CanonicalForm::of(a).digest(), CanonicalForm::of(b).digest());
+}
+
+TEST(CanonicalForm, DigestInvariantUnderJobRelabeling) {
+  SplitMix64 rng(7);
+  const Instance a = base_instance(11, 6, 99);
+  const std::string digest = CanonicalForm::of(a).digest();
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance b =
+        transformed(a, random_permutation(11, rng), false, "relabel");
+    EXPECT_EQ(digest, CanonicalForm::of(b).digest());
+  }
+}
+
+TEST(CanonicalForm, DigestInvariantUnderMachineReversal) {
+  SplitMix64 rng(13);
+  const Instance a = base_instance(10, 7, 1234);
+  const Instance rev = transformed(a, identity_permutation(10), true, "rev");
+  EXPECT_EQ(CanonicalForm::of(a).digest(), CanonicalForm::of(rev).digest());
+  // Both symmetries at once.
+  const Instance both =
+      transformed(a, random_permutation(10, rng), true, "both");
+  EXPECT_EQ(CanonicalForm::of(a).digest(), CanonicalForm::of(both).digest());
+}
+
+// Machine order is semantically significant in a flow shop: swapping two
+// inner machines changes the optimum, so it must change the digest. (This
+// pins that the canonical form does NOT over-merge: only the reversal is
+// a true equivalence on the machine axis.)
+TEST(CanonicalForm, DigestSensitiveToInnerMachineSwap) {
+  const Instance a = base_instance(9, 5, 77);
+  const int n = a.jobs();
+  const int m = a.machines();
+  Matrix<Time> pt(static_cast<std::size_t>(n), static_cast<std::size_t>(m));
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < m; ++k) {
+      int src = k;
+      if (k == 1) src = 2;
+      if (k == 2) src = 1;
+      pt(static_cast<std::size_t>(j), static_cast<std::size_t>(k)) =
+          a.pt(j, src);
+    }
+  }
+  const Instance swapped("swapped", std::move(pt));
+  EXPECT_NE(CanonicalForm::of(a).digest(),
+            CanonicalForm::of(swapped).digest());
+}
+
+TEST(CanonicalForm, TranslationRoundTripsAndPreservesMakespan) {
+  SplitMix64 rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 6 + static_cast<int>(rng.next_below(6));
+    const int m = 3 + static_cast<int>(rng.next_below(4));
+    const Instance a = base_instance(n, m, 1000 + trial);
+    const Instance b = transformed(a, random_permutation(n, rng),
+                                   (trial % 2) == 1, "twin");
+    const CanonicalForm fa = CanonicalForm::of(a);
+    const CanonicalForm fb = CanonicalForm::of(b);
+    ASSERT_EQ(fa.digest(), fb.digest());
+
+    const std::vector<JobId> perm_a = random_permutation(n, rng);
+    // Identity round trip on one form...
+    EXPECT_EQ(perm_a, fa.from_canonical(fa.to_canonical(perm_a)));
+    // ...and the cache path across the two: a schedule of A, shipped
+    // through canonical space, lands on B with the same makespan.
+    const std::vector<JobId> perm_b =
+        fb.from_canonical(fa.to_canonical(perm_a));
+    ASSERT_TRUE(is_valid_permutation(b, perm_b));
+    EXPECT_EQ(makespan(a, perm_a), makespan(b, perm_b));
+  }
+}
+
+// Collision sanity over the synthetic-family fuzz corpus: hundreds of
+// genuinely different instances must produce hundreds of different
+// digests (the digest is 128 bits; any collision here is a bug, not luck).
+TEST(CanonicalForm, NoCollisionsOverGeneratorCorpus) {
+  std::set<std::string> digests;
+  std::size_t count = 0;
+  for (const InstanceFamily family :
+       {InstanceFamily::kUniform, InstanceFamily::kJobCorrelated,
+        InstanceFamily::kMachineCorrelated, InstanceFamily::kTrend,
+        InstanceFamily::kTwoPlateaus}) {
+    for (const auto& [jobs, machines] :
+         {std::pair{8, 4}, std::pair{10, 5}, std::pair{12, 8}}) {
+      for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        const Instance inst = make_instance(family, jobs, machines, seed);
+        const CanonicalForm form = CanonicalForm::of(inst);
+        EXPECT_EQ(form.digest().size(), 32u);
+        digests.insert(form.digest());
+        ++count;
+      }
+    }
+  }
+  EXPECT_EQ(digests.size(), count);
+}
+
+}  // namespace
+}  // namespace fsbb::fsp

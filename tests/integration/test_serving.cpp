@@ -1,0 +1,247 @@
+// End-to-end serving-layer acceptance over the NDJSON protocol:
+//
+//   * incumbent warm start — solve an instance under a node budget, then
+//     re-submit it with its jobs PERMUTED: the second solve must start
+//     from the cached incumbent (stats.initial_ub proves it), finish to
+//     optimality, and agree with a from-scratch solve; a third submit is
+//     answered straight from the cache without searching.
+//   * admission control — an over-quota tenant is rejected with a
+//     structured reason while another tenant's work proceeds, and the
+//     metrics registry reflects both the rejects and the cache traffic.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/solver.h"
+#include "common/json.h"
+#include "common/matrix.h"
+#include "fsp/makespan.h"
+#include "fsp/taillard.h"
+#include "serve/server.h"
+
+namespace fsbb::serve {
+namespace {
+
+struct LineCollector {
+  std::mutex mu;
+  std::vector<std::string> lines;
+
+  Client::Sink sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mu);
+      lines.push_back(line);
+    };
+  }
+
+  /// First line containing all needles, waiting for worker threads.
+  std::string wait_for(const std::vector<std::string>& needles,
+                       int timeout_ms = 60000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (const std::string& line : lines) {
+          bool all = true;
+          for (const std::string& needle : needles) {
+            if (line.find(needle) == std::string::npos) {
+              all = false;
+              break;
+            }
+          }
+          if (all) return line;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ADD_FAILURE() << "no line containing: " << needles.front();
+    return "{}";
+  }
+};
+
+/// Submit request with an explicit processing-time matrix — the only way
+/// a wire client can express a permuted twin of an earlier instance.
+std::string submit_line(const std::string& id, const fsp::Instance& inst,
+                        const std::string& cli, const std::string& tenant) {
+  std::ostringstream os;
+  os << R"({"op":"submit","id":")" << id << R"(","tenant":")" << tenant
+     << R"(","cli":")" << cli << R"(","instance":{"name":")" << inst.name()
+     << R"(","ptm":[)";
+  for (int j = 0; j < inst.jobs(); ++j) {
+    os << (j == 0 ? "[" : ",[");
+    for (int k = 0; k < inst.machines(); ++k) {
+      os << (k == 0 ? "" : ",") << inst.pt(j, k);
+    }
+    os << "]";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+fsp::Instance relabeled(const fsp::Instance& inst,
+                        const std::vector<fsp::JobId>& perm,
+                        const std::string& name) {
+  Matrix<fsp::Time> pt(static_cast<std::size_t>(inst.jobs()),
+                       static_cast<std::size_t>(inst.machines()));
+  for (int j = 0; j < inst.jobs(); ++j) {
+    for (int k = 0; k < inst.machines(); ++k) {
+      pt(static_cast<std::size_t>(j), static_cast<std::size_t>(k)) =
+          inst.pt(perm[static_cast<std::size_t>(j)], k);
+    }
+  }
+  return fsp::Instance(name, std::move(pt));
+}
+
+std::vector<fsp::JobId> permutation_from(const JsonValue& report) {
+  std::vector<fsp::JobId> perm;
+  for (const JsonValue& v :
+       report.find("result")->find("best_permutation")->as_array()) {
+    perm.push_back(static_cast<fsp::JobId>(v.as_int()));
+  }
+  return perm;
+}
+
+TEST(ServeIntegration, PermutedResubmitWarmStartsFromCachedIncumbent) {
+  ServerOptions options;
+  options.workers = 1;
+  options.quiet_progress = true;
+  Server server(options);
+  LineCollector out;
+  auto client = std::make_shared<Client>(server, out.sink());
+
+  // Phase 1: a budget-starved solve leaves an unproven incumbent behind.
+  const fsp::Instance a = fsp::make_taillard_instance(12, 6, 4242, "warm-a");
+  client->handle_line(
+      submit_line("first", a, "--backend cpu-serial --node-budget 5", "t"));
+  const JsonValue first = JsonValue::parse(
+      out.wait_for({"\"event\":\"result\"", "\"id\":\"first\""}));
+  ASSERT_TRUE(first.bool_or("ok", false));
+  EXPECT_EQ(first.string_or("stop_reason", ""), "budget");
+  const JsonValue* first_report = first.find("report");
+  EXPECT_FALSE(first_report->find("result")->bool_or("proven_optimal", true));
+  const std::int64_t cached_ub =
+      first_report->find("result")->int_or("best_makespan", -1);
+  ASSERT_GT(cached_ub, 0);
+  EXPECT_EQ(server.cache().size(), 1u);
+
+  // Phase 2: the SAME problem with its jobs permuted, no budget. The
+  // canonical cache recognizes it; the accepted line announces the warm
+  // start and the engine's recorded starting bound IS the cached
+  // incumbent — the search resumed below it instead of re-seeding NEH.
+  const std::vector<fsp::JobId> shuffle = {7, 2, 9, 0, 11, 4, 1, 10,
+                                           3, 8, 5, 6};
+  const fsp::Instance b = relabeled(a, shuffle, "warm-b");
+  client->handle_line(submit_line("second", b, "--backend cpu-serial", "t"));
+  const JsonValue accepted = JsonValue::parse(
+      out.wait_for({"\"event\":\"accepted\"", "\"id\":\"second\""}));
+  EXPECT_EQ(accepted.string_or("cache", ""), "warm");
+  EXPECT_EQ(accepted.int_or("warm_ub", -1), cached_ub);
+
+  const JsonValue second = JsonValue::parse(
+      out.wait_for({"\"event\":\"result\"", "\"id\":\"second\""}));
+  ASSERT_TRUE(second.bool_or("ok", false));
+  EXPECT_EQ(second.string_or("stop_reason", ""), "optimal");
+  const JsonValue* second_report = second.find("report");
+  EXPECT_TRUE(second_report->find("result")->bool_or("proven_optimal",
+                                                     false));
+  EXPECT_EQ(second_report->find("stats")->int_or("initial_ub", -1),
+            cached_ub);
+
+  // Identical optimum to a from-scratch solve of the permuted instance,
+  // with a schedule that actually achieves it in b's labels.
+  api::SolverConfig reference;
+  reference.backend = "cpu-serial";
+  const fsp::Time expected = api::Solver(reference).solve(b).best_makespan;
+  const std::int64_t optimum =
+      second_report->find("result")->int_or("best_makespan", -1);
+  EXPECT_EQ(optimum, expected);
+  EXPECT_LE(optimum, cached_ub);
+  const std::vector<fsp::JobId> perm = permutation_from(*second_report);
+  ASSERT_TRUE(fsp::is_valid_permutation(b, perm));
+  EXPECT_EQ(fsp::makespan(b, perm), static_cast<fsp::Time>(optimum));
+
+  // Phase 3: the optimum is now cached as proven — a re-submit is
+  // answered from the cache without touching the service.
+  const std::uint64_t solved_before = server.service().jobs_submitted();
+  client->handle_line(submit_line("third", b, "--backend cpu-serial", "t"));
+  const JsonValue third = JsonValue::parse(
+      out.wait_for({"\"event\":\"result\"", "\"id\":\"third\""}));
+  EXPECT_EQ(third.string_or("cache", ""), "exact");
+  EXPECT_EQ(third.find("report")->string_or("backend", ""), "cache");
+  EXPECT_EQ(third.find("report")->find("result")->int_or("best_makespan", -1),
+            optimum);
+  EXPECT_EQ(server.service().jobs_submitted(), solved_before);
+
+  const JsonValue metrics = JsonValue::parse(server.metrics_json());
+  const JsonValue* cache = metrics.find("cache");
+  EXPECT_EQ(cache->int_or("warm_starts", -1), 1);
+  EXPECT_EQ(cache->int_or("exact_hits", -1), 1);
+  EXPECT_GE(cache->int_or("insertions", -1), 2);  // budget run + optimum
+  client->drain();
+}
+
+TEST(ServeIntegration, OverQuotaTenantRejectedWhileOthersProceed) {
+  ServerOptions options;
+  options.workers = 2;
+  options.quiet_progress = true;
+  options.admission.max_tenant_jobs = 1;
+  Server server(options);
+  LineCollector out;
+  auto client = std::make_shared<Client>(server, out.sink());
+
+  // Tenant alpha occupies its whole quota with one long search.
+  client->handle_line(
+      R"({"op":"submit","id":"long","tenant":"alpha",)"
+      R"("cli":"--jobs 14 --machines 10 --seed 777 --ub 1000000"})");
+  out.wait_for({"\"event\":\"accepted\"", "\"id\":\"long\""});
+
+  // Alpha's second request bounces with a structured reason + hint...
+  client->handle_line(
+      R"({"op":"submit","id":"extra","tenant":"alpha",)"
+      R"("cli":"--jobs 8 --machines 4 --seed 1"})");
+  const JsonValue rejected = JsonValue::parse(
+      out.wait_for({"\"event\":\"rejected\"", "\"id\":\"extra\""}));
+  EXPECT_EQ(rejected.string_or("reason", ""), "tenant-quota");
+  EXPECT_GE(rejected.int_or("retry_after_ms", 0), 100);
+
+  // ...while tenant beta's work lands and completes normally.
+  client->handle_line(
+      R"({"op":"submit","id":"beta1","tenant":"beta",)"
+      R"("cli":"--jobs 8 --machines 4 --seed 1"})");
+  const JsonValue beta = JsonValue::parse(
+      out.wait_for({"\"event\":\"result\"", "\"id\":\"beta1\""}));
+  EXPECT_TRUE(beta.bool_or("ok", false));
+  EXPECT_EQ(beta.string_or("stop_reason", ""), "optimal");
+
+  const JsonValue metrics = JsonValue::parse(server.metrics_json());
+  EXPECT_EQ(metrics.find("admission")->int_or("accepted", -1), 2);
+  EXPECT_EQ(
+      metrics.find("admission")->find("rejected")->int_or("tenant-quota", -1),
+      1);
+
+  // Canceling alpha's job frees the quota: the retry is admitted.
+  client->handle_line(R"({"op":"cancel","id":"long"})");
+  out.wait_for({"\"event\":\"result\"", "\"id\":\"long\""});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.admission().active_jobs("alpha") != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  client->handle_line(
+      R"({"op":"submit","id":"retry","tenant":"alpha",)"
+      R"("cli":"--jobs 8 --machines 4 --seed 2"})");
+  const JsonValue retry = JsonValue::parse(
+      out.wait_for({"\"event\":\"result\"", "\"id\":\"retry\""}));
+  EXPECT_TRUE(retry.bool_or("ok", false));
+  client->drain();
+}
+
+}  // namespace
+}  // namespace fsbb::serve

@@ -1,0 +1,94 @@
+// Admission control: per-tenant concurrency quotas, priority-scaled
+// queue shedding, structured rejections with retry-after hints, and the
+// admit/release pairing contract.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "serve/admission.h"
+
+namespace fsbb::serve {
+namespace {
+
+TEST(ServeAdmission, PriorityParsesAndRoundTrips) {
+  EXPECT_EQ(parse_priority("high"), Priority::kHigh);
+  EXPECT_EQ(parse_priority("normal"), Priority::kNormal);
+  EXPECT_EQ(parse_priority("low"), Priority::kLow);
+  EXPECT_STREQ(to_string(Priority::kLow), "low");
+  EXPECT_THROW(parse_priority("urgent"), CheckFailure);
+}
+
+TEST(ServeAdmission, TenantQuotaEnforcedPerTenant) {
+  AdmissionController admission({.max_tenant_jobs = 2, .max_queue_depth = 0});
+  EXPECT_TRUE(admission.try_admit("a", Priority::kNormal, 0, 0).admitted);
+  EXPECT_TRUE(admission.try_admit("a", Priority::kNormal, 0, 0).admitted);
+  const AdmissionDecision third =
+      admission.try_admit("a", Priority::kNormal, 0, 0);
+  EXPECT_FALSE(third.admitted);
+  EXPECT_EQ(third.reason, "tenant-quota");
+  EXPECT_GE(third.retry_after_ms, 100u);
+  EXPECT_NE(third.detail.find("'a'"), std::string::npos);
+  // Another tenant is unaffected by a's saturation.
+  EXPECT_TRUE(admission.try_admit("b", Priority::kNormal, 0, 0).admitted);
+  EXPECT_EQ(admission.active_jobs("a"), 2u);
+  EXPECT_EQ(admission.active_jobs("b"), 1u);
+  // Releasing one of a's jobs reopens the quota.
+  admission.release("a");
+  EXPECT_TRUE(admission.try_admit("a", Priority::kNormal, 0, 0).admitted);
+}
+
+TEST(ServeAdmission, RejectionDoesNotChargeTheTenant) {
+  AdmissionController admission({.max_tenant_jobs = 1, .max_queue_depth = 0});
+  EXPECT_TRUE(admission.try_admit("a", Priority::kNormal, 0, 0).admitted);
+  EXPECT_FALSE(admission.try_admit("a", Priority::kNormal, 0, 0).admitted);
+  EXPECT_EQ(admission.active_jobs("a"), 1u);
+  admission.release("a");
+  EXPECT_EQ(admission.active_jobs("a"), 0u);
+}
+
+TEST(ServeAdmission, QueueDepthShedsByPriorityClass) {
+  AdmissionController admission({.max_tenant_jobs = 0,
+                                 .max_queue_depth = 100});
+  // Low priority sheds at 50% depth, normal at 85%, high at 100%.
+  EXPECT_TRUE(admission.try_admit("t", Priority::kLow, 49, 0).admitted);
+  const AdmissionDecision low = admission.try_admit("t", Priority::kLow, 50, 0);
+  EXPECT_FALSE(low.admitted);
+  EXPECT_EQ(low.reason, "queue-full");
+
+  EXPECT_TRUE(admission.try_admit("t", Priority::kNormal, 84, 0).admitted);
+  EXPECT_FALSE(admission.try_admit("t", Priority::kNormal, 85, 0).admitted);
+
+  EXPECT_TRUE(admission.try_admit("t", Priority::kHigh, 99, 0).admitted);
+  EXPECT_FALSE(admission.try_admit("t", Priority::kHigh, 100, 0).admitted);
+}
+
+TEST(ServeAdmission, RetryHintScalesWithObservedLatencyAndBacklog) {
+  AdmissionController admission({.max_tenant_jobs = 0, .max_queue_depth = 10});
+  // 200ms median jobs, 10 deep: the hint suggests about one drained
+  // queue, capped at a minute.
+  const AdmissionDecision d =
+      admission.try_admit("t", Priority::kHigh, 10, 200.0);
+  ASSERT_FALSE(d.admitted);
+  EXPECT_EQ(d.retry_after_ms, 2000u);
+  const AdmissionDecision capped =
+      admission.try_admit("t", Priority::kHigh, 10, 1e9);
+  EXPECT_EQ(capped.retry_after_ms, 60000u);
+}
+
+TEST(ServeAdmission, ZeroQuotasMeanUnlimited) {
+  AdmissionController admission({.max_tenant_jobs = 0, .max_queue_depth = 0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(
+        admission.try_admit("t", Priority::kLow, 1000000, 0).admitted);
+  }
+}
+
+TEST(ServeAdmission, UnmatchedReleaseThrows) {
+  AdmissionController admission({.max_tenant_jobs = 2, .max_queue_depth = 0});
+  EXPECT_THROW(admission.release("ghost"), CheckFailure);
+  ASSERT_TRUE(admission.try_admit("a", Priority::kNormal, 0, 0).admitted);
+  admission.release("a");
+  EXPECT_THROW(admission.release("a"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fsbb::serve

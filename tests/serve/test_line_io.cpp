@@ -1,0 +1,114 @@
+// Bounded line reading: both primitives cap memory per request line,
+// discard over-long lines (surfacing a marker instead of dying or
+// buffering without limit), normalize CRLF, and keep the stream usable
+// for the next well-behaved line.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "serve/line_io.h"
+
+namespace fsbb::serve {
+namespace {
+
+std::vector<BoundedLineReader::Line> feed_str(BoundedLineReader& reader,
+                                              const std::string& bytes) {
+  return reader.feed(bytes.data(), bytes.size());
+}
+
+TEST(ServeLineIO, ReaderSplitsLinesAcrossArbitraryChunks) {
+  BoundedLineReader reader(64);
+  auto first = feed_str(reader, "{\"op\":\"st");
+  EXPECT_TRUE(first.empty());
+  EXPECT_EQ(reader.pending(), 9u);
+  auto rest = feed_str(reader, "atus\"}\n{\"op\":\"metrics\"}\npartial");
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].text, "{\"op\":\"status\"}");
+  EXPECT_EQ(rest[1].text, "{\"op\":\"metrics\"}");
+  EXPECT_FALSE(rest[0].oversized);
+  EXPECT_EQ(reader.pending(), 7u);  // "partial" still buffered
+  auto tail = feed_str(reader, "\n");
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].text, "partial");
+}
+
+TEST(ServeLineIO, ReaderNormalizesCrlfAndDropsBlankLines) {
+  BoundedLineReader reader(64);
+  auto lines = feed_str(reader, "a\r\n\r\n\nb\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "a");
+  EXPECT_EQ(lines[1].text, "b");
+}
+
+TEST(ServeLineIO, ReaderDiscardsOversizedLineAndRecovers) {
+  BoundedLineReader reader(8);
+  // One oversized line streamed in several chunks: exactly one marker,
+  // no accumulation, and the following line parses normally.
+  auto a = feed_str(reader, "0123456789");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_TRUE(a[0].oversized);
+  auto b = feed_str(reader, "more-of-the-same");
+  EXPECT_TRUE(b.empty());  // still the same discarded line
+  EXPECT_EQ(reader.pending(), 0u);
+  auto c = feed_str(reader, "tail\nok\n");
+  ASSERT_EQ(c.size(), 1u);  // "tail" belongs to the discarded line
+  EXPECT_EQ(c[0].text, "ok");
+  EXPECT_FALSE(c[0].oversized);
+}
+
+TEST(ServeLineIO, ReaderEmitsOneMarkerPerOversizedLine) {
+  BoundedLineReader reader(4);
+  auto lines = feed_str(reader, "toolong1\nalsotoolong\nok\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(lines[0].oversized);
+  EXPECT_TRUE(lines[1].oversized);
+  EXPECT_EQ(lines[2].text, "ok");
+}
+
+TEST(ServeLineIO, ReaderRejectsTinyCap) {
+  EXPECT_THROW(BoundedLineReader(1), CheckFailure);
+}
+
+TEST(ServeLineIO, StreamReadsLinesWithinCap) {
+  std::istringstream in("first\nsecond\n");
+  std::string line;
+  EXPECT_EQ(read_line_bounded(in, line, 32), LineStatus::kLine);
+  EXPECT_EQ(line, "first");
+  EXPECT_EQ(read_line_bounded(in, line, 32), LineStatus::kLine);
+  EXPECT_EQ(line, "second");
+  EXPECT_EQ(read_line_bounded(in, line, 32), LineStatus::kEof);
+}
+
+TEST(ServeLineIO, StreamSkipsOversizedLineAndContinues) {
+  std::istringstream in(std::string(10000, 'x') + "\nok\n");
+  std::string line;
+  EXPECT_EQ(read_line_bounded(in, line, 64), LineStatus::kOversized);
+  EXPECT_EQ(read_line_bounded(in, line, 64), LineStatus::kLine);
+  EXPECT_EQ(line, "ok");
+}
+
+TEST(ServeLineIO, StreamHandlesLinesLongerThanInternalChunk) {
+  // Longer than the 4096-byte getline chunk but within the cap: must
+  // come back intact, not truncated or flagged.
+  const std::string big(6000, 'y');
+  std::istringstream in(big + "\nnext\n");
+  std::string line;
+  EXPECT_EQ(read_line_bounded(in, line, 1 << 20), LineStatus::kLine);
+  EXPECT_EQ(line, big);
+  EXPECT_EQ(read_line_bounded(in, line, 1 << 20), LineStatus::kLine);
+  EXPECT_EQ(line, "next");
+}
+
+TEST(ServeLineIO, StreamReturnsFinalUnterminatedLine) {
+  std::istringstream in("no-newline-at-eof");
+  std::string line;
+  EXPECT_EQ(read_line_bounded(in, line, 64), LineStatus::kLine);
+  EXPECT_EQ(line, "no-newline-at-eof");
+  EXPECT_EQ(read_line_bounded(in, line, 64), LineStatus::kEof);
+}
+
+}  // namespace
+}  // namespace fsbb::serve

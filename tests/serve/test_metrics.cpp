@@ -1,0 +1,111 @@
+// serve::Metrics: counters aggregate, latency quantiles are bucket-exact,
+// and the JSON export carries every section the `metrics` request (and
+// the CI smoke test) reads.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "serve/metrics.h"
+
+namespace fsbb::serve {
+namespace {
+
+TEST(ServeMetrics, QuantilesFromGeometricBuckets) {
+  Metrics metrics;
+  EXPECT_EQ(metrics.latency_quantile_ms(0.5), 0);
+  // 9 fast jobs and one slow one: p50 stays near the fast cluster, p99
+  // lands in the slow bucket (clamped to the observed max).
+  for (int i = 0; i < 9; ++i) {
+    metrics.record_completion("cpu-serial", true, core::StopReason::kOptimal,
+                              10.0, 100);
+  }
+  metrics.record_completion("cpu-serial", true, core::StopReason::kOptimal,
+                            5000.0, 100);
+  const double p50 = metrics.p50_latency_ms();
+  const double p99 = metrics.latency_quantile_ms(0.99);
+  EXPECT_GT(p50, 5.0);
+  EXPECT_LT(p50, 20.0);
+  EXPECT_GT(p99, 1000.0);
+  EXPECT_LE(p99, 5000.0);
+  EXPECT_EQ(metrics.completions(), 10u);
+}
+
+TEST(ServeMetrics, CountersShowUpInJson) {
+  Metrics metrics;
+  metrics.record_submit_accepted();
+  metrics.record_submit_accepted();
+  metrics.record_admission_reject("tenant-quota");
+  metrics.record_admission_reject("queue-full");
+  metrics.record_admission_reject("queue-full");
+  metrics.record_cache_exact_hit();
+  metrics.record_cache_warm_start();
+  metrics.record_cache_miss();
+  metrics.record_cache_insert();
+  metrics.record_connection_opened();
+  metrics.record_connection_rejected();
+  metrics.record_idle_timeout();
+  metrics.record_protocol_error();
+  metrics.record_oversized_line();
+  metrics.record_completion("gpu-sim", true, core::StopReason::kBudget, 12.5,
+                            400);
+  metrics.record_completion("gpu-sim", false, core::StopReason::kCanceled,
+                            1.0, 0);
+
+  api::QueueSnapshot queue;
+  queue.queued = 3;
+  queue.running = 2;
+  const JsonValue root = JsonValue::parse(metrics.to_json(queue, 7));
+
+  const JsonValue* admission = root.find("admission");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_EQ(admission->int_or("accepted", -1), 2);
+  EXPECT_EQ(admission->find("rejected")->int_or("tenant-quota", -1), 1);
+  EXPECT_EQ(admission->find("rejected")->int_or("queue-full", -1), 2);
+
+  const JsonValue* cache = root.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->int_or("exact_hits", -1), 1);
+  EXPECT_EQ(cache->int_or("warm_starts", -1), 1);
+  EXPECT_EQ(cache->int_or("misses", -1), 1);
+  EXPECT_EQ(cache->int_or("insertions", -1), 1);
+  EXPECT_EQ(cache->int_or("entries", -1), 7);
+
+  EXPECT_EQ(root.find("queue")->int_or("queued", -1), 3);
+  EXPECT_EQ(root.find("latency_ms")->int_or("count", -1), 2);
+
+  const JsonValue* backend = root.find("backends")->find("gpu-sim");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->int_or("jobs", -1), 2);
+  EXPECT_EQ(backend->int_or("failed", -1), 1);
+  EXPECT_EQ(backend->int_or("nodes", -1), 400);
+
+  EXPECT_EQ(root.find("stop_reasons")->int_or("budget", -1), 1);
+  const JsonValue* connections = root.find("connections");
+  EXPECT_EQ(connections->int_or("opened", -1), 1);
+  EXPECT_EQ(connections->int_or("rejected", -1), 1);
+  EXPECT_EQ(connections->int_or("idle_timeouts", -1), 1);
+  const JsonValue* errors = root.find("errors");
+  EXPECT_EQ(errors->int_or("malformed_requests", -1), 1);
+  EXPECT_EQ(errors->int_or("oversized_lines", -1), 1);
+
+  EXPECT_EQ(metrics.admission_rejects(), 3u);
+  EXPECT_EQ(metrics.cache_exact_hits(), 1u);
+  EXPECT_EQ(metrics.cache_warm_starts(), 1u);
+}
+
+TEST(ServeMetrics, LogLineIsCompactAndPopulated) {
+  Metrics metrics;
+  metrics.record_submit_accepted();
+  metrics.record_completion("cpu-serial", true, core::StopReason::kOptimal,
+                            3.0, 10);
+  api::QueueSnapshot queue;
+  queue.queued = 1;
+  const std::string line = metrics.log_line(queue, 4);
+  EXPECT_NE(line.find("[serve]"), std::string::npos);
+  EXPECT_NE(line.find("queued=1"), std::string::npos);
+  EXPECT_NE(line.find("accepted=1"), std::string::npos);
+  EXPECT_NE(line.find("p50="), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsbb::serve

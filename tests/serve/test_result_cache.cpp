@@ -1,0 +1,146 @@
+// Result cache: canonical-form keying merges relabeled/reversed twins
+// into one entry, hits translate schedules into the requester's labels
+// and re-verify them, better results replace worse ones, and the LRU
+// bound holds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "fsp/makespan.h"
+#include "fsp/taillard.h"
+#include "serve/result_cache.h"
+
+namespace fsbb::serve {
+namespace {
+
+fsp::Instance base_instance(std::int32_t seed,
+                            const std::string& name = "rc-base") {
+  return fsp::make_taillard_instance(9, 5, seed, name);
+}
+
+/// The same problem with relabeled jobs and (optionally) the machine
+/// axis reversed — the two symmetries the canonical digest quotients by.
+fsp::Instance transformed(const fsp::Instance& inst,
+                          const std::vector<fsp::JobId>& perm,
+                          bool reverse_machines, const std::string& name) {
+  const int n = inst.jobs();
+  const int m = inst.machines();
+  Matrix<fsp::Time> pt(static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(m));
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < m; ++k) {
+      pt(static_cast<std::size_t>(j), static_cast<std::size_t>(k)) =
+          inst.pt(perm[static_cast<std::size_t>(j)],
+                  reverse_machines ? m - 1 - k : k);
+    }
+  }
+  return fsp::Instance(name, std::move(pt));
+}
+
+/// Inserts the identity schedule of `inst` (with its true makespan).
+fsp::Time insert_identity(ResultCache& cache, const fsp::Instance& inst,
+                          bool proven) {
+  const fsp::CanonicalForm form = fsp::CanonicalForm::of(inst);
+  const std::vector<fsp::JobId> identity =
+      fsp::identity_permutation(inst.jobs());
+  const fsp::Time ms = fsp::makespan(inst, identity);
+  EXPECT_TRUE(cache.insert(inst, form, ms, identity, proven));
+  return ms;
+}
+
+TEST(ServeResultCache, MissOnEmptyAndHitAfterInsert) {
+  ResultCache cache({.capacity = 4});
+  const fsp::Instance inst = base_instance(11);
+  const fsp::CanonicalForm form = fsp::CanonicalForm::of(inst);
+  EXPECT_FALSE(cache.lookup(inst, form).has_value());
+  const fsp::Time ms = insert_identity(cache, inst, true);
+  const auto hit = cache.lookup(inst, form);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->makespan, ms);
+  EXPECT_TRUE(hit->proven_optimal);
+  EXPECT_EQ(hit->source_instance, "rc-base");
+  EXPECT_EQ(fsp::makespan(inst, hit->permutation), ms);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ServeResultCache, RelabeledTwinHitsTheSameEntryWithTranslatedSchedule) {
+  ResultCache cache({.capacity = 4});
+  const fsp::Instance a = base_instance(22, "twin-a");
+  insert_identity(cache, a, false);
+
+  // Same problem, jobs listed in a different order (and reversed
+  // machines): one cache entry serves both, and the returned schedule is
+  // valid *in the twin's labels* with the same makespan.
+  const std::vector<fsp::JobId> relabel = {4, 7, 1, 0, 8, 3, 6, 2, 5};
+  const fsp::Instance b = transformed(a, relabel, true, "twin-b");
+  const fsp::CanonicalForm form_b = fsp::CanonicalForm::of(b);
+  const auto hit = cache.lookup(b, form_b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(fsp::is_valid_permutation(b, hit->permutation));
+  EXPECT_EQ(fsp::makespan(b, hit->permutation), hit->makespan);
+  EXPECT_EQ(hit->source_instance, "twin-a");
+  EXPECT_EQ(cache.size(), 1u);  // no second entry for the twin
+}
+
+TEST(ServeResultCache, LowerMakespanReplacesAndProvenUpgrades) {
+  ResultCache cache({.capacity = 4});
+  const fsp::Instance inst = base_instance(33);
+  const fsp::CanonicalForm form = fsp::CanonicalForm::of(inst);
+  const std::vector<fsp::JobId> identity =
+      fsp::identity_permutation(inst.jobs());
+  const fsp::Time identity_ms = fsp::makespan(inst, identity);
+
+  // A worse schedule: identity reversed (whatever its makespan, inserting
+  // the identity at a strictly lower value afterwards must win; first
+  // find any ordering pair where the makespans differ).
+  std::vector<fsp::JobId> worse = identity;
+  std::reverse(worse.begin(), worse.end());
+  const fsp::Time worse_ms = fsp::makespan(inst, worse);
+  const auto& better_perm = worse_ms < identity_ms ? worse : identity;
+  const auto& worse_perm = worse_ms < identity_ms ? identity : worse;
+  const fsp::Time better_ms = std::min(worse_ms, identity_ms);
+  const fsp::Time worse_val = std::max(worse_ms, identity_ms);
+  ASSERT_NE(better_ms, worse_val) << "pick a seed with distinct makespans";
+
+  ASSERT_TRUE(cache.insert(inst, form, worse_val, worse_perm, false));
+  // Worse (higher) result does not replace.
+  EXPECT_FALSE(cache.insert(inst, form, worse_val, worse_perm, false));
+  // Strictly better one does.
+  EXPECT_TRUE(cache.insert(inst, form, better_ms, better_perm, false));
+  EXPECT_EQ(cache.lookup(inst, form)->makespan, better_ms);
+  EXPECT_FALSE(cache.lookup(inst, form)->proven_optimal);
+  // Equal makespan + proven optimality upgrades the claim.
+  EXPECT_TRUE(cache.insert(inst, form, better_ms, better_perm, true));
+  EXPECT_TRUE(cache.lookup(inst, form)->proven_optimal);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ServeResultCache, EmptyScheduleIsIgnored) {
+  ResultCache cache({.capacity = 4});
+  const fsp::Instance inst = base_instance(44);
+  const fsp::CanonicalForm form = fsp::CanonicalForm::of(inst);
+  EXPECT_FALSE(cache.insert(inst, form, 123, {}, false));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ServeResultCache, LruEvictsOldestBeyondCapacity) {
+  ResultCache cache({.capacity = 2});
+  const fsp::Instance a = base_instance(1, "lru-a");
+  const fsp::Instance b = base_instance(2, "lru-b");
+  const fsp::Instance c = base_instance(3, "lru-c");
+  insert_identity(cache, a, true);
+  insert_identity(cache, b, true);
+  // Touch a so b becomes the least recently used, then insert c.
+  EXPECT_TRUE(cache.lookup(a, fsp::CanonicalForm::of(a)).has_value());
+  insert_identity(cache, c, true);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(a, fsp::CanonicalForm::of(a)).has_value());
+  EXPECT_FALSE(cache.lookup(b, fsp::CanonicalForm::of(b)).has_value());
+  EXPECT_TRUE(cache.lookup(c, fsp::CanonicalForm::of(c)).has_value());
+}
+
+}  // namespace
+}  // namespace fsbb::serve

@@ -1,329 +1,186 @@
-// fsbb_serve — the long-running NDJSON job daemon over api::SolverService.
+// fsbb_serve — the long-running NDJSON solve server (stdio or TCP).
 //
-// Reads one JSON request object per stdin line, multiplexes the submitted
-// jobs over the service's worker pool, and emits one JSON event object per
-// stdout line (NDJSON both ways). This is the process-level front door of
-// the library: a scheduler, queue or socket bridge talks to a pool of
-// fsbb_serve processes without linking anything.
+// Front door of the library as a process: requests are one JSON object
+// per line, events are one JSON object per line (NDJSON both ways). The
+// protocol and all multi-tenant behavior — per-tenant admission quotas,
+// the canonical-instance result cache with incumbent warm starts, the
+// metrics registry — live in src/serve/; this file only wires a
+// transport to it:
+//
+//   fsbb_serve                 stdio daemon: one peer over stdin/stdout
+//   fsbb_serve --listen 5555   TCP server on 127.0.0.1:5555, any number
+//                              of concurrent connections multiplexed
+//                              onto one solver pool + one result cache
+//   fsbb_serve --listen 0      ephemeral port; the first stdout line is
+//                              {"event":"listening","port":N}
 //
 // Flags:
 //   --workers N               concurrent jobs (default 8)
 //   --quiet-progress          suppress progress events (results still flow)
-//   --worker                  distributed worker mode: speak the dist/
-//                             shard protocol (solve/inject_incumbent/
-//                             checkpoint/recall) instead of the job-daemon
-//                             protocol below; see src/dist/worker.h
+//   --listen PORT             TCP mode on 127.0.0.1 (0 = ephemeral)
+//   --max-line-bytes N        request-line cap, both modes (default 1 MiB);
+//                             longer lines answer {"event":"error",...}
+//   --max-tenant-jobs N       per-tenant concurrent job quota (default 4,
+//                             0 = unlimited)
+//   --max-queue-depth N       service backlog ceiling (default 256, 0 =
+//                             unlimited; low-priority sheds at 50%,
+//                             normal at 85%)
+//   --idle-timeout-ms N       TCP: drop connections idle this long (0 = off)
+//   --max-connections N       TCP: concurrent connections (default 64)
+//   --cache-capacity N        canonical result-cache entries (default 1024)
+//   --metrics-interval-ms N   log a metrics line to stderr this often
+//   --allow-remote-shutdown   TCP: {"op":"shutdown"} stops the whole
+//                             server instead of one session (CI teardown)
+//   --worker                  distributed worker mode (dist/ shard
+//                             protocol; see src/dist/worker.h)
 //
 // Requests:
-//   {"op":"submit","id":"j1","cli":"--jobs 12 --machines 8 --backend cpu-steal"}
-//   {"op":"submit","id":"j2","cli":["--ta","1","--deadline-ms","500"]}
+//   {"op":"submit","id":"j1","cli":"--jobs 12 --machines 8 --backend cpu-steal",
+//    "tenant":"acme","priority":"low","cache":"use"}
+//   {"op":"submit","id":"j2","cli":"--backend cpu-steal",
+//    "instance":{"name":"acme-1","ptm":[[5,3,2],[1,4,4]]}}   explicit matrix
 //   {"op":"cancel","id":"j1"}
-//   {"op":"status"}              one status event per known job
-//   {"op":"status","id":"j2"}
-//   {"op":"shutdown"}            cancel everything, drain, exit
-//   (EOF waits for in-flight jobs, then exits.)
+//   {"op":"status"}            one status event per known job
+//   {"op":"metrics"}           full serve::Metrics registry + queue snapshot
+//   {"op":"shutdown"}          stdio: cancel everything, drain, exit;
+//                              TCP: close this session (see above)
+//   (stdio EOF waits for in-flight jobs, then exits.)
 //
 // The "cli" payload is the exact flag language of fsbb_solve /
-// SolverConfig::from_argv — one config surface for every front end.
+// SolverConfig::from_argv — one config surface for every front end; the
+// top-level "tenant"/"priority" fields override their cli equivalents.
 //
-// Job ids are forgotten once their result event streamed (the daemon does
-// not accumulate finished jobs), so an id may be reused afterwards; a
-// resubmit racing the eviction by a hair can be rejected with "job id
-// already in use" — retry after the result line.
-//
-// Events (all single-line JSON):
-//   {"event":"accepted","id":"j1","job":1}
-//   {"event":"rejected","id":"j1","error":"..."}
-//   {"event":"progress","id":"j1","data":{...ProgressEvent...}}
-//   {"event":"result","id":"j1","ok":true,"stop_reason":"optimal",
-//    "report":{...SolveReport...}}
-//   {"event":"result","id":"j1","ok":false,"error":"..."}
-//   {"event":"status","id":"j1","state":"running"}
-//   {"event":"error","error":"..."}        (malformed request)
+// Events: accepted (with tenant/priority/cache disposition), rejected
+// (admission rejects carry "reason" + "retry_after_ms"), progress,
+// result, status, metrics, error. Job ids are forgotten once their
+// result event streamed, so an id may be reused afterwards.
+#include <csignal>
 #include <iostream>
-#include <map>
 #include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "api/service.h"
-#include "api/solver_config.h"
 #include "common/cli.h"
 #include "common/json.h"
-#include "common/mutex.h"
 #include "dist/transport.h"
 #include "dist/worker.h"
+#include "serve/line_io.h"
+#include "serve/listener.h"
+#include "serve/server.h"
 
 namespace {
 
 using namespace fsbb;
 
-/// Serializes stdout so events from concurrent jobs never interleave.
-class EventWriter {
- public:
-  void line(const std::string& json) {
-    const LockGuard lock(mu_);
-    std::cout << json << "\n" << std::flush;
+serve::Listener* g_listener = nullptr;
+
+void handle_signal(int) {
+  if (g_listener != nullptr) g_listener->request_stop();
+}
+
+std::size_t size_flag(const CliArgs& args, const std::string& name,
+                      std::int64_t fallback, std::int64_t min_value) {
+  const std::int64_t v = args.get_int_or(name, fallback);
+  if (v < min_value) {
+    throw CheckFailure("--" + name + " must be >= " +
+                       std::to_string(min_value));
   }
+  return static_cast<std::size_t>(v);
+}
 
- private:
-  Mutex mu_;
-};
+int run_stdio(serve::Server& server) {
+  auto client = std::make_shared<serve::Client>(
+      server, [](const std::string& json) {
+        // The Client serializes sink calls; this just writes.
+        std::cout << json << "\n" << std::flush;
+      });
 
-/// Envelope helper: {"event":<event>,"id":<id>, ...extras}.
-JsonWriter envelope(const std::string& event, const std::string& id) {
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown) {
+    const serve::LineStatus status = serve::read_line_bounded(
+        std::cin, line, server.options().max_line_bytes);
+    if (status == serve::LineStatus::kEof) break;
+    if (status == serve::LineStatus::kOversized) {
+      client->handle_oversized_line();
+      continue;
+    }
+    // CRLF clients (netcat -C, telnet, Windows pipes) terminate every
+    // line with \r\n, and interactive sessions send blank keep-alive
+    // lines; neither must reach the JSON parser.
+    if (!dist::normalize_transport_line(line)) continue;
+    shutdown = client->handle_line(line) == serve::Client::Action::kShutdown;
+  }
+  if (shutdown) client->cancel_all();  // explicit shutdown: stop everything
+  client->drain();  // EOF: let in-flight jobs finish, results still stream
+  return 0;
+}
+
+int run_listener(serve::Server& server, std::uint16_t port) {
+  serve::Listener listener(server, {.port = port});
+  g_listener = &listener;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
   JsonWriter o;
-  o.str("event", event);
-  o.str("id", id);
-  return o;
-}
+  o.str("event", "listening");
+  o.integer("port", listener.port());
+  std::cout << o.done() << "\n" << std::flush;
 
-/// Splits a "cli" payload (string or array of strings) into argv tokens.
-std::vector<std::string> cli_tokens(const JsonValue& cli) {
-  std::vector<std::string> tokens;
-  if (cli.is_array()) {
-    for (const JsonValue& item : cli.as_array()) {
-      tokens.push_back(item.as_string());
-    }
-    return tokens;
-  }
-  std::istringstream stream(cli.as_string());
-  std::string token;
-  while (stream >> token) tokens.push_back(token);
-  return tokens;
-}
-
-api::SolverConfig config_from_cli_tokens(const std::vector<std::string>& tokens) {
-  std::vector<const char*> argv{"fsbb_serve"};
-  argv.reserve(tokens.size() + 1);
-  for (const std::string& t : tokens) argv.push_back(t.c_str());
-  return api::SolverConfig::from_argv(static_cast<int>(argv.size()),
-                                      argv.data());
-}
-
-class Daemon {
- public:
-  Daemon(std::size_t workers, bool quiet_progress)
-      : quiet_progress_(quiet_progress),
-        service_(api::SolverService::Options{workers}) {}
-
-  /// Handles one request line. Returns false on shutdown.
-  bool handle_line(const std::string& line);
-
-  /// Blocks until every accepted job reached a terminal state.
-  void drain() {
-    std::vector<api::SolveHandle> handles;
-    {
-      const LockGuard lock(mu_);
-      for (auto& [id, handle] : jobs_) handles.push_back(handle);
-    }
-    for (api::SolveHandle& handle : handles) handle.wait();
-  }
-
-  void cancel_all() {
-    const LockGuard lock(mu_);
-    for (auto& [id, handle] : jobs_) handle.cancel();
-  }
-
- private:
-  void submit(const JsonValue& request);
-  void cancel(const JsonValue& request);
-  void status(const JsonValue& request);
-
-  void reject(const std::string& id, const std::string& error) {
-    JsonWriter o = envelope("rejected", id);
-    o.str("error", error);
-    out_.line(o.done());
-  }
-
-  EventWriter out_;
-  const bool quiet_progress_;
-  Mutex mu_;
-  std::map<std::string, api::SolveHandle> jobs_ FSBB_GUARDED_BY(mu_);
-  api::SolverService service_;  // last member: workers stop first
-};
-
-void Daemon::submit(const JsonValue& request) {
-  const std::string id = request.string_or("id", "");
-  if (id.empty()) {
-    reject(id, "submit needs a non-empty \"id\"");
-    return;
-  }
-  const JsonValue* cli = request.find("cli");
-  if (cli == nullptr) {
-    reject(id, "submit needs a \"cli\" string or array");
-    return;
-  }
-  {
-    const LockGuard lock(mu_);
-    if (jobs_.count(id) != 0) {
-      reject(id, "job id already in use");
-      return;
-    }
-  }
-
-  // The job may start (and even finish) on a worker thread before this
-  // thread prints the accepted line; every callback takes this gate, which
-  // is held until the accepted line is out — so the event stream always
-  // reads accepted → progress* → result for each id.
-  auto gate = std::make_shared<Mutex>();
-  const LockGuard announcing(*gate);
-
-  api::SolveHandle handle;
-  try {
-    const api::SolverConfig config = config_from_cli_tokens(cli_tokens(*cli));
-    const std::vector<fsp::Instance> instances =
-        api::make_instances(config.instance);
-    if (instances.size() != 1) {
-      reject(id, "submit solves exactly one instance per job (got --count " +
-                     std::to_string(instances.size()) + "); submit one job "
-                     "per instance instead");
-      return;
-    }
-    api::SolverService::EventCallback on_event;
-    if (!quiet_progress_) {
-      on_event = [this, id, gate](const api::ProgressEvent& event) {
-        if (event.kind == api::ProgressEvent::Kind::kFinished) return;
-        const LockGuard announced(*gate);
-        JsonWriter o = envelope("progress", id);
-        o.field("data", event.to_json());
-        out_.line(o.done());
-      };
-    }
-    auto on_complete = [this, id, gate](const api::SolveOutcome& outcome) {
-      {
-        const LockGuard announced(*gate);
-        JsonWriter o = envelope("result", id);
-        o.boolean("ok", outcome.ok());
-        if (outcome.ok()) {
-          o.str("stop_reason", core::to_string(outcome.report->stop_reason));
-          o.field("report", outcome.report->to_json());
-        } else {
-          o.str("error", outcome.error);
-        }
-        out_.line(o.done());
-      }
-      // The result streamed: forget the job so a long-running daemon does
-      // not accumulate every instance + report it ever solved. (status /
-      // cancel afterwards answer "unknown job id" — the job is done.)
-      const LockGuard lock(mu_);
-      jobs_.erase(id);
-    };
-    handle = service_.submit(instances.front(), config, std::move(on_event),
-                             std::move(on_complete));
-  } catch (const std::exception& e) {
-    reject(id, e.what());
-    return;
-  }
-
-  {
-    const LockGuard lock(mu_);
-    jobs_.emplace(id, handle);
-  }
-  JsonWriter o = envelope("accepted", id);
-  o.integer("job", handle.id());
-  out_.line(o.done());
-}
-
-void Daemon::cancel(const JsonValue& request) {
-  const std::string id = request.string_or("id", "");
-  api::SolveHandle handle;
-  {
-    const LockGuard lock(mu_);
-    const auto it = jobs_.find(id);
-    if (it == jobs_.end()) {
-      reject(id, "unknown job id");
-      return;
-    }
-    handle = it->second;
-  }
-  handle.cancel();
-  out_.line(envelope("canceling", id).done());
-}
-
-void Daemon::status(const JsonValue& request) {
-  const std::string id = request.string_or("id", "");
-  std::vector<std::pair<std::string, api::SolveHandle>> selected;
-  {
-    const LockGuard lock(mu_);
-    for (auto& [job_id, handle] : jobs_) {
-      if (id.empty() || job_id == id) selected.emplace_back(job_id, handle);
-    }
-  }
-  if (!id.empty() && selected.empty()) {
-    reject(id, "unknown job id");
-    return;
-  }
-  for (auto& [job_id, handle] : selected) {
-    JsonWriter o = envelope("status", job_id);
-    o.str("state", api::to_string(handle.state()));
-    out_.line(o.done());
-  }
-}
-
-bool Daemon::handle_line(const std::string& line) {
-  JsonValue request;
-  try {
-    request = JsonValue::parse(line);
-  } catch (const std::exception& e) {
-    JsonWriter o;
-    o.str("event", "error");
-    o.str("error", e.what());
-    out_.line(o.done());
-    return true;
-  }
-  const std::string op = request.string_or("op", "");
-  if (op == "submit") {
-    submit(request);
-  } else if (op == "cancel") {
-    cancel(request);
-  } else if (op == "status") {
-    status(request);
-  } else if (op == "shutdown") {
-    return false;
-  } else {
-    JsonWriter o;
-    o.str("event", "error");
-    o.str("error", "unknown op '" + op + "'");
-    out_.line(o.done());
-  }
-  return true;
+  listener.serve();
+  g_listener = nullptr;
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t workers = 8;
-  bool quiet_progress = false;
+  serve::ServerOptions options;
+  bool listen = false;
+  std::uint16_t port = 0;
   try {
-    const CliArgs args =
-        CliArgs::parse(argc, argv, {"workers"}, {"quiet-progress", "worker"});
+    const CliArgs args = CliArgs::parse(
+        argc, argv,
+        {"workers", "listen", "max-line-bytes", "max-tenant-jobs",
+         "max-queue-depth", "idle-timeout-ms", "max-connections",
+         "cache-capacity", "metrics-interval-ms"},
+        {"quiet-progress", "worker", "allow-remote-shutdown"});
     if (args.has("worker")) {
       return dist::run_worker(std::cin, std::cout);
     }
-    const std::int64_t w = args.get_int_or("workers", 8);
-    if (w < 1) throw CheckFailure("--workers must be >= 1");
-    workers = static_cast<std::size_t>(w);
-    quiet_progress = args.has("quiet-progress");
+    options.workers = size_flag(args, "workers", 8, 1);
+    options.quiet_progress = args.has("quiet-progress");
+    options.max_line_bytes = size_flag(args, "max-line-bytes", 1 << 20, 2);
+    options.admission.max_tenant_jobs =
+        size_flag(args, "max-tenant-jobs", 4, 0);
+    options.admission.max_queue_depth =
+        size_flag(args, "max-queue-depth", 256, 0);
+    options.idle_timeout_ms = static_cast<std::uint64_t>(
+        size_flag(args, "idle-timeout-ms", 0, 0));
+    options.max_connections = size_flag(args, "max-connections", 64, 1);
+    options.cache.capacity = size_flag(args, "cache-capacity", 1024, 1);
+    options.metrics_interval_ms = static_cast<std::uint64_t>(
+        size_flag(args, "metrics-interval-ms", 0, 0));
+    options.allow_remote_shutdown = args.has("allow-remote-shutdown");
+    if (args.has("listen")) {
+      const std::int64_t p = args.get_int_or("listen", 0);
+      if (p < 0 || p > 65535) {
+        throw CheckFailure("--listen must be a port in [0, 65535]");
+      }
+      listen = true;
+      port = static_cast<std::uint16_t>(p);
+    }
   } catch (const std::exception& e) {
-    std::cerr << e.what() << "\nusage: fsbb_serve [--workers N] "
-                             "[--quiet-progress] [--worker]  "
-                             "(NDJSON requests on stdin)\n";
+    std::cerr << e.what()
+              << "\nusage: fsbb_serve [--workers N] [--quiet-progress]"
+                 " [--listen PORT] [--max-line-bytes N]"
+                 " [--max-tenant-jobs N] [--max-queue-depth N]"
+                 " [--idle-timeout-ms N] [--max-connections N]"
+                 " [--cache-capacity N] [--metrics-interval-ms N]"
+                 " [--allow-remote-shutdown] [--worker]"
+                 "  (NDJSON requests on stdin or the socket)\n";
     return 1;
   }
 
-  Daemon daemon(workers, quiet_progress);
-  std::string line;
-  bool keep_going = true;
-  while (keep_going && std::getline(std::cin, line)) {
-    // CRLF clients (netcat -C, telnet, Windows pipes) terminate every
-    // line with \r\n, and interactive sessions send blank keep-alive
-    // lines; neither must reach the JSON parser.
-    if (!dist::normalize_transport_line(line)) continue;
-    keep_going = daemon.handle_line(line);
-  }
-  if (!keep_going) daemon.cancel_all();  // explicit shutdown: stop everything
-  daemon.drain();  // EOF: let in-flight jobs finish, results still stream
-  return 0;
+  serve::Server server(options);
+  return listen ? run_listener(server, port) : run_stdio(server);
 }
