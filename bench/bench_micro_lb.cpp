@@ -14,6 +14,7 @@
 #include "core/subproblem.h"
 #include "fsp/johnson.h"
 #include "fsp/lb1.h"
+#include "fsp/lb2.h"
 #include "fsp/lb_one_machine.h"
 #include "fsp/makespan.h"
 #include "fsp/neh.h"
@@ -172,6 +173,67 @@ void BM_SiblingBoundsIncremental(benchmark::State& state) {
                           parent.remaining());
 }
 BENCHMARK(BM_SiblingBoundsIncremental)->Arg(4)->Arg(10)->Arg(16);
+
+// The incremental context's scalar couple-outer sweep (kept as the
+// equality oracle): the gap to BM_SiblingBoundsIncremental is the pure
+// vectorization win of the branchless position-outer sweep over the
+// pre-gathered position-major pack.
+void BM_SiblingBoundsScalarReference(benchmark::State& state) {
+  const fsp::Instance& inst = instance_for(20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  fsp::Lb1BoundContext ctx(inst, data);
+  const core::Subproblem parent =
+      parent_at_depth(inst, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ctx.set_parent(parent.prefix());
+    for (const fsp::JobId job : parent.free_jobs()) {
+      benchmark::DoNotOptimize(ctx.bound_child_reference(job));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          parent.remaining());
+}
+BENCHMARK(BM_SiblingBoundsScalarReference)->Arg(4)->Arg(10)->Arg(16);
+
+// Same comparison for LB2: per-child prefix replay vs the two-smallest
+// incremental context (one O(nm) set_parent, then O(m) minima selection
+// plus one compacted Johnson sweep per child).
+void BM_Lb2SiblingBoundsReplay(benchmark::State& state) {
+  const fsp::Instance& inst = instance_for(20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const auto lb2 = fsp::Lb2Data::build(inst);
+  fsp::Lb2Scratch scratch(inst.jobs(), inst.machines());
+  const core::Subproblem parent =
+      parent_at_depth(inst, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (int i = 0; i < parent.remaining(); ++i) {
+      const core::Subproblem child = parent.child(i);
+      benchmark::DoNotOptimize(
+          fsp::lb2_from_prefix(inst, data, lb2, child.prefix(), scratch));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          parent.remaining());
+}
+BENCHMARK(BM_Lb2SiblingBoundsReplay)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_Lb2SiblingBoundsIncremental(benchmark::State& state) {
+  const fsp::Instance& inst = instance_for(20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  const auto lb2 = fsp::Lb2Data::build(inst);
+  fsp::Lb2BoundContext ctx(inst, data, lb2);
+  const core::Subproblem parent =
+      parent_at_depth(inst, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ctx.set_parent(parent.prefix());
+    for (const fsp::JobId job : parent.free_jobs()) {
+      benchmark::DoNotOptimize(ctx.bound_child(job));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          parent.remaining());
+}
+BENCHMARK(BM_Lb2SiblingBoundsIncremental)->Arg(4)->Arg(10)->Arg(16);
 
 // --- vector vs arena node expansion ---------------------------------------
 // Child creation alone: Subproblem::child() allocates and copies a fresh

@@ -10,6 +10,9 @@
 // gap widening with the thread count as the single lock saturates —
 // work-stealing should win clearly by 8 threads.
 //
+// The work-stealing engine runs twice per row: per-shard mutex deques vs
+// the lock-free Chase–Lev deques (--deque chase-lev in the CLI).
+//
 //   $ bench_steal_scaling [--jobs N] [--machines M] [--node-budget B]
 //                         [--steal-batch K] [--victim-order ORDER]
 #include <iostream>
@@ -44,8 +47,9 @@ int main(int argc, char** argv) {
             << core::to_string(config.victim_order) << "\n\n";
 
   AsciiTable table("same workload, same node budget — engine overhead only");
-  table.set_header({"threads", "shared-pool s", "work-steal s", "steal/shared",
-                    "steals (ok/try)", "nodes stolen"});
+  table.set_header({"threads", "shared-pool s", "mutex-deque s",
+                    "chase-lev s", "cl/mutex", "steals (ok/try)",
+                    "nodes stolen"});
 
   double shared_base = 0, shared_last = 0;
   double steal_base = 0, steal_last = 0;
@@ -62,11 +66,19 @@ int main(int argc, char** argv) {
         workload.frozen.incumbent, options);
     const double shared_s = shared_timer.seconds();
 
+    options.deque = core::DequeKind::kMutex;
     const WallTimer steal_timer;
     const core::SolveResult stolen = mtbb::steal_solve_from(
         workload.inst(), workload.lb(), workload.frozen.nodes,
         workload.frozen.incumbent, options);
     const double steal_s = steal_timer.seconds();
+
+    options.deque = core::DequeKind::kChaseLev;
+    const WallTimer cl_timer;
+    const core::SolveResult cl_stolen = mtbb::steal_solve_from(
+        workload.inst(), workload.lb(), workload.frozen.nodes,
+        workload.frozen.incumbent, options);
+    const double cl_s = cl_timer.seconds();
 
     if (threads == 1) {
       shared_base = shared_s;
@@ -74,10 +86,12 @@ int main(int argc, char** argv) {
     }
     shared_last = shared_s;
     steal_last = steal_s;
-    const core::StealStats steals = stolen.steal.value_or(core::StealStats{});
+    const core::StealStats steals =
+        cl_stolen.steal.value_or(core::StealStats{});
     table.add_row(
         {std::to_string(threads), AsciiTable::num(shared_s),
-         AsciiTable::num(steal_s), AsciiTable::num(steal_s / shared_s) + "x",
+         AsciiTable::num(steal_s), AsciiTable::num(cl_s),
+         AsciiTable::num(cl_s / steal_s) + "x",
          std::to_string(steals.steal_successes) + "/" +
              std::to_string(steals.steal_attempts),
          std::to_string(steals.nodes_stolen)});

@@ -41,15 +41,18 @@ void require_bound(const BackendContext& ctx, const std::string& key,
     have += to_string(b);
   }
   std::string alternatives = "cpu-serial or callback";
-  if (want == Bound::kLb2) alternatives += " or cpu-steal";
+  if (want == Bound::kLb2) {
+    alternatives += " or cpu-threads/multicore/cpu-steal";
+  }
   FSBB_CHECK_MSG(false, "backend '" + key + "' supports --bound " + have +
                             " but got " + std::string(to_string(want)) +
                             "; use " + alternatives + " for " +
                             std::string(to_string(want)));
 }
 
-// Serial evaluator for the configured bound. LB1 gets the scratch-reusing
-// fast path; LB0/LB2 go through the callback seam (lb2 owns its tables).
+// Serial evaluator for the configured bound. LB1 and LB2 get the
+// scratch-reusing sibling fast path (the evaluator owns the lb2 tables);
+// LB0 goes through the callback seam.
 std::unique_ptr<core::BoundEvaluator> make_serial_evaluator(
     const BackendContext& ctx) {
   const fsp::Instance& inst = *ctx.instance;
@@ -68,17 +71,9 @@ std::unique_ptr<core::BoundEvaluator> make_serial_evaluator(
             return fsp::lb0_from_prefix(inst, data, sp.prefix(), *scratch);
           });
     }
-    case Bound::kLb2: {
-      auto lb2 = std::make_shared<fsp::Lb2Data>(fsp::Lb2Data::build(inst));
-      auto scratch = std::make_shared<fsp::Lb2Scratch>(inst.jobs(),
-                                                       inst.machines());
-      return std::make_unique<core::CallbackEvaluator>(
-          "lb2-serial",
-          [&inst, &data, lb2, scratch](const core::Subproblem& sp) {
-            return fsp::lb2_from_prefix(inst, data, *lb2, sp.prefix(),
-                                        *scratch);
-          });
-    }
+    case Bound::kLb2:
+      return std::make_unique<core::SerialCpuEvaluator>(
+          inst, data, fsp::Lb2Data::build(inst));
   }
   FSBB_CHECK_MSG(false, "unreachable bound");
   return nullptr;
@@ -144,6 +139,7 @@ mtbb::MtOptions mt_options(const BackendContext& ctx) {
   o.node_budget = ctx.config->node_budget;
   o.victim_order = ctx.config->victim_order;
   o.steal_batch = ctx.config->steal_batch;
+  o.deque = ctx.config->deque;
   o.control = ctx.control;
   return o;
 }
@@ -215,6 +211,19 @@ void register_builtins(BackendRegistry& r) {
                 "lb1-callback", [&inst, &data](const core::Subproblem& sp) {
                   return fsp::lb1_from_prefix(inst, data, sp.prefix());
                 });
+          } else if (ctx.config->bound == Bound::kLb2) {
+            // Stays a genuine per-node replay (no sibling seam): the
+            // differential-fuzz suite uses this backend as the replay
+            // reference against the incremental contexts.
+            auto lb2 = std::make_shared<fsp::Lb2Data>(fsp::Lb2Data::build(inst));
+            auto scratch = std::make_shared<fsp::Lb2Scratch>(inst.jobs(),
+                                                             inst.machines());
+            eval = std::make_unique<core::CallbackEvaluator>(
+                "lb2-callback",
+                [&inst, &data, lb2, scratch](const core::Subproblem& sp) {
+                  return fsp::lb2_from_prefix(inst, data, *lb2, sp.prefix(),
+                                              *scratch);
+                });
           } else {
             eval = make_serial_evaluator(ctx);
           }
@@ -222,11 +231,18 @@ void register_builtins(BackendRegistry& r) {
                                                  std::move(eval));
         });
   r.add("cpu-threads",
-        "lb1 fanned over a host thread pool (--threads); Type-1 parallelism",
+        "lb1/lb2 fanned over a host thread pool (--threads); Type-1 "
+        "parallelism",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
-          require_bound(ctx, "cpu-threads", {Bound::kLb1});
-          auto eval = std::make_unique<core::ThreadedCpuEvaluator>(
-              *ctx.instance, *ctx.data, ctx.config->threads);
+          require_bound(ctx, "cpu-threads", {Bound::kLb1, Bound::kLb2});
+          auto eval =
+              ctx.config->bound == Bound::kLb2
+                  ? std::make_unique<core::ThreadedCpuEvaluator>(
+                        *ctx.instance, *ctx.data,
+                        fsp::Lb2Data::build(*ctx.instance),
+                        ctx.config->threads)
+                  : std::make_unique<core::ThreadedCpuEvaluator>(
+                        *ctx.instance, *ctx.data, ctx.config->threads);
           return std::make_unique<EngineBackend>("cpu-threads", ctx, nullptr,
                                                  std::move(eval));
         });
@@ -260,15 +276,16 @@ void register_builtins(BackendRegistry& r) {
         });
   r.add("multicore",
         "shared-pool Pthread-style B&B over --threads workers (§V "
-        "baseline); strategy/batch/time-limit do not apply",
+        "baseline; lb1 or lb2 per --bound); strategy/batch/time-limit do "
+        "not apply",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
-          require_bound(ctx, "multicore", {Bound::kLb1});
+          require_bound(ctx, "multicore", {Bound::kLb1, Bound::kLb2});
           return std::make_unique<MulticoreBackend>(ctx);
         });
   r.add("cpu-steal",
         "work-stealing sharded-pool B&B over --threads workers "
-        "(--victim-order, --steal-batch; lb1 or lb2 per --bound); "
-        "strategy/batch/time-limit do not apply",
+        "(--victim-order, --steal-batch, --deque; lb1 or lb2 per "
+        "--bound); strategy/batch/time-limit do not apply",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
           require_bound(ctx, "cpu-steal", {Bound::kLb1, Bound::kLb2});
           return std::make_unique<StealBackend>(ctx);

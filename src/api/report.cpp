@@ -30,6 +30,7 @@ std::string config_json(const SolverConfig& c) {
   o.integer("threads", c.threads);
   o.integer("batch_workers", c.batch_workers);
   o.str("victim_order", core::to_string(c.victim_order));
+  o.str("deque", core::to_string(c.deque));
   o.integer("steal_batch", c.steal_batch);
   o.integer("block_threads", c.block_threads);
   o.str("placement", gpubb::to_string(c.placement));

@@ -89,7 +89,8 @@ const std::vector<std::string>& SolverConfig::cli_flags() {
       "threads",    "batch-workers", "block-threads", "placement",
       "device",     "ub",            "node-budget",   "time-limit",
       "ta",         "jobs",          "machines",      "seed",
-      "count",      "victim-order",  "steal-batch",   "deadline-ms",
+      "count",      "victim-order",  "steal-batch",   "deque",
+      "deadline-ms",
       "progress-interval-ms",        "gpu-pool",      "tenant",
       "priority",
   };
@@ -108,6 +109,9 @@ SolverConfig SolverConfig::from_cli(const CliArgs& args) {
     c.victim_order = core::parse_victim_order(*v);
   }
   c.steal_batch = get_count_flag(args, "steal-batch", c.steal_batch);
+  if (const auto v = args.get("deque")) {
+    c.deque = core::parse_deque_kind(*v);
+  }
   c.block_threads =
       static_cast<int>(args.get_int_or("block-threads", c.block_threads));
   if (const auto v = args.get("placement")) c.placement = parse_placement(*v);
@@ -162,6 +166,7 @@ std::vector<std::string> SolverConfig::to_cli() const {
   flag("batch-workers", std::to_string(batch_workers));
   flag("victim-order", core::to_string(victim_order));
   flag("steal-batch", std::to_string(steal_batch));
+  flag("deque", core::to_string(deque));
   flag("block-threads", std::to_string(block_threads));
   flag("placement", gpubb::to_string(placement));
   flag("gpu-pool", gpubb::to_string(gpu_pool));

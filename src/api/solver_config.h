@@ -75,6 +75,8 @@ struct SolverConfig {
   core::VictimOrder victim_order = core::VictimOrder::kRoundRobin;
   /// cpu-steal: nodes moved per successful steal (>= 1).
   std::size_t steal_batch = 4;
+  /// cpu-steal: shard deque implementation (mutex | chase-lev).
+  core::DequeKind deque = core::DequeKind::kMutex;
   /// GPU kernel block size; 0 = the placement's recommended size.
   int block_threads = 0;
   gpubb::PlacementPolicy placement = gpubb::PlacementPolicy::kAuto;

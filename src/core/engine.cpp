@@ -100,7 +100,19 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
   // Sibling mode bounds children in place (no Subproblem materialization);
   // the fallback keeps the evaluator-facing flat batch of value nodes so
   // callback bounds and the GPU staging path see exactly what they used to.
-  ResidentPool* resident = evaluator_->resident_pool();
+  // DFS mode drives whole-subtree device launches through the SubtreeDfs
+  // seam: the engine pops a set of roots, the kernel explores them with
+  // fused select/branch/bound per lane, and work only resurfaces at
+  // subtree exhaustion or the expansion-quota recall. Takes precedence
+  // over the resident pool and the sibling seam.
+  SubtreeDfs* dfs = evaluator_->subtree_dfs();
+  if (dfs != nullptr) {
+    FSBB_CHECK_MSG(options_.strategy == SelectionStrategy::kDepthFirst,
+                   "the device DFS pool explores subtrees depth-first; "
+                   "combine --gpu-pool dfs with --strategy depth-first");
+  }
+  ResidentPool* resident =
+      dfs == nullptr ? evaluator_->resident_pool() : nullptr;
   if (resident != nullptr && audit::enabled()) {
     ticket_audit = std::make_unique<audit::TicketAudit>("resident-pool");
   }
@@ -130,6 +142,8 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
 
   std::vector<Subproblem> pending_mat;   // fallback: materialized children
   std::vector<NodeRef> pending_refs;     // sibling: arena-backed children
+  std::vector<NodeRef> dfs_refs;         // dfs: roots popped for a launch
+  std::vector<DfsRoot> dfs_roots;
   std::vector<GroupExtent> extents;
   std::vector<SiblingBatch> groups;
   std::vector<ResidentGroup> rgroups;
@@ -168,6 +182,89 @@ SolveResult BBEngine::run(std::vector<Subproblem> initial, Time ub) {
     if (options_.control) {
       const Time external = options_.control->external_incumbent();
       if (external < result.best_makespan) result.best_makespan = external;
+    }
+
+    // --- DFS mode: one whole-subtree device launch per iteration ------
+    if (dfs != nullptr) {
+      // Pop the top-of-stack roots blindly: the launch performs the lazy
+      // pop-time elimination per lane, at the exact point in the serial
+      // exploration order where a batch_size-1 engine would.
+      const std::size_t want = std::min(pool->size(), dfs->max_roots());
+      dfs_refs.clear();
+      dfs_roots.clear();
+      for (std::size_t i = 0; i < want; ++i) {
+        const NodeRef node = pool->pop();
+        dfs_refs.push_back(node);
+        dfs_roots.push_back(DfsRoot{arena.perm(node.slot), node.depth,
+                                    node.lb});
+      }
+      std::uint64_t quota = std::max<std::uint64_t>(
+          1, dfs->launch_expansions());
+      // Scale the recall to the subscription: with few roots, most lanes
+      // idle while the first subtrees monopolize a big quota serially, so
+      // recall early — the surfaced deep children refill the idle lanes on
+      // the next launch. Quota placement never changes the exploration
+      // order (lanes run in serial pop order to exhaustion or recall), so
+      // counters stay bit-identical to cpu-serial for any quota sequence.
+      quota = std::min(quota, static_cast<std::uint64_t>(want) * 32);
+      quota = std::max<std::uint64_t>(1, quota);
+      if (options_.node_budget != 0) {
+        // stop_reason_now() above guarantees branched < node_budget here.
+        quota = std::min(quota,
+                         options_.node_budget - result.stats.branched);
+      }
+      DfsLaunchResult launch;
+      {
+        const WallTimer bound_timer;
+        launch = dfs->run_subtrees(result.best_makespan, dfs_roots, quota);
+        result.stats.bounding_seconds += bound_timer.seconds();
+      }
+      // Replay incumbent improvements in discovery order with exact
+      // running totals (pre-launch base + launch-local deltas): the
+      // emitted stream is bit-identical to cpu-serial's.
+      for (DfsIncumbentEvent& ev : launch.incumbents) {
+        FSBB_ASSERT(ev.makespan < result.best_makespan);
+        result.best_makespan = ev.makespan;
+        if (incumbent_audit != nullptr) incumbent_audit->observe(ev.makespan);
+        result.best_permutation = std::move(ev.permutation);
+        ++result.stats.ub_updates;
+        if (options_.control) {
+          options_.control->emit_incumbent(
+              ev.makespan, result.best_permutation,
+              result.stats.branched + ev.branched,
+              result.stats.evaluated + ev.evaluated,
+              result.stats.pruned + ev.pruned);
+        }
+      }
+      result.stats.branched += launch.stats.branched;
+      result.stats.generated += launch.stats.generated;
+      result.stats.evaluated += launch.stats.evaluated;
+      result.stats.pruned += launch.stats.pruned;
+      result.stats.leaves += launch.stats.leaves;
+      // Consumed roots died inside the launch (their live descendants, if
+      // any, came back through `surfaced`).
+      FSBB_ASSERT(launch.roots_started <= dfs_refs.size());
+      for (std::size_t i = 0; i < launch.roots_started; ++i) {
+        release_node(dfs_refs[i].slot);
+      }
+      // Rebuild the exact serial stack: LIFO means pushing in reverse pop
+      // order — untouched roots first (deepest in the stack), then the
+      // surfaced nodes so the first-to-pop ends up on top.
+      for (std::size_t i = dfs_refs.size(); i-- > launch.roots_started;) {
+        NodeRef ref = dfs_refs[i];
+        pool->push(std::move(ref));
+      }
+      for (auto it = launch.surfaced.rbegin(); it != launch.surfaced.rend();
+           ++it) {
+        pool->push(NodeRef{it->lb, it->depth, arena.adopt(*it)});
+      }
+      if (options_.control) {
+        options_.control->maybe_emit_tick(result.best_makespan,
+                                          result.stats.branched,
+                                          result.stats.evaluated,
+                                          result.stats.pruned);
+      }
+      continue;
     }
 
     // --- selection + elimination (lazy) + branching ------------------

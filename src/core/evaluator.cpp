@@ -46,10 +46,21 @@ SerialCpuEvaluator::SerialCpuEvaluator(const fsp::Instance& inst,
     : inst_(&inst), data_(&data), scratch_(inst.jobs(), inst.machines()),
       context_(inst, data) {}
 
+SerialCpuEvaluator::SerialCpuEvaluator(const fsp::Instance& inst,
+                                       const fsp::LowerBoundData& data,
+                                       fsp::Lb2Data lb2)
+    : SerialCpuEvaluator(inst, data) {
+  lb2_.emplace(std::move(lb2));
+  lb2_scratch_.emplace(inst.jobs(), inst.machines());
+  lb2_context_.emplace(inst, data, *lb2_);
+}
+
 void SerialCpuEvaluator::evaluate(std::span<Subproblem> batch) {
   const WallTimer timer;
   for (Subproblem& sp : batch) {
-    sp.lb = fsp::lb1_from_prefix(*inst_, *data_, sp.prefix(), scratch_);
+    sp.lb = lb2_ ? fsp::lb2_from_prefix(*inst_, *data_, *lb2_, sp.prefix(),
+                                        *lb2_scratch_)
+                 : fsp::lb1_from_prefix(*inst_, *data_, sp.prefix(), scratch_);
   }
   ++ledger_.batches;
   ledger_.nodes += batch.size();
@@ -60,13 +71,20 @@ void SerialCpuEvaluator::evaluate_siblings(
     std::span<const SiblingBatch> groups) {
   const WallTimer timer;
   std::size_t nodes = 0;
-  for (const SiblingBatch& g : groups) {
-    FSBB_CHECK(g.bounds.size() == g.next_jobs.size());
-    context_.set_parent(g.parent_prefix);
-    for (std::size_t i = 0; i < g.next_jobs.size(); ++i) {
-      g.bounds[i] = context_.bound_child(g.next_jobs[i]);
+  auto bound_groups = [&](auto& ctx) {
+    for (const SiblingBatch& g : groups) {
+      FSBB_CHECK(g.bounds.size() == g.next_jobs.size());
+      ctx.set_parent(g.parent_prefix);
+      for (std::size_t i = 0; i < g.next_jobs.size(); ++i) {
+        g.bounds[i] = ctx.bound_child(g.next_jobs[i]);
+      }
+      nodes += g.next_jobs.size();
     }
-    nodes += g.next_jobs.size();
+  };
+  if (lb2_context_) {
+    bound_groups(*lb2_context_);
+  } else {
+    bound_groups(context_);
   }
   ++ledger_.batches;
   ledger_.nodes += nodes;
@@ -87,11 +105,25 @@ ThreadedCpuEvaluator::ThreadedCpuEvaluator(const fsp::Instance& inst,
   }
 }
 
+ThreadedCpuEvaluator::ThreadedCpuEvaluator(const fsp::Instance& inst,
+                                           const fsp::LowerBoundData& data,
+                                           fsp::Lb2Data lb2,
+                                           std::size_t threads)
+    : inst_(&inst), data_(&data), pool_(threads) {
+  lb2_.emplace(std::move(lb2));
+  lb2_scratch_.reserve(pool_.thread_count() + 1);
+  lb2_contexts_.reserve(pool_.thread_count() + 1);
+  for (std::size_t i = 0; i <= pool_.thread_count(); ++i) {
+    lb2_scratch_.emplace_back(inst.jobs(), inst.machines());
+    lb2_contexts_.emplace_back(inst, data, *lb2_);
+  }
+}
+
 std::string ThreadedCpuEvaluator::name() const {
   // Deliberately excludes the thread count: bounds are bit-identical for
   // any pool size, and reports/golden tests must not vary by machine.
   // threads() still exposes the actual pool size.
-  return "cpu-threads";
+  return lb2_ ? "lb2-threads" : "cpu-threads";
 }
 
 void ThreadedCpuEvaluator::evaluate(std::span<Subproblem> batch) {
@@ -100,8 +132,12 @@ void ThreadedCpuEvaluator::evaluate(std::span<Subproblem> batch) {
       0, batch.size(),
       [&](std::size_t lo, std::size_t hi, std::size_t worker) {
         for (std::size_t i = lo; i < hi; ++i) {
-          batch[i].lb = fsp::lb1_from_prefix(*inst_, *data_, batch[i].prefix(),
-                                             scratch_[worker]);
+          batch[i].lb =
+              lb2_ ? fsp::lb2_from_prefix(*inst_, *data_, *lb2_,
+                                          batch[i].prefix(),
+                                          lb2_scratch_[worker])
+                   : fsp::lb1_from_prefix(*inst_, *data_, batch[i].prefix(),
+                                          scratch_[worker]);
         }
       });
   ++ledger_.batches;
@@ -117,15 +153,20 @@ void ThreadedCpuEvaluator::evaluate_siblings(
     FSBB_CHECK(g.bounds.size() == g.next_jobs.size());
     nodes += g.next_jobs.size();
   }
+  auto bound_group = [](auto& ctx, const SiblingBatch& g) {
+    ctx.set_parent(g.parent_prefix);
+    for (std::size_t i = 0; i < g.next_jobs.size(); ++i) {
+      g.bounds[i] = ctx.bound_child(g.next_jobs[i]);
+    }
+  };
   pool_.parallel_for(
       0, groups.size(),
       [&](std::size_t lo, std::size_t hi, std::size_t worker) {
-        fsp::Lb1BoundContext& ctx = contexts_[worker];
         for (std::size_t gi = lo; gi < hi; ++gi) {
-          const SiblingBatch& g = groups[gi];
-          ctx.set_parent(g.parent_prefix);
-          for (std::size_t i = 0; i < g.next_jobs.size(); ++i) {
-            g.bounds[i] = ctx.bound_child(g.next_jobs[i]);
+          if (lb2_) {
+            bound_group(lb2_contexts_[worker], groups[gi]);
+          } else {
+            bound_group(contexts_[worker], groups[gi]);
           }
         }
       },

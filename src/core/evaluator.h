@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -18,6 +19,7 @@
 #include "core/subproblem.h"
 #include "fsp/instance.h"
 #include "fsp/lb1.h"
+#include "fsp/lb2.h"
 #include "fsp/lb_data.h"
 
 namespace fsbb::core {
@@ -82,6 +84,82 @@ class ResidentPool {
   virtual ResidentPoolStats shard_stats() const = 0;
 };
 
+/// One root subtree handed to a SubtreeDfs launch. `perm` is the node's
+/// FULL permutation ([0, depth) scheduled, free jobs after, exactly the
+/// arena layout); `lb` is its already-computed lower bound — the launch
+/// performs the lazy pop-time elimination check itself, at the exact
+/// point in the exploration order a serial engine would.
+struct DfsRoot {
+  std::span<const JobId> perm;
+  std::int32_t depth = 0;
+  Time lb = 0;
+};
+
+/// Incumbent improvement discovered inside a DFS launch, in discovery
+/// order. The counter fields are the launch-LOCAL totals at the moment of
+/// the improvement, so the host replays SearchControl::emit_incumbent with
+/// exact running totals (pre-launch base + these deltas) — keeping the
+/// incumbent stream bit-identical to cpu-serial.
+struct DfsIncumbentEvent {
+  Time makespan = 0;
+  std::vector<JobId> permutation;  ///< the complete schedule
+  std::uint64_t branched = 0;
+  std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;
+};
+
+/// Per-launch operator counters (launch-local; the engine adds them to
+/// EngineStats). Semantics match the serial engine exactly: branched
+/// counts expanded nodes, generated their children, evaluated the bounded
+/// (incomplete) children, pruned both pop-time and insert-time
+/// eliminations, leaves the complete schedules reached.
+struct DfsLaunchStats {
+  std::uint64_t branched = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t evaluated = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t leaves = 0;
+};
+
+/// Outcome of one SubtreeDfs launch.
+struct DfsLaunchResult {
+  DfsLaunchStats stats;
+  std::vector<DfsIncumbentEvent> incumbents;  ///< in discovery order
+  /// Live nodes surfaced by the expansion-quota interrupt, in the exact
+  /// order a serial depth-first engine would pop them next (deepest
+  /// pending sibling first). Empty when every started subtree exhausted.
+  std::vector<Subproblem> surfaced;
+  /// Roots [0, roots_started) were consumed (explored, pruned, or
+  /// surfaced through `surfaced`); roots [roots_started, roots.size())
+  /// were never begun and must return to the pool untouched.
+  std::size_t roots_started = 0;
+};
+
+/// Evaluator-owned per-thread iterative DFS (the device-side search mode,
+/// gpubb/dfs_pool.h). Each launch explores one subtree per device lane —
+/// select, branch and bound fused inside the kernel, the incumbent checked
+/// between expansions — and only surfaces work at subtree exhaustion or
+/// when the expansion quota (host-initiated recall) interrupts it. The
+/// exploration order, elimination points and counters are bit-identical to
+/// a serial depth-first engine with batch_size 1 — a fuzzed invariant.
+class SubtreeDfs {
+ public:
+  virtual ~SubtreeDfs() = default;
+
+  /// Subtree lanes one launch can run (the device thread budget).
+  virtual std::size_t max_roots() const = 0;
+
+  /// Default expansion quota per launch — the recall granularity at which
+  /// control returns to the host (stop checks, pool rebalancing).
+  virtual std::uint64_t launch_expansions() const = 0;
+
+  /// Runs one fused DFS launch over `roots` (each lane owns one subtree,
+  /// explored in root order) with shared incumbent `ub`, interrupting
+  /// after `max_expansions` nodes have been branched.
+  virtual DfsLaunchResult run_subtrees(Time ub, std::span<const DfsRoot> roots,
+                                       std::uint64_t max_expansions) = 0;
+};
+
 /// Batch lower-bound evaluator. Implementations must be deterministic:
 /// identical batches yield identical bounds regardless of thread count.
 class BoundEvaluator {
@@ -110,6 +188,14 @@ class BoundEvaluator {
   /// — the engine's search (and so every EngineStats counter) is unchanged.
   virtual ResidentPool* resident_pool() { return nullptr; }
 
+  /// Non-null when this evaluator runs whole subtrees device-side through
+  /// per-thread iterative DFS launches; the engine then drives
+  /// SubtreeDfs::run_subtrees() instead of per-level bounding batches.
+  /// Takes precedence over resident_pool() and the sibling seam. Requires
+  /// SelectionStrategy::kDepthFirst (the launch IS a depth-first
+  /// exploration); counters stay bit-identical to cpu-serial.
+  virtual SubtreeDfs* subtree_dfs() { return nullptr; }
+
   virtual std::string name() const = 0;
   virtual const EvalLedger& ledger() const = 0;
 };
@@ -119,11 +205,17 @@ class BoundEvaluator {
 class SerialCpuEvaluator final : public BoundEvaluator {
  public:
   SerialCpuEvaluator(const fsp::Instance& inst, const fsp::LowerBoundData& data);
+  /// LB2 variant: owns the head/tail tables; bounds via the incremental
+  /// fsp::Lb2BoundContext on the sibling seam, lb2_from_prefix otherwise.
+  SerialCpuEvaluator(const fsp::Instance& inst, const fsp::LowerBoundData& data,
+                     fsp::Lb2Data lb2);
 
   void evaluate(std::span<Subproblem> batch) override;
   bool supports_sibling_batches() const override { return true; }
   void evaluate_siblings(std::span<const SiblingBatch> groups) override;
-  std::string name() const override { return "cpu-serial"; }
+  /// "lb2-serial" in LB2 mode, keeping report strings stable across the
+  /// CallbackEvaluator it replaced.
+  std::string name() const override { return lb2_ ? "lb2-serial" : "cpu-serial"; }
   const EvalLedger& ledger() const override { return ledger_; }
 
  private:
@@ -131,6 +223,10 @@ class SerialCpuEvaluator final : public BoundEvaluator {
   const fsp::LowerBoundData* data_;
   fsp::Lb1Scratch scratch_;
   fsp::Lb1BoundContext context_;
+  // Engaged together in LB2 mode; context_/scratch_ are then unused.
+  std::optional<fsp::Lb2Data> lb2_;
+  std::optional<fsp::Lb2Scratch> lb2_scratch_;
+  std::optional<fsp::Lb2BoundContext> lb2_context_;
   EvalLedger ledger_;
 };
 
@@ -171,6 +267,11 @@ class ThreadedCpuEvaluator final : public BoundEvaluator {
   /// threads == 0 picks hardware concurrency.
   ThreadedCpuEvaluator(const fsp::Instance& inst,
                        const fsp::LowerBoundData& data, std::size_t threads = 0);
+  /// LB2 variant: owns the head/tail tables; per-worker incremental
+  /// fsp::Lb2BoundContext on the sibling seam, lb2_from_prefix otherwise.
+  ThreadedCpuEvaluator(const fsp::Instance& inst,
+                       const fsp::LowerBoundData& data, fsp::Lb2Data lb2,
+                       std::size_t threads = 0);
 
   void evaluate(std::span<Subproblem> batch) override;
   bool supports_sibling_batches() const override { return true; }
@@ -190,6 +291,10 @@ class ThreadedCpuEvaluator final : public BoundEvaluator {
   // thread_count() (the calling thread participates), hence + 1.
   std::vector<fsp::Lb1Scratch> scratch_;
   std::vector<fsp::Lb1BoundContext> contexts_;
+  // Engaged together in LB2 mode; the LB1 vectors above are then empty.
+  std::optional<fsp::Lb2Data> lb2_;
+  std::vector<fsp::Lb2Scratch> lb2_scratch_;
+  std::vector<fsp::Lb2BoundContext> lb2_contexts_;
   EvalLedger ledger_;
 };
 

@@ -18,6 +18,15 @@ enum class VictimOrder {
 const char* to_string(VictimOrder order);
 VictimOrder parse_victim_order(const std::string& text);
 
+/// Which deque implementation backs each shard of the steal engine.
+enum class DequeKind {
+  kMutex,     ///< fine-grained per-shard mutex (the default)
+  kChaseLev,  ///< lock-free Chase–Lev circular array (Lê et al. fences)
+};
+
+const char* to_string(DequeKind kind);
+DequeKind parse_deque_kind(const std::string& text);
+
 /// Work-stealing traffic counters, merged across workers.
 struct StealStats {
   std::uint64_t steal_attempts = 0;   ///< victim probes (incl. empty ones)

@@ -22,4 +22,22 @@ VictimOrder parse_victim_order(const std::string& text) {
   return VictimOrder::kRoundRobin;
 }
 
+const char* to_string(DequeKind kind) {
+  switch (kind) {
+    case DequeKind::kMutex:
+      return "mutex";
+    case DequeKind::kChaseLev:
+      return "chase-lev";
+  }
+  return "?";
+}
+
+DequeKind parse_deque_kind(const std::string& text) {
+  if (text == "mutex") return DequeKind::kMutex;
+  if (text == "chase-lev") return DequeKind::kChaseLev;
+  FSBB_CHECK_MSG(false,
+                 "unknown deque kind '" + text + "' (mutex|chase-lev)");
+  return DequeKind::kMutex;
+}
+
 }  // namespace fsbb::core

@@ -33,7 +33,29 @@ Lb1BoundContext::Lb1BoundContext(const Instance& inst,
       child_fronts_(static_cast<std::size_t>(inst.machines())),
       scheduled_(static_cast<std::size_t>(inst.jobs())),
       free_seq_(static_cast<std::size_t>(data.pairs()) *
-                static_cast<std::size_t>(inst.jobs())) {}
+                static_cast<std::size_t>(inst.jobs())) {
+  const auto n_pairs = static_cast<std::size_t>(data.pairs());
+  const auto n = static_cast<std::size_t>(inst.jobs());
+  mk_.resize(n_pairs);
+  ml_.resize(n_pairs);
+  rmk_.resize(n_pairs);
+  rml_.resize(n_pairs);
+  qml_.resize(n_pairs);
+  for (std::size_t s = 0; s < n_pairs; ++s) {
+    const auto [k, l] = data.mm(static_cast<int>(s));
+    mk_[s] = k;
+    ml_[s] = l;
+    rmk_[s] = data.rm(k);
+    rml_[s] = data.rm(l);
+    qml_[s] = data.qm(l);
+  }
+  pack_job_.resize(n_pairs * n);
+  pack_p1_.resize(n_pairs * n);
+  pack_p2_.resize(n_pairs * n);
+  pack_lag_.resize(n_pairs * n);
+  t1_.resize(n_pairs);
+  t2_.resize(n_pairs);
+}
 
 void Lb1BoundContext::set_parent(std::span<const JobId> prefix) {
   FSBB_CHECK(prefix.size() <= static_cast<std::size_t>(inst_->jobs()));
@@ -46,24 +68,83 @@ void Lb1BoundContext::set_parent(std::span<const JobId> prefix) {
   }
   free_count_ = n - static_cast<int>(prefix.size());
   // Compact each couple's Johnson order down to the unscheduled jobs, so
-  // every sibling's sweep iterates free_count_ entries instead of n.
+  // every sibling's sweep iterates free_count_ entries instead of n. Two
+  // layouts are kept: couple-major rows for the scalar reference sweep,
+  // and position-major pre-gathered columns ([i * pairs + s]) for the
+  // vectorized sweep — the per-parent scatter here buys a branch-free,
+  // unit-stride inner loop for every sibling.
+  const auto np = static_cast<std::size_t>(n_pairs);
   for (int s = 0; s < n_pairs; ++s) {
     JobId* row = free_seq_.data() +
                  static_cast<std::size_t>(s) * static_cast<std::size_t>(free_count_);
+    const int k = mk_[static_cast<std::size_t>(s)];
+    const int l = ml_[static_cast<std::size_t>(s)];
     int out = 0;
     for (int i = 0; i < n; ++i) {
       const JobId job = data_->jm(s, i);
-      if (!scheduled_[static_cast<std::size_t>(job)]) row[out++] = job;
+      if (!scheduled_[static_cast<std::size_t>(job)]) {
+        row[out] = job;
+        const std::size_t at =
+            static_cast<std::size_t>(out) * np + static_cast<std::size_t>(s);
+        pack_job_[at] = job;
+        pack_p1_[at] = data_->ptm(job, k);
+        pack_p2_[at] = data_->ptm(job, l);
+        pack_lag_[at] = data_->lm(job, s);
+        ++out;
+      }
     }
     FSBB_ASSERT(out == free_count_);
   }
 }
 
-Time Lb1BoundContext::bound_child(JobId job) {
+void Lb1BoundContext::extend_child_fronts(JobId job) {
   FSBB_ASSERT(!scheduled_[static_cast<std::size_t>(job)]);
   std::copy(parent_fronts_.begin(), parent_fronts_.end(),
             child_fronts_.begin());
   extend_fronts(*inst_, job, child_fronts_);
+}
+
+Time Lb1BoundContext::bound_child(JobId job) {
+  extend_child_fronts(job);
+
+  const int n_pairs = data_->pairs();
+  const auto np = static_cast<std::size_t>(n_pairs);
+  const int fc = free_count_;
+  // Per-couple accumulator lanes (the couple axis has no cross-lane
+  // dependency; the position axis does).
+  for (std::size_t s = 0; s < np; ++s) {
+    t1_[s] = std::max(child_fronts_[static_cast<std::size_t>(mk_[s])], rmk_[s]);
+    t2_[s] = std::max(child_fronts_[static_cast<std::size_t>(ml_[s])], rml_[s]);
+  }
+  const Time tjob = job;
+  for (int i = 0; i < fc; ++i) {
+    const std::size_t base = static_cast<std::size_t>(i) * np;
+    const Time* jid = pack_job_.data() + base;
+    const Time* p1 = pack_p1_.data() + base;
+    const Time* p2 = pack_p2_.data() + base;
+    const Time* lag = pack_lag_.data() + base;
+    Time* t1 = t1_.data();
+    Time* t2 = t2_.data();
+    for (std::size_t s = 0; s < np; ++s) {
+      // keep == 0 reproduces the scalar `continue` exactly: both
+      // accumulators stay untouched for the couple whose entry is the
+      // child's own job.
+      const Time keep = static_cast<Time>(jid[s] != tjob);
+      t1[s] += keep * p1[s];
+      const Time arrival = t1[s] + lag[s];
+      const Time stepped = (t2[s] > arrival ? t2[s] : arrival) + p2[s];
+      t2[s] += keep * (stepped - t2[s]);
+    }
+  }
+  Time lb = 0;
+  for (std::size_t s = 0; s < np; ++s) {
+    lb = std::max(lb, t2_[s] + qml_[s]);
+  }
+  return lb;
+}
+
+Time Lb1BoundContext::bound_child_reference(JobId job) {
+  extend_child_fronts(job);
 
   const LowerBoundData& d = *data_;
   const int n_pairs = d.pairs();

@@ -106,6 +106,19 @@ class Lb1Scratch {
 /// The sweep visits the surviving jobs in the same Johnson order and does
 /// the same arithmetic as lb1_evaluate on the child's full state, so the
 /// bounds are bit-identical to lb1_from_prefix — a tested invariant.
+///
+/// The hot sweep is vectorized ACROSS machine couples: the per-couple
+/// Johnson recurrence is sequential in the position axis (t1 accumulates,
+/// t2 chains through a max), but at any fixed position every couple
+/// updates independently. set_parent therefore lays the compacted rows
+/// out position-major ([position][couple], couple index contiguous) with
+/// the ptm/lag table entries pre-gathered, and bound_child runs a
+/// branchless position-outer/couple-inner loop over parallel t1[]/t2[]
+/// accumulators — the "skip the child's job" branch becomes a 0/1
+/// multiplier, so the inner loop auto-vectorizes. bound_child_reference
+/// keeps the scalar couple-outer sweep; the two are bit-identical (the
+/// keep-mask form performs exactly the same adds and maxes per couple, in
+/// the same position order) — a tested invariant.
 class Lb1BoundContext {
  public:
   Lb1BoundContext(const Instance& inst, const LowerBoundData& data);
@@ -117,6 +130,10 @@ class Lb1BoundContext {
   /// parent's free jobs. Valid until the next set_parent.
   Time bound_child(JobId job);
 
+  /// The pre-vectorization scalar sweep (couple-outer, branchy skip),
+  /// kept as the equality oracle for bound_child.
+  Time bound_child_reference(JobId job);
+
   /// Machine fronts of the bound parent (for the property tests).
   std::span<const Time> parent_fronts() const { return parent_fronts_; }
   /// Scheduled mask of the bound parent.
@@ -125,15 +142,28 @@ class Lb1BoundContext {
   int free_count() const { return free_count_; }
 
  private:
+  void extend_child_fronts(JobId job);
+
   const Instance* inst_;
   const LowerBoundData* data_;
   std::vector<Time> parent_fronts_;
   std::vector<Time> child_fronts_;
   std::vector<std::uint8_t> scheduled_;
   /// pairs x free_count (stride free_count_): each machine couple's Johnson
-  /// order restricted to the parent's unscheduled jobs.
+  /// order restricted to the parent's unscheduled jobs (the scalar
+  /// reference sweep's layout).
   std::vector<JobId> free_seq_;
   int free_count_ = 0;
+
+  // Couple-contiguous vectorization state. Static per instance:
+  std::vector<int> mk_, ml_;        ///< machine ids per couple
+  std::vector<Time> rmk_, rml_, qml_;
+  // Rebuilt per parent, position-major with stride pairs: entry
+  // [i * pairs + s] describes the job at compacted Johnson position i of
+  // couple s (its id, widened ptm on both machines, and lag).
+  std::vector<Time> pack_job_, pack_p1_, pack_p2_, pack_lag_;
+  // Per-child parallel accumulators (one lane per couple).
+  std::vector<Time> t1_, t2_;
 };
 
 /// Convenience entry point: LB1 of the node whose scheduled prefix is

@@ -61,6 +61,123 @@ Lb2Data Lb2Data::build(const Instance& inst) {
   return d;
 }
 
+Lb2BoundContext::Lb2BoundContext(const Instance& inst,
+                                 const LowerBoundData& lb1_data,
+                                 const Lb2Data& lb2_data)
+    : inst_(&inst), data_(&lb1_data), lb2_(&lb2_data),
+      parent_fronts_(static_cast<std::size_t>(inst.machines())),
+      child_fronts_(static_cast<std::size_t>(inst.machines())),
+      scheduled_(static_cast<std::size_t>(inst.jobs())),
+      free_seq_(static_cast<std::size_t>(lb1_data.pairs()) *
+                static_cast<std::size_t>(inst.jobs())),
+      head_min1_(static_cast<std::size_t>(inst.machines())),
+      head_min2_(static_cast<std::size_t>(inst.machines())),
+      tail_min1_(static_cast<std::size_t>(inst.machines())),
+      tail_min2_(static_cast<std::size_t>(inst.machines())),
+      head_arg_(static_cast<std::size_t>(inst.machines())),
+      tail_arg_(static_cast<std::size_t>(inst.machines())),
+      rm_u_(static_cast<std::size_t>(inst.machines())),
+      qm_u_(static_cast<std::size_t>(inst.machines())) {}
+
+void Lb2BoundContext::set_parent(std::span<const JobId> prefix) {
+  FSBB_CHECK(prefix.size() <= static_cast<std::size_t>(inst_->jobs()));
+  const int n = inst_->jobs();
+  const int m = inst_->machines();
+  const int n_pairs = data_->pairs();
+  compute_fronts(*inst_, prefix, parent_fronts_);
+  std::fill(scheduled_.begin(), scheduled_.end(), std::uint8_t{0});
+  for (const JobId job : prefix) {
+    scheduled_[static_cast<std::size_t>(job)] = 1;
+  }
+  free_count_ = n - static_cast<int>(prefix.size());
+  // Compact each couple's Johnson order down to the unscheduled jobs (the
+  // same discipline as Lb1BoundContext).
+  for (int s = 0; s < n_pairs; ++s) {
+    JobId* row = free_seq_.data() + static_cast<std::size_t>(s) *
+                                        static_cast<std::size_t>(free_count_);
+    int out = 0;
+    for (int i = 0; i < n; ++i) {
+      const JobId job = data_->jm(s, i);
+      if (!scheduled_[static_cast<std::size_t>(job)]) {
+        row[out++] = job;
+      }
+    }
+    FSBB_ASSERT(out == free_count_);
+  }
+  // Two-smallest head/tail per machine over the unscheduled set. Ascending
+  // job order and strict < keep the first attaining job as argmin.
+  constexpr Time kInf = std::numeric_limits<Time>::max();
+  std::fill(head_min1_.begin(), head_min1_.end(), kInf);
+  std::fill(head_min2_.begin(), head_min2_.end(), kInf);
+  std::fill(tail_min1_.begin(), tail_min1_.end(), kInf);
+  std::fill(tail_min2_.begin(), tail_min2_.end(), kInf);
+  std::fill(head_arg_.begin(), head_arg_.end(), JobId{-1});
+  std::fill(tail_arg_.begin(), tail_arg_.end(), JobId{-1});
+  for (int j = 0; j < n; ++j) {
+    if (scheduled_[static_cast<std::size_t>(j)]) continue;
+    for (int k = 0; k < m; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      const Time h = lb2_->head(j, k);
+      if (h < head_min1_[kk]) {
+        head_min2_[kk] = head_min1_[kk];
+        head_min1_[kk] = h;
+        head_arg_[kk] = static_cast<JobId>(j);
+      } else {
+        head_min2_[kk] = std::min(head_min2_[kk], h);
+      }
+      const Time t = lb2_->tail(j, k);
+      if (t < tail_min1_[kk]) {
+        tail_min2_[kk] = tail_min1_[kk];
+        tail_min1_[kk] = t;
+        tail_arg_[kk] = static_cast<JobId>(j);
+      } else {
+        tail_min2_[kk] = std::min(tail_min2_[kk], t);
+      }
+    }
+  }
+}
+
+Time Lb2BoundContext::bound_child(JobId job) {
+  FSBB_ASSERT(!scheduled_[static_cast<std::size_t>(job)]);
+  std::copy(parent_fronts_.begin(), parent_fronts_.end(),
+            child_fronts_.begin());
+  extend_fronts(*inst_, job, child_fronts_);
+  if (free_count_ == 1) {
+    return child_fronts_.back();  // complete schedule: the makespan is exact
+  }
+
+  const int m = inst_->machines();
+  for (int k = 0; k < m; ++k) {
+    const auto kk = static_cast<std::size_t>(k);
+    rm_u_[kk] = head_arg_[kk] == job ? head_min2_[kk] : head_min1_[kk];
+    qm_u_[kk] = tail_arg_[kk] == job ? tail_min2_[kk] : tail_min1_[kk];
+  }
+
+  const LowerBoundData& d = *data_;
+  const int n_pairs = d.pairs();
+  const int fc = free_count_;
+  Time lb = 0;
+  for (int s = 0; s < n_pairs; ++s) {
+    const auto [k, l] = d.mm(s);
+    Time t1 = std::max(child_fronts_[static_cast<std::size_t>(k)],
+                       rm_u_[static_cast<std::size_t>(k)]);
+    Time t2 = std::max(child_fronts_[static_cast<std::size_t>(l)],
+                       rm_u_[static_cast<std::size_t>(l)]);
+    const JobId* row = free_seq_.data() + static_cast<std::size_t>(s) *
+                                              static_cast<std::size_t>(fc);
+    for (int i = 0; i < fc; ++i) {
+      const JobId q = row[i];
+      if (q == job) continue;  // the one job the child scheduled
+      t1 += d.ptm(q, k);
+      const Time arrival = t1 + d.lm(q, s);
+      t2 = (t2 > arrival ? t2 : arrival) + d.ptm(q, l);
+    }
+    t2 += qm_u_[static_cast<std::size_t>(l)];
+    lb = std::max(lb, t2);
+  }
+  return lb;
+}
+
 Time lb2_from_state(const LowerBoundData& lb1_data, const Lb2Data& lb2_data,
                     std::span<const Time> fronts,
                     std::span<const std::uint8_t> scheduled,

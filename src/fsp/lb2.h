@@ -63,6 +63,63 @@ class Lb2Scratch {
   std::vector<Time> qm_u_;
 };
 
+/// Incremental sibling-batch LB2, mirroring Lb1BoundContext (same
+/// set_parent/bound_child surface, so generic expansion code is oblivious
+/// to the bound).
+///
+/// The node-local minima DO have an incremental sibling form: a child
+/// removes exactly one job j from the parent's unscheduled set U, so
+///
+///   rm_{U \ {j}}(k) = min1 if argmin != j else min2
+///
+/// where (min1, min2, argmin) are the two smallest head values over U at
+/// machine k — computed once per parent in O(n m) — and symmetrically for
+/// the tails. Each bound_child is then O(m) front extension + O(m) minima
+/// selection + the O(pairs (n - depth)) compacted Johnson sweep, instead
+/// of the full prefix replay. The sweep visits the surviving jobs in the
+/// same Johnson order with the same arithmetic as lb2_from_prefix on the
+/// child's prefix, so the bounds are bit-identical — a tested invariant.
+///
+/// Ties are safe: if several jobs attain min1, argmin is the first one,
+/// and removing any other job leaves min1 attained; removing argmin
+/// yields min2, which then equals min1's value. Either way the selected
+/// value is the true minimum over U \ {j}.
+class Lb2BoundContext {
+ public:
+  Lb2BoundContext(const Instance& inst, const LowerBoundData& lb1_data,
+                  const Lb2Data& lb2_data);
+
+  /// Binds the parent whose children are about to be bounded.
+  void set_parent(std::span<const JobId> prefix);
+
+  /// LB2 of the child scheduling `job` next. `job` must be one of the
+  /// parent's free jobs. Valid until the next set_parent. For the last
+  /// free job the child is a complete schedule and the exact makespan is
+  /// returned (matching lb2_from_state's fallback).
+  Time bound_child(JobId job);
+
+  /// Unscheduled jobs of the bound parent.
+  int free_count() const { return free_count_; }
+
+ private:
+  const Instance* inst_;
+  const LowerBoundData* data_;
+  const Lb2Data* lb2_;
+  std::vector<Time> parent_fronts_;
+  std::vector<Time> child_fronts_;
+  std::vector<std::uint8_t> scheduled_;
+  /// pairs x free_count (stride free_count_): each machine couple's
+  /// Johnson order restricted to the parent's unscheduled jobs.
+  std::vector<JobId> free_seq_;
+  int free_count_ = 0;
+  // Two-smallest head/tail values over the parent's unscheduled set, per
+  // machine, with the job attaining the smallest.
+  std::vector<Time> head_min1_, head_min2_, tail_min1_, tail_min2_;
+  std::vector<JobId> head_arg_, tail_arg_;
+  // Per-child node-local minima (selected from the pairs above).
+  std::vector<Time> rm_u_, qm_u_;
+};
+
 /// LB2 of a node. Falls back to fronts.back() for complete schedules.
 /// Requires the LB1 data (Johnson orders, lags, machine pairs) plus the
 /// LB2 head/tail matrices.

@@ -37,6 +37,9 @@ class AdaptiveEvaluator final : public core::BoundEvaluator,
   core::ResidentPool* resident_pool() override {
     return gpu_.resident_pool() != nullptr ? this : nullptr;
   }
+  /// DFS mode is all-device (whole subtrees never surface per level, so
+  /// there is no per-batch routing decision to make): delegate wholesale.
+  core::SubtreeDfs* subtree_dfs() override { return gpu_.subtree_dfs(); }
   std::string name() const override;
   const core::EvalLedger& ledger() const override { return ledger_; }
 

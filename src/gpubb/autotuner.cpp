@@ -83,4 +83,43 @@ AutotuneResult autotune_pool_size(const OffloadScenario& scenario,
   return result;
 }
 
+AutotuneResult autotune_dfs_expansions(const OffloadScenario& scenario,
+                                       std::size_t roots,
+                                       std::uint64_t probe_expansions,
+                                       double children_per_expansion,
+                                       std::uint64_t min_expansions,
+                                       std::uint64_t max_expansions) {
+  FSBB_CHECK(roots >= 1 && probe_expansions >= 1);
+  FSBB_CHECK(min_expansions >= 1 && min_expansions <= max_expansions);
+  FSBB_CHECK(children_per_expansion > 0);
+
+  AutotuneResult result;
+  for (std::uint64_t q = min_expansions; q <= max_expansions; q *= 2) {
+    // Per-thread kernel work scales with the expansions each lane runs
+    // before the recall; divergence is kept from the probe (lane imbalance
+    // is a property of the tree shape, not of the quota).
+    OffloadScenario scaled = scenario;
+    const double factor = static_cast<double>(q) /
+                          static_cast<double>(probe_expansions);
+    scaled.thread_work.ops *= factor;
+    for (double& a : scaled.thread_work.accesses) a *= factor;
+    const auto children = static_cast<std::size_t>(
+        static_cast<double>(q) * children_per_expansion);
+    const OffloadCycleCost cost = model_dfs_launch(
+        scaled, roots, static_cast<std::size_t>(q), std::max<std::size_t>(1, children));
+    AutotunePoint point;
+    point.pool_size = static_cast<std::size_t>(q);
+    point.nodes_per_second =
+        static_cast<double>(std::max<std::size_t>(1, children)) /
+        cost.gpu_total_seconds();
+    point.speedup = cost.speedup();
+    result.curve.push_back(point);
+    if (point.nodes_per_second > result.best_nodes_per_second) {
+      result.best_nodes_per_second = point.nodes_per_second;
+      result.best_pool_size = point.pool_size;
+    }
+  }
+  return result;
+}
+
 }  // namespace fsbb::gpubb

@@ -52,4 +52,19 @@ struct AutotuneResult {
 AutotuneResult autotune_pool_size(const OffloadScenario& scenario,
                                   std::size_t min_pool, std::size_t max_pool);
 
+/// Sweeps DFS-mode launch quotas in [min_expansions, max_expansions]
+/// (doubling). Bigger quotas amortize the fixed per-launch overhead over
+/// more expansions but coarsen the host's stop/recall granularity; the
+/// curve's argmax is the throughput-optimal recall quota. The scenario's
+/// thread_work must come from a measured DFS launch of `probe_expansions`
+/// over `roots` lanes (e.g. a GpuBoundEvaluator probe in dfs mode);
+/// per-thread work is scaled linearly from that probe. The sweep reuses
+/// AutotunePoint with pool_size carrying the candidate quota.
+AutotuneResult autotune_dfs_expansions(const OffloadScenario& scenario,
+                                       std::size_t roots,
+                                       std::uint64_t probe_expansions,
+                                       double children_per_expansion,
+                                       std::uint64_t min_expansions,
+                                       std::uint64_t max_expansions);
+
 }  // namespace fsbb::gpubb

@@ -11,6 +11,8 @@ const char* to_string(GpuPoolMode mode) {
       return "resident";
     case GpuPoolMode::kRepack:
       return "repack";
+    case GpuPoolMode::kDfs:
+      return "dfs";
   }
   return "?";
 }
@@ -18,8 +20,9 @@ const char* to_string(GpuPoolMode mode) {
 GpuPoolMode parse_gpu_pool_mode(const std::string& text) {
   if (text == "resident") return GpuPoolMode::kResident;
   if (text == "repack") return GpuPoolMode::kRepack;
-  FSBB_CHECK_MSG(false,
-                 "unknown gpu pool mode '" + text + "' (resident|repack)");
+  if (text == "dfs") return GpuPoolMode::kDfs;
+  FSBB_CHECK_MSG(false, "unknown gpu pool mode '" + text +
+                            "' (resident|repack|dfs)");
   return GpuPoolMode::kResident;
 }
 
@@ -29,7 +32,8 @@ GpuBoundEvaluator::GpuBoundEvaluator(gpusim::SimDevice& device,
                                      PlacementPolicy policy, int block_threads,
                                      gpusim::GpuCalibration calibration,
                                      GpuPoolMode mode,
-                                     ResidentPoolConfig pool_config)
+                                     ResidentPoolConfig pool_config,
+                                     DfsPoolConfig dfs_config)
     : device_(&device), inst_(&inst), policy_(policy),
       block_threads_(block_threads), calibration_(calibration), mode_(mode),
       device_data_(device, data, make_placement_plan(policy, data, device.spec())),
@@ -48,6 +52,22 @@ GpuBoundEvaluator::GpuBoundEvaluator(gpusim::SimDevice& device,
     pool_config.block_threads = block_threads_;
     resident_ = std::make_unique<DeviceResidentPool>(device, device_data_,
                                                      pool_config);
+  }
+  if (mode_ == GpuPoolMode::kDfs) {
+    if (dfs_config.block_threads == 0) {
+      dfs_config.block_threads = block_threads_;
+    }
+    if (dfs_config.max_lanes == 0) {
+      // Default the lane count to one block of the recommended size per
+      // SM: a launch with every lane busy fills the chip, which is the
+      // whole point of subtree-per-thread DFS (Gmys's IVM explorers).
+      dfs_config.max_lanes = static_cast<std::size_t>(block_threads_) *
+                             static_cast<std::size_t>(device.spec().sm_count);
+    }
+    dfs_ = std::make_unique<DeviceDfsPool>(device, device_data_, dfs_config);
+    dfs_occupancy_ = gpusim::compute_occupancy(
+        device.spec(), device_data_.plan().smem_config,
+        dfs_kernel_resources(device_data_, block_threads_));
   }
 }
 
@@ -139,6 +159,51 @@ void GpuBoundEvaluator::release(std::uint32_t ticket) {
 core::ResidentPoolStats GpuBoundEvaluator::shard_stats() const {
   FSBB_CHECK_MSG(resident_, "shard_stats() requires the resident pool mode");
   return resident_->stats();
+}
+
+std::size_t GpuBoundEvaluator::max_roots() const {
+  FSBB_CHECK_MSG(dfs_, "max_roots() requires the dfs pool mode");
+  return dfs_->max_lanes();
+}
+
+std::uint64_t GpuBoundEvaluator::launch_expansions() const {
+  FSBB_CHECK_MSG(dfs_, "launch_expansions() requires the dfs pool mode");
+  return dfs_->launch_expansions();
+}
+
+core::DfsLaunchResult GpuBoundEvaluator::run_subtrees(
+    fsp::Time ub, std::span<const core::DfsRoot> roots,
+    std::uint64_t max_expansions) {
+  FSBB_CHECK_MSG(dfs_, "run_subtrees() requires the dfs pool mode");
+  const WallTimer timer;
+
+  core::DfsLaunchResult result;
+  DfsLaunchIo io;
+  dfs_->run_subtrees(ub, roots, max_expansions, result, io);
+
+  transfer_model_.record(gpusim::TransferDir::kHostToDevice, io.h2d_bytes,
+                         gpu_ledger_.transfers);
+  // Price exactly the grid the pool drove (quota recalls cut it short).
+  const gpusim::LaunchConfig config{std::max(1, io.run.blocks_executed),
+                                    block_threads_};
+  const auto estimate = gpusim::estimate_kernel_time(
+      device_->spec(), calibration_, config, dfs_occupancy_,
+      gpusim::ThreadWork::from_run(io.run));
+  gpu_ledger_.kernel_seconds += estimate.seconds;
+  // Per-launch host overhead: only the base (driver/stream-sync)
+  // component — the roots travel as tiny packed descriptors, there is no
+  // bulk pool assembly or result scatter to price (that elimination is
+  // half of this mode's win; see BENCH gpu.dfs.threaddfs).
+  gpu_ledger_.iteration_seconds += calibration_.iteration_overhead_base_s;
+  gpu_ledger_.counters += io.run.counters;
+  ++gpu_ledger_.launches;
+  transfer_model_.record(gpusim::TransferDir::kDeviceToHost, io.d2h_bytes,
+                         gpu_ledger_.transfers);
+
+  ++ledger_.batches;
+  ledger_.nodes += result.stats.evaluated;
+  ledger_.wall_seconds += timer.seconds();
+  return result;
 }
 
 }  // namespace fsbb::gpubb

@@ -1,6 +1,6 @@
 // BoundEvaluator backed by the simulated GPU (paper Fig. 3).
 //
-// Two pool modes:
+// Three pool modes:
 //
 //   kResident (default) — per-SM device-resident sharded pools
 //     (gpubb/resident_pool.h): the engine drives offload iterations
@@ -10,10 +10,16 @@
 //   kRepack — the paper's original shape: every offload packs the pending
 //     pool host-side, ships it whole, and the kernel replays each prefix.
 //     Kept as the A/B baseline (BENCH_core.json gpu.resident_vs_repack).
+//   kDfs — per-thread device-side iterative DFS (gpubb/dfs_pool.h): each
+//     lane explores a whole subtree over the compact IvmNode encoding,
+//     select/branch/bound fused in one kernel; the engine drives it
+//     through the core::SubtreeDfs seam (requires --strategy depth-first).
+//     A/B'd against resident in BENCH_core.json gpu.dfs.threaddfs.
 //
 // evaluate(batch) always takes the repack path (it is the flat-batch
 // fallback used for root bounding and by harnesses that bound ad-hoc node
-// lists); the resident machinery engages through resident_pool().
+// lists); the resident machinery engages through resident_pool(), the DFS
+// machinery through subtree_dfs().
 #pragma once
 
 #include <memory>
@@ -21,6 +27,7 @@
 
 #include "core/evaluator.h"
 #include "gpubb/device_lb_data.h"
+#include "gpubb/dfs_pool.h"
 #include "gpubb/lb_kernel.h"
 #include "gpubb/placement.h"
 #include "gpubb/resident_pool.h"
@@ -36,6 +43,7 @@ namespace fsbb::gpubb {
 enum class GpuPoolMode {
   kResident,  ///< per-SM resident shards; only incumbent/refill/bounds move
   kRepack,    ///< per-offload full-pool repack (the paper's original design)
+  kDfs,       ///< per-thread device DFS over IvmNode subtrees
 };
 
 const char* to_string(GpuPoolMode mode);
@@ -57,7 +65,8 @@ struct GpuLedger {
 
 /// Simulated-GPU bounding backend.
 class GpuBoundEvaluator final : public core::BoundEvaluator,
-                                public core::ResidentPool {
+                                public core::ResidentPool,
+                                public core::SubtreeDfs {
  public:
   /// block_threads == 0 picks the recommended size for the placement
   /// (256, bumped while a lone resident block has < 16 warps).
@@ -67,11 +76,15 @@ class GpuBoundEvaluator final : public core::BoundEvaluator,
                     gpusim::GpuCalibration calibration =
                         gpusim::GpuCalibration::fermi_defaults(),
                     GpuPoolMode mode = GpuPoolMode::kResident,
-                    ResidentPoolConfig pool_config = {});
+                    ResidentPoolConfig pool_config = {},
+                    DfsPoolConfig dfs_config = {});
 
   void evaluate(std::span<core::Subproblem> batch) override;
   core::ResidentPool* resident_pool() override {
     return mode_ == GpuPoolMode::kResident ? this : nullptr;
+  }
+  core::SubtreeDfs* subtree_dfs() override {
+    return mode_ == GpuPoolMode::kDfs ? this : nullptr;
   }
   std::string name() const override;
   const core::EvalLedger& ledger() const override { return ledger_; }
@@ -81,13 +94,22 @@ class GpuBoundEvaluator final : public core::BoundEvaluator,
   void release(std::uint32_t ticket) override;
   core::ResidentPoolStats shard_stats() const override;
 
+  // --- core::SubtreeDfs ---------------------------------------------------
+  std::size_t max_roots() const override;
+  std::uint64_t launch_expansions() const override;
+  core::DfsLaunchResult run_subtrees(
+      fsp::Time ub, std::span<const core::DfsRoot> roots,
+      std::uint64_t max_expansions) override;
+
   GpuPoolMode mode() const { return mode_; }
   const GpuLedger& gpu_ledger() const { return gpu_ledger_; }
   const DeviceLbData& device_data() const { return device_data_; }
   const gpusim::OccupancyResult& occupancy() const { return occupancy_; }
   int block_threads() const { return block_threads_; }
-  /// The resident pool (null in repack mode) — for tests and benches.
+  /// The resident pool (null outside resident mode) — for tests/benches.
   const DeviceResidentPool* resident() const { return resident_.get(); }
+  /// The DFS pool (null outside dfs mode) — for tests and benches.
+  const DeviceDfsPool* dfs() const { return dfs_.get(); }
 
  private:
   gpusim::SimDevice* device_;
@@ -101,6 +123,8 @@ class GpuBoundEvaluator final : public core::BoundEvaluator,
   gpusim::TransferModel transfer_model_;
   PackedPool staging_;  ///< reused host-staging buffers (see repack)
   std::unique_ptr<DeviceResidentPool> resident_;  ///< kResident only
+  std::unique_ptr<DeviceDfsPool> dfs_;            ///< kDfs only
+  gpusim::OccupancyResult dfs_occupancy_;         ///< kDfs only
   core::EvalLedger ledger_;
   GpuLedger gpu_ledger_;
 };

@@ -56,4 +56,54 @@ OffloadCycleCost model_offload_cycle(const OffloadScenario& scenario,
   return c;
 }
 
+OffloadCycleCost model_dfs_launch(const OffloadScenario& scenario,
+                                  std::size_t roots, std::size_t expansions,
+                                  std::size_t children) {
+  FSBB_CHECK(scenario.spec != nullptr && scenario.lb_data != nullptr);
+  FSBB_CHECK(roots >= 1 && expansions >= 1);
+
+  const core::CpuCostModel cpu(*scenario.lb_data, scenario.cpu_params);
+  const int remaining =
+      std::max(1, static_cast<int>(std::lround(scenario.avg_remaining)));
+  const double lb_serial = cpu.lb_eval_seconds(remaining);
+
+  OffloadCycleCost c;
+
+  // Serial reference over the same exploration: every bounded child pays
+  // the LB, every expansion the pop/branch/insert machinery.
+  c.serial_seconds =
+      static_cast<double>(children) * lb_serial +
+      static_cast<double>(expansions) *
+          (2 * cpu.pool_op_seconds(scenario.frontier_nodes) +
+           scenario.cpu_params.branch_per_child_seconds);
+
+  // Host side of the launch: pop/push and descriptor packing for the
+  // roots only — the subtree interiors never cross the seam.
+  c.host_seconds =
+      static_cast<double>(roots) *
+      (2 * cpu.pool_op_seconds(scenario.frontier_nodes) +
+       static_cast<double>(scenario.node_bytes_down) *
+           scenario.calibration.host_pack_seconds_per_byte);
+
+  const gpusim::TransferModel transfers(*scenario.spec);
+  c.h2d_seconds = transfers.seconds(roots * scenario.node_bytes_down);
+  c.d2h_seconds = transfers.seconds(roots * scenario.node_bytes_up);
+
+  const int grid = static_cast<int>(
+      (roots + static_cast<std::size_t>(scenario.block_threads) - 1) /
+      static_cast<std::size_t>(scenario.block_threads));
+  const gpusim::LaunchConfig config{std::max(1, grid),
+                                    scenario.block_threads};
+  c.kernel_seconds =
+      gpusim::estimate_kernel_time(*scenario.spec, scenario.calibration,
+                                   config, scenario.occupancy,
+                                   scenario.thread_work)
+          .seconds;
+
+  // Only the base driver/sync overhead: there is no per-node pool
+  // (re)assembly or result scatter to amortize.
+  c.overhead_seconds = scenario.calibration.iteration_overhead_base_s;
+  return c;
+}
+
 }  // namespace fsbb::gpubb

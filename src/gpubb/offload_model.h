@@ -70,4 +70,16 @@ struct OffloadCycleCost {
 OffloadCycleCost model_offload_cycle(const OffloadScenario& scenario,
                                      std::size_t pool_size);
 
+/// Prices one DFS-mode launch (gpubb/dfs_pool.h): `roots` subtree lanes
+/// branch `expansions` nodes and bound `children` of them inside a single
+/// fused kernel. The scenario's thread_work/occupancy/block_threads must
+/// describe the DFS kernel (a measured launch). Unlike the per-level
+/// cycle, the host never touches the interior of the subtrees: its pool
+/// work and the bus traffic scale with `roots`, not with `children` — the
+/// structural saving this mode exists for; node_bytes_down prices the
+/// packed per-root descriptor.
+OffloadCycleCost model_dfs_launch(const OffloadScenario& scenario,
+                                  std::size_t roots, std::size_t expansions,
+                                  std::size_t children);
+
 }  // namespace fsbb::gpubb

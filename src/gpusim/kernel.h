@@ -153,6 +153,15 @@ class SimDevice {
     return DeviceBuffer<T>(count, space);
   }
 
+  /// Claims capacity without host backing (see DeviceReservation).
+  DeviceReservation reserve(std::size_t bytes) {
+    const std::size_t now =
+        allocated_bytes_->fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    FSBB_CHECK_MSG(now <= spec_.global_mem_bytes,
+                   "simulated device memory exhausted");
+    return DeviceReservation(bytes, allocated_bytes_);
+  }
+
   std::size_t allocated_bytes() const {
     return allocated_bytes_->load(std::memory_order_relaxed);
   }

@@ -98,4 +98,49 @@ class DeviceBuffer {
   std::size_t tracked_bytes_ = 0;
 };
 
+/// Capacity-only device reservation: counts bytes against the device like a
+/// DeviceBuffer but backs them with no host storage. For state the timing
+/// model must budget (it occupies device DRAM on a real card) yet the
+/// functional simulation never materializes — e.g. per-thread local arenas
+/// whose contents live in each simulated thread's own scratch.
+class DeviceReservation {
+ public:
+  DeviceReservation() = default;
+  DeviceReservation(std::size_t bytes,
+                    std::shared_ptr<std::atomic<std::size_t>> ledger)
+      : ledger_(std::move(ledger)), bytes_(ledger_ ? bytes : 0) {}
+
+  DeviceReservation(const DeviceReservation&) = delete;
+  DeviceReservation& operator=(const DeviceReservation&) = delete;
+
+  DeviceReservation(DeviceReservation&& o) noexcept
+      : ledger_(std::move(o.ledger_)), bytes_(o.bytes_) {
+    o.bytes_ = 0;
+  }
+  DeviceReservation& operator=(DeviceReservation&& o) noexcept {
+    if (this != &o) {
+      release();
+      ledger_ = std::move(o.ledger_);
+      bytes_ = o.bytes_;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  ~DeviceReservation() { release(); }
+
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  void release() {
+    if (ledger_ && bytes_ > 0) {
+      ledger_->fetch_sub(bytes_, std::memory_order_relaxed);
+      bytes_ = 0;
+    }
+  }
+
+  std::shared_ptr<std::atomic<std::size_t>> ledger_;
+  std::size_t bytes_ = 0;
+};
+
 }  // namespace fsbb::gpusim

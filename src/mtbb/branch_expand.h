@@ -32,38 +32,13 @@
 namespace fsbb::mtbb::detail {
 
 /// LB2 bound context with the same set_parent/bound_child surface as
-/// fsp::Lb1BoundContext, so expand_node is generic over the bound. LB2's
-/// node-local head/tail minima have no incremental sibling form (rm_U/qm_U
-/// change per child), so each child replays prefix+job through the
-/// caller-scratch lb2_from_prefix overload — per-worker scratch, zero
-/// allocations on the hot path.
-class Lb2BoundContext {
- public:
-  Lb2BoundContext(const fsp::Instance& inst, const fsp::LowerBoundData& data,
-                  const fsp::Lb2Data& lb2)
-      : inst_(&inst), data_(&data), lb2_(&lb2),
-        scratch_(inst.jobs(), inst.machines()) {
-    child_prefix_.reserve(static_cast<std::size_t>(inst.jobs()));
-  }
-
-  void set_parent(std::span<const fsp::JobId> prefix) {
-    child_prefix_.assign(prefix.begin(), prefix.end());
-    child_prefix_.push_back(0);  // placeholder for the child's job
-  }
-
-  fsp::Time bound_child(fsp::JobId job) {
-    child_prefix_.back() = job;
-    return fsp::lb2_from_prefix(*inst_, *data_, *lb2_, child_prefix_,
-                                scratch_);
-  }
-
- private:
-  const fsp::Instance* inst_;
-  const fsp::LowerBoundData* data_;
-  const fsp::Lb2Data* lb2_;
-  fsp::Lb2Scratch scratch_;
-  std::vector<fsp::JobId> child_prefix_;
-};
+/// fsp::Lb1BoundContext, so expand_node is generic over the bound. This
+/// used to replay prefix+job through lb2_from_prefix per child; the
+/// node-local rm_U/qm_U minima turned out to have an incremental sibling
+/// form after all (two-smallest tracking per machine — see
+/// fsp::Lb2BoundContext), so the engines now get the same O(m)-per-child
+/// seam for LB2 that LB1 has always had.
+using Lb2BoundContext = fsp::Lb2BoundContext;
 
 /// Best complete schedule seen while expanding one node.
 struct BestLeaf {

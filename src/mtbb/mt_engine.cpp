@@ -10,6 +10,7 @@
 #include "core/node_arena.h"
 #include "core/pool.h"
 #include "fsp/lb1.h"
+#include "fsp/lb2.h"
 #include "mtbb/branch_expand.h"
 
 namespace fsbb::mtbb {
@@ -50,9 +51,12 @@ void request_stop(Shared& sh, core::StopReason reason) {
   sh.cv.notify_all();
 }
 
-void worker(const fsp::Instance& inst, const fsp::LowerBoundData& data,
-            Shared& sh, std::size_t lane) {
-  fsp::Lb1BoundContext ctx(inst, data);
+/// BoundContext is fsp::Lb1BoundContext or detail::Lb2BoundContext — the
+/// search loop is byte-for-byte the same either way; only bound_child's
+/// arithmetic differs.
+template <typename BoundContext>
+void worker(const fsp::Instance& inst, Shared& sh, std::size_t lane,
+            BoundContext ctx) {
   core::EngineStats local;
   std::vector<NodeRef> survivors;
 
@@ -162,9 +166,14 @@ core::SolveResult run(const fsp::Instance& inst,
                       const MtOptions& options,
                       std::vector<fsp::JobId> seed_perm) {
   FSBB_CHECK_MSG(options.threads >= 1, "need at least one worker");
-  FSBB_CHECK_MSG(options.bound == MtBound::kLb1,
-                 "the shared-pool baseline is lb1-only; use cpu-steal for lb2");
   const WallTimer timer;
+
+  // LB2 tables, shared read-only by every worker (each worker's context
+  // keeps its own two-smallest state; the tables themselves are immutable).
+  std::unique_ptr<fsp::Lb2Data> lb2;
+  if (options.bound == MtBound::kLb2) {
+    lb2 = std::make_unique<fsp::Lb2Data>(fsp::Lb2Data::build(inst));
+  }
 
   // One allocation lane per worker plus one for this (the coordinating)
   // thread, which adopts the initial nodes.
@@ -209,8 +218,15 @@ core::SolveResult run(const fsp::Instance& inst,
     std::vector<std::thread> workers;
     workers.reserve(options.threads);
     for (std::size_t i = 0; i < options.threads; ++i) {
-      workers.emplace_back(
-          [&inst, &data, &sh, i] { worker(inst, data, sh, i); });
+      if (lb2 != nullptr) {
+        workers.emplace_back([&inst, &data, &sh, i, lb2 = lb2.get()] {
+          worker(inst, sh, i, detail::Lb2BoundContext(inst, data, *lb2));
+        });
+      } else {
+        workers.emplace_back([&inst, &data, &sh, i] {
+          worker(inst, sh, i, fsp::Lb1BoundContext(inst, data));
+        });
+      }
     }
     for (auto& w : workers) w.join();
   }
@@ -243,8 +259,12 @@ core::SolveResult run(const fsp::Instance& inst,
 core::SolveResult mt_solve(const fsp::Instance& inst,
                            const fsp::LowerBoundData& data,
                            const MtOptions& options) {
+  std::unique_ptr<fsp::Lb2Data> lb2;
+  if (options.bound == MtBound::kLb2) {
+    lb2 = std::make_unique<fsp::Lb2Data>(fsp::Lb2Data::build(inst));
+  }
   detail::RootStart start =
-      detail::make_root_start(inst, data, options.initial_ub);
+      detail::make_root_start(inst, data, options.initial_ub, lb2.get());
   std::vector<Subproblem> initial;
   initial.push_back(std::move(start.root));
   return run(inst, data, std::move(initial), start.ub, options,

@@ -23,10 +23,11 @@
 
 namespace fsbb::mtbb {
 
-/// Which lower bound the workers compute per child. The shared-pool
-/// baseline (mt_solve) is LB1-only; the steal engine supports both: LB1
-/// through the incremental sibling context, LB2 through per-worker
-/// Lb2Scratch replays (the caller-scratch overloads landed with PR 4).
+/// Which lower bound the workers compute per child. Both engines support
+/// both bounds through the incremental sibling contexts
+/// (fsp::Lb1BoundContext / fsp::Lb2BoundContext): one set_parent per
+/// popped node, one O(m) front extension plus a compacted Johnson sweep
+/// per child.
 enum class MtBound {
   kLb1,
   kLb2,
@@ -36,7 +37,7 @@ enum class MtBound {
 /// and the work-stealing engine; the steal knobs only affect the latter).
 struct MtOptions {
   std::size_t threads = 4;
-  /// Lower bound (steal engine only; mt_solve requires kLb1).
+  /// Lower bound the workers compute per child.
   MtBound bound = MtBound::kLb1;
   /// Starting incumbent; NEH if unset.
   std::optional<fsp::Time> initial_ub;
@@ -46,6 +47,9 @@ struct MtOptions {
   core::VictimOrder victim_order = core::VictimOrder::kRoundRobin;
   /// Nodes moved per successful steal (steal engine only; >= 1).
   std::size_t steal_batch = 4;
+  /// Shard deque implementation (steal engine only): per-shard mutex or
+  /// the lock-free Chase–Lev circular array.
+  core::DequeKind deque = core::DequeKind::kMutex;
   /// Cooperative cancellation / deadline / progress block (not owned; may
   /// be null). Every worker polls it once per node expansion.
   core::SearchControl* control = nullptr;

@@ -31,11 +31,15 @@ constexpr auto kNap = std::chrono::microseconds(100);
 /// Everything the workers share. The hot path (pop/push/prune) only
 /// touches the worker's own shard and two atomics; permutations live in
 /// the shared arena and never move — a steal copies 12-byte handles.
+/// PoolT is the sharded pool over either deque kind (mutexed heap deques
+/// or lock-free Chase–Lev arrays) — the search loop is byte-for-byte the
+/// same; only the shard synchronization differs.
+template <typename PoolT>
 struct Shared {
   explicit Shared(std::size_t workers, int jobs)
       : pool(workers), arena(jobs, workers + 1) {}
 
-  core::ShardedPoolT<NodeRef> pool;
+  PoolT pool;
   core::NodeArena arena;
   /// Nodes resident anywhere: in a deque or being branched. Children are
   /// counted before their parent is released, so 0 means the tree is done.
@@ -71,14 +75,16 @@ struct Shared {
   std::atomic<std::size_t> ready{0};
 };
 
-void request_stop(Shared& sh, core::StopReason reason) {
+template <typename PoolT>
+void request_stop(Shared<PoolT>& sh, core::StopReason reason) {
   int expected = -1;
   sh.stop_latch.compare_exchange_strong(expected, static_cast<int>(reason),
                                         std::memory_order_acq_rel);
   sh.stop.store(true, std::memory_order_release);
 }
 
-void await_gang(Shared& sh) {
+template <typename PoolT>
+void await_gang(Shared<PoolT>& sh) {
   sh.ready.fetch_add(1, std::memory_order_acq_rel);
   while (sh.ready.load(std::memory_order_acquire) < sh.pool.shards()) {
     std::this_thread::yield();
@@ -87,7 +93,8 @@ void await_gang(Shared& sh) {
 
 /// One victim-scan round. Returns a node to process (stolen batch minus
 /// one lands in the thief's own deque) or nullopt if every victim was dry.
-std::optional<NodeRef> try_steal(Shared& sh, std::size_t id,
+template <typename PoolT>
+std::optional<NodeRef> try_steal(Shared<PoolT>& sh, std::size_t id,
                                  std::size_t& rr_cursor, SplitMix64& rng,
                                  std::vector<NodeRef>& loot,
                                  StealStats& local) {
@@ -125,9 +132,9 @@ std::optional<NodeRef> try_steal(Shared& sh, std::size_t id,
 /// BoundContext is fsp::Lb1BoundContext or detail::Lb2BoundContext — the
 /// search loop is byte-for-byte the same either way; only bound_child's
 /// arithmetic differs.
-template <typename BoundContext>
+template <typename PoolT, typename BoundContext>
 void worker(const fsp::Instance& inst, const fsp::LowerBoundData& /*data*/,
-            Shared& sh, std::size_t id, BoundContext ctx) {
+            Shared<PoolT>& sh, std::size_t id, BoundContext ctx) {
   core::EngineStats local;
   StealStats local_steals;
   std::vector<NodeRef> survivors;
@@ -258,12 +265,13 @@ void worker(const fsp::Instance& inst, const fsp::LowerBoundData& /*data*/,
   sh.steal_stats.nodes_stolen += local_steals.nodes_stolen;
 }
 
-core::SolveResult run(const fsp::Instance& inst,
-                      const fsp::LowerBoundData& data,
-                      std::vector<Subproblem> initial, fsp::Time initial_ub,
-                      const MtOptions& options,
-                      std::vector<fsp::JobId> seed_perm,
-                      const fsp::Lb2Data* lb2) {
+template <typename PoolT>
+core::SolveResult run_impl(const fsp::Instance& inst,
+                           const fsp::LowerBoundData& data,
+                           std::vector<Subproblem> initial,
+                           fsp::Time initial_ub, const MtOptions& options,
+                           std::vector<fsp::JobId> seed_perm,
+                           const fsp::Lb2Data* lb2) {
   FSBB_CHECK_MSG(options.threads >= 1, "need at least one worker");
   FSBB_CHECK_MSG(options.steal_batch >= 1, "steal batch must be >= 1");
   FSBB_CHECK_MSG(options.bound != MtBound::kLb2 || lb2 != nullptr,
@@ -279,7 +287,7 @@ core::SolveResult run(const fsp::Instance& inst,
         std::make_unique<core::audit::IncumbentAudit>("cpu-steal");
   }
 
-  Shared sh(options.threads, inst.jobs());
+  Shared<PoolT> sh(options.threads, inst.jobs());
   if (arena_audit != nullptr) sh.arena.set_audit(arena_audit.get());
   sh.incumbent_audit = incumbent_audit.get();
   sh.lb2 = lb2;
@@ -321,8 +329,8 @@ core::SolveResult run(const fsp::Instance& inst,
     workers.reserve(options.threads);
     for (std::size_t i = 0; i < options.threads; ++i) {
       if (options.bound == MtBound::kLb2) {
-        // Per-worker Lb2Scratch lives inside the context: no allocation
-        // and no sharing on the hot path.
+        // Per-worker two-smallest state lives inside the context: no
+        // allocation and no sharing on the hot path.
         workers.emplace_back([&inst, &data, &sh, i, lb2 = sh.lb2] {
           worker(inst, data, sh, i,
                  detail::Lb2BoundContext(inst, data, *lb2));
@@ -363,6 +371,25 @@ core::SolveResult run(const fsp::Instance& inst,
   // Bounding dominates worker time; report it as such for the profile bench.
   result.stats.bounding_seconds = result.stats.wall_seconds;
   return result;
+}
+
+/// Dispatches on the deque kind once per solve; everything below the
+/// branch is the same templated search.
+core::SolveResult run(const fsp::Instance& inst,
+                      const fsp::LowerBoundData& data,
+                      std::vector<Subproblem> initial, fsp::Time initial_ub,
+                      const MtOptions& options,
+                      std::vector<fsp::JobId> seed_perm,
+                      const fsp::Lb2Data* lb2) {
+  if (options.deque == core::DequeKind::kChaseLev) {
+    return run_impl<
+        core::ShardedPoolT<NodeRef, core::ChaseLevStorage<NodeRef>>>(
+        inst, data, std::move(initial), initial_ub, options,
+        std::move(seed_perm), lb2);
+  }
+  return run_impl<core::ShardedPoolT<NodeRef>>(inst, data, std::move(initial),
+                                               initial_ub, options,
+                                               std::move(seed_perm), lb2);
 }
 
 }  // namespace

@@ -181,6 +181,29 @@ TEST_P(Lb1ContextRandom, BoundChildIsBitIdenticalToPrefixReplay) {
   }
 }
 
+TEST_P(Lb1ContextRandom, VectorizedSweepMatchesScalarReference) {
+  // The branchless position-outer sweep against the scalar couple-outer
+  // oracle it replaced: bit-identical for every depth and every sibling.
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 67 + 29;
+  SplitMix64 rng(seed);
+  const Instance inst = random_instance(9, 2 + GetParam() % 7, seed);
+  const LowerBoundData data = LowerBoundData::build(inst);
+  Lb1BoundContext ctx(inst, data);
+
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  for (int depth = 0; depth < inst.jobs(); ++depth) {
+    const std::span<const JobId> prefix(perm.data(),
+                                        static_cast<std::size_t>(depth));
+    ctx.set_parent(prefix);
+    for (int i = depth; i < inst.jobs(); ++i) {
+      const JobId job = perm[static_cast<std::size_t>(i)];
+      ASSERT_EQ(ctx.bound_child(job), ctx.bound_child_reference(job))
+          << "depth " << depth << " job " << job;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, Lb1ContextRandom, ::testing::Range(0, 20));
 
 TEST(Lb1BoundContext, RebindingParentsIsClean) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/rng.h"
 #include "fsp/brute_force.h"
 #include "fsp/generators.h"
@@ -98,6 +100,112 @@ TEST(Lb2, StrictlyStrongerSomewhere) {
     }
   }
   EXPECT_TRUE(improved);
+}
+
+// ---- the incremental sibling-batch context ------------------------------
+
+class Lb2ContextRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lb2ContextRandom, BoundChildIsBitIdenticalToPrefixReplay) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 53 + 1;
+  SplitMix64 rng(seed);
+  const Instance inst = random_instance(8, 2 + GetParam() % 7, seed);
+  const auto lb1_data = LowerBoundData::build(inst);
+  const auto lb2_data = Lb2Data::build(inst);
+  Lb2BoundContext ctx(inst, lb1_data, lb2_data);
+
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  // Every depth, every sibling: the two-smallest incremental bound must
+  // equal the full replay of the child's prefix.
+  std::vector<JobId> child_prefix;
+  for (int depth = 0; depth < inst.jobs(); ++depth) {
+    const std::span<const JobId> prefix(perm.data(),
+                                        static_cast<std::size_t>(depth));
+    ctx.set_parent(prefix);
+    ASSERT_EQ(ctx.free_count(), inst.jobs() - depth) << "depth " << depth;
+    for (int i = depth; i < inst.jobs(); ++i) {
+      const JobId job = perm[static_cast<std::size_t>(i)];
+      child_prefix.assign(prefix.begin(), prefix.end());
+      child_prefix.push_back(job);
+      ASSERT_EQ(ctx.bound_child(job),
+                lb2_from_prefix(inst, lb1_data, lb2_data, child_prefix))
+          << "depth " << depth << " job " << job;
+    }
+  }
+}
+
+TEST_P(Lb2ContextRandom, TiedMinimaStayBitIdentical) {
+  // Duplicate processing times force ties in the per-machine two-smallest
+  // head/tail minima; removal of the argmin vs a duplicate must still give
+  // the true min over U \ {j}.
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 19 + 3;
+  SplitMix64 rng(seed);
+  Matrix<Time> pt(9, 4);
+  for (auto& v : pt.flat()) v = static_cast<Time>(1 + rng.next_below(4));
+  const Instance inst("ties", std::move(pt));
+  const auto lb1_data = LowerBoundData::build(inst);
+  const auto lb2_data = Lb2Data::build(inst);
+  Lb2BoundContext ctx(inst, lb1_data, lb2_data);
+
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  std::vector<JobId> child_prefix;
+  for (int depth = 0; depth < inst.jobs(); ++depth) {
+    const std::span<const JobId> prefix(perm.data(),
+                                        static_cast<std::size_t>(depth));
+    ctx.set_parent(prefix);
+    for (int i = depth; i < inst.jobs(); ++i) {
+      const JobId job = perm[static_cast<std::size_t>(i)];
+      child_prefix.assign(prefix.begin(), prefix.end());
+      child_prefix.push_back(job);
+      ASSERT_EQ(ctx.bound_child(job),
+                lb2_from_prefix(inst, lb1_data, lb2_data, child_prefix))
+          << "depth " << depth << " job " << job;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lb2ContextRandom, ::testing::Range(0, 20));
+
+TEST(Lb2BoundContext, RebindingParentsIsClean) {
+  // One context across many parents (the evaluator usage pattern): no
+  // state may leak between set_parent calls.
+  const Instance inst = taillard_instance(1);
+  const auto lb1_data = LowerBoundData::build(inst);
+  const auto lb2_data = Lb2Data::build(inst);
+  Lb2BoundContext ctx(inst, lb1_data, lb2_data);
+  SplitMix64 rng(77);
+  auto perm = identity_permutation(inst.jobs());
+
+  for (int round = 0; round < 10; ++round) {
+    shuffle(perm, rng);
+    const auto depth = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(inst.jobs())));
+    const std::span<const JobId> prefix(perm.data(), depth);
+    ctx.set_parent(prefix);
+    const JobId job = perm[depth];
+    std::vector<JobId> child_prefix(prefix.begin(), prefix.end());
+    child_prefix.push_back(job);
+    ASSERT_EQ(ctx.bound_child(job),
+              lb2_from_prefix(inst, lb1_data, lb2_data, child_prefix))
+        << "round " << round;
+  }
+}
+
+TEST(Lb2BoundContext, CompleteChildBoundEqualsMakespan) {
+  // Binding the parent at depth n-1 and scheduling the last job must give
+  // the exact makespan.
+  const Instance inst = random_instance(8, 5, 123);
+  const auto lb1_data = LowerBoundData::build(inst);
+  const auto lb2_data = Lb2Data::build(inst);
+  Lb2BoundContext ctx(inst, lb1_data, lb2_data);
+  SplitMix64 rng(5);
+  auto perm = identity_permutation(inst.jobs());
+  shuffle(perm, rng);
+  const std::span<const JobId> prefix(perm.data(), perm.size() - 1);
+  ctx.set_parent(prefix);
+  EXPECT_EQ(ctx.bound_child(perm.back()), makespan(inst, perm));
 }
 
 TEST(Lb2, HeadTailMatricesAreConsistent) {

@@ -15,6 +15,7 @@
 
 #include "api/service.h"
 #include "api/solver.h"
+#include "core/audit.h"
 #include "fsp/makespan.h"
 #include "fsp/taillard.h"
 
@@ -108,6 +109,80 @@ TEST(Cancellation, ShortDeadlineStopsMidSearchAllBackends) {
     // Stopped within one bounding batch of the deadline — far below the
     // (effectively unbounded) full solve time.
     EXPECT_LT(report.stats.wall_seconds, 10.0) << backend;
+  }
+}
+
+// Every simulated-device pool organization — per-offload repack, resident
+// shards, and the per-thread DFS pool — must drain cleanly out of a
+// mid-kernel stop. The DFS pool is the interesting one: a cancel or
+// deadline lands between whole-subtree launches and the budget clamps the
+// launch's expansion quota, so surviving lanes must resurface their
+// subtree state without losing or duplicating nodes. Runs with the
+// invariant auditors live so a leaked arena slot or non-monotone
+// incumbent fails loudly.
+TEST(Cancellation, GpuPoolModesStopCleanlyOnCancelDeadlineAndBudget) {
+  const core::audit::ScopedEnable audited;
+  const fsp::Instance inst = big_instance();
+  SolverService service(SolverService::Options{1});
+
+  for (const gpubb::GpuPoolMode mode :
+       {gpubb::GpuPoolMode::kRepack, gpubb::GpuPoolMode::kResident,
+        gpubb::GpuPoolMode::kDfs}) {
+    const std::string label =
+        std::string("gpu-sim/") + gpubb::to_string(mode);
+    SolverConfig base = config_for("gpu-sim", inst);
+    base.gpu_pool = mode;
+    if (mode == gpubb::GpuPoolMode::kDfs) {
+      base.strategy = core::SelectionStrategy::kDepthFirst;
+    }
+
+    // Cancel after the search demonstrably made progress.
+    {
+      std::atomic<bool> progressed{false};
+      SolveHandle handle = service.submit(
+          inst, base, [&progressed](const ProgressEvent& event) {
+            if (event.kind != ProgressEvent::Kind::kFinished &&
+                event.branched > 0) {
+              progressed.store(true);
+            }
+          });
+      while (!progressed.load() && !handle.done()) {
+        std::this_thread::yield();
+      }
+      handle.cancel();
+      const SolveReport report = handle.wait_report();
+      expect_consistent_partial(report, inst, core::StopReason::kCanceled,
+                                label);
+    }
+
+    // A short deadline lands between kernel launches.
+    {
+      SolverConfig config = base;
+      config.deadline_ms = 40;
+      const SolveReport report = service.submit(inst, config).wait_report();
+      expect_consistent_partial(report, inst, core::StopReason::kDeadline,
+                                label);
+      EXPECT_LT(report.stats.wall_seconds, 10.0) << label;
+    }
+
+    // A node budget stop. The batch engines (repack/resident) may finish
+    // the batch in flight, so allow up to one batch of overshoot; the DFS
+    // launch clamps its expansion quota to the remaining budget, so the
+    // kernel cannot overshoot at all.
+    {
+      SolverConfig config = base;
+      config.batch_size = 64;
+      config.node_budget = 500;
+      const SolveReport report = service.submit(inst, config).wait_report();
+      expect_consistent_partial(report, inst, core::StopReason::kBudget,
+                                label);
+      EXPECT_GE(report.stats.branched, 500u) << label;
+      if (mode == gpubb::GpuPoolMode::kDfs) {
+        EXPECT_EQ(report.stats.branched, 500u) << label;
+      } else {
+        EXPECT_LE(report.stats.branched, 564u) << label;
+      }
+    }
   }
 }
 

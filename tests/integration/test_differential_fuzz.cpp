@@ -202,6 +202,60 @@ TEST_P(GpuResidentVsSerialFuzz, SearchCountersAreBitIdentical) {
 INSTANTIATE_TEST_SUITE_P(Shards, GpuResidentVsSerialFuzz,
                          ::testing::Range(0, 4));
 
+// The per-thread device DFS pool against the host depth-first reference:
+// gpu-sim --gpu-pool dfs drives whole-subtree kernel launches (fused
+// select/branch/bound, lazy pop-time elimination inside the kernel),
+// cpu-serial with --strategy depth-first --batch-size 1 replays the same
+// exploration order one node at a time. Every counter must be
+// bit-identical: a wrong IvmNode decode, a missed incumbent check between
+// expansions or a mis-ordered resurface after the quota recall would
+// branch a different tree.
+class GpuDfsVsSerialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuDfsVsSerialFuzz, SearchCountersAreBitIdentical) {
+  // Every solve in this body runs with the invariant auditors live
+  // (core/audit.h): arena slot lifecycle, resident-pool tickets and
+  // incumbent monotonicity all fail the test loudly if violated.
+  const core::audit::ScopedEnable audited;
+  const int shard = GetParam();
+  SplitMix64 rng(0xDF5B1u * 1000003u + static_cast<std::uint64_t>(shard));
+  for (int i = 0; i < 6; ++i) {
+    const auto family = kFamilies[rng.next_below(std::size(kFamilies))];
+    const int jobs = static_cast<int>(rng.next_in(6, 10));
+    const int machines = static_cast<int>(rng.next_in(2, 10));
+    const std::uint64_t seed = rng.next();
+    const fsp::Instance inst =
+        fsp::make_instance(family, jobs, machines, seed);
+    const std::string label = std::string(fsp::to_string(family)) + " " +
+                              std::to_string(jobs) + "x" +
+                              std::to_string(machines) + " seed " +
+                              std::to_string(seed);
+
+    api::SolverConfig serial;
+    serial.backend = "cpu-serial";
+    serial.strategy = core::SelectionStrategy::kDepthFirst;
+    serial.batch_size = 1;  // the order the kernel lanes replay
+    const api::SolveReport reference = api::Solver(serial).solve(inst);
+
+    api::SolverConfig gpu;
+    gpu.backend = "gpu-sim";
+    gpu.strategy = core::SelectionStrategy::kDepthFirst;
+    gpu.gpu_pool = gpubb::GpuPoolMode::kDfs;
+    const api::SolveReport report = api::Solver(gpu).solve(inst);
+    ASSERT_EQ(report.best_makespan, reference.best_makespan) << label;
+    ASSERT_EQ(report.proven_optimal, reference.proven_optimal) << label;
+    ASSERT_EQ(report.best_permutation, reference.best_permutation) << label;
+    ASSERT_EQ(report.stats.branched, reference.stats.branched) << label;
+    ASSERT_EQ(report.stats.generated, reference.stats.generated) << label;
+    ASSERT_EQ(report.stats.evaluated, reference.stats.evaluated) << label;
+    ASSERT_EQ(report.stats.pruned, reference.stats.pruned) << label;
+    ASSERT_EQ(report.stats.leaves, reference.stats.leaves) << label;
+    ASSERT_EQ(report.stats.ub_updates, reference.stats.ub_updates) << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, GpuDfsVsSerialFuzz, ::testing::Range(0, 4));
+
 // cpu-steal's LB2 plumbing (per-worker Lb2Scratch): the work-stealing
 // engine under --bound lb2 must prove the same optimum as the serial LB2
 // reference on every generator family.
