@@ -45,6 +45,7 @@
 #include "fsp/neh.h"
 #include "fsp/taillard.h"
 #include "gpubb/gpu_evaluator.h"
+#include "gpubb/multi_device_pool.h"
 #include "gpusim/device_spec.h"
 
 namespace {
@@ -312,21 +313,65 @@ int main(int argc, char** argv) {
     c.name = "gpu.dfs.threaddfs";
     cases.push_back(c);
   }
+  // The multi-device sweep needs a workload deep enough to amortize the
+  // fixed per-offload overhead (paid once per card per iteration, it
+  // never splits): the raw endgame subtree is only ~16k nodes, one batch.
+  // Replicating the roots 8x is the usual throughput-bench trick — the
+  // engine explores 8 identical subtrees, so the kernel work grows 8x
+  // while the iteration count barely moves.
+  std::vector<core::Subproblem> endgame8;
+  endgame8.reserve(endgame.size() * 8);
+  for (int rep = 0; rep < 8; ++rep) {
+    endgame8.insert(endgame8.end(), endgame.begin(), endgame.end());
+  }
+  auto multi_modeled_rate = [&](std::size_t devices) {
+    // Cross-device scaling: one resident MultiDevicePool over `devices`
+    // identical c2050 cards, batches big enough (32768 children = 128
+    // blocks of 256) that a single card's grid is many waves deep over
+    // its 14 SMs — the regime where splitting the batch shortens the
+    // modeled issue time. The metric is evaluated nodes over the modeled
+    // wall (max across cards per iteration), so perfect scaling halves
+    // the denominator at 2 devices.
+    gpubb::MultiDeviceConfig mdc;
+    mdc.specs.assign(devices, gpusim::DeviceSpec::tesla_c2050());
+    mdc.policy = gpubb::PlacementPolicy::kAuto;
+    gpubb::MultiDevicePool pool(inst, data, mdc);
+    core::EngineOptions o;
+    o.strategy = core::SelectionStrategy::kDepthFirst;
+    o.batch_size = 32768;
+    o.node_budget = 0;  // the replicated endgame is the budget
+    core::BBEngine engine(inst, data, pool, o);
+    const core::SolveResult r = engine.solve_from(endgame8, ub);
+    Case c;
+    c.name = "gpu.multi.x" + std::to_string(devices);
+    c.nodes = r.stats.evaluated;
+    c.seconds = pool.modeled_wall_seconds();
+    c.nodes_per_second =
+        c.seconds > 0 ? static_cast<double>(c.nodes) / c.seconds : 0;
+    return c;
+  };
+  cases.push_back(multi_modeled_rate(1));
+  cases.push_back(multi_modeled_rate(2));
+  cases.push_back(multi_modeled_rate(4));
 
   double replay_rate = 0, incremental_rate = 0;
   double gpu_resident_rate = 0, gpu_repack_rate = 0, gpu_threaddfs_rate = 0;
+  double multi1_rate = 0, multi2_rate = 0;
   for (const Case& c : cases) {
     if (c.name == "engine.dfs.replay") replay_rate = c.nodes_per_second;
     if (c.name == "engine.dfs.incremental") incremental_rate = c.nodes_per_second;
     if (c.name == "gpu.dfs.resident") gpu_resident_rate = c.nodes_per_second;
     if (c.name == "gpu.dfs.repack") gpu_repack_rate = c.nodes_per_second;
     if (c.name == "gpu.dfs.threaddfs") gpu_threaddfs_rate = c.nodes_per_second;
+    if (c.name == "gpu.multi.x1") multi1_rate = c.nodes_per_second;
+    if (c.name == "gpu.multi.x2") multi2_rate = c.nodes_per_second;
   }
   const double speedup = replay_rate > 0 ? incremental_rate / replay_rate : 0;
   const double gpu_speedup =
       gpu_repack_rate > 0 ? gpu_resident_rate / gpu_repack_rate : 0;
   const double gpu_dfs_speedup =
       gpu_resident_rate > 0 ? gpu_threaddfs_rate / gpu_resident_rate : 0;
+  const double multi_speedup = multi1_rate > 0 ? multi2_rate / multi1_rate : 0;
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
@@ -351,8 +396,9 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  \"derived\": {\"node_bounding_speedup_20x20\": %.3f, "
                "\"gpu_resident_vs_repack_20x20\": %.3f, "
-               "\"gpu_threaddfs_vs_resident_20x20\": %.3f}\n",
-               speedup, gpu_speedup, gpu_dfs_speedup);
+               "\"gpu_threaddfs_vs_resident_20x20\": %.3f, "
+               "\"gpu_multidevice_scaling_20x20\": %.3f}\n",
+               speedup, gpu_speedup, gpu_dfs_speedup, multi_speedup);
   std::fprintf(out, "}\n");
   std::fclose(out);
 
@@ -362,5 +408,6 @@ int main(int argc, char** argv) {
   std::printf("%-28s %12.2fx\n", "speedup(engine.dfs)", speedup);
   std::printf("%-28s %12.2fx\n", "speedup(gpu resident)", gpu_speedup);
   std::printf("%-28s %12.2fx\n", "speedup(gpu thread-dfs)", gpu_dfs_speedup);
+  std::printf("%-28s %12.2fx\n", "speedup(gpu 2-device)", multi_speedup);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "fsp/taillard.h"
 #include "gpubb/device_lb_data.h"
 #include "gpubb/lb_kernel.h"
+#include "gpubb/multi_device_pool.h"
 #include "gpubb/placement.h"
 #include "gpubb/resident_pool.h"
 #include "gpusim/occupancy.h"
@@ -145,6 +146,62 @@ void BM_ResidentRefillBatchSweep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(children));
 }
 BENCHMARK(BM_ResidentRefillBatchSweep)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+// --- cross-device sweeps (multi-device pool, PR 10) ---
+// One refill-heavy iteration against a MultiDevicePool: every parent is
+// non-resident, so the pool routes each group to the card with the most
+// headroom, translates the returned per-card tickets into its outer
+// namespace, and (at >1 card) runs the starvation-rebalance scan. Sweeping
+// the card count prices exactly that routing + translation overhead — the
+// host-side cost the multi-device layer adds on top of the per-card
+// resident iteration.
+
+void BM_MultiDeviceRefillRouting(benchmark::State& state) {
+  const auto devices = static_cast<std::size_t>(state.range(0));
+  const fsp::Instance inst = fsp::taillard_class_representative(20, 20);
+  const auto data = fsp::LowerBoundData::build(inst);
+  gpubb::MultiDeviceConfig mdc;
+  mdc.specs.assign(devices, gpusim::DeviceSpec::tesla_c2050());
+  mdc.policy = gpubb::PlacementPolicy::kSharedJmPtm;
+  // A tight gap + small shards keeps the rebalance scan on the hot path
+  // instead of idling behind a never-reached threshold.
+  mdc.rebalance_min_gap = 64;
+  gpubb::MultiDevicePool pool(inst, data, mdc);
+
+  const auto parents = random_pool(inst, 64, 7);
+  std::vector<fsp::Time> bounds;
+  std::vector<std::uint32_t> tickets;
+  std::vector<core::ResidentGroup> groups;
+  std::size_t children = 0;
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const core::Subproblem& p : parents) {
+      total += static_cast<std::size_t>(p.remaining());
+    }
+    bounds.assign(total, 0);
+    tickets.assign(total, core::ResidentPool::kNullTicket);
+    groups.clear();
+    std::size_t at = 0;
+    for (const core::Subproblem& p : parents) {
+      const auto r = static_cast<std::size_t>(p.remaining());
+      core::ResidentGroup g;
+      g.perm = std::span<const fsp::JobId>(p.perm);
+      g.depth = p.depth;
+      g.bounds = std::span<fsp::Time>(bounds).subspan(at, r);
+      g.child_tickets = std::span<std::uint32_t>(tickets).subspan(at, r);
+      groups.push_back(g);
+      at += r;
+    }
+    pool.iterate(1 << 30, groups);
+    for (const std::uint32_t t : tickets) {
+      if (t != core::ResidentPool::kNullTicket) pool.release(t);
+    }
+    children += total;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(children));
+  state.counters["rebalanced"] = static_cast<double>(pool.rebalanced());
+}
+BENCHMARK(BM_MultiDeviceRefillRouting)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_OccupancyCalculator(benchmark::State& state) {
   const auto spec = gpusim::DeviceSpec::tesla_c2050();

@@ -8,7 +8,9 @@
 #include "fsp/lb2.h"
 #include "fsp/lb_one_machine.h"
 #include "gpubb/adaptive_evaluator.h"
+#include "gpubb/autotuner.h"
 #include "gpubb/gpu_evaluator.h"
+#include "gpubb/multi_device_pool.h"
 #include "gpusim/kernel.h"
 #include "mtbb/mt_engine.h"
 #include "mtbb/steal_engine.h"
@@ -187,6 +189,55 @@ class StealBackend final : public Backend {
   BackendContext ctx_;
 };
 
+/// --gpu-pool / --gpu-devices resolved to one (spec, mode) pair per card.
+/// "auto" runs the analytic autotuner probe per device — heterogeneous
+/// cards may genuinely pick different modes — except that dfs is
+/// all-or-nothing across cards (the SubtreeDfs seam cannot mix with
+/// per-level lanes), so a split dfs vote falls back to resident. The
+/// resolved modes are echoed through the evaluator's name() in reports,
+/// and re-resolving the same config picks the same modes, so "auto" runs
+/// stay reproducible.
+struct GpuSetup {
+  std::vector<gpusim::DeviceSpec> specs;
+  std::vector<gpubb::GpuPoolMode> modes;
+};
+
+GpuSetup resolve_gpu_setup(const BackendContext& ctx) {
+  GpuSetup setup;
+  setup.specs = multi_device_specs(*ctx.config);
+  if (ctx.config->gpu_pool != gpubb::GpuPoolMode::kAuto) {
+    setup.modes.assign(setup.specs.size(), ctx.config->gpu_pool);
+    return setup;
+  }
+  const bool allow_dfs =
+      ctx.config->strategy == core::SelectionStrategy::kDepthFirst;
+  std::size_t dfs_votes = 0;
+  for (const gpusim::DeviceSpec& spec : setup.specs) {
+    const gpubb::PoolModeChoice choice = gpubb::choose_pool_mode(
+        spec, *ctx.data, ctx.config->placement, allow_dfs,
+        ctx.config->block_threads);
+    setup.modes.push_back(choice.mode);
+    if (choice.mode == gpubb::GpuPoolMode::kDfs) ++dfs_votes;
+  }
+  if (dfs_votes != 0 && dfs_votes != setup.modes.size()) {
+    for (gpubb::GpuPoolMode& mode : setup.modes) {
+      if (mode == gpubb::GpuPoolMode::kDfs) mode = gpubb::GpuPoolMode::kResident;
+    }
+  }
+  return setup;
+}
+
+gpubb::MultiDeviceConfig multi_device_config(const BackendContext& ctx,
+                                             GpuSetup setup) {
+  gpubb::MultiDeviceConfig mdc;
+  mdc.specs = std::move(setup.specs);
+  mdc.modes = std::move(setup.modes);
+  mdc.policy = ctx.config->placement;
+  mdc.block_threads = ctx.config->block_threads;
+  mdc.control = ctx.control;  // cross-card incumbent broadcast target
+  return mdc;
+}
+
 void check_context(const BackendContext& ctx) {
   FSBB_CHECK_MSG(ctx.instance && ctx.data && ctx.config,
                  "BackendContext must carry instance, data and config");
@@ -248,31 +299,50 @@ void register_builtins(BackendRegistry& r) {
         });
   r.add("gpu-sim",
         "hybrid CPU + simulated-GPU B&B (the paper's contribution); "
-        "--device, --placement, --block-threads, --gpu-pool apply",
+        "--device, --gpu-devices, --placement, --block-threads, --gpu-pool "
+        "(incl. auto) apply",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
           require_bound(ctx, "gpu-sim", {Bound::kLb1});
-          auto device =
-              std::make_unique<gpusim::SimDevice>(device_spec_for(*ctx.config));
-          auto eval = std::make_unique<gpubb::GpuBoundEvaluator>(
-              *device, *ctx.instance, *ctx.data, ctx.config->placement,
-              ctx.config->block_threads,
-              gpusim::GpuCalibration::fermi_defaults(),
-              ctx.config->gpu_pool);
-          return std::make_unique<EngineBackend>(
-              "gpu-sim", ctx, std::move(device), std::move(eval));
+          GpuSetup setup = resolve_gpu_setup(ctx);
+          if (setup.specs.size() == 1) {
+            auto device =
+                std::make_unique<gpusim::SimDevice>(setup.specs.front());
+            auto eval = std::make_unique<gpubb::GpuBoundEvaluator>(
+                *device, *ctx.instance, *ctx.data, ctx.config->placement,
+                ctx.config->block_threads,
+                gpusim::GpuCalibration::fermi_defaults(),
+                setup.modes.front());
+            return std::make_unique<EngineBackend>(
+                "gpu-sim", ctx, std::move(device), std::move(eval));
+          }
+          auto eval = std::make_unique<gpubb::MultiDevicePool>(
+              *ctx.instance, *ctx.data,
+              multi_device_config(ctx, std::move(setup)));
+          return std::make_unique<EngineBackend>("gpu-sim", ctx, nullptr,
+                                                 std::move(eval));
         });
   r.add("adaptive",
-        "routes each batch to host threads or the simulated GPU at the "
-        "modeled break-even pool size (§VI outlook); --gpu-pool applies",
+        "concurrent host threads + simulated GPU(s) split at the modeled "
+        "break-even pool size (§VI outlook); --gpu-pool, --gpu-devices "
+        "apply",
         [](const BackendContext& ctx) -> std::unique_ptr<Backend> {
           require_bound(ctx, "adaptive", {Bound::kLb1});
-          auto device =
-              std::make_unique<gpusim::SimDevice>(device_spec_for(*ctx.config));
+          GpuSetup setup = resolve_gpu_setup(ctx);
+          if (setup.specs.size() == 1) {
+            auto device =
+                std::make_unique<gpusim::SimDevice>(setup.specs.front());
+            auto eval = std::make_unique<gpubb::AdaptiveEvaluator>(
+                *device, *ctx.instance, *ctx.data, ctx.config->placement,
+                ctx.config->threads, /*threshold=*/0, setup.modes.front());
+            return std::make_unique<EngineBackend>(
+                "adaptive", ctx, std::move(device), std::move(eval));
+          }
           auto eval = std::make_unique<gpubb::AdaptiveEvaluator>(
-              *device, *ctx.instance, *ctx.data, ctx.config->placement,
-              ctx.config->threads, /*threshold=*/0, ctx.config->gpu_pool);
-          return std::make_unique<EngineBackend>(
-              "adaptive", ctx, std::move(device), std::move(eval));
+              *ctx.instance, *ctx.data,
+              multi_device_config(ctx, std::move(setup)),
+              ctx.config->threads, /*threshold=*/0);
+          return std::make_unique<EngineBackend>("adaptive", ctx, nullptr,
+                                                 std::move(eval));
         });
   r.add("multicore",
         "shared-pool Pthread-style B&B over --threads workers (§V "

@@ -36,6 +36,7 @@ std::string config_json(const SolverConfig& c) {
   o.str("placement", gpubb::to_string(c.placement));
   o.str("gpu_pool", gpubb::to_string(c.gpu_pool));
   o.str("device", c.device);
+  o.str("gpu_devices", c.gpu_devices);
   o.field("initial_ub",
           c.initial_ub ? std::to_string(*c.initial_ub) : "null");
   o.integer("node_budget", c.node_budget);
@@ -70,33 +71,6 @@ std::string steal_json(const core::StealStats& s) {
   return o.done();
 }
 
-std::string pool_json(const core::ResidentPoolStats& p) {
-  std::string shards = "[";
-  for (std::size_t i = 0; i < p.shards.size(); ++i) {
-    const core::ShardOccupancy& s = p.shards[i];
-    JsonWriter o;
-    o.integer("live", s.live);
-    o.integer("peak_live", s.peak_live);
-    o.integer("allocated", s.allocated);
-    o.integer("released", s.released);
-    o.integer("spills", s.spills);
-    o.integer("steals", s.steals);
-    o.integer("refills", s.refills);
-    if (i) shards += ",";
-    shards += o.done();
-  }
-  shards += "]";
-
-  JsonWriter o;
-  o.integer("capacity", p.capacity);
-  o.integer("slot_bytes", p.slot_bytes);
-  o.integer("overflow", p.overflow);
-  o.integer("refills", p.refills);
-  o.integer("peak_live", p.peak_live());
-  o.field("shards", shards);
-  return o.done();
-}
-
 }  // namespace
 
 std::string SolveReport::to_json() const {
@@ -127,7 +101,7 @@ std::string SolveReport::to_json() const {
   o.field("stats", stats_json(stats));
   o.field("eval", eval ? ledger_json(*eval) : "null");
   o.field("steal", steal ? steal_json(*steal) : "null");
-  o.field("pool", pool ? pool_json(*pool) : "null");
+  o.field("pool", pool ? pool_stats_to_json(*pool) : "null");
   return o.done();
 }
 
@@ -163,7 +137,12 @@ void SolveReport::print_text(std::ostream& os) const {
        << (pool->shards.empty() ? 0
                                 : pool->capacity / pool->shards.size())
        << " slots, peak " << pool->peak_live() << " live, " << pool->refills
-       << " refills, " << pool->overflow << " overflow\n";
+       << " refills, " << pool->overflow << " overflow";
+    if (pool->devices > 1) {
+      os << " (" << pool->devices << " devices, " << pool->rebalanced
+         << " rebalanced)";
+    }
+    os << "\n";
   }
 }
 
@@ -200,6 +179,61 @@ core::EngineStats engine_stats_from_json(const JsonValue& v) {
   }
   s.initial_ub = static_cast<fsp::Time>(v.int_or("initial_ub", 0));
   return s;
+}
+
+std::string pool_stats_to_json(const core::ResidentPoolStats& p) {
+  std::string shards = "[";
+  for (std::size_t i = 0; i < p.shards.size(); ++i) {
+    const core::ShardOccupancy& s = p.shards[i];
+    JsonWriter o;
+    o.integer("device", s.device);
+    o.integer("live", s.live);
+    o.integer("peak_live", s.peak_live);
+    o.integer("allocated", s.allocated);
+    o.integer("released", s.released);
+    o.integer("spills", s.spills);
+    o.integer("steals", s.steals);
+    o.integer("refills", s.refills);
+    if (i) shards += ",";
+    shards += o.done();
+  }
+  shards += "]";
+
+  JsonWriter o;
+  o.integer("capacity", p.capacity);
+  o.integer("slot_bytes", p.slot_bytes);
+  o.integer("overflow", p.overflow);
+  o.integer("refills", p.refills);
+  o.integer("devices", p.devices);
+  o.integer("rebalanced", p.rebalanced);
+  o.integer("peak_live", p.peak_live());
+  o.field("shards", shards);
+  return o.done();
+}
+
+core::ResidentPoolStats pool_stats_from_json(const JsonValue& v) {
+  core::ResidentPoolStats p;
+  p.capacity = static_cast<std::uint64_t>(v.int_or("capacity", 0));
+  p.slot_bytes = static_cast<std::uint64_t>(v.int_or("slot_bytes", 0));
+  p.overflow = static_cast<std::uint64_t>(v.int_or("overflow", 0));
+  p.refills = static_cast<std::uint64_t>(v.int_or("refills", 0));
+  p.devices = static_cast<std::uint64_t>(v.int_or("devices", 1));
+  p.rebalanced = static_cast<std::uint64_t>(v.int_or("rebalanced", 0));
+  if (const JsonValue* shards = v.find("shards")) {
+    for (const JsonValue& sv : shards->as_array()) {
+      core::ShardOccupancy s;
+      s.device = static_cast<std::uint64_t>(sv.int_or("device", 0));
+      s.live = static_cast<std::uint64_t>(sv.int_or("live", 0));
+      s.peak_live = static_cast<std::uint64_t>(sv.int_or("peak_live", 0));
+      s.allocated = static_cast<std::uint64_t>(sv.int_or("allocated", 0));
+      s.released = static_cast<std::uint64_t>(sv.int_or("released", 0));
+      s.spills = static_cast<std::uint64_t>(sv.int_or("spills", 0));
+      s.steals = static_cast<std::uint64_t>(sv.int_or("steals", 0));
+      s.refills = static_cast<std::uint64_t>(sv.int_or("refills", 0));
+      p.shards.push_back(s);
+    }
+  }
+  return p;
 }
 
 void accumulate_engine_stats(core::EngineStats& into,

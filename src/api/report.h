@@ -65,6 +65,14 @@ std::ostream& operator<<(std::ostream& os, const SolveReport& report);
 std::string engine_stats_to_json(const core::EngineStats& stats);
 core::EngineStats engine_stats_from_json(const JsonValue& value);
 
+/// ResidentPoolStats ⇄ JSON (the exact "pool" object SolveReport::to_json
+/// emits). The multi-device dimension is additive: single-device emitters
+/// write devices = 1, rebalanced = 0 and shard device = 0, and from_json
+/// defaults the same way, so the pre-multi-device flat shape (no "devices",
+/// no per-shard "device") still parses.
+std::string pool_stats_to_json(const core::ResidentPoolStats& stats);
+core::ResidentPoolStats pool_stats_from_json(const JsonValue& value);
+
 /// Folds one worker's stats into an aggregate: operator counters and
 /// bounding time sum; wall time takes the max (the workers ran
 /// concurrently); initial_ub keeps `into`'s value unless it is unset (0).

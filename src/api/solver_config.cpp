@@ -92,7 +92,7 @@ const std::vector<std::string>& SolverConfig::cli_flags() {
       "count",      "victim-order",  "steal-batch",   "deque",
       "deadline-ms",
       "progress-interval-ms",        "gpu-pool",      "tenant",
-      "priority",
+      "priority",   "gpu-devices",
   };
   return kFlags;
 }
@@ -119,6 +119,7 @@ SolverConfig SolverConfig::from_cli(const CliArgs& args) {
     c.gpu_pool = gpubb::parse_gpu_pool_mode(*v);
   }
   c.device = args.get_or("device", c.device);
+  c.gpu_devices = args.get_or("gpu-devices", c.gpu_devices);
   if (args.has("ub")) {
     c.initial_ub = static_cast<fsp::Time>(args.get_int_or("ub", 0));
   }
@@ -171,6 +172,7 @@ std::vector<std::string> SolverConfig::to_cli() const {
   flag("placement", gpubb::to_string(placement));
   flag("gpu-pool", gpubb::to_string(gpu_pool));
   flag("device", device);
+  flag("gpu-devices", gpu_devices);
   if (initial_ub) flag("ub", std::to_string(*initial_ub));
   flag("node-budget", std::to_string(node_budget));
   {
@@ -201,7 +203,8 @@ void SolverConfig::validate() const {
   FSBB_CHECK_MSG(
       priority == "high" || priority == "normal" || priority == "low",
       "unknown priority '" + priority + "' (high|normal|low)");
-  device_spec_for(*this);  // throws on unknown device keys
+  device_spec_for(*this);     // throws on unknown device keys
+  multi_device_specs(*this);  // throws on malformed --gpu-devices
   if (instance.ta_id == 0) {
     FSBB_CHECK_MSG(instance.jobs >= 1 && instance.machines >= 1,
                    "instance dimensions must be >= 1");
@@ -209,12 +212,53 @@ void SolverConfig::validate() const {
   }
 }
 
-gpusim::DeviceSpec device_spec_for(const SolverConfig& config) {
-  if (config.device == "c2050") return gpusim::DeviceSpec::tesla_c2050();
-  if (config.device == "c1060") return gpusim::DeviceSpec::tesla_c1060();
-  FSBB_CHECK_MSG(false,
-                 "unknown device '" + config.device + "' (c2050|c1060)");
+namespace {
+
+gpusim::DeviceSpec device_spec_for_key(const std::string& key) {
+  if (key == "c2050") return gpusim::DeviceSpec::tesla_c2050();
+  if (key == "c1060") return gpusim::DeviceSpec::tesla_c1060();
+  FSBB_CHECK_MSG(false, "unknown device '" + key + "' (c2050|c1060)");
   return gpusim::DeviceSpec::tesla_c2050();
+}
+
+}  // namespace
+
+gpusim::DeviceSpec device_spec_for(const SolverConfig& config) {
+  return device_spec_for_key(config.device);
+}
+
+std::vector<gpusim::DeviceSpec> multi_device_specs(const SolverConfig& config) {
+  const std::string& text = config.gpu_devices;
+  const std::size_t colon = text.find(':');
+  const std::string count_text = text.substr(0, colon);
+  std::size_t pos = 0;
+  int count = 0;
+  try {
+    count = std::stoi(count_text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  FSBB_CHECK_MSG(pos == count_text.size() && !count_text.empty() && count >= 1,
+                 "--gpu-devices wants N or N:key,key..., got '" + text + "'");
+
+  std::vector<gpusim::DeviceSpec> specs;
+  if (colon == std::string::npos) {
+    specs.assign(static_cast<std::size_t>(count),
+                 device_spec_for_key(config.device));
+    return specs;
+  }
+  std::string rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    specs.push_back(device_spec_for_key(rest.substr(0, comma)));
+    if (comma == std::string::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  FSBB_CHECK_MSG(specs.size() == static_cast<std::size_t>(count),
+                 "--gpu-devices '" + text + "' names " +
+                     std::to_string(specs.size()) + " spec(s) but asks for " +
+                     std::to_string(count));
+  return specs;
 }
 
 }  // namespace fsbb::api

@@ -85,6 +85,11 @@ struct SolverConfig {
   gpubb::GpuPoolMode gpu_pool = gpubb::GpuPoolMode::kResident;
   /// Simulated device: "c2050" (the paper's) or "c1060".
   std::string device = "c2050";
+  /// Simulated device COUNT for gpu-sim/adaptive: "N" shards the pool
+  /// over N cards of `device`'s spec, "N:key,key,..." names each card's
+  /// spec explicitly (heterogeneous mixes allowed, count must match).
+  /// "1" keeps the single-device evaluator.
+  std::string gpu_devices = "1";
   /// Starting incumbent; NEH if unset.
   std::optional<fsp::Time> initial_ub;
   std::uint64_t node_budget = 0;     ///< 0 = solve to optimality
@@ -132,5 +137,11 @@ struct SolverConfig {
 
 /// Resolves config.device ("c2050" | "c1060"); throws CheckFailure otherwise.
 gpusim::DeviceSpec device_spec_for(const SolverConfig& config);
+
+/// Resolves config.gpu_devices into one spec per simulated card: "N" is N
+/// copies of config.device's spec, "N:key,key" the named specs (the count
+/// must equal N). Throws CheckFailure on malformed values. Size 1 means
+/// the single-device evaluator path.
+std::vector<gpusim::DeviceSpec> multi_device_specs(const SolverConfig& config);
 
 }  // namespace fsbb::api

@@ -177,9 +177,13 @@ void TicketAudit::finish(const ResidentPoolStats& stats) const {
     steals += shard.steals;
     shard_refills += shard.refills;
   }
-  if (issued_ != allocated) {
+  // Each cross-device rebalance move re-allocates one payload's slot on
+  // the recipient card (and released it on the donor) without the engine's
+  // ticket ever changing hands, so the moves are accounted explicitly.
+  if (issued_ + stats.rebalanced != allocated) {
     fail("ticket audit (" + pool_ + "): engine saw " +
-         std::to_string(issued_) + " ticket(s) but the shards allocated " +
+         std::to_string(issued_) + " ticket(s) and the pool rebalanced " +
+         std::to_string(stats.rebalanced) + " but the shards allocated " +
          std::to_string(allocated) +
          " slot(s) — a slot was allocated without reaching the engine");
   }

@@ -16,7 +16,8 @@
 //   * TicketAudit     — resident-pool tickets issued == released, and the
 //                       pool's own ShardOccupancy counters conserve
 //                       (allocated == released per shard, spills == steals
-//                       in total, zero live slots after drain).
+//                       in total, issued + cross-device rebalance moves ==
+//                       total allocated, zero live slots after drain).
 //   * IncumbentAudit  — an observed incumbent stream is strictly
 //                       improving (the SearchControl event contract and
 //                       every engine's internal acceptance order).
@@ -119,7 +120,9 @@ class TicketAudit {
   /// End-of-solve conservation check against the pool's ShardOccupancy
   /// counters (taken AFTER the engine released everything): zero
   /// outstanding tickets, zero live slots, allocated == released per
-  /// shard, total spills == total steals, refill totals consistent.
+  /// shard, total spills == total steals, issued + rebalanced == total
+  /// allocated (cross-device moves re-allocate a slot the engine's ticket
+  /// never sees), refill totals consistent.
   void finish(const ResidentPoolStats& stats) const;
 
   std::uint64_t issued() const;

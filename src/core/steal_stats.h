@@ -43,6 +43,9 @@ struct StealStats {
 /// Occupancy and traffic counters of one shard of a resident pool (one
 /// simulated SM's slice of device memory, or one worker's slab).
 struct ShardOccupancy {
+  /// Device the shard lives on (multi-device pools concatenate the shard
+  /// groups of every card; single-device pools leave this 0).
+  std::uint64_t device = 0;
   std::uint64_t live = 0;       ///< slots currently allocated
   std::uint64_t peak_live = 0;  ///< high-water mark of `live`
   std::uint64_t allocated = 0;  ///< slots ever handed out from this shard
@@ -54,13 +57,20 @@ struct ShardOccupancy {
 };
 
 /// Shard-level view of a resident pool, surfaced in SolveReport next to
-/// StealStats. Shard i is simulated SM i on the device backends.
+/// StealStats. Shard i is simulated SM i on the device backends; the
+/// multi-device pool concatenates the per-card shard groups (the `device`
+/// field of each ShardOccupancy namespaces them).
 struct ResidentPoolStats {
   std::uint64_t capacity = 0;    ///< total node slots across all shards
   std::uint64_t slot_bytes = 0;  ///< resident bytes per node slot
   std::uint64_t overflow = 0;    ///< children bounded in scratch because
                                  ///< every shard was full (never resident)
   std::uint64_t refills = 0;     ///< total non-resident parents uploaded
+  std::uint64_t devices = 1;     ///< cards the shard groups span
+  /// Payloads moved card-to-card by the starvation rebalancer (each move
+  /// is one extra allocate/release pair the engine's tickets never see —
+  /// the audit's conservation check accounts for them explicitly).
+  std::uint64_t rebalanced = 0;
   std::vector<ShardOccupancy> shards;
 
   std::uint64_t live() const {

@@ -1,6 +1,7 @@
 #include "gpubb/adaptive_evaluator.h"
 
 #include <algorithm>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
@@ -10,6 +11,31 @@
 
 namespace fsbb::gpubb {
 namespace {
+
+// Modeled GPU cost of bounding one node in a pool of `pool` nodes, from
+// the static Table I access counts (all priced global — conservative for
+// shared placements).
+double gpu_seconds_per_node(const gpusim::SimDevice& device,
+                            const fsp::LowerBoundData& data,
+                            const GpuBoundEvaluator& gpu, std::size_t pool) {
+  gpusim::ThreadWork work;
+  const auto acc = data.accesses_per_eval(data.jobs());
+  work.accesses[static_cast<std::size_t>(gpusim::MemSpace::kGlobal)] =
+      static_cast<double>(acc.total());
+  work.ops = 2.0 * static_cast<double>(acc.total());
+
+  const auto block = static_cast<std::size_t>(gpu.block_threads());
+  const gpusim::GpuCalibration calib = gpusim::GpuCalibration::fermi_defaults();
+  const gpusim::TransferModel transfers(device.spec());
+  const int grid = static_cast<int>(std::max<std::size_t>(1, pool / block));
+  const auto est = gpusim::estimate_kernel_time(
+      device.spec(), calib, {grid, static_cast<int>(block)}, gpu.occupancy(),
+      work);
+  return (est.seconds + calib.iteration_overhead_s(data.jobs()) +
+          transfers.seconds(pool * (static_cast<std::size_t>(data.jobs()) + 2)) +
+          transfers.seconds(pool * 4)) /
+         static_cast<double>(pool);
+}
 
 // Break-even batch size: smallest whole-block pool whose modeled GPU cost
 // per node undercuts one LB on a CPU core divided by the host thread count
@@ -25,30 +51,32 @@ std::size_t derive_threshold(const gpusim::SimDevice& device,
       cpu_model.lb_eval_seconds(data.jobs()) /
       static_cast<double>(std::max<std::size_t>(1, cpu_threads));
 
-  // Static per-thread work estimate from the Table I access counts; all
-  // accesses priced as global (conservative for shared placements).
-  gpusim::ThreadWork work;
-  const auto acc = data.accesses_per_eval(data.jobs());
-  work.accesses[static_cast<std::size_t>(gpusim::MemSpace::kGlobal)] =
-      static_cast<double>(acc.total());
-  work.ops = 2.0 * static_cast<double>(acc.total());
-
   const auto block = static_cast<std::size_t>(gpu.block_threads());
-  const gpusim::GpuCalibration calib = gpusim::GpuCalibration::fermi_defaults();
-  const gpusim::TransferModel transfers(device.spec());
   for (std::size_t pool = block; pool <= (std::size_t{1} << 20); pool *= 2) {
-    const int grid = static_cast<int>(pool / block);
-    const auto est = gpusim::estimate_kernel_time(
-        device.spec(), calib, {grid, static_cast<int>(block)},
-        gpu.occupancy(), work);
-    const double gpu_per_node =
-        (est.seconds + calib.iteration_overhead_s(data.jobs()) +
-         transfers.seconds(pool * (static_cast<std::size_t>(data.jobs()) + 2)) +
-         transfers.seconds(pool * 4)) /
-        static_cast<double>(pool);
-    if (gpu_per_node < cpu_per_node) return pool;
+    if (gpu_seconds_per_node(device, data, gpu, pool) < cpu_per_node) {
+      return pool;
+    }
   }
   return std::size_t{1} << 20;
+}
+
+// Host slice of an above-threshold iteration: the modeled CPU and GPU
+// node rates in steady state (a deep pool on the device side, every card
+// counted) split the children proportionally. Capped at one half — the
+// device side is the point of this backend.
+double derive_host_share(const gpusim::SimDevice& device,
+                         const fsp::LowerBoundData& data,
+                         const GpuBoundEvaluator& gpu, std::size_t cpu_threads,
+                         std::size_t devices) {
+  const core::CpuCostModel cpu_model(
+      data, core::CpuCostParams::xeon_e5520_reference());
+  const double cpu_rate =
+      static_cast<double>(std::max<std::size_t>(1, cpu_threads)) /
+      cpu_model.lb_eval_seconds(data.jobs());
+  const double gpu_rate =
+      static_cast<double>(devices) /
+      gpu_seconds_per_node(device, data, gpu, std::size_t{1} << 14);
+  return std::min(0.5, cpu_rate / (cpu_rate + gpu_rate));
 }
 
 }  // namespace
@@ -60,21 +88,56 @@ AdaptiveEvaluator::AdaptiveEvaluator(gpusim::SimDevice& device,
                                      std::size_t cpu_threads,
                                      std::size_t threshold, GpuPoolMode mode)
     : cpu_(inst, data, cpu_threads),
-      gpu_(device, inst, data, policy, /*block_threads=*/0,
-           gpusim::GpuCalibration::fermi_defaults(), mode),
+      single_(std::make_unique<GpuBoundEvaluator>(
+          device, inst, data, policy, /*block_threads=*/0,
+          gpusim::GpuCalibration::fermi_defaults(), mode)),
       threshold_(threshold != 0
                      ? threshold
-                     : derive_threshold(device, data, gpu_, cpu_.threads())) {}
+                     : derive_threshold(device, data, *single_,
+                                        cpu_.threads())),
+      host_share_(
+          derive_host_share(device, data, *single_, cpu_.threads(), 1)) {}
+
+AdaptiveEvaluator::AdaptiveEvaluator(const fsp::Instance& inst,
+                                     const fsp::LowerBoundData& data,
+                                     MultiDeviceConfig config,
+                                     std::size_t cpu_threads,
+                                     std::size_t threshold)
+    : cpu_(inst, data, cpu_threads),
+      multi_(std::make_unique<MultiDevicePool>(inst, data, std::move(config))),
+      threshold_(threshold != 0
+                     ? threshold
+                     : derive_threshold(multi_->device(0), data,
+                                        multi_->lane(0), cpu_.threads())),
+      host_share_(derive_host_share(multi_->device(0), data, multi_->lane(0),
+                                    cpu_.threads(), multi_->device_count())) {}
+
+core::BoundEvaluator& AdaptiveEvaluator::device_eval() {
+  return single_ ? static_cast<core::BoundEvaluator&>(*single_) : *multi_;
+}
+
+const core::BoundEvaluator& AdaptiveEvaluator::device_eval() const {
+  return single_ ? static_cast<const core::BoundEvaluator&>(*single_)
+                 : *multi_;
+}
+
+core::ResidentPool* AdaptiveEvaluator::device_resident() {
+  return device_eval().resident_pool();
+}
+
+const GpuBoundEvaluator& AdaptiveEvaluator::gpu() const {
+  return single_ ? *single_ : multi_->lane(0);
+}
 
 std::string AdaptiveEvaluator::name() const {
-  return "adaptive[" + cpu_.name() + "|" + gpu_.name() + "@" +
+  return "adaptive[" + cpu_.name() + "|" + device_eval().name() + "@" +
          std::to_string(threshold_) + "]";
 }
 
 void AdaptiveEvaluator::evaluate(std::span<core::Subproblem> batch) {
   const WallTimer timer;
   if (batch.size() >= threshold_) {
-    gpu_.evaluate(batch);
+    device_eval().evaluate(batch);
     ++gpu_batches_;
   } else {
     cpu_.evaluate(batch);
@@ -90,20 +153,52 @@ void AdaptiveEvaluator::iterate(fsp::Time ub,
   const WallTimer timer;
   std::size_t children = 0;
   for (const core::ResidentGroup& g : groups) children += g.bounds.size();
+
+  const auto to_sibling = [](core::ResidentGroup& g) {
+    const auto depth = static_cast<std::size_t>(g.depth);
+    return core::SiblingBatch{g.perm.first(depth), g.perm.subspan(depth),
+                              g.bounds};
+  };
+
   if (children >= threshold_) {
-    gpu_.iterate(ub, groups);
-    ++gpu_batches_;
+    // Concurrent heterogeneous split: the device takes the leading
+    // groups, the host sibling-seam workers a trailing slice of about
+    // host_share_ of the children (on group boundaries). Both sides
+    // bound disjoint spans of the engine's arena at once; the host-side
+    // children simply stay non-resident (tickets already kNullTicket).
+    const auto host_target =
+        static_cast<std::size_t>(host_share_ * static_cast<double>(children));
+    std::size_t split = groups.size();
+    std::size_t host_children = 0;
+    while (split > 0 &&
+           host_children + groups[split - 1].bounds.size() <= host_target) {
+      host_children += groups[--split].bounds.size();
+    }
+    const auto device_part = groups.first(split);
+    const auto host_part = groups.subspan(split);
+
+    std::vector<core::SiblingBatch> host;
+    host.reserve(host_part.size());
+    for (core::ResidentGroup& g : host_part) host.push_back(to_sibling(g));
+
+    if (!device_part.empty()) {
+      std::thread device_thread(
+          [&] { device_resident()->iterate(ub, device_part); });
+      if (!host.empty()) cpu_.evaluate_siblings(host);
+      device_thread.join();
+      ++gpu_batches_;
+      if (!host.empty()) ++cpu_batches_;
+    } else {
+      cpu_.evaluate_siblings(host);
+      ++cpu_batches_;
+    }
   } else {
     // Below break-even: bound on host threads through the sibling seam.
-    // Children stay non-resident (tickets already kNullTicket) and re-join
-    // the device pool as refills if a later iteration pops them.
+    // Children stay non-resident and re-join the device pool as refills
+    // if a later iteration pops them.
     std::vector<core::SiblingBatch> host;
     host.reserve(groups.size());
-    for (core::ResidentGroup& g : groups) {
-      const auto depth = static_cast<std::size_t>(g.depth);
-      host.push_back(core::SiblingBatch{g.perm.first(depth),
-                                        g.perm.subspan(depth), g.bounds});
-    }
+    for (core::ResidentGroup& g : groups) host.push_back(to_sibling(g));
     cpu_.evaluate_siblings(host);
     ++cpu_batches_;
   }
@@ -112,10 +207,12 @@ void AdaptiveEvaluator::iterate(fsp::Time ub,
   ledger_.wall_seconds += timer.seconds();
 }
 
-void AdaptiveEvaluator::release(std::uint32_t ticket) { gpu_.release(ticket); }
+void AdaptiveEvaluator::release(std::uint32_t ticket) {
+  device_resident()->release(ticket);
+}
 
 core::ResidentPoolStats AdaptiveEvaluator::shard_stats() const {
-  return gpu_.shard_stats();
+  return single_ ? single_->shard_stats() : multi_->shard_stats();
 }
 
 }  // namespace fsbb::gpubb

@@ -1,15 +1,19 @@
 // Adaptive bounding backend — the paper's §VI outlook ("combination of the
-// GPU-based bounding model with the multi-core parallel search") in its
-// simplest useful form: route each batch to the device only when it is
-// large enough to amortize the offload overheads, otherwise bound it on
-// host threads. The threshold defaults to the modeled break-even pool size
-// (where the GPU's modeled per-node cost undercuts the threaded CPU's).
+// GPU-based bounding model with the multi-core parallel search") grown
+// from big-vs-small iteration routing into genuinely concurrent
+// heterogeneous execution.
 //
-// With the resident pool mode (the default) the routing happens per
-// offload iteration through the core::ResidentPool seam: big iterations
-// run against the device-resident shards, small ones take the host
-// sibling-batch path (their children simply stay non-resident and re-enter
-// the device later as refills — the seam's graceful degradation).
+// Below the modeled break-even threshold an iteration is too small to
+// amortize the offload overheads and runs entirely on host threads (the
+// children stay non-resident and re-enter the device later as refills —
+// the seam's graceful degradation). At or above it the iteration is SPLIT:
+// the device side (one GpuBoundEvaluator, or a MultiDevicePool spanning
+// several cards) takes the leading groups, the host sibling-seam workers
+// take a trailing slice sized by the modeled CPU/GPU throughput ratio, and
+// both drain the engine's one NodeArena simultaneously — the device on a
+// worker thread, the host threads on the calling thread. The bounds are
+// bit-identical either way (a tested invariant), so the engine's counters
+// and incumbent stream never see the split.
 #pragma once
 
 #include <cstddef>
@@ -17,46 +21,70 @@
 
 #include "core/evaluator.h"
 #include "gpubb/gpu_evaluator.h"
+#include "gpubb/multi_device_pool.h"
 
 namespace fsbb::gpubb {
 
-/// Routes batches between a threaded CPU evaluator and the GPU evaluator.
+/// Routes bounding work between a threaded CPU evaluator and one or more
+/// simulated GPUs, overlapping the two above the break-even threshold.
 class AdaptiveEvaluator final : public core::BoundEvaluator,
                                 public core::ResidentPool {
  public:
-  /// threshold == 0 derives the break-even batch size from the offload
-  /// model at construction time (one sampled kernel run on synthetic
-  /// root-like nodes is NOT needed — the threshold uses the static Table I
-  /// work estimate, which is exact for the root and conservative below).
+  /// Single-device form. threshold == 0 derives the break-even batch size
+  /// from the offload model at construction time (one sampled kernel run
+  /// is NOT needed — the threshold uses the static Table I work estimate,
+  /// which is exact for the root and conservative below).
   AdaptiveEvaluator(gpusim::SimDevice& device, const fsp::Instance& inst,
                     const fsp::LowerBoundData& data, PlacementPolicy policy,
                     std::size_t cpu_threads = 0, std::size_t threshold = 0,
                     GpuPoolMode mode = GpuPoolMode::kResident);
 
+  /// Multi-device form: the device side is a MultiDevicePool over
+  /// `config.specs` (heterogeneous mixes allowed). The break-even
+  /// threshold is derived against lane 0 — conservative for faster
+  /// sibling cards, exact for homogeneous ones.
+  AdaptiveEvaluator(const fsp::Instance& inst, const fsp::LowerBoundData& data,
+                    MultiDeviceConfig config, std::size_t cpu_threads = 0,
+                    std::size_t threshold = 0);
+
   void evaluate(std::span<core::Subproblem> batch) override;
   core::ResidentPool* resident_pool() override {
-    return gpu_.resident_pool() != nullptr ? this : nullptr;
+    return device_resident() != nullptr ? this : nullptr;
   }
   /// DFS mode is all-device (whole subtrees never surface per level, so
   /// there is no per-batch routing decision to make): delegate wholesale.
-  core::SubtreeDfs* subtree_dfs() override { return gpu_.subtree_dfs(); }
+  core::SubtreeDfs* subtree_dfs() override {
+    return device_eval().subtree_dfs();
+  }
   std::string name() const override;
   const core::EvalLedger& ledger() const override { return ledger_; }
 
-  // --- core::ResidentPool (delegates the device side to the GPU pool) ----
+  // --- core::ResidentPool (device side delegated, host slice overlapped) --
   void iterate(fsp::Time ub, std::span<core::ResidentGroup> groups) override;
   void release(std::uint32_t ticket) override;
   core::ResidentPoolStats shard_stats() const override;
 
   std::size_t threshold() const { return threshold_; }
+  /// Fraction of an above-threshold iteration's children the host takes
+  /// (0 = everything offloads; capped at 1/2 — the device is the point).
+  double host_share() const { return host_share_; }
   std::uint64_t cpu_batches() const { return cpu_batches_; }
   std::uint64_t gpu_batches() const { return gpu_batches_; }
-  const GpuBoundEvaluator& gpu() const { return gpu_; }
+  /// Lane 0 on a multi-device pool.
+  const GpuBoundEvaluator& gpu() const;
+  /// The multi-device pool (null in the single-device form).
+  const MultiDevicePool* multi() const { return multi_.get(); }
 
  private:
+  core::BoundEvaluator& device_eval();
+  const core::BoundEvaluator& device_eval() const;
+  core::ResidentPool* device_resident();
+
   core::ThreadedCpuEvaluator cpu_;
-  GpuBoundEvaluator gpu_;
+  std::unique_ptr<GpuBoundEvaluator> single_;  ///< exactly one of these
+  std::unique_ptr<MultiDevicePool> multi_;     ///< two is engaged
   std::size_t threshold_;
+  double host_share_ = 0;
   std::uint64_t cpu_batches_ = 0;
   std::uint64_t gpu_batches_ = 0;
   core::EvalLedger ledger_;

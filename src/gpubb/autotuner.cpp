@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "gpubb/device_lb_data.h"
+#include "gpubb/dfs_pool.h"
 #include "gpubb/lb_kernel.h"
 #include "gpusim/occupancy.h"
 
@@ -120,6 +121,129 @@ AutotuneResult autotune_dfs_expansions(const OffloadScenario& scenario,
     }
   }
   return result;
+}
+
+PoolModeChoice choose_pool_mode(const gpusim::DeviceSpec& spec,
+                                const fsp::LowerBoundData& data,
+                                PlacementPolicy policy, bool allow_dfs,
+                                int block_threads,
+                                gpusim::GpuCalibration calibration) {
+  // A throwaway probe device: DeviceLbData only needs it for (simulated)
+  // allocations, and the kernel resource/occupancy figures are what the
+  // pricing below consumes.
+  gpusim::SimDevice probe(spec);
+  const PlacementPlan plan = make_placement_plan(policy, data, spec);
+  if (block_threads == 0) {
+    block_threads = recommended_block_threads(plan, spec);
+  }
+  DeviceLbData device_data(probe, data, plan);
+
+  const auto n = static_cast<double>(data.jobs());
+  const auto m = static_cast<double>(data.machines());
+
+  // Static Table-I bound-sweep work per child, all accesses priced global
+  // (conservative for shared placements — the same estimate the adaptive
+  // threshold uses).
+  gpusim::ThreadWork bound;
+  const auto acc = data.accesses_per_eval(data.jobs());
+  bound.accesses[static_cast<std::size_t>(gpusim::MemSpace::kGlobal)] =
+      static_cast<double>(acc.total());
+  bound.ops = 2.0 * static_cast<double>(acc.total());
+
+  OffloadScenario base;
+  base.spec = &probe.spec();
+  base.calibration = calibration;
+  base.cpu_params = core::CpuCostParams::xeon_e5520_reference();
+  base.block_threads = block_threads;
+  base.avg_remaining = n / 2;
+  base.lb_data = &data;
+  base.node_bytes_up = sizeof(std::int32_t);
+  base.frontier_nodes = 0;
+
+  // Characteristic per-level offload: one block of children per SM.
+  const std::size_t pool = static_cast<std::size_t>(block_threads) *
+                           static_cast<std::size_t>(spec.sm_count);
+  const auto lb_occupancy = gpusim::compute_occupancy(
+      spec, plan.smem_config, lb1_kernel_resources(device_data, block_threads));
+
+  PoolModeChoice choice;
+
+  {
+    // Repack: the full packed node travels down and the kernel replays the
+    // whole prefix (~n/2 steps of 2m local traffic + 2m ops) before it can
+    // bound.
+    OffloadScenario repack = base;
+    repack.occupancy = lb_occupancy;
+    repack.thread_work = bound;
+    repack.thread_work.ops += (n / 2) * 2.0 * m;
+    repack.thread_work.accesses[static_cast<std::size_t>(
+        gpusim::MemSpace::kLocal)] += (n / 2) * 2.0 * m;
+    repack.node_bytes_down =
+        static_cast<std::size_t>(data.jobs()) + sizeof(std::uint16_t);
+    const OffloadCycleCost cost = model_offload_cycle(repack, pool);
+    choice.repack_seconds_per_node =
+        cost.gpu_total_seconds() / static_cast<double>(pool);
+  }
+
+  {
+    // Resident: only a 12-byte parent descriptor + 4-byte child slot per
+    // node travel down (plus ~one-in-eight refill payloads), and the
+    // kernel extends the resident fronts O(m) instead of replaying.
+    OffloadScenario resident = base;
+    resident.occupancy = lb_occupancy;
+    resident.thread_work = bound;
+    resident.thread_work.ops += 2.0 * m;
+    resident.thread_work.accesses[static_cast<std::size_t>(
+        gpusim::MemSpace::kLocal)] += 2.0 * m;
+    resident.node_bytes_down =
+        16 + (static_cast<std::size_t>(data.jobs()) + 2) / 8;
+    const OffloadCycleCost cost = model_offload_cycle(resident, pool);
+    choice.resident_seconds_per_node =
+        cost.gpu_total_seconds() / static_cast<double>(pool);
+  }
+
+  choice.mode = choice.repack_seconds_per_node <
+                        choice.resident_seconds_per_node
+                    ? GpuPoolMode::kRepack
+                    : GpuPoolMode::kResident;
+  double best = std::min(choice.repack_seconds_per_node,
+                         choice.resident_seconds_per_node);
+
+  if (allow_dfs) {
+    // DFS: one lane per thread runs ~32 expansions per launch, each
+    // bounding ~n/2 children entirely device-side; only the packed root
+    // descriptors travel.
+    OffloadScenario dfs = base;
+    dfs.occupancy = gpusim::compute_occupancy(
+        spec, plan.smem_config,
+        dfs_kernel_resources(device_data, block_threads));
+    const double per_lane_expansions = 32;
+    const double children_per_expansion = n / 2;
+    dfs.thread_work = bound;
+    dfs.thread_work.ops += 2.0 * m;
+    dfs.thread_work.accesses[static_cast<std::size_t>(
+        gpusim::MemSpace::kLocal)] += 2.0 * m;
+    dfs.thread_work.ops *= per_lane_expansions * children_per_expansion;
+    for (double& a : dfs.thread_work.accesses) {
+      a *= per_lane_expansions * children_per_expansion;
+    }
+    dfs.node_bytes_down =
+        static_cast<std::size_t>(data.jobs()) + sizeof(std::uint16_t);
+    const std::size_t roots = pool;  // one block of lanes per SM
+    const auto expansions = static_cast<std::size_t>(
+        per_lane_expansions * static_cast<double>(roots));
+    const auto children = static_cast<std::size_t>(
+        static_cast<double>(expansions) * children_per_expansion);
+    const OffloadCycleCost cost =
+        model_dfs_launch(dfs, roots, expansions, children);
+    choice.dfs_seconds_per_node =
+        cost.gpu_total_seconds() / static_cast<double>(children);
+    if (choice.dfs_seconds_per_node < best) {
+      best = choice.dfs_seconds_per_node;
+      choice.mode = GpuPoolMode::kDfs;
+    }
+  }
+  return choice;
 }
 
 }  // namespace fsbb::gpubb

@@ -17,6 +17,7 @@
 #include "core/subproblem.h"
 #include "fsp/instance.h"
 #include "fsp/lb_data.h"
+#include "gpubb/gpu_evaluator.h"
 #include "gpubb/offload_model.h"
 #include "gpubb/placement.h"
 #include "gpusim/kernel.h"
@@ -66,5 +67,28 @@ AutotuneResult autotune_dfs_expansions(const OffloadScenario& scenario,
                                        double children_per_expansion,
                                        std::uint64_t min_expansions,
                                        std::uint64_t max_expansions);
+
+/// Outcome of the --gpu-pool auto probe for one device, with the modeled
+/// per-bounded-node costs behind the pick (echoed by benches/reports so
+/// auto runs stay reproducible and explainable).
+struct PoolModeChoice {
+  GpuPoolMode mode = GpuPoolMode::kResident;
+  double repack_seconds_per_node = 0;
+  double resident_seconds_per_node = 0;
+  double dfs_seconds_per_node = 0;  ///< 0 when dfs was not a candidate
+};
+
+/// Resolves --gpu-pool auto for ONE device spec: prices a characteristic
+/// offload of each candidate mode (repack / resident / dfs) through the
+/// offload cost model using the static Table-I work estimate — no kernel
+/// run needed, so the registry can probe every card of a multi-device
+/// config independently. Heterogeneous cards may genuinely pick different
+/// modes (a bandwidth-starved card favors residency harder). `allow_dfs`
+/// gates the dfs candidate on the depth-first strategy it requires. Ties
+/// prefer resident (the default mode).
+PoolModeChoice choose_pool_mode(
+    const gpusim::DeviceSpec& spec, const fsp::LowerBoundData& data,
+    PlacementPolicy policy, bool allow_dfs, int block_threads = 0,
+    gpusim::GpuCalibration calibration = gpusim::GpuCalibration::fermi_defaults());
 
 }  // namespace fsbb::gpubb

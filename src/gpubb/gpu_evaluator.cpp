@@ -13,6 +13,8 @@ const char* to_string(GpuPoolMode mode) {
       return "repack";
     case GpuPoolMode::kDfs:
       return "dfs";
+    case GpuPoolMode::kAuto:
+      return "auto";
   }
   return "?";
 }
@@ -21,8 +23,9 @@ GpuPoolMode parse_gpu_pool_mode(const std::string& text) {
   if (text == "resident") return GpuPoolMode::kResident;
   if (text == "repack") return GpuPoolMode::kRepack;
   if (text == "dfs") return GpuPoolMode::kDfs;
+  if (text == "auto") return GpuPoolMode::kAuto;
   FSBB_CHECK_MSG(false, "unknown gpu pool mode '" + text +
-                            "' (resident|repack|dfs)");
+                            "' (resident|repack|dfs|auto)");
   return GpuPoolMode::kResident;
 }
 
@@ -38,6 +41,9 @@ GpuBoundEvaluator::GpuBoundEvaluator(gpusim::SimDevice& device,
       block_threads_(block_threads), calibration_(calibration), mode_(mode),
       device_data_(device, data, make_placement_plan(policy, data, device.spec())),
       transfer_model_(device.spec()) {
+  FSBB_CHECK_MSG(mode_ != GpuPoolMode::kAuto,
+                 "auto pool mode must be resolved (choose_pool_mode) before "
+                 "an evaluator is constructed");
   if (block_threads_ == 0) {
     block_threads_ =
         recommended_block_threads(device_data_.plan(), device.spec());

@@ -44,6 +44,9 @@ enum class GpuPoolMode {
   kResident,  ///< per-SM resident shards; only incumbent/refill/bounds move
   kRepack,    ///< per-offload full-pool repack (the paper's original design)
   kDfs,       ///< per-thread device DFS over IvmNode subtrees
+  kAuto,      ///< resolved per device by the autotuner probe before any
+              ///< evaluator is built (gpubb::choose_pool_mode); never
+              ///< reaches a GpuBoundEvaluator constructor
 };
 
 const char* to_string(GpuPoolMode mode);
@@ -108,8 +111,18 @@ class GpuBoundEvaluator final : public core::BoundEvaluator,
   int block_threads() const { return block_threads_; }
   /// The resident pool (null outside resident mode) — for tests/benches.
   const DeviceResidentPool* resident() const { return resident_.get(); }
+  /// Mutable resident pool — the multi-device wrapper's recall/re-upload
+  /// handle for cross-device rebalancing.
+  DeviceResidentPool* resident_mut() { return resident_.get(); }
   /// The DFS pool (null outside dfs mode) — for tests and benches.
   const DeviceDfsPool* dfs() const { return dfs_.get(); }
+
+  /// Prices an out-of-band pool transfer on this lane's ledger — how the
+  /// multi-device wrapper charges rebalance payload moves and incumbent
+  /// broadcasts to the device that actually carries them.
+  void record_pool_transfer(gpusim::TransferDir dir, std::size_t bytes) {
+    transfer_model_.record(dir, bytes, gpu_ledger_.transfers);
+  }
 
  private:
   gpusim::SimDevice* device_;

@@ -7,6 +7,12 @@
 // backed by L1. kAuto re-derives that reasoning greedily from Table I and
 // the packed sizes, so it reproduces the paper's recommendation for the
 // m = 20 benchmark classes and adapts to other shapes.
+//
+// Plans are per-DEVICE: make_placement_plan takes the spec of the card it
+// plans for, so a heterogeneous multi-device pool (gpubb/multi_device_pool.h)
+// derives one plan per card — a GT200 with no L1/shared split can land on a
+// different layout than the Fermi card next to it, and the per-lane block
+// geometry (recommended_block_threads) follows the same per-card derivation.
 #pragma once
 
 #include <array>

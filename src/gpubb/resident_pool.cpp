@@ -468,6 +468,71 @@ void DeviceResidentPool::iterate(fsp::Time ub,
                  static_cast<std::size_t>(shards()) * 16;
 }
 
+void DeviceResidentPool::extract_payload(std::uint32_t ticket,
+                                         std::span<fsp::JobId> perm,
+                                         std::int32_t& depth,
+                                         std::span<std::int32_t> fronts,
+                                         std::int32_t& lb) {
+  FSBB_ASSERT(ticket != kNullTicket && (ticket & kScratchBit) == 0);
+  const int n = data_->jobs();
+  const int m = data_->machines();
+  FSBB_CHECK(perm.size() == static_cast<std::size_t>(n));
+  FSBB_CHECK(fronts.size() == static_cast<std::size_t>(m));
+  const auto slot = static_cast<std::size_t>(ticket);
+  auto src_perm =
+      perms_.host_span().subspan(slot * static_cast<std::size_t>(n),
+                                 static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    perm[static_cast<std::size_t>(j)] =
+        static_cast<fsp::JobId>(src_perm[static_cast<std::size_t>(j)]);
+  }
+  depth = static_cast<std::int32_t>(depths_.host_span()[slot]);
+  auto src_fronts =
+      fronts_.host_span().subspan(slot * static_cast<std::size_t>(m),
+                                  static_cast<std::size_t>(m));
+  std::copy(src_fronts.begin(), src_fronts.end(), fronts.begin());
+  lb = lbs_.host_span()[slot];
+  release(ticket);
+}
+
+std::uint32_t DeviceResidentPool::insert_payload(
+    std::span<const fsp::JobId> perm, std::int32_t depth,
+    std::span<const std::int32_t> fronts, std::int32_t lb) {
+  const int n = data_->jobs();
+  const int m = data_->machines();
+  FSBB_CHECK(perm.size() == static_cast<std::size_t>(n));
+  FSBB_CHECK(fronts.size() == static_cast<std::size_t>(m));
+  const std::uint32_t slot = acquire(hungriest_shard());
+  if (slot == kNullTicket) return kNullTicket;
+  const auto s = static_cast<std::size_t>(slot);
+  auto dst_perm = perms_.host_span().subspan(
+      s * static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    dst_perm[static_cast<std::size_t>(j)] =
+        static_cast<std::uint8_t>(perm[static_cast<std::size_t>(j)]);
+  }
+  depths_.host_span()[s] = static_cast<std::uint16_t>(depth);
+  auto dst_fronts = fronts_.host_span().subspan(
+      s * static_cast<std::size_t>(m), static_cast<std::size_t>(m));
+  std::copy(fronts.begin(), fronts.end(), dst_fronts.begin());
+  lbs_.host_span()[s] = lb;
+  return slot;
+}
+
+std::uint64_t DeviceResidentPool::live_slots() const {
+  std::uint64_t total = 0;
+  for (const core::ShardOccupancy& s : shard_stats_) total += s.live;
+  return total;
+}
+
+std::size_t DeviceResidentPool::free_slots() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < free_.shards(); ++s) {
+    total += free_.shard(s).size();
+  }
+  return total;
+}
+
 core::ResidentPoolStats DeviceResidentPool::stats() const {
   core::ResidentPoolStats s;
   s.capacity = capacity_;

@@ -91,6 +91,34 @@ class DeviceResidentPool {
   /// Returns a slot to its shard's free deque (host bookkeeping only).
   void release(std::uint32_t ticket);
 
+  /// Recalls a live slot's payload to the host and frees the slot — the
+  /// extract half of cross-device rebalancing. The caller prices the read
+  /// as a payload_bytes() D2H transfer. Accounting-wise this is a normal
+  /// release on the slot's shard, so per-shard conservation holds.
+  void extract_payload(std::uint32_t ticket, std::span<fsp::JobId> perm,
+                       std::int32_t& depth, std::span<std::int32_t> fronts,
+                       std::int32_t& lb);
+
+  /// Re-uploads a recalled payload into this pool (the resplit half),
+  /// landing on the hungriest shard like a refill batch would. Returns
+  /// kNullTicket when the pool is full. The caller prices the write as a
+  /// payload_bytes() H2D transfer; the allocation is a normal acquire, so
+  /// the extra allocate/release pair of a move must be accounted by the
+  /// caller's pool-level rebalance counter (core::audit pins this).
+  std::uint32_t insert_payload(std::span<const fsp::JobId> perm,
+                               std::int32_t depth,
+                               std::span<const std::int32_t> fronts,
+                               std::int32_t lb);
+
+  /// Bytes one recall/re-upload moves (perm + depth + fronts + lb).
+  std::size_t payload_bytes() const { return slot_bytes(); }
+
+  /// Slots currently allocated across all shards (the load signal the
+  /// multi-device refill router and rebalancer read).
+  std::uint64_t live_slots() const;
+  /// Free slots across all shards (rebalance recipient capacity).
+  std::size_t free_slots() const;
+
   core::ResidentPoolStats stats() const;
 
   /// Shard a slot belongs to (slots are striped per shard region).

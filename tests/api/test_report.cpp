@@ -118,5 +118,101 @@ TEST(SolveReport, ConfigEchoCarriesStealKnobs) {
   EXPECT_NE(json.find("\"steal_batch\":7"), std::string::npos);
 }
 
+TEST(SolveReport, ConfigEchoCarriesGpuDevices) {
+  SolveReport r = sample_report();
+  r.config.gpu_devices = "2:c2050,c1060";
+  EXPECT_NE(r.to_json().find("\"gpu_devices\":\"2:c2050,c1060\""),
+            std::string::npos);
+}
+
+core::ResidentPoolStats sample_pool_stats() {
+  core::ResidentPoolStats p;
+  p.capacity = 128;
+  p.slot_bytes = 32;
+  p.overflow = 3;
+  p.refills = 7;
+  p.devices = 2;
+  p.rebalanced = 5;
+  core::ShardOccupancy a;
+  a.device = 0;
+  a.live = 4;
+  a.peak_live = 9;
+  a.allocated = 20;
+  a.released = 16;
+  a.spills = 1;
+  a.steals = 2;
+  a.refills = 3;
+  core::ShardOccupancy b;
+  b.device = 1;
+  b.live = 0;
+  b.peak_live = 6;
+  b.allocated = 11;
+  b.released = 11;
+  b.spills = 2;
+  b.steals = 1;
+  b.refills = 4;
+  p.shards = {a, b};
+  return p;
+}
+
+TEST(PoolStatsJson, RoundTripsTheDeviceDimension) {
+  const core::ResidentPoolStats p = sample_pool_stats();
+  const core::ResidentPoolStats q =
+      pool_stats_from_json(JsonValue::parse(pool_stats_to_json(p)));
+  EXPECT_EQ(q.capacity, p.capacity);
+  EXPECT_EQ(q.slot_bytes, p.slot_bytes);
+  EXPECT_EQ(q.overflow, p.overflow);
+  EXPECT_EQ(q.refills, p.refills);
+  EXPECT_EQ(q.devices, p.devices);
+  EXPECT_EQ(q.rebalanced, p.rebalanced);
+  ASSERT_EQ(q.shards.size(), p.shards.size());
+  for (std::size_t i = 0; i < p.shards.size(); ++i) {
+    EXPECT_EQ(q.shards[i].device, p.shards[i].device) << i;
+    EXPECT_EQ(q.shards[i].live, p.shards[i].live) << i;
+    EXPECT_EQ(q.shards[i].peak_live, p.shards[i].peak_live) << i;
+    EXPECT_EQ(q.shards[i].allocated, p.shards[i].allocated) << i;
+    EXPECT_EQ(q.shards[i].released, p.shards[i].released) << i;
+    EXPECT_EQ(q.shards[i].spills, p.shards[i].spills) << i;
+    EXPECT_EQ(q.shards[i].steals, p.shards[i].steals) << i;
+    EXPECT_EQ(q.shards[i].refills, p.shards[i].refills) << i;
+  }
+}
+
+TEST(PoolStatsJson, ReadsThePreMultiDeviceFlatShape) {
+  // The shape emitted before the device dimension existed: no "devices",
+  // no "rebalanced", shards without a "device" field. Old recorded
+  // reports must keep parsing, defaulting to one device.
+  const std::string old_shape =
+      "{\"capacity\":64,\"slot_bytes\":16,\"overflow\":2,\"refills\":5,"
+      "\"peak_live\":9,\"shards\":[{\"live\":1,\"peak_live\":9,"
+      "\"allocated\":10,\"released\":9,\"spills\":0,\"steals\":0,"
+      "\"refills\":5}]}";
+  const core::ResidentPoolStats q =
+      pool_stats_from_json(JsonValue::parse(old_shape));
+  EXPECT_EQ(q.capacity, 64u);
+  EXPECT_EQ(q.slot_bytes, 16u);
+  EXPECT_EQ(q.overflow, 2u);
+  EXPECT_EQ(q.refills, 5u);
+  EXPECT_EQ(q.devices, 1u);
+  EXPECT_EQ(q.rebalanced, 0u);
+  ASSERT_EQ(q.shards.size(), 1u);
+  EXPECT_EQ(q.shards[0].device, 0u);
+  EXPECT_EQ(q.shards[0].allocated, 10u);
+  EXPECT_EQ(q.shards[0].refills, 5u);
+}
+
+TEST(SolveReport, JsonCarriesTheMultiDevicePoolShape) {
+  SolveReport r = sample_report();
+  r.pool = sample_pool_stats();
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"devices\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"rebalanced\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"device\":1"), std::string::npos);
+
+  std::ostringstream text;
+  text << r;
+  EXPECT_NE(text.str().find("(2 devices, 5 rebalanced)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fsbb::api

@@ -14,9 +14,13 @@
 #include "api/solver.h"
 #include "common/rng.h"
 #include "core/audit.h"
+#include "core/engine.h"
+#include "core/search_control.h"
 #include "fsp/brute_force.h"
 #include "fsp/generators.h"
 #include "fsp/makespan.h"
+#include "gpubb/multi_device_pool.h"
+#include "gpusim/device_spec.h"
 
 namespace fsbb {
 namespace {
@@ -255,6 +259,180 @@ TEST_P(GpuDfsVsSerialFuzz, SearchCountersAreBitIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, GpuDfsVsSerialFuzz, ::testing::Range(0, 4));
+
+// The multi-device pool against the host reference: gpu-sim with
+// --gpu-devices 2 (and one heterogeneous c2050+c1060 mix) shards the
+// resident pool over two simulated cards — refill routing, outer-ticket
+// translation and cross-card incumbent broadcast all live on the solve
+// path — while cpu-serial drives the sibling seam with the same batch
+// size. Same engine, same serial control flow, so every counter and the
+// incumbent stream must be bit-identical: a group routed to the wrong
+// card, a mistranslated ticket or a lost payload would branch a
+// different tree. Includes a mid-solve cancel (both engines stop at the
+// same batch boundary) and a starved-device rebalance run with the
+// ticket-conservation identity pinned.
+class MultiDeviceVsSerialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiDeviceVsSerialFuzz, SearchCountersAreBitIdentical) {
+  // Every solve in this body runs with the invariant auditors live
+  // (core/audit.h): arena slot lifecycle, resident-pool tickets and
+  // incumbent monotonicity all fail the test loudly if violated.
+  const core::audit::ScopedEnable audited;
+  const int shard = GetParam();
+  SplitMix64 rng(0x3D0C1u * 1000003u + static_cast<std::uint64_t>(shard));
+  for (int i = 0; i < 5; ++i) {
+    const auto family = kFamilies[rng.next_below(std::size(kFamilies))];
+    const int jobs = static_cast<int>(rng.next_in(6, 10));
+    const int machines = static_cast<int>(rng.next_in(2, 10));
+    const std::uint64_t seed = rng.next();
+    const fsp::Instance inst =
+        fsp::make_instance(family, jobs, machines, seed);
+    const std::string label = std::string(fsp::to_string(family)) + " " +
+                              std::to_string(jobs) + "x" +
+                              std::to_string(machines) + " seed " +
+                              std::to_string(seed);
+
+    api::SolverConfig serial;
+    serial.backend = "cpu-serial";
+    serial.batch_size = 64;  // same offload shape on both sides
+    const api::SolveReport reference = api::Solver(serial).solve(inst);
+
+    // Device layouts under test: homogeneous pair, heterogeneous mix.
+    for (const char* devices : {"2", "2:c2050,c1060"}) {
+      api::SolverConfig gpu;
+      gpu.backend = "gpu-sim";
+      gpu.batch_size = 64;
+      gpu.gpu_devices = devices;
+      const api::SolveReport report = api::Solver(gpu).solve(inst);
+      ASSERT_EQ(report.best_makespan, reference.best_makespan)
+          << devices << " " << label;
+      ASSERT_EQ(report.best_permutation, reference.best_permutation)
+          << devices << " " << label;
+      ASSERT_EQ(report.stats.branched, reference.stats.branched)
+          << devices << " " << label;
+      ASSERT_EQ(report.stats.generated, reference.stats.generated)
+          << devices << " " << label;
+      ASSERT_EQ(report.stats.evaluated, reference.stats.evaluated)
+          << devices << " " << label;
+      ASSERT_EQ(report.stats.pruned, reference.stats.pruned)
+          << devices << " " << label;
+      ASSERT_EQ(report.stats.leaves, reference.stats.leaves)
+          << devices << " " << label;
+      ASSERT_EQ(report.stats.ub_updates, reference.stats.ub_updates)
+          << devices << " " << label;
+      // The sharded pool carried the search, and the ticket conservation
+      // identity holds: every bounded child was a resident slot, an
+      // overflow, or a rebalancer move.
+      ASSERT_TRUE(report.pool.has_value()) << devices << " " << label;
+      EXPECT_EQ(report.pool->devices, 2u) << devices << " " << label;
+      std::uint64_t allocated = 0;
+      for (const auto& s : report.pool->shards) allocated += s.allocated;
+      EXPECT_EQ(allocated + report.pool->overflow,
+                report.stats.evaluated + report.pool->rebalanced)
+          << devices << " " << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, MultiDeviceVsSerialFuzz,
+                         ::testing::Range(0, 4));
+
+// Mid-solve cancellation determinism: both engines share the batch size,
+// so a cancel latched at the first incumbent event stops both at the
+// same batch boundary — counters stay bit-identical even though the
+// solve is cut short. Drives BBEngine directly (the facade owns its
+// control block; here the test needs to inject the cancel).
+TEST(MultiDeviceVsSerialCancel, CanceledSearchesStayBitIdentical) {
+  const core::audit::ScopedEnable audited;
+  const fsp::Instance inst = fsp::make_instance(
+      fsp::InstanceFamily::kUniform, 9, 6, 0xC4A11u);
+  const auto data = fsp::LowerBoundData::build(inst);
+
+  const auto canceled_solve = [&](core::BoundEvaluator& eval) {
+    core::SearchControl control;
+    control.set_sink([&](const core::SearchEvent& e) {
+      if (e.kind == core::SearchEvent::Kind::kIncumbent) {
+        control.request_cancel();
+      }
+    });
+    core::EngineOptions o;
+    o.strategy = core::SelectionStrategy::kDepthFirst;
+    o.batch_size = 16;
+    // Loose starting incumbent: the first leaf reached improves it, the
+    // sink fires, and the cancel latches long before exhaustion.
+    o.initial_ub = 1000000;
+    o.control = &control;
+    core::BBEngine engine(inst, data, eval, o);
+    return engine.solve();
+  };
+
+  core::SerialCpuEvaluator serial_eval(inst, data);
+  const core::SolveResult reference = canceled_solve(serial_eval);
+  ASSERT_EQ(reference.stop_reason, core::StopReason::kCanceled);
+
+  gpubb::MultiDeviceConfig mdc;
+  mdc.specs = {gpusim::DeviceSpec::tesla_c2050(),
+               gpusim::DeviceSpec::tesla_c1060()};
+  gpubb::MultiDevicePool pool(inst, data, mdc);
+  const core::SolveResult result = canceled_solve(pool);
+
+  EXPECT_EQ(result.stop_reason, core::StopReason::kCanceled);
+  EXPECT_EQ(result.best_makespan, reference.best_makespan);
+  EXPECT_EQ(result.best_permutation, reference.best_permutation);
+  EXPECT_EQ(result.stats.branched, reference.stats.branched);
+  EXPECT_EQ(result.stats.generated, reference.stats.generated);
+  EXPECT_EQ(result.stats.evaluated, reference.stats.evaluated);
+  EXPECT_EQ(result.stats.pruned, reference.stats.pruned);
+  EXPECT_EQ(result.stats.leaves, reference.stats.leaves);
+  EXPECT_EQ(result.stats.ub_updates, reference.stats.ub_updates);
+}
+
+// Starved-device rebalance on the live solve path: tiny per-card pools
+// and an aggressive trigger force recall-and-resplit traffic during a
+// real solve, and the search must still be bit-identical to the serial
+// reference with conservation intact (the engine never observes a move —
+// its outer tickets stay stable).
+TEST(MultiDeviceVsSerialRebalance, RebalancedSearchStaysBitIdentical) {
+  const core::audit::ScopedEnable audited;
+  const fsp::Instance inst = fsp::make_instance(
+      fsp::InstanceFamily::kTwoPlateaus, 9, 7, 0x5EEDBA1u);
+  const auto data = fsp::LowerBoundData::build(inst);
+
+  core::EngineOptions o;
+  o.batch_size = 64;
+  core::SerialCpuEvaluator serial_eval(inst, data);
+  core::BBEngine serial_engine(inst, data, serial_eval, o);
+  const core::SolveResult reference = serial_engine.solve();
+
+  gpubb::MultiDeviceConfig mdc;
+  mdc.specs = {gpusim::DeviceSpec::tesla_c2050(),
+               gpusim::DeviceSpec::tesla_c2050()};
+  mdc.pool_config.shards = 2;
+  mdc.pool_config.slots_per_shard = 16;
+  mdc.pool_config.block_threads = 8;
+  mdc.rebalance_min_gap = 4;  // aggressive: rebalance on small skews
+  mdc.rebalance_batch = 8;
+  gpubb::MultiDevicePool pool(inst, data, mdc);
+  core::BBEngine engine(inst, data, pool, o);
+  const core::SolveResult result = engine.solve();
+
+  EXPECT_GT(pool.rebalanced(), 0u) << "test knobs no longer trigger moves";
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.best_makespan, reference.best_makespan);
+  EXPECT_EQ(result.best_permutation, reference.best_permutation);
+  EXPECT_EQ(result.stats.branched, reference.stats.branched);
+  EXPECT_EQ(result.stats.generated, reference.stats.generated);
+  EXPECT_EQ(result.stats.evaluated, reference.stats.evaluated);
+  EXPECT_EQ(result.stats.pruned, reference.stats.pruned);
+  EXPECT_EQ(result.stats.leaves, reference.stats.leaves);
+  EXPECT_EQ(result.stats.ub_updates, reference.stats.ub_updates);
+
+  ASSERT_TRUE(result.pool.has_value());
+  std::uint64_t allocated = 0;
+  for (const auto& s : result.pool->shards) allocated += s.allocated;
+  EXPECT_EQ(allocated + result.pool->overflow,
+            result.stats.evaluated + result.pool->rebalanced);
+}
 
 // cpu-steal's LB2 plumbing (per-worker Lb2Scratch): the work-stealing
 // engine under --bound lb2 must prove the same optimum as the serial LB2
